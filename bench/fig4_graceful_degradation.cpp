@@ -1,0 +1,200 @@
+// Reproduces Figure 4: TCP's congestion window versus ARTP's graceful
+// degradation. An AR flow carries four traffic types (connection metadata,
+// sensor data, video reference frames, video interframes) across three
+// network phases; instead of halving a window, ARTP sheds by priority while
+// the application adapts quality from QoS feedback. A TCP flow runs through
+// the same capacity schedule for the cwnd sawtooth comparison.
+#include <iostream>
+
+#include "arnet/core/table.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/artp.hpp"
+#include "arnet/transport/tcp.hpp"
+
+using namespace arnet;
+using net::AppData;
+using net::Priority;
+using net::TrafficClass;
+using sim::milliseconds;
+using sim::seconds;
+
+namespace {
+
+// Capacity schedule: phase 1 healthy, phase 2 first degradation (loss event
+// in the figure), phase 3 severe.
+constexpr double kPhase1Bps = 8e6;
+constexpr double kPhase2Bps = 3e6;
+constexpr double kPhase3Bps = 0.9e6;
+constexpr sim::Time kPhaseLen = seconds(10);
+
+struct ArtpRun {
+  // Per-traffic-type delivered rate, sampled per second.
+  sim::TimeSeries metadata, sensors, refs, inters;
+  std::int64_t metadata_delivered = 0, metadata_offered = 0;
+  std::int64_t refs_delivered = 0, refs_offered = 0;
+  std::int64_t inters_delivered = 0, inters_offered = 0;
+};
+
+ArtpRun run_artp() {
+  sim::Simulator sim;
+  net::Network net(sim, 4);
+  auto client = net.add_node("client");
+  auto server = net.add_node("server");
+  auto [up, down] = net.connect(client, server, kPhase1Bps, milliseconds(15), 400);
+  (void)down;
+  sim.at(kPhaseLen, [l = up] { l->set_rate(kPhase2Bps); });
+  sim.at(2 * kPhaseLen, [l = up] { l->set_rate(kPhase3Bps); });
+
+  transport::ArtpReceiver rx(net, server, 80);
+  std::array<sim::RateMeter, net::kAppDataCount> delivered;
+  ArtpRun result;
+  rx.set_message_callback([&](const transport::ArtpDelivery& d) {
+    if (!d.complete) return;
+    delivered[static_cast<std::size_t>(d.app)].on_bytes(d.bytes);
+    switch (d.app) {
+      case AppData::kConnectionMetadata: ++result.metadata_delivered; break;
+      case AppData::kVideoReferenceFrame: ++result.refs_delivered; break;
+      case AppData::kVideoInterFrame: ++result.inters_delivered; break;
+      default: break;
+    }
+  });
+  transport::ArtpSender tx(net, client, 1000, server, 80, 1,
+                           transport::ArtpSenderConfig{});
+
+  // Application adaptation from QoS feedback (the "adjustable variables" of
+  // the figure): congestion level scales interframe quality and sensor rate.
+  int level = 0;
+  tx.set_qos_callback([&](const transport::ArtpQosReport& r) { level = r.congestion_level; });
+
+  // Metadata 10 Hz / critical / highest.
+  for (int i = 0; i < 300; ++i) {
+    sim.at(milliseconds(100) * i, [&] {
+      transport::ArtpMessageSpec m;
+      m.bytes = 96;
+      m.tclass = TrafficClass::kCriticalData;
+      m.priority = Priority::kHighest;
+      m.app = AppData::kConnectionMetadata;
+      ++result.metadata_offered;
+      tx.send_message(m);
+    });
+  }
+  // Sensors 50 Hz / full best effort / medium-1; rate adapts with level.
+  for (int i = 0; i < 1500; ++i) {
+    sim.at(milliseconds(20) * i, [&] {
+      if (level >= 2) return;  // app pauses sensor stream under congestion
+      transport::ArtpMessageSpec m;
+      m.bytes = 150;
+      m.tclass = TrafficClass::kFullBestEffort;
+      m.priority = Priority::kMediumNoDrop;
+      m.app = AppData::kSensorData;
+      tx.send_message(m);
+    });
+  }
+  // Video 30 FPS, GOP 15: refs protected + non-droppable, interframes
+  // lowest priority; the app lowers interframe quality with congestion.
+  for (int i = 0; i < 900; ++i) {
+    sim.at(sim::from_seconds(i / 30.0), [&, i] {
+      bool ref = i % 15 == 0;
+      transport::ArtpMessageSpec m;
+      if (ref) {
+        m.bytes = level >= 3 ? 12'000 : 24'000;  // severe phase: smaller refs
+        m.tclass = TrafficClass::kBestEffortLossRecovery;
+        m.priority = Priority::kMediumNoDrop;
+        m.app = AppData::kVideoReferenceFrame;
+        ++result.refs_offered;
+      } else {
+        double quality = level == 0 ? 1.0 : level == 1 ? 0.6 : level == 2 ? 0.3 : 0.15;
+        m.bytes = static_cast<std::int64_t>(8000 * quality);
+        m.tclass = TrafficClass::kFullBestEffort;
+        m.priority = Priority::kLowest;
+        m.app = AppData::kVideoInterFrame;
+        m.stale_after = milliseconds(80);
+        ++result.inters_offered;
+      }
+      tx.send_message(m);
+    });
+  }
+
+  for (int t = 1; t <= 30; ++t) {
+    sim.at(seconds(t), [&] {
+      auto sample = [&](AppData app, sim::TimeSeries& out) {
+        auto& meter = delivered[static_cast<std::size_t>(app)];
+        meter.sample(sim.now());
+        out.add(sim.now(), meter.series().points().back().second);
+      };
+      sample(AppData::kConnectionMetadata, result.metadata);
+      sample(AppData::kSensorData, result.sensors);
+      sample(AppData::kVideoReferenceFrame, result.refs);
+      sample(AppData::kVideoInterFrame, result.inters);
+    });
+  }
+  sim.run_until(seconds(30));
+  return result;
+}
+
+sim::TimeSeries run_tcp_cwnd() {
+  sim::Simulator sim;
+  net::Network net(sim, 4);
+  auto client = net.add_node("client");
+  auto server = net.add_node("server");
+  auto [up, down] = net.connect(client, server, kPhase1Bps, milliseconds(15), 60);
+  (void)down;
+  sim.at(kPhaseLen, [l = up] { l->set_rate(kPhase2Bps); });
+  sim.at(2 * kPhaseLen, [l = up] { l->set_rate(kPhase3Bps); });
+  transport::TcpSink sink(net, server, 80);
+  transport::TcpSource::Config cfg;
+  cfg.trace_cwnd = true;
+  transport::TcpSource src(net, client, 1000, server, 80, 1, cfg);
+  src.send_forever();
+  sim::TimeSeries per_second;
+  for (int t = 1; t <= 30; ++t) {
+    sim.at(seconds(t), [&] {
+      per_second.add(sim.now(), src.cwnd_bytes() / 1460.0);  // in segments
+    });
+  }
+  sim.run_until(seconds(30));
+  return per_second;
+}
+
+double phase_mean(const sim::TimeSeries& ts, int phase) {
+  return ts.mean_in(kPhaseLen * (phase - 1) + seconds(2), kPhaseLen * phase);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figure 4: TCP congestion window vs graceful degradation ===\n"
+            << "Link capacity: 8 Mb/s (phase 1) -> 3 Mb/s (phase 2) -> 0.9 Mb/s\n"
+            << "(phase 3), 10 s each.\n\n";
+
+  auto artp = run_artp();
+  auto cwnd = run_tcp_cwnd();
+
+  core::TablePrinter t({"Traffic type (class/priority)", "phase 1", "phase 2", "phase 3"});
+  auto row = [&](const char* name, const sim::TimeSeries& ts) {
+    t.add_row({name, core::fmt_mbps(phase_mean(ts, 1) * 1e6),
+               core::fmt_mbps(phase_mean(ts, 2) * 1e6), core::fmt_mbps(phase_mean(ts, 3) * 1e6)});
+  };
+  row("Connection metadata (critical/highest)", artp.metadata);
+  row("Sensor data (best effort/medium-1)", artp.sensors);
+  row("Video reference frames (recovery/medium)", artp.refs);
+  row("Video interframes (best effort/lowest)", artp.inters);
+  t.add_row({"TCP baseline: mean cwnd (segments)", core::fmt(phase_mean(cwnd, 1), 1),
+             core::fmt(phase_mean(cwnd, 2), 1), core::fmt(phase_mean(cwnd, 3), 1)});
+  t.print(std::cout);
+
+  std::cout << "\nDelivery counts (offered -> delivered):\n"
+            << "  metadata    " << artp.metadata_offered << " -> " << artp.metadata_delivered
+            << "  (never discarded nor delayed)\n"
+            << "  ref frames  " << artp.refs_offered << " -> " << artp.refs_delivered
+            << "  (quality reduced only in phase 3)\n"
+            << "  interframes " << artp.inters_offered << " -> " << artp.inters_delivered
+            << "  (first to be shed)\n";
+
+  std::cout << "\nShape check vs the paper: TCP saws its window down uniformly; ARTP\n"
+               "keeps metadata untouched across all phases, trims sensor data and\n"
+               "interframes in phase 2, and only reduces reference-frame quality in\n"
+               "phase 3 — a severely degraded but functional service.\n";
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Micro-benchmarks of the simulation and transport hot paths
+// (google-benchmark): event loop turnover, queue disciplines, and
+// end-to-end simulated transfers per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "arnet/net/network.hpp"
+#include "arnet/net/queue.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/artp.hpp"
+#include "arnet/transport/jitter_buffer.hpp"
+#include "arnet/transport/tcp.hpp"
+#include "arnet/wireless/wifi.hpp"
+
+namespace {
+
+using namespace arnet;
+
+void BM_SimulatorEventTurnover(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sim.at(sim::microseconds(i), [&fired] { ++fired; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fired);
+  }
+}
+BENCHMARK(BM_SimulatorEventTurnover);
+
+template <typename Q>
+void queue_cycle(Q& q) {
+  for (int i = 0; i < 256; ++i) {
+    net::Packet p;
+    p.size_bytes = 1500;
+    p.flow = static_cast<net::FlowId>(i % 8);
+    q.enqueue(std::move(p), sim::microseconds(i));
+  }
+  while (q.dequeue(sim::milliseconds(1))) {
+  }
+}
+
+void BM_DropTailQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    net::DropTailQueue q(512);
+    queue_cycle(q);
+    benchmark::DoNotOptimize(q.drops());
+  }
+}
+BENCHMARK(BM_DropTailQueue);
+
+void BM_CoDelQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    net::CoDelQueue q;
+    queue_cycle(q);
+    benchmark::DoNotOptimize(q.drops());
+  }
+}
+BENCHMARK(BM_CoDelQueue);
+
+void BM_FqCoDelQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    net::FqCoDelQueue q;
+    queue_cycle(q);
+    benchmark::DoNotOptimize(q.drops());
+  }
+}
+BENCHMARK(BM_FqCoDelQueue);
+
+void BM_WeightedFairQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    net::WeightedFairQueue q({{3.0, 512}, {1.0, 512}},
+                             net::WeightedFairQueue::reserve_flow(1));
+    queue_cycle(q);
+    benchmark::DoNotOptimize(q.drops());
+  }
+}
+BENCHMARK(BM_WeightedFairQueue);
+
+void BM_JitterBufferPushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    transport::JitterBuffer jb;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      sim::Time ts = sim::milliseconds(10) * i;
+      transport::JitterBuffer::Sample s{i, ts, ts + sim::milliseconds(20)};
+      jb.push(s, s.arrival);
+      benchmark::DoNotOptimize(jb.due(s.arrival));
+    }
+  }
+}
+BENCHMARK(BM_JitterBufferPushPop);
+
+void BM_ClassfulPriorityQueue(benchmark::State& state) {
+  for (auto _ : state) {
+    net::ClassfulPriorityQueue q;
+    for (int i = 0; i < 256; ++i) {
+      net::Packet p;
+      p.size_bytes = 1500;
+      p.priority = static_cast<net::Priority>(i % 4);
+      q.enqueue(std::move(p), 0);
+    }
+    while (q.dequeue(0)) {
+    }
+    benchmark::DoNotOptimize(q.drops());
+  }
+}
+BENCHMARK(BM_ClassfulPriorityQueue);
+
+void BM_TcpBulkTransferSimulated(benchmark::State& state) {
+  // Wall-clock cost of simulating a 1 MB TCP transfer over a 10 Mb/s link.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, 1);
+    auto c = net.add_node("c");
+    auto s = net.add_node("s");
+    net.connect(c, s, 10e6, sim::milliseconds(10), 100);
+    transport::TcpSink sink(net, s, 80);
+    transport::TcpSource src(net, c, 1000, s, 80, 1);
+    src.send(1'000'000);
+    sim.run_until(sim::seconds(30));
+    benchmark::DoNotOptimize(sink.received_bytes());
+  }
+}
+BENCHMARK(BM_TcpBulkTransferSimulated);
+
+void BM_ArtpSessionSimulated(benchmark::State& state) {
+  // Wall-clock cost of simulating 10 s of a 30 Hz ARTP feature stream.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    net::Network net(sim, 1);
+    auto c = net.add_node("c");
+    auto s = net.add_node("s");
+    net.connect(c, s, 20e6, sim::milliseconds(10), 300);
+    transport::ArtpReceiver rx(net, s, 80);
+    transport::ArtpSender tx(net, c, 1000, s, 80, 1, transport::ArtpSenderConfig{});
+    for (int i = 0; i < 300; ++i) {
+      sim.at(sim::from_seconds(i / 30.0), [&tx] {
+        transport::ArtpMessageSpec m;
+        m.bytes = 14'400;
+        m.tclass = net::TrafficClass::kBestEffortLossRecovery;
+        m.priority = net::Priority::kMediumNoDrop;
+        tx.send_message(m);
+      });
+    }
+    sim.run_until(sim::seconds(11));
+    benchmark::DoNotOptimize(rx.delivered_messages());
+  }
+}
+BENCHMARK(BM_ArtpSessionSimulated);
+
+void BM_WifiCellSaturated(benchmark::State& state) {
+  // Wall-clock cost of 1 simulated second of a saturated 4-station cell.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    wireless::WifiCell cell(sim, sim::Rng(1), wireless::WifiCell::Config{});
+    std::vector<std::uint32_t> stas;
+    for (int i = 0; i < 4; ++i) stas.push_back(cell.add_station(54e6));
+    cell.set_sink(wireless::WifiCell::kApId, [&](net::Packet&& p, std::uint32_t from) {
+      (void)p;
+      net::Packet next;
+      next.size_bytes = 1500;
+      cell.send(from, wireless::WifiCell::kApId, std::move(next));
+    });
+    for (auto s : stas) {
+      for (int i = 0; i < 3; ++i) {
+        net::Packet p;
+        p.size_bytes = 1500;
+        cell.send(s, wireless::WifiCell::kApId, std::move(p));
+      }
+    }
+    sim.run_until(sim::seconds(1));
+    benchmark::DoNotOptimize(cell.delivered_bytes(wireless::WifiCell::kApId));
+  }
+}
+BENCHMARK(BM_WifiCellSaturated);
+
+}  // namespace

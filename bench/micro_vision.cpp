@@ -1,0 +1,156 @@
+// Micro-benchmarks of the vision substrate (google-benchmark). These
+// calibrate the desktop-reference VisionCosts used by the offloading cost
+// model: device-class costs are these numbers times Table I's compute_scale.
+#include <benchmark/benchmark.h>
+
+#include "arnet/sim/rng.hpp"
+#include "arnet/vision/features.hpp"
+#include "arnet/vision/harris.hpp"
+#include "arnet/vision/homography.hpp"
+#include "arnet/vision/pipeline.hpp"
+#include "arnet/vision/privacy.hpp"
+#include "arnet/vision/synth.hpp"
+#include "arnet/vision/track.hpp"
+
+namespace {
+
+using namespace arnet;
+using namespace arnet::vision;
+
+Image scene(int w, int h) {
+  sim::Rng rng(42);
+  SceneParams p;
+  p.width = w;
+  p.height = h;
+  return render_scene(rng, p);
+}
+
+void BM_RenderScene(benchmark::State& state) {
+  sim::Rng rng(42);
+  SceneParams p;
+  p.width = static_cast<int>(state.range(0));
+  p.height = p.width * 3 / 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render_scene(rng, p));
+  }
+}
+BENCHMARK(BM_RenderScene)->Arg(320)->Arg(640);
+
+void BM_FastDetect(benchmark::State& state) {
+  Image img = scene(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) * 3 / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fast_detect(img, 20));
+  }
+}
+BENCHMARK(BM_FastDetect)->Arg(320)->Arg(640)->Arg(1280);
+
+void BM_HarrisDetect(benchmark::State& state) {
+  Image img = scene(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)) * 3 / 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harris_detect(img));
+  }
+}
+BENCHMARK(BM_HarrisDetect)->Arg(320)->Arg(640);
+
+void BM_BriefDescribe(benchmark::State& state) {
+  Image img = scene(320, 240);
+  auto feats = fast_detect(img, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brief_describe(img, feats));
+  }
+}
+BENCHMARK(BM_BriefDescribe);
+
+void BM_OrbDescribe(benchmark::State& state) {
+  Image img = scene(320, 240);
+  auto feats = fast_detect(img, 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orb_describe(img, feats));
+  }
+}
+BENCHMARK(BM_OrbDescribe);
+
+void BM_MultiscaleFast(benchmark::State& state) {
+  Image img = scene(320, 240);
+  for (auto _ : state) {
+    auto pyr = build_pyramid(img, 3);
+    benchmark::DoNotOptimize(multiscale_fast(pyr));
+  }
+}
+BENCHMARK(BM_MultiscaleFast);
+
+void BM_PrivacyRedaction(benchmark::State& state) {
+  sim::Rng rng(5);
+  std::vector<SensitiveRegion> truth;
+  Image img = render_scene_with_sensitive(rng, SceneParams{}, 3, 2, truth);
+  for (auto _ : state) {
+    Image frame = img;
+    benchmark::DoNotOptimize(apply_privacy(frame, PrivacyLevel::kBlurSensitive));
+  }
+}
+BENCHMARK(BM_PrivacyRedaction);
+
+void BM_MatchDescriptors(benchmark::State& state) {
+  Image img = scene(320, 240);
+  sim::Rng mrng(7);
+  Image moved = warp_image(img, random_camera_motion(mrng));
+  auto a = brief_describe(img, fast_detect(img, 20));
+  auto b = brief_describe(moved, fast_detect(moved, 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(match_descriptors(a.descriptors, b.descriptors));
+  }
+}
+BENCHMARK(BM_MatchDescriptors);
+
+void BM_RansacHomography(benchmark::State& state) {
+  sim::Rng rng(23);
+  Mat3 truth = Mat3::similarity(0.95, -0.15, -12, 6);
+  std::vector<Correspondence> pts;
+  for (int i = 0; i < 80; ++i) {
+    Vec2 p{rng.uniform(0, 300), rng.uniform(0, 200)};
+    pts.push_back({p, truth.apply(p)});
+  }
+  for (int i = 0; i < 20; ++i) {
+    pts.push_back({{rng.uniform(0, 300), rng.uniform(0, 200)},
+                   {rng.uniform(0, 300), rng.uniform(0, 200)}});
+  }
+  for (auto _ : state) {
+    sim::Rng r(11);
+    benchmark::DoNotOptimize(estimate_homography_ransac(pts, r));
+  }
+}
+BENCHMARK(BM_RansacHomography);
+
+void BM_TrackPoints(benchmark::State& state) {
+  Image img = scene(320, 240);
+  Image moved = warp_image(img, Mat3::translation(5, -3));
+  auto feats = fast_detect(img, 20);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < std::min<std::size_t>(feats.size(), 50); ++i) {
+    pts.push_back({static_cast<double>(feats[i].x), static_cast<double>(feats[i].y)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(track_points(img, moved, pts));
+  }
+}
+BENCHMARK(BM_TrackPoints);
+
+void BM_FullRecognitionPipeline(benchmark::State& state) {
+  sim::Rng rng(41);
+  ObjectDatabase db;
+  std::vector<Image> refs;
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(render_scene(rng, SceneParams{}));
+    db.add_object("obj", refs.back());
+  }
+  sim::Rng mrng(43);
+  Image frame = warp_image(refs[2], random_camera_motion(mrng));
+  RecognitionPipeline pipe;
+  for (auto _ : state) {
+    sim::Rng r(47);
+    benchmark::DoNotOptimize(pipe.recognize_frame(frame, db, r));
+  }
+}
+BENCHMARK(BM_FullRecognitionPipeline);
+
+}  // namespace

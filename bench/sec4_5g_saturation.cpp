@@ -1,0 +1,133 @@
+// Reproduces the §IV-C projection: "similarly to 4G, usage will quickly
+// catch up with the capabilities of 5G". A single 5G cell meeting the NGMN
+// AR KPIs (50 Mb/s per-user uplink, 500 Mb/s aggregate, 10 ms e2e) serves a
+// growing crowd of MAR users. Today's 720p offloading feeds fit scores of
+// users; the 4K-class feeds the paper extrapolates to saturate the same
+// cell with a handful.
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "arnet/core/table.hpp"
+#include "arnet/mar/offload.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+
+using namespace arnet;
+using sim::milliseconds;
+using sim::seconds;
+
+namespace {
+
+struct CrowdResult {
+  double median_ms;
+  double p95_ms;
+  double miss_pct;
+  double cell_load_pct;
+};
+
+CrowdResult run_crowd(int users, const mar::VideoModel& video, int server_cores = 0) {
+  sim::Simulator sim;
+  net::Network net(sim, 2030);
+  auto bs = net.add_node("gnb");
+  auto server = net.add_node("edge-server");
+  std::unique_ptr<mar::ComputeResource> pool;
+  if (server_cores > 0) pool = std::make_unique<mar::ComputeResource>(sim, server_cores);
+  // Shared cell uplink: the NGMN aggregate; per-user radio legs at the
+  // 50 Mb/s KPI with ~4 ms of radio latency.
+  auto [cell_up, cell_down] = net.connect(bs, server, 500e6, milliseconds(3), 2000);
+  (void)cell_down;
+
+  std::vector<net::NodeId> clients;
+  std::vector<std::unique_ptr<mar::OffloadSession>> sessions;
+  for (int u = 0; u < users; ++u) {
+    auto c = net.add_node("ue" + std::to_string(u));
+    net.connect(c, bs, 50e6, milliseconds(4), 300);
+    clients.push_back(c);
+  }
+  net.compute_routes();
+
+  for (int u = 0; u < users; ++u) {
+    mar::OffloadConfig cfg;
+    cfg.strategy = mar::OffloadStrategy::kFullOffload;
+    cfg.device = mar::DeviceClass::kSmartphone;
+    cfg.video = video;
+    cfg.send_sensor_stream = false;  // keep the sweep about video load
+    auto s = std::make_unique<mar::OffloadSession>(net, clients[static_cast<std::size_t>(u)],
+                                                   server, cfg);
+    if (pool) s->set_server_compute(pool.get());
+    // Stagger starts across one frame interval to avoid phase artifacts.
+    sim.at(milliseconds(3) * u % milliseconds(33), [raw = s.get()] { raw->start(); });
+    sessions.push_back(std::move(s));
+  }
+  sim.run_until(seconds(20));
+
+  sim::Samples latency;
+  std::int64_t results = 0, misses = 0;
+  for (auto& s : sessions) {
+    s->stop();
+    const auto& st = s->stats();
+    results += st.results;
+    misses += st.deadline_misses;
+    for (double v : st.latency_ms.values()) latency.add(v);
+  }
+  CrowdResult out;
+  out.median_ms = latency.median();
+  out.p95_ms = latency.percentile(0.95);
+  out.miss_pct = results ? 100.0 * static_cast<double>(misses) / results : 100.0;
+  out.cell_load_pct = 100.0 * users * video.compressed_bps() / 500e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== SIV-C: a 5G cell (NGMN AR KPIs) vs growing MAR usage ===\n"
+            << "FullOffload sessions sharing one 500 Mb/s cell, 20 s each.\n";
+
+  std::cout << "\n--- Today's feed: 720p30 (~" << core::fmt(mar::VideoModel::hd720p30().compressed_bps() / 1e6, 1)
+            << " Mb/s per user) ---\n";
+  {
+    core::TablePrinter t({"users", "offered load", "median m2p", "p95", "75 ms miss"});
+    for (int users : {10, 40, 80, 120}) {
+      auto r = run_crowd(users, mar::VideoModel::hd720p30());
+      t.add_row({std::to_string(users), core::fmt(r.cell_load_pct, 0) + " %",
+                 core::fmt_ms(r.median_ms), core::fmt_ms(r.p95_ms),
+                 core::fmt(r.miss_pct, 1) + " %"});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n--- Tomorrow's feed: 4K60 (~" << core::fmt(mar::VideoModel::uhd4k60().compressed_bps() / 1e6, 1)
+            << " Mb/s per user; stereo/IR would double it) ---\n";
+  {
+    core::TablePrinter t({"users", "offered load", "median m2p", "p95", "75 ms miss"});
+    for (int users : {5, 15, 25, 35}) {
+      auto r = run_crowd(users, mar::VideoModel::uhd4k60());
+      t.add_row({std::to_string(users), core::fmt(r.cell_load_pct, 0) + " %",
+                 core::fmt_ms(r.median_ms), core::fmt_ms(r.p95_ms),
+                 core::fmt(r.miss_pct, 1) + " %"});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n--- And the edge datacenter saturates too (720p feeds, 8-core edge) ---\n";
+  {
+    core::TablePrinter t({"users", "median m2p", "p95", "75 ms miss"});
+    for (int users : {10, 40, 80}) {
+      auto r = run_crowd(users, mar::VideoModel::hd720p30(), /*server_cores=*/8);
+      t.add_row({std::to_string(users), core::fmt_ms(r.median_ms), core::fmt_ms(r.p95_ms),
+                 core::fmt(r.miss_pct, 1) + " %"});
+    }
+    t.print(std::cout);
+    std::cout << "With per-message compute on a shared 8-core pool instead of\n"
+                 "infinite capacity, the recognition workers clog before the radio\n"
+                 "does — the edge *datacenter* needs dimensioning too (SVI-F).\n";
+  }
+
+  std::cout << "\nShape check vs the paper: the same cell that comfortably carries\n"
+               "dozens of today's feeds hits its saturation cliff within a couple\n"
+               "dozen next-generation feeds — \"only betting on the performance\n"
+               "increase brought by 5G is, at best, delusive\" (SV).\n";
+  return 0;
+}

@@ -1,0 +1,157 @@
+// Reproduces the §VI-F edge-datacenter placement problem: minimize the
+// number of datacenters such that every user's MAR offloading delay
+// constraint is met. Sweeps the RTT constraint on a metro grid and compares
+// the greedy set-cover solver against the exact one, plus the §VI-E n-way
+// inter-server synchronization cost of the resulting deployments.
+#include <iostream>
+
+#include "arnet/core/table.hpp"
+#include "arnet/edge/mobility.hpp"
+#include "arnet/edge/placement.hpp"
+#include "arnet/sim/rng.hpp"
+
+using namespace arnet;
+using sim::milliseconds;
+
+namespace {
+
+edge::PlacementProblem make_city(sim::Time max_rtt, std::uint64_t seed) {
+  edge::PlacementProblem p;
+  p.set_constraint(0, {max_rtt});
+  // 4x4 candidate sites over a 36 km metro area.
+  constexpr int kGrid = 4;
+  constexpr double kCity = 36.0;
+  for (int i = 0; i < kGrid; ++i) {
+    for (int j = 0; j < kGrid; ++j) {
+      double step = kCity / (kGrid + 1);
+      p.add_site({{step * (i + 1), step * (j + 1)},
+                  "dc" + std::to_string(i) + std::to_string(j)});
+    }
+  }
+  // Users cluster around hotspots plus a uniform background.
+  sim::Rng rng(seed);
+  const edge::GeoPoint hotspots[] = {{8, 8}, {26, 10}, {18, 28}};
+  for (int u = 0; u < 48; ++u) {
+    if (u % 3 != 2) {
+      const auto& h = hotspots[u % 3];
+      p.add_user({{h.x_km + rng.normal(0, 3.0), h.y_km + rng.normal(0, 3.0)}, 0});
+    } else {
+      p.add_user({{rng.uniform(0, kCity), rng.uniform(0, kCity)}, 0});
+    }
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== SVI-F: locating edge datacenters for MAR ===\n"
+            << "min |C| s.t. every user's offloading RTT constraint holds.\n"
+            << "16 candidate sites, 48 users (3 hotspots + background), 36 km city.\n\n";
+
+  core::TablePrinter t({"RTT constraint", "greedy |C|", "exact |C|", "feasible",
+                        "worst assigned RTT", "n-way sync period"});
+  for (sim::Time rtt : {milliseconds(20), milliseconds(10), sim::from_milliseconds(7.0),
+                        sim::from_milliseconds(5.5), sim::from_milliseconds(4.6)}) {
+    auto p = make_city(rtt, 7);
+    auto greedy = p.solve_greedy();
+    auto exact = p.solve_exact();
+    std::vector<edge::CandidateSite> sites;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        double step = 36.0 / 5;
+        sites.push_back({{step * (i + 1), step * (j + 1)}, ""});
+      }
+    }
+    auto sync_period = edge::nway_sync_period(sites, exact.chosen_sites, p.latency_model());
+    t.add_row({core::fmt_ms(sim::to_milliseconds(rtt), 1), std::to_string(greedy.datacenters()),
+               std::to_string(exact.datacenters()), exact.feasible ? "yes" : "NO",
+               core::fmt_ms(sim::to_milliseconds(p.max_assigned_rtt(exact)), 1),
+               exact.chosen_sites.size() > 1
+                   ? core::fmt_ms(sim::to_milliseconds(sync_period), 1)
+                   : "n/a (single DC)"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: relaxing the AR budget to telemetry-class constraints needs\n"
+               "a single metro datacenter; pushing toward the paper's interactive\n"
+               "budgets multiplies the required edge footprint, and the spread-out\n"
+               "deployments pay a growing n-way synchronization period (SVI-E).\n"
+               "Greedy tracks the exact optimum on these instances.\n";
+
+  // ---- Extensions: capacity, k-median refinement, mobile users. ----------
+  std::cout << "\n=== Extension: per-site capacity and k-median refinement ===\n";
+  {
+    core::TablePrinter t({"Variant", "|C|", "mean RTT", "worst RTT"});
+    auto p = make_city(milliseconds(10), 7);
+    auto base = p.solve_greedy();
+    auto refined = p.refine_mean_rtt(base);
+    t.add_row({"min |C| greedy", std::to_string(base.datacenters()),
+               core::fmt_ms(sim::to_milliseconds(p.mean_assigned_rtt(base)), 1),
+               core::fmt_ms(sim::to_milliseconds(p.max_assigned_rtt(base)), 1)});
+    t.add_row({"+ k-median refinement", std::to_string(refined.datacenters()),
+               core::fmt_ms(sim::to_milliseconds(p.mean_assigned_rtt(refined)), 1),
+               core::fmt_ms(sim::to_milliseconds(p.max_assigned_rtt(refined)), 1)});
+
+    // Same city, 16 capacity-limited sites (12 users each).
+    edge::PlacementProblem cp;
+    cp.set_constraint(0, {milliseconds(10)});
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        double step = 36.0 / 5;
+        cp.add_site({{step * (i + 1), step * (j + 1)}, "dc", 12});
+      }
+    }
+    sim::Rng rng(7);
+    const edge::GeoPoint hotspots[] = {{8, 8}, {26, 10}, {18, 28}};
+    for (int u = 0; u < 48; ++u) {
+      if (u % 3 != 2) {
+        const auto& h2 = hotspots[u % 3];
+        cp.add_user({{h2.x_km + rng.normal(0, 3.0), h2.y_km + rng.normal(0, 3.0)}, 0});
+      } else {
+        cp.add_user({{rng.uniform(0, 36.0), rng.uniform(0, 36.0)}, 0});
+      }
+    }
+    auto cap = cp.solve_greedy_capacitated();
+    t.add_row({"capacity 12 users/site", std::to_string(cap.datacenters()),
+               core::fmt_ms(sim::to_milliseconds(cp.mean_assigned_rtt(cap)), 1),
+               core::fmt_ms(sim::to_milliseconds(cp.max_assigned_rtt(cap)), 1)});
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== Extension: mobile users over the deployment (SVI-E) ===\n";
+  {
+    core::TablePrinter t({"Deployment", "median RTT", "out of constraint",
+                          "DC handoffs/user-h", "migration downtime"});
+    std::vector<edge::CandidateSite> sites;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        double step = 36.0 / 5;
+        sites.push_back({{step * (i + 1), step * (j + 1)}, "dc"});
+      }
+    }
+    edge::MigrationStudy::Config cfg;
+    cfg.max_rtt = sim::from_milliseconds(6.0);
+    cfg.city_km = 36.0;
+    struct Row {
+      const char* name;
+      std::vector<int> chosen;
+    } rows[] = {
+        {"1 central DC", {5}},
+        {"4 DCs", {0, 3, 12, 15}},
+        {"all 16 DCs", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+    };
+    for (const auto& row : rows) {
+      auto r = edge::MigrationStudy::run(sites, row.chosen, 25, 3, cfg);
+      t.add_row({row.name, core::fmt_ms(r.rtt_ms.median()),
+                 core::fmt(r.out_of_constraint_fraction * 100, 1) + " %",
+                 core::fmt(r.migrations_per_user_hour, 1),
+                 core::fmt_ms(sim::to_milliseconds(r.mean_migration_downtime), 1)});
+    }
+    t.print(std::cout);
+    std::cout << "Denser edges cut RTT and dead zones but multiply session\n"
+                 "migrations — each paying a state-transfer downtime — which is the\n"
+                 "paper's inter-server synchronization concern quantified.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table II: average link RTT of the CloudRidAR platform in four
+// scenarios (local WiFi server, cloud via campus WiFi, university server
+// behind middleboxes, cloud via LTE) — on the emulated topologies of
+// core/scenarios.cpp. Extended with a full CloudRidAR offloading session per
+// scenario: motion-to-photon latency and the 75 ms deadline-miss rate, which
+// is the consequence the paper draws from the RTTs.
+#include <iostream>
+
+#include "arnet/core/qoe.hpp"
+#include "arnet/core/scenarios.hpp"
+#include "arnet/core/table.hpp"
+#include "arnet/mar/offload.hpp"
+
+using namespace arnet;
+
+int main() {
+  std::cout << "=== Table II: CloudRidAR link RTT across deployments ===\n";
+  core::TablePrinter t({"Platform/Connection", "paper RTT", "measured RTT (median)",
+                        "p95", "loss"});
+
+  const core::Table2Setup setups[] = {
+      core::Table2Setup::kLocalServerWifi,
+      core::Table2Setup::kCloudServerWifi,
+      core::Table2Setup::kUniversityServerWifi,
+      core::Table2Setup::kCloudServerLte,
+  };
+
+  for (auto setup : setups) {
+    auto sc = core::make_table2_scenario(setup, 42);
+    sc.start_dynamics();
+    auto ping = core::run_ping(sc, 200, sim::milliseconds(50));
+    double loss = 1.0 - static_cast<double>(ping.received) / ping.sent;
+    t.add_row({core::to_string(setup), core::fmt_ms(sc.paper_rtt_ms, 0),
+               core::fmt_ms(ping.rtt_ms.median()), core::fmt_ms(ping.rtt_ms.percentile(0.95)),
+               core::fmt(loss * 100, 1) + " %"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\n=== Extension: CloudRidAR offloading session per deployment ===\n";
+  core::TablePrinter t2({"Platform/Connection", "median m2p", "p95 m2p", "75 ms miss rate",
+                         "frames/s served", "QoE (MOS)"});
+  for (auto setup : setups) {
+    auto sc = core::make_table2_scenario(setup, 43);
+    sc.start_dynamics();
+    mar::OffloadConfig cfg;
+    cfg.strategy = mar::OffloadStrategy::kCloudRidAR;
+    cfg.device = mar::DeviceClass::kSmartphone;
+    mar::OffloadSession session(*sc.net, sc.client, sc.server, cfg);
+    session.start();
+    sc.sim->run_until(sim::seconds(20));
+    session.stop();
+    const auto& st = session.stats();
+    double mos = core::qoe_mos(core::qoe_inputs(st, 20.0));
+    t2.add_row({core::to_string(setup), core::fmt_ms(st.latency_ms.median()),
+                core::fmt_ms(st.latency_ms.percentile(0.95)),
+                core::fmt(st.miss_rate() * 100, 1) + " %",
+                core::fmt(static_cast<double>(st.results) / 20.0, 1),
+                core::fmt(mos, 2) + " (" + core::qoe_grade(mos) + ")"});
+  }
+  t2.print(std::cout);
+  std::cout << "\nShape check vs the paper: 8 < 36 < 72 < 120 ms ordering, with the\n"
+               "university's middleboxes (not distance) doubling the cloud RTT, and\n"
+               "LTE unusable for the 75 ms AR budget.\n";
+  return 0;
+}

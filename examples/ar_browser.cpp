@@ -1,0 +1,150 @@
+// MAR browser (paper §III-B): a Yelp/Layar-style application that overlays
+// information on recognized storefronts. This example runs the REAL vision
+// pipeline on synthetic pixels — render storefront references, warp them
+// with camera motion, extract FAST/BRIEF features, match and estimate the
+// homography — then uses the measured payload sizes to drive an offloading
+// simulation over everyday LTE, including the remote object-database
+// fetches and the effect of on-device caching (the paper's `x` parameter).
+//
+//   $ ./ar_browser
+#include <iostream>
+
+#include "arnet/core/table.hpp"
+#include "arnet/mar/cost_model.hpp"
+#include "arnet/mar/device.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/artp.hpp"
+#include "arnet/vision/pipeline.hpp"
+#include "arnet/vision/synth.hpp"
+#include "arnet/wireless/cellular.hpp"
+
+using namespace arnet;
+
+int main() {
+  // ---- Part 1: the actual computer vision, on actual pixels. ------------
+  std::cout << "=== Part 1: recognizing storefronts (real pixel pipeline) ===\n";
+  sim::Rng rng(2017);
+  vision::ObjectDatabase db;
+  std::vector<vision::Image> refs;
+  const char* names[] = {"noodle-bar", "bookshop", "cafe", "pharmacy", "records"};
+  for (const char* name : names) {
+    refs.push_back(vision::render_scene(rng, vision::SceneParams{}));
+    db.add_object(name, refs.back());
+  }
+
+  vision::RecognitionPipeline pipe;
+  sim::Rng ransac_rng(7);
+  int recognized = 0;
+  std::int64_t feature_bytes_total = 0;
+  int frames = 40;
+  sim::Samples features_per_frame;
+  for (int i = 0; i < frames; ++i) {
+    // The user walks past shop (i mod 5) and the camera shakes a little.
+    sim::Rng motion_rng(static_cast<std::uint64_t>(100 + i));
+    vision::Mat3 motion = vision::random_camera_motion(motion_rng, 0.8);
+    vision::Image frame = vision::warp_image(refs[static_cast<std::size_t>(i % 5)], motion);
+    vision::add_noise(frame, motion_rng, 2.0);
+
+    auto feats = pipe.extract(frame);  // what CloudRidAR runs on-device
+    features_per_frame.add(static_cast<double>(feats.features.size()));
+    auto result = pipe.recognize(feats, db, ransac_rng);  // what the server runs
+    if (result && result->object_name == names[i % 5]) ++recognized;
+    if (result) feature_bytes_total += result->feature_upload_bytes;
+  }
+  std::cout << "Recognized " << recognized << "/" << frames
+            << " storefront sightings; mean features/frame "
+            << core::fmt(features_per_frame.mean(), 0) << " ("
+            << core::fmt(features_per_frame.mean() * vision::kSerializedFeatureBytes / 1024.0, 1)
+            << " KiB uploaded instead of "
+            << core::fmt(320.0 * 240.0 / 1024.0, 0) << " KiB of pixels)\n";
+
+  // ---- Part 2: the networking those payloads generate, over LTE. --------
+  std::cout << "\n=== Part 2: browsing on everyday LTE, with POI database fetches ===\n";
+  auto payload =
+      static_cast<std::int64_t>(features_per_frame.mean()) * vision::kSerializedFeatureBytes;
+
+  core::TablePrinter t({"POI cache (x)", "median anchor latency", "content p95 (misses)",
+                        "cellular MB/min"});
+  for (double cache_x : {0.0, 0.5, 0.9}) {
+    sim::Simulator sim;
+    net::Network net(sim, 11);
+    auto phone = net.add_node("phone");
+    auto enb = net.add_node("enb");
+    auto server = net.add_node("poi-server");
+    auto att = wireless::attach_cellular(net, phone, enb, wireless::CellularProfile::lte(), 5);
+    net.connect(enb, server, 10e9, sim::milliseconds(10), 1000);
+    net.compute_routes();
+    att.modulator->start();
+
+    transport::ArtpReceiver rx(net, server, 80);
+    transport::ArtpSender up(net, phone, 1000, server, 80, 1, transport::ArtpSenderConfig{});
+    transport::ArtpReceiver phone_rx(net, phone, 1001);
+    transport::ArtpSender down(net, server, 81, phone, 1001, 2, transport::ArtpSenderConfig{});
+
+    // Server: feature batch in -> recognition -> POI objects out. Cached
+    // objects are served locally (zero bytes); misses pull ~50 KB of POI
+    // content (menus, ratings, 3D overlay assets).
+    sim::Rng cache_rng(3);
+    rx.set_message_callback([&](const transport::ArtpDelivery& d) {
+      if (!d.complete || d.app != net::AppData::kFeaturePayload) return;
+      transport::ArtpMessageSpec reply;
+      reply.frame_id = d.frame_id;
+      reply.app = net::AppData::kComputeResult;
+      reply.tclass = net::TrafficClass::kCriticalData;
+      reply.priority = net::Priority::kHighest;
+      reply.bytes = 500;
+      down.send_message(reply);
+      if (!cache_rng.bernoulli(cache_x)) {
+        transport::ArtpMessageSpec obj;
+        obj.frame_id = d.frame_id;
+        obj.app = net::AppData::kDatabaseObject;
+        obj.tclass = net::TrafficClass::kCriticalData;
+        obj.priority = net::Priority::kMediumNoDrop;
+        obj.bytes = 50'000;
+        down.send_message(obj);
+      }
+    });
+
+    // Phone: the overlay *anchor* is placed when the recognition result
+    // arrives; the POI *content* (menu, ratings, 3D asset) appears either
+    // immediately (cache hit) or when the object download lands (miss).
+    std::map<std::uint32_t, sim::Time> sent_at;
+    sim::Samples anchor_ms, content_ms;
+    phone_rx.set_message_callback([&](const transport::ArtpDelivery& d) {
+      auto it = sent_at.find(d.frame_id);
+      if (it == sent_at.end()) return;
+      double ms = sim::to_milliseconds(sim.now() - it->second);
+      if (d.app == net::AppData::kComputeResult) {
+        anchor_ms.add(ms);
+      } else if (d.app == net::AppData::kDatabaseObject) {
+        content_ms.add(ms);
+      }
+    });
+
+    // 2 recognition frames per second while browsing (Glimpse-style).
+    for (int i = 0; i < 120; ++i) {
+      sim.at(sim::milliseconds(500) * i, [&, i] {
+        transport::ArtpMessageSpec m;
+        m.bytes = payload;
+        m.frame_id = static_cast<std::uint32_t>(i);
+        m.app = net::AppData::kFeaturePayload;
+        m.tclass = net::TrafficClass::kBestEffortLossRecovery;
+        m.priority = net::Priority::kMediumNoDelay;
+        sent_at[static_cast<std::uint32_t>(i)] = sim.now();
+        up.send_message(m);
+      });
+    }
+    sim.run_until(sim::seconds(65));
+    double mb_per_min = (up.sent_bytes() + down.sent_bytes()) / 1e6;
+    t.add_row({core::fmt(cache_x, 1), core::fmt_ms(anchor_ms.median()),
+               content_ms.count() ? core::fmt_ms(content_ms.percentile(0.95)) : "all cached",
+               core::fmt(mb_per_min, 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\nCaching the POI database on-device (the paper's x) makes most\n"
+               "sightings render instantly after the anchor arrives and cuts the\n"
+               "user's cellular bill several-fold; only cache misses still pay the\n"
+               "object-download tail.\n";
+  return 0;
+}

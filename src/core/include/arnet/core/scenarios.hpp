@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/wireless/cellular.hpp"
+#include "arnet/wireless/coverage.hpp"
+
+namespace arnet::core {
+
+/// A self-contained simulated deployment: simulator + topology + the moving
+/// parts (cellular modulators, coverage processes) that keep it realistic.
+struct Scenario {
+  std::string name;
+  std::unique_ptr<sim::Simulator> sim;
+  std::unique_ptr<net::Network> net;
+  net::NodeId client = 0;
+  net::NodeId server = 0;
+  double paper_rtt_ms = 0.0;  ///< the value Table II reports for this setup
+  std::vector<std::unique_ptr<wireless::CellularModulator>> modulators;
+  std::vector<std::unique_ptr<wireless::CoverageProcess>> coverage;
+
+  void start_dynamics() {
+    for (auto& m : modulators) m->start();
+    for (auto& c : coverage) c->start();
+  }
+};
+
+/// The four measurement setups of Table II (paper §IV-B, CloudRidAR).
+enum class Table2Setup {
+  kLocalServerWifi,      ///< server in the same room, direct WiFi: ~8 ms
+  kCloudServerWifi,      ///< Google cloud (Taiwan) via campus WiFi: ~36 ms
+  kUniversityServerWifi, ///< on-campus server behind middleboxes: ~72 ms
+  kCloudServerLte,       ///< Google cloud via commercial LTE: ~120 ms
+};
+
+const char* to_string(Table2Setup s);
+
+/// Builds the emulated topology for one Table II row. Deterministic per
+/// seed; dynamics (cellular fading) must be started by the caller.
+Scenario make_table2_scenario(Table2Setup setup, std::uint64_t seed);
+
+/// UDP echo measurement over a scenario: `count` probes of `bytes` bytes.
+struct PingStats {
+  sim::Samples rtt_ms;
+  int sent = 0;
+  int received = 0;
+};
+PingStats run_ping(Scenario& scenario, int count, sim::Time interval,
+                   std::int32_t bytes = 200);
+
+}  // namespace arnet::core

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace arnet::core {
+
+/// Fixed-width ASCII table used by every bench harness to print the
+/// reproduced paper tables/figures in a uniform format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Number formatting helpers for table cells.
+std::string fmt(double v, int decimals = 2);
+std::string fmt_mbps(double bps, int decimals = 2);
+std::string fmt_ms(double ms, int decimals = 1);
+
+}  // namespace arnet::core

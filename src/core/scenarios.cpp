@@ -1,0 +1,142 @@
+#include "arnet/core/scenarios.hpp"
+
+#include "arnet/transport/udp.hpp"
+
+namespace arnet::core {
+
+using net::Link;
+using sim::milliseconds;
+
+const char* to_string(Table2Setup s) {
+  switch (s) {
+    case Table2Setup::kLocalServerWifi:
+      return "Local server / WiFi";
+    case Table2Setup::kCloudServerWifi:
+      return "Cloud server / WiFi";
+    case Table2Setup::kUniversityServerWifi:
+      return "University server / WiFi";
+    case Table2Setup::kCloudServerLte:
+      return "Cloud server / LTE";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Client <-WiFi-> AP hop shared by the three WiFi rows: a clean personal /
+/// campus cell (single station; the multi-station anomaly is Fig. 2's
+/// business). One-way ~3 ms including MAC overheads.
+net::NodeId add_wifi_hop(net::Network& net, net::NodeId client) {
+  net::NodeId ap = net.add_node("ap");
+  auto wifi_cfg = [] {
+    Link::Config cfg;
+    cfg.rate_bps = 25e6;  // everyday 802.11n figure, not the PHY rate
+    cfg.delay = milliseconds(3);
+    cfg.queue_packets = 300;
+    return cfg;
+  };
+  net.connect(client, ap, wifi_cfg(), wifi_cfg());
+  return ap;
+}
+
+}  // namespace
+
+Scenario make_table2_scenario(Table2Setup setup, std::uint64_t seed) {
+  Scenario sc;
+  sc.name = to_string(setup);
+  sc.sim = std::make_unique<sim::Simulator>();
+  sc.net = std::make_unique<net::Network>(*sc.sim, seed);
+  net::Network& net = *sc.net;
+  sc.client = net.add_node("client");
+
+  switch (setup) {
+    case Table2Setup::kLocalServerWifi: {
+      // Same-room server: WiFi hop straight into a LAN box.
+      sc.paper_rtt_ms = 8.0;
+      net::NodeId ap = add_wifi_hop(net, sc.client);
+      sc.server = net.add_node("local-server");
+      net.connect(ap, sc.server, 1e9, sim::microseconds(300), 500);
+      break;
+    }
+    case Table2Setup::kCloudServerWifi: {
+      // Campus (eduroam) WiFi -> campus gateway -> regional WAN to the
+      // nearest cloud region (Taiwan): ~13 ms one-way of fiber.
+      sc.paper_rtt_ms = 36.0;
+      net::NodeId ap = add_wifi_hop(net, sc.client);
+      net::NodeId gw = net.add_node("campus-gw");
+      sc.server = net.add_node("cloud-tw");
+      net.connect(ap, gw, 1e9, milliseconds(1), 500);
+      net.connect(gw, sc.server, 400e6, milliseconds(13), 1000);
+      break;
+    }
+    case Table2Setup::kUniversityServerWifi: {
+      // Geographically close, yet the eduroam<->university interconnection
+      // crosses security middleboxes that add tens of ms of processing
+      // (the paper's surprising doubled latency).
+      sc.paper_rtt_ms = 72.0;
+      net::NodeId ap = add_wifi_hop(net, sc.client);
+      net::NodeId gw = net.add_node("eduroam-gw");
+      net::NodeId fw1 = net.add_node("border-firewall");
+      net::NodeId fw2 = net.add_node("dept-firewall");
+      sc.server = net.add_node("univ-server");
+      net.connect(ap, gw, 1e9, milliseconds(1), 500);
+      net.connect(gw, fw1, 1e9, milliseconds(1), 500);
+      net.connect(fw1, fw2, 1e9, milliseconds(1), 500);
+      net.connect(fw2, sc.server, 1e9, milliseconds(1), 500);
+      net.node(fw1).set_forwarding_delay(milliseconds(16));
+      net.node(fw2).set_forwarding_delay(milliseconds(14));
+      break;
+    }
+    case Table2Setup::kCloudServerLte: {
+      // Commercial LTE RAN -> operator core -> inter-ISP transit -> cloud.
+      sc.paper_rtt_ms = 120.0;
+      net::NodeId enb = net.add_node("enb");
+      net::NodeId core = net.add_node("epc");
+      net::NodeId transit = net.add_node("transit");
+      sc.server = net.add_node("cloud-tw");
+      auto profile = wireless::CellularProfile::lte();
+      profile.base_one_way_delay = milliseconds(40);  // busy commercial cell
+      auto att = wireless::attach_cellular(net, sc.client, enb, profile, seed ^ 0xCE11);
+      sc.modulators.push_back(std::move(att.modulator));
+      net.connect(enb, core, 10e9, milliseconds(2), 1000);
+      net.connect(core, transit, 10e9, milliseconds(5), 1000);
+      net.connect(transit, sc.server, 10e9, milliseconds(12), 1000);
+      break;
+    }
+  }
+  net.compute_routes();
+  return sc;
+}
+
+PingStats run_ping(Scenario& scenario, int count, sim::Time interval, std::int32_t bytes) {
+  PingStats stats;
+  net::Network& net = *scenario.net;
+  sim::Simulator& sim = *scenario.sim;
+
+  transport::UdpEndpoint echo(net, scenario.server, 7);
+  echo.set_handler([&](net::Packet&& p) {
+    echo.send(p.src, p.src_port, p.size_bytes - 28, p.flow);
+  });
+
+  transport::UdpEndpoint pinger(net, scenario.client, 1007);
+  std::map<net::FlowId, sim::Time> sent_at;
+  pinger.set_handler([&](net::Packet&& p) {
+    auto it = sent_at.find(p.flow);
+    if (it == sent_at.end()) return;
+    stats.rtt_ms.add(sim::to_milliseconds(sim.now() - it->second));
+    ++stats.received;
+    sent_at.erase(it);
+  });
+
+  for (int i = 0; i < count; ++i) {
+    sim.at(interval * i + sim.now(), [&, i] {
+      sent_at[static_cast<net::FlowId>(i + 1)] = sim.now();
+      ++stats.sent;
+      pinger.send(scenario.server, 7, bytes, static_cast<net::FlowId>(i + 1));
+    });
+  }
+  sim.run_until(sim.now() + interval * count + sim::seconds(2));
+  return stats;
+}
+
+}  // namespace arnet::core

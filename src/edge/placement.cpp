@@ -1,0 +1,248 @@
+#include "arnet/edge/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::edge {
+
+double distance_km(const GeoPoint& a, const GeoPoint& b) {
+  return std::hypot(a.x_km - b.x_km, a.y_km - b.y_km);
+}
+
+int PlacementProblem::add_site(CandidateSite site) {
+  sites_.push_back(std::move(site));
+  return static_cast<int>(sites_.size()) - 1;
+}
+
+int PlacementProblem::add_user(MobileUser user) {
+  users_.push_back(user);
+  return static_cast<int>(users_.size()) - 1;
+}
+
+bool PlacementProblem::covers(int s, int u) const {
+  const MobileUser& user = users_[static_cast<std::size_t>(u)];
+  auto it = constraints_.find(user.app);
+  sim::Time bound = it != constraints_.end() ? it->second.max_rtt : sim::milliseconds(20);
+  return latency_.rtt(user.pos, sites_[static_cast<std::size_t>(s)].pos) <= bound;
+}
+
+PlacementSolution PlacementProblem::assemble(const std::vector<int>& chosen) const {
+  PlacementSolution sol;
+  sol.chosen_sites = chosen;
+  sol.assignment.assign(users_.size(), -1);
+  sol.feasible = true;
+  for (int u = 0; u < static_cast<int>(users_.size()); ++u) {
+    sim::Time best = sim::kNever;
+    for (int s : chosen) {
+      if (!covers(s, u)) continue;
+      sim::Time r = latency_.rtt(users_[static_cast<std::size_t>(u)].pos,
+                                 sites_[static_cast<std::size_t>(s)].pos);
+      if (r < best) {
+        best = r;
+        sol.assignment[static_cast<std::size_t>(u)] = s;
+      }
+    }
+    if (sol.assignment[static_cast<std::size_t>(u)] < 0) sol.feasible = false;
+  }
+  return sol;
+}
+
+PlacementSolution PlacementProblem::solve_greedy() const {
+  std::vector<bool> covered(users_.size(), false);
+  std::vector<int> chosen;
+  std::size_t covered_count = 0;
+
+  while (covered_count < users_.size()) {
+    int best_site = -1;
+    int best_gain = 0;
+    for (int s = 0; s < static_cast<int>(sites_.size()); ++s) {
+      if (std::find(chosen.begin(), chosen.end(), s) != chosen.end()) continue;
+      int gain = 0;
+      for (int u = 0; u < static_cast<int>(users_.size()); ++u) {
+        if (!covered[static_cast<std::size_t>(u)] && covers(s, u)) ++gain;
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_site = s;
+      }
+    }
+    if (best_site < 0) break;  // remaining users are uncoverable
+    chosen.push_back(best_site);
+    for (int u = 0; u < static_cast<int>(users_.size()); ++u) {
+      if (!covered[static_cast<std::size_t>(u)] && covers(best_site, u)) {
+        covered[static_cast<std::size_t>(u)] = true;
+        ++covered_count;
+      }
+    }
+  }
+  return assemble(chosen);
+}
+
+PlacementSolution PlacementProblem::solve_exact() const {
+  const int n = static_cast<int>(sites_.size());
+  const int m = static_cast<int>(users_.size());
+  // The exact path uses 64-bit coverage bitmasks; fall back to the greedy
+  // beyond that (the exact solver exists to validate greedy quality on
+  // small instances anyway).
+  if (m > 64) return solve_greedy();
+  std::vector<std::uint64_t> cover_mask(static_cast<std::size_t>(n), 0);
+  std::uint64_t all = m >= 64 ? ~0ULL : ((1ULL << m) - 1);
+  for (int s = 0; s < n; ++s) {
+    for (int u = 0; u < m && u < 64; ++u) {
+      if (covers(s, u)) cover_mask[static_cast<std::size_t>(s)] |= 1ULL << u;
+    }
+  }
+
+  std::vector<int> best;
+  bool found = false;
+  // Iterate subsets in increasing popcount via sorted enumeration.
+  for (int k = 1; k <= n && !found; ++k) {
+    std::vector<int> idx(static_cast<std::size_t>(k));
+    // Lexicographic k-combinations.
+    for (int i = 0; i < k; ++i) idx[static_cast<std::size_t>(i)] = i;
+    while (true) {
+      std::uint64_t mask = 0;
+      for (int i : idx) mask |= cover_mask[static_cast<std::size_t>(i)];
+      if ((mask & all) == all) {
+        best = idx;
+        found = true;
+        break;
+      }
+      // Next combination.
+      int i = k - 1;
+      while (i >= 0 && idx[static_cast<std::size_t>(i)] == n - k + i) --i;
+      if (i < 0) break;
+      ++idx[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j) {
+        idx[static_cast<std::size_t>(j)] = idx[static_cast<std::size_t>(j - 1)] + 1;
+      }
+    }
+  }
+  if (!found) return solve_greedy();  // uncoverable: report the greedy best-effort
+  return assemble(best);
+}
+
+PlacementSolution PlacementProblem::solve_greedy_capacitated() const {
+  std::vector<int> assignment(users_.size(), -1);
+  std::vector<int> chosen;
+  std::vector<int> remaining_capacity;  // parallel to chosen
+  std::size_t assigned = 0;
+
+  while (assigned < users_.size()) {
+    // Pick the unchosen site that can newly absorb the most users.
+    int best_site = -1;
+    int best_gain = 0;
+    for (int s = 0; s < static_cast<int>(sites_.size()); ++s) {
+      if (std::find(chosen.begin(), chosen.end(), s) != chosen.end()) continue;
+      int cap = sites_[static_cast<std::size_t>(s)].capacity_users;
+      int gain = 0;
+      for (int u = 0; u < static_cast<int>(users_.size()); ++u) {
+        if (assignment[static_cast<std::size_t>(u)] < 0 && covers(s, u)) {
+          ++gain;
+          if (cap > 0 && gain >= cap) break;
+        }
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_site = s;
+      }
+    }
+    if (best_site < 0) break;
+    chosen.push_back(best_site);
+    int cap = sites_[static_cast<std::size_t>(best_site)].capacity_users;
+    remaining_capacity.push_back(cap > 0 ? cap : static_cast<int>(users_.size()));
+
+    // Assign nearest-first so the capacity goes to the users that need this
+    // site most.
+    std::vector<std::pair<sim::Time, int>> order;
+    for (int u = 0; u < static_cast<int>(users_.size()); ++u) {
+      if (assignment[static_cast<std::size_t>(u)] >= 0 || !covers(best_site, u)) continue;
+      order.emplace_back(latency_.rtt(users_[static_cast<std::size_t>(u)].pos,
+                                      sites_[static_cast<std::size_t>(best_site)].pos),
+                         u);
+    }
+    std::sort(order.begin(), order.end());
+    int& slots = remaining_capacity.back();
+    for (const auto& [rtt, u] : order) {
+      if (slots <= 0) break;
+      assignment[static_cast<std::size_t>(u)] = best_site;
+      --slots;
+      ++assigned;
+    }
+  }
+
+  PlacementSolution sol;
+  sol.chosen_sites = std::move(chosen);
+  sol.assignment = std::move(assignment);
+  sol.feasible = assigned == users_.size();
+  return sol;
+}
+
+PlacementSolution PlacementProblem::refine_mean_rtt(const PlacementSolution& base,
+                                                    int max_swaps) const {
+  PlacementSolution best = base;
+  sim::Time best_mean = mean_assigned_rtt(best);
+  for (int round = 0; round < max_swaps; ++round) {
+    bool improved = false;
+    for (std::size_t ci = 0; ci < best.chosen_sites.size() && !improved; ++ci) {
+      for (int s = 0; s < static_cast<int>(sites_.size()); ++s) {
+        if (std::find(best.chosen_sites.begin(), best.chosen_sites.end(), s) !=
+            best.chosen_sites.end()) {
+          continue;
+        }
+        std::vector<int> candidate_sites = best.chosen_sites;
+        candidate_sites[ci] = s;
+        PlacementSolution candidate = assemble(candidate_sites);
+        if (!candidate.feasible) continue;
+        sim::Time mean = mean_assigned_rtt(candidate);
+        if (mean < best_mean) {
+          best = std::move(candidate);
+          best_mean = mean;
+          improved = true;
+          break;
+        }
+      }
+    }
+    if (!improved) break;
+  }
+  return best;
+}
+
+sim::Time PlacementProblem::mean_assigned_rtt(const PlacementSolution& sol) const {
+  double total = 0;
+  int n = 0;
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    int s = sol.assignment[u];
+    if (s < 0) continue;
+    total += static_cast<double>(
+        latency_.rtt(users_[u].pos, sites_[static_cast<std::size_t>(s)].pos));
+    ++n;
+  }
+  return n ? static_cast<sim::Time>(total / n) : 0;
+}
+
+sim::Time PlacementProblem::max_assigned_rtt(const PlacementSolution& sol) const {
+  sim::Time worst = 0;
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    int s = sol.assignment[u];
+    if (s < 0) continue;
+    worst = std::max(worst, latency_.rtt(users_[u].pos, sites_[static_cast<std::size_t>(s)].pos));
+  }
+  return worst;
+}
+
+sim::Time nway_sync_period(const std::vector<CandidateSite>& sites,
+                           const std::vector<int>& chosen, const LatencyModel& model,
+                           double inter_dc_factor) {
+  sim::Time worst = 0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    for (std::size_t j = i + 1; j < chosen.size(); ++j) {
+      sim::Time r = model.rtt(sites[static_cast<std::size_t>(chosen[i])].pos,
+                              sites[static_cast<std::size_t>(chosen[j])].pos);
+      worst = std::max(worst, r);
+    }
+  }
+  return static_cast<sim::Time>(static_cast<double>(worst) * inter_dc_factor);
+}
+
+}  // namespace arnet::edge

@@ -1,0 +1,36 @@
+#include "arnet/mar/device.hpp"
+
+#include <stdexcept>
+
+namespace arnet::mar {
+
+const std::vector<DeviceProfile>& all_device_profiles() {
+  static const std::vector<DeviceProfile> profiles = {
+      {DeviceClass::kSmartGlasses, "Smart glasses", "very low", "4-16 GB", "2-3h",
+       "Bluetooth", "high", 40.0, 2.0, 4.0},
+      {DeviceClass::kSmartphone, "Smartphone", "low", "16-128 GB", "6-8h",
+       "Cellular/WiFi", "high", 10.0, 4.0, 12.0},
+      {DeviceClass::kTablet, "Tablet PC", "medium", "32-256 GB", "6-8h",
+       "Cellular/WiFi", "medium", 6.0, 6.0, 30.0},
+      {DeviceClass::kLaptop, "Laptop PC", "medium - high", "128GB - 2TB", "2-8h",
+       "Cellular/WiFi/Ethernet", "medium to high", 2.0, 25.0, 60.0},
+      {DeviceClass::kDesktop, "Desktop PC", "high", "512GB - 2TB", "unlimited",
+       "WiFi/Ethernet", "none/dependent on network access", 1.0, 120.0, 0.0},
+      {DeviceClass::kCloud, "Cloud computing", "unlimited", "unlimited", "unlimited",
+       "Ethernet/Fiber Optic", "only dependent on network access", 0.4, 0.0, 0.0},
+  };
+  return profiles;
+}
+
+const DeviceProfile& device_profile(DeviceClass cls) {
+  for (const auto& p : all_device_profiles()) {
+    if (p.cls == cls) return p;
+  }
+  throw std::invalid_argument("unknown device class");
+}
+
+sim::Time scaled_cost(const DeviceProfile& dev, sim::Time reference_cost) {
+  return static_cast<sim::Time>(static_cast<double>(reference_cost) * dev.compute_scale);
+}
+
+}  // namespace arnet::mar

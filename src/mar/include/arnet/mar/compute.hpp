@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+
+namespace arnet::mar {
+
+/// A shared compute resource (an edge server's worker pool): jobs queue for
+/// `cores` workers and run for their single-core duration. Models the
+/// server-side contention a single per-message delay hides — with enough
+/// concurrent MAR users, the *datacenter* saturates before the network
+/// (§VI-F's capacity dimension).
+class ComputeResource {
+ public:
+  ComputeResource(sim::Simulator& sim, int cores)
+      : sim_(sim), core_free_(static_cast<std::size_t>(cores > 0 ? cores : 1), 0) {}
+
+  ComputeResource(const ComputeResource&) = delete;
+  ComputeResource& operator=(const ComputeResource&) = delete;
+
+  /// Enqueue a job of `work` single-core time; `done` fires at completion.
+  void submit(sim::Time work, std::function<void()> done) {
+    // Earliest-free core (deterministic tie-break by index).
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < core_free_.size(); ++i) {
+      if (core_free_[i] < core_free_[best]) best = i;
+    }
+    sim::Time start = std::max(sim_.now(), core_free_[best]);
+    sim::Time finish = start + work;
+    core_free_[best] = finish;
+    wait_ms_.add(sim::to_milliseconds(start - sim_.now()));
+    busy_ += work;
+    ++jobs_;
+    sim_.at(finish, std::move(done));
+  }
+
+  std::int64_t jobs() const { return jobs_; }
+  const sim::Samples& queue_wait_ms() const { return wait_ms_; }
+
+  /// Mean utilization over [0, now] across all cores.
+  double utilization() const {
+    sim::Time now = sim_.now();
+    if (now <= 0) return 0.0;
+    return sim::to_seconds(busy_) / (sim::to_seconds(now) * static_cast<double>(core_free_.size()));
+  }
+
+  std::size_t cores() const { return core_free_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<sim::Time> core_free_;  ///< per-core busy-until
+  sim::Samples wait_ms_;
+  sim::Time busy_ = 0;
+  std::int64_t jobs_ = 0;
+};
+
+}  // namespace arnet::mar

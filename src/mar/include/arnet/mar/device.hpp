@@ -1,0 +1,54 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::mar {
+
+/// Device classes of the paper's Table I.
+enum class DeviceClass {
+  kSmartGlasses,
+  kSmartphone,
+  kTablet,
+  kLaptop,
+  kDesktop,
+  kCloud,
+};
+
+/// One row of Table I, extended with a calibrated compute scale used by the
+/// offloading cost model: `compute_scale` multiplies the reference
+/// (desktop) per-frame vision costs measured by the micro-benchmarks.
+struct DeviceProfile {
+  DeviceClass cls{};
+  std::string name;
+  std::string computing_power;   ///< qualitative, as printed in Table I
+  std::string storage;
+  std::string battery_life;
+  std::string network_access;
+  std::string portability;
+  /// Vision work runs this many times slower than the desktop reference.
+  double compute_scale = 1.0;
+  /// Watts drawn while running the vision pipeline flat out (battery model).
+  double active_power_w = 0.0;
+  double battery_wh = 0.0;  ///< 0 = mains powered
+};
+
+const DeviceProfile& device_profile(DeviceClass cls);
+const std::vector<DeviceProfile>& all_device_profiles();
+
+/// Reference (desktop) costs of the vision pipeline stages, calibrated
+/// against `bench/micro_vision` on a 320x240 synthetic scene. Absolute
+/// values matter less than their ratios; scale by DeviceProfile::compute_scale.
+struct VisionCosts {
+  sim::Time extract = sim::milliseconds(4);    ///< FAST + BRIEF
+  sim::Time recognize = sim::milliseconds(3);  ///< match + RANSAC vs small DB
+  sim::Time track = sim::milliseconds(1);      ///< patch tracking (Glimpse)
+  sim::Time decode_frame = sim::milliseconds(1);
+};
+
+/// Stage cost on a specific device.
+sim::Time scaled_cost(const DeviceProfile& dev, sim::Time reference_cost);
+
+}  // namespace arnet::mar

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arnet/mar/compute.hpp"
+#include "arnet/mar/device.hpp"
+#include "arnet/mar/security.hpp"
+#include "arnet/mar/traffic.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/transport/artp.hpp"
+
+namespace arnet::mar {
+
+/// Offloading strategies from the paper's §III-B discussion.
+enum class OffloadStrategy {
+  kLocalOnly,    ///< everything on the device
+  kFullOffload,  ///< ship compressed frames, all vision on the surrogate
+  kCloudRidAR,   ///< extract features locally, upload features only [13]
+  kGlimpse,      ///< track locally, offload selected trigger frames [25]
+  kAdaptive,     ///< pick the split at runtime from live link QoS (the
+                 ///< paper's x/y parameters chosen dynamically)
+};
+
+const char* to_string(OffloadStrategy s);
+
+struct OffloadConfig {
+  OffloadStrategy strategy = OffloadStrategy::kCloudRidAR;
+  DeviceClass device = DeviceClass::kSmartphone;
+  DeviceClass surrogate = DeviceClass::kCloud;
+  VideoModel video;  ///< defaults to 720p30
+  SensorModel sensors;
+  MetadataModel metadata;
+  VisionCosts costs;
+  int features_per_frame = 400;        ///< CloudRidAR upload = features x 36 B
+  int glimpse_offload_interval = 5;    ///< offload every Nth frame (fixed mode)
+  /// Glimpse with a dynamic trigger: track locally while the simulated
+  /// tracking quality holds, offload a fresh recognition frame when it
+  /// drops below `glimpse_quality_threshold` (the actual Glimpse policy).
+  bool glimpse_adaptive = false;
+  double glimpse_quality_threshold = 0.6;
+  /// Mean per-frame tracking-quality decay (scene/camera motion level).
+  double glimpse_motion_level = 0.04;
+  sim::Time deadline = sim::milliseconds(75);
+  transport::ArtpSenderConfig artp;    ///< uplink transport settings
+  bool send_sensor_stream = true;
+  bool send_metadata_stream = true;
+  /// §VI-G: encrypt everything leaving the device. Adds per-packet wire
+  /// overhead and device-scaled AEAD compute time per offloaded payload.
+  CryptoProfile crypto = CryptoProfile::kNone;
+  /// kAdaptive: how often the runtime re-evaluates its strategy choice.
+  sim::Time adapt_interval = sim::milliseconds(500);
+};
+
+/// End-to-end per-frame statistics of one offloading run.
+struct OffloadStats {
+  sim::Samples latency_ms;       ///< capture -> result available on device
+  std::int64_t frames = 0;
+  std::int64_t results = 0;      ///< frames with a recognition result
+  std::int64_t deadline_misses = 0;
+  std::int64_t offloaded_frames = 0;
+  std::int64_t uplink_bytes = 0;
+  double energy_j = 0.0;         ///< device-side compute energy
+
+  double miss_rate() const {
+    return results ? static_cast<double>(deadline_misses) / static_cast<double>(results) : 0.0;
+  }
+};
+
+/// One client/server offloading session wired over a Network: the client
+/// node captures frames and runs the configured strategy over ARTP; the
+/// server node runs the remaining vision stages and returns results.
+///
+/// Vision *costs* are modeled (device-scaled constants calibrated by the
+/// micro-benchmarks); the actual pixel pipeline lives in arnet_vision and is
+/// exercised by the examples, keeping simulations deterministic.
+class OffloadSession {
+ public:
+  OffloadSession(net::Network& net, net::NodeId client, net::NodeId server, OffloadConfig cfg,
+                 std::vector<transport::ArtpPathConfig> paths = {});
+  ~OffloadSession();
+
+  OffloadSession(const OffloadSession&) = delete;
+  OffloadSession& operator=(const OffloadSession&) = delete;
+
+  /// Begin capturing; runs until `stop()` or simulation end.
+  void start();
+  void stop();
+
+  const OffloadStats& stats() const { return stats_; }
+  transport::ArtpSender& uplink() { return *client_tx_; }
+
+  /// Strategy the session is executing right now (differs from the config
+  /// under kAdaptive).
+  OffloadStrategy active_strategy() const { return active_strategy_; }
+  int strategy_switches() const { return strategy_switches_; }
+
+  /// Route the surrogate's vision work through a shared worker pool so
+  /// concurrent sessions contend for server compute (nullptr = dedicated
+  /// capacity, the default). Call before start().
+  void set_server_compute(ComputeResource* compute) { server_compute_ = compute; }
+
+  /// Invoked on every recognition result with its end-to-end latency.
+  void set_result_callback(std::function<void(std::uint32_t frame, sim::Time latency)> cb) {
+    result_cb_ = std::move(cb);
+  }
+
+ private:
+  void on_frame();
+  void on_sensor_batch();
+  void on_metadata_beat();
+  void adapt_tick();
+  sim::Time expected_latency(OffloadStrategy s, double rate_bps, sim::Time owd) const;
+  void offload_frame(std::uint32_t frame_id, bool as_features);
+  void on_server_message(const transport::ArtpDelivery& d);
+  void on_client_result(const transport::ArtpDelivery& d);
+  void finish_frame(std::uint32_t frame_id, sim::Time latency);
+
+  net::Network& net_;
+  net::NodeId client_, server_;
+  OffloadConfig cfg_;
+  const DeviceProfile& device_;
+  const DeviceProfile& surrogate_;
+
+  std::unique_ptr<transport::ArtpSender> client_tx_;    ///< client -> server
+  std::unique_ptr<transport::ArtpReceiver> server_rx_;
+  std::unique_ptr<transport::ArtpSender> server_tx_;    ///< server -> client
+  std::unique_ptr<transport::ArtpReceiver> client_rx_;
+
+  bool running_ = false;
+  OffloadStrategy active_strategy_;
+  int strategy_switches_ = 0;
+  std::uint32_t next_frame_ = 0;
+  // Glimpse dynamic-trigger state.
+  sim::Rng track_rng_;
+  double tracking_quality_ = 1.0;
+  ComputeResource* server_compute_ = nullptr;
+  std::map<std::uint32_t, sim::Time> capture_time_;
+  OffloadStats stats_;
+  std::function<void(std::uint32_t, sim::Time)> result_cb_;
+};
+
+}  // namespace arnet::mar

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arnet/mar/device.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::mar {
+
+/// Transport encryption options (paper §VI-G: "heavy usage of cryptography
+/// should be performed for every communication").
+enum class CryptoProfile {
+  kNone,
+  kAes128Gcm,
+  kAes256Gcm,
+};
+
+const char* to_string(CryptoProfile p);
+
+struct CryptoCosts {
+  /// Extra wire bytes per packet (IV + auth tag + record framing).
+  std::int32_t per_packet_overhead_bytes = 0;
+  /// Desktop-reference AEAD throughput; device cost scales by Table I's
+  /// compute_scale (wearables lack AES-NI-class hardware).
+  double reference_mb_per_s = 0.0;
+};
+
+CryptoCosts crypto_costs(CryptoProfile p);
+
+/// Time for `bytes` of payload to be encrypted (or decrypted) on `device`.
+sim::Time crypto_delay(const DeviceProfile& device, CryptoProfile profile, std::int64_t bytes);
+
+}  // namespace arnet::mar

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::mar {
+
+/// Compressed-video traffic model (GOP structure): one reference frame every
+/// `gop` frames, interframes in between. Rates follow §III-B: raw bitrate
+/// = w*h*bpp*fps; lossy compression brings a 4K60 stream from 711 Mb/s to
+/// 20-30 Mb/s, with reference frames several times larger than interframes.
+struct VideoModel {
+  int width = 1280;
+  int height = 720;
+  int fps = 30;
+  double bits_per_pixel = 12.0;
+  int gop = 15;                        ///< frames per reference frame
+  double ref_compression = 12.0;       ///< reference frame compression ratio
+  double inter_compression = 120.0;    ///< interframe compression ratio
+
+  double raw_bps() const {
+    return static_cast<double>(width) * height * bits_per_pixel * fps;
+  }
+
+  std::int64_t raw_frame_bytes() const {
+    return static_cast<std::int64_t>(static_cast<double>(width) * height * bits_per_pixel / 8.0);
+  }
+
+  std::int64_t ref_frame_bytes() const {
+    return static_cast<std::int64_t>(static_cast<double>(raw_frame_bytes()) / ref_compression);
+  }
+
+  std::int64_t inter_frame_bytes() const {
+    return static_cast<std::int64_t>(static_cast<double>(raw_frame_bytes()) / inter_compression);
+  }
+
+  /// Mean compressed bitrate.
+  double compressed_bps() const {
+    double per_gop = static_cast<double>(ref_frame_bytes()) +
+                     static_cast<double>(gop - 1) * static_cast<double>(inter_frame_bytes());
+    return per_gop * 8.0 * fps / gop;
+  }
+
+  bool is_reference(std::uint32_t frame_id) const { return frame_id % static_cast<std::uint32_t>(gop) == 0; }
+
+  net::AppData frame_kind(std::uint32_t frame_id) const {
+    return is_reference(frame_id) ? net::AppData::kVideoReferenceFrame
+                                  : net::AppData::kVideoInterFrame;
+  }
+
+  std::int64_t frame_bytes(std::uint32_t frame_id) const {
+    return is_reference(frame_id) ? ref_frame_bytes() : inter_frame_bytes();
+  }
+
+  sim::Time frame_interval() const { return sim::from_seconds(1.0 / fps); }
+
+  /// §III-B presets.
+  static VideoModel uhd4k60();       ///< the paper's 711 Mb/s example
+  static VideoModel hd720p30();      ///< a realistic MAR offload feed
+  static VideoModel glasses_vga15(); ///< low-end wearable feed
+};
+
+/// Periodic sensor batches (IMU/GPS/orientation): small, frequent, and the
+/// paper's example of full-best-effort adjustable traffic.
+struct SensorModel {
+  double sample_hz = 100.0;
+  std::int64_t batch_bytes = 120;
+  sim::Time batch_interval() const { return sim::from_seconds(1.0 / sample_hz); }
+  double bps() const { return batch_bytes * 8.0 * sample_hz; }
+};
+
+/// Connection metadata heartbeat: tiny, critical, highest priority.
+struct MetadataModel {
+  double hz = 10.0;
+  std::int64_t bytes = 96;
+  sim::Time interval() const { return sim::from_seconds(1.0 / hz); }
+};
+
+}  // namespace arnet::mar

@@ -1,0 +1,306 @@
+#include "arnet/mar/offload.hpp"
+
+#include "arnet/vision/features.hpp"
+
+namespace arnet::mar {
+
+using net::AppData;
+using net::Priority;
+using net::TrafficClass;
+using transport::ArtpMessageSpec;
+
+namespace {
+// Sessions may share nodes (many users offloading to one edge server), so
+// each instance claims its own block of ports and flow ids.
+net::Port next_port_block() {
+  static net::Port next = 5000;
+  net::Port base = next;
+  next = static_cast<net::Port>(next + 4);
+  return base;
+}
+}  // namespace
+
+const char* to_string(OffloadStrategy s) {
+  switch (s) {
+    case OffloadStrategy::kLocalOnly:
+      return "LocalOnly";
+    case OffloadStrategy::kFullOffload:
+      return "FullOffload";
+    case OffloadStrategy::kCloudRidAR:
+      return "CloudRidAR";
+    case OffloadStrategy::kGlimpse:
+      return "Glimpse";
+    case OffloadStrategy::kAdaptive:
+      return "Adaptive";
+  }
+  return "?";
+}
+
+OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeId server,
+                               OffloadConfig cfg,
+                               std::vector<transport::ArtpPathConfig> paths)
+    : net_(net),
+      client_(client),
+      server_(server),
+      cfg_(cfg),
+      device_(device_profile(cfg.device)),
+      surrogate_(device_profile(cfg.surrogate)),
+      active_strategy_(cfg.strategy == OffloadStrategy::kAdaptive
+                           ? OffloadStrategy::kCloudRidAR
+                           : cfg.strategy),
+      track_rng_(net.fork_rng("glimpse-tracking")) {
+  cfg_.artp.header_bytes += crypto_costs(cfg_.crypto).per_packet_overhead_bytes;
+  const net::Port base = next_port_block();
+  const net::Port client_data = base, server_data = static_cast<net::Port>(base + 1),
+                  server_result = static_cast<net::Port>(base + 2),
+                  client_result = static_cast<net::Port>(base + 3);
+  client_tx_ = std::make_unique<transport::ArtpSender>(net_, client_, client_data, server_,
+                                                       server_data, /*flow=*/base, cfg_.artp,
+                                                       std::move(paths));
+  server_rx_ = std::make_unique<transport::ArtpReceiver>(net_, server_, server_data);
+  server_rx_->set_message_callback(
+      [this](const transport::ArtpDelivery& d) { on_server_message(d); });
+
+  transport::ArtpSenderConfig reply_cfg;  // results: small, default transport
+  server_tx_ = std::make_unique<transport::ArtpSender>(net_, server_, server_result,
+                                                       client_, client_result,
+                                                       /*flow=*/static_cast<net::FlowId>(base) + 1,
+                                                       reply_cfg);
+  client_rx_ = std::make_unique<transport::ArtpReceiver>(net_, client_, client_result);
+  client_rx_->set_message_callback(
+      [this](const transport::ArtpDelivery& d) { on_client_result(d); });
+}
+
+OffloadSession::~OffloadSession() = default;
+
+void OffloadSession::start() {
+  running_ = true;
+  on_frame();
+  if (cfg_.send_sensor_stream) on_sensor_batch();
+  if (cfg_.send_metadata_stream) on_metadata_beat();
+  if (cfg_.strategy == OffloadStrategy::kAdaptive) {
+    net_.sim().after(cfg_.adapt_interval, [this] { adapt_tick(); });
+  }
+}
+
+sim::Time OffloadSession::expected_latency(OffloadStrategy s, double rate_bps,
+                                           sim::Time owd) const {
+  sim::Time network_rt = 2 * owd;
+  auto tx = [&](std::int64_t bytes) {
+    return rate_bps > 0 ? sim::transmission_delay(bytes, rate_bps) : sim::kNever / 4;
+  };
+  switch (s) {
+    case OffloadStrategy::kLocalOnly:
+      return scaled_cost(device_, cfg_.costs.extract) +
+             scaled_cost(device_, cfg_.costs.recognize);
+    case OffloadStrategy::kCloudRidAR:
+    case OffloadStrategy::kGlimpse:  // latency of its *trigger* frames
+      return scaled_cost(device_, cfg_.costs.extract) +
+             tx(static_cast<std::int64_t>(cfg_.features_per_frame) * 36) + network_rt +
+             scaled_cost(surrogate_, cfg_.costs.recognize);
+    case OffloadStrategy::kFullOffload:
+      return scaled_cost(device_, cfg_.costs.decode_frame) + tx(cfg_.video.ref_frame_bytes()) +
+             network_rt + scaled_cost(surrogate_, cfg_.costs.decode_frame) +
+             scaled_cost(surrogate_, cfg_.costs.extract) +
+             scaled_cost(surrogate_, cfg_.costs.recognize);
+    case OffloadStrategy::kAdaptive:
+      break;
+  }
+  return sim::kNever / 4;
+}
+
+void OffloadSession::adapt_tick() {
+  if (!running_) return;
+  // Live link estimate from the transport's QoS state.
+  double rate = client_tx_->allowed_rate_bps();
+  sim::Time owd = 0;
+  for (std::size_t i = 0; i < client_tx_->path_count(); ++i) {
+    if (client_tx_->path_up(i) && client_tx_->path_owd(i) > 0) {
+      owd = owd == 0 ? client_tx_->path_owd(i) : std::min(owd, client_tx_->path_owd(i));
+    }
+  }
+  if (owd == 0) owd = sim::milliseconds(20);  // no feedback yet: assume edge
+
+  // Preference order at equal feasibility: per-frame offloaded recognition
+  // (CloudRidAR, then FullOffload), then local, then Glimpse which hides
+  // latency behind tracking when nothing else fits the budget.
+  sim::Time budget = cfg_.deadline - cfg_.deadline / 5;  // 20% headroom
+  OffloadStrategy pick = OffloadStrategy::kGlimpse;
+  for (auto cand : {OffloadStrategy::kCloudRidAR, OffloadStrategy::kFullOffload,
+                    OffloadStrategy::kLocalOnly}) {
+    if (expected_latency(cand, rate, owd) < budget) {
+      pick = cand;
+      break;
+    }
+  }
+  if (pick != active_strategy_) {
+    ++strategy_switches_;
+    active_strategy_ = pick;
+  }
+  net_.sim().after(cfg_.adapt_interval, [this] { adapt_tick(); });
+}
+
+void OffloadSession::stop() { running_ = false; }
+
+void OffloadSession::on_sensor_batch() {
+  if (!running_) return;
+  ArtpMessageSpec m;
+  m.bytes = cfg_.sensors.batch_bytes;
+  m.tclass = TrafficClass::kFullBestEffort;
+  m.priority = Priority::kMediumNoDrop;
+  m.app = AppData::kSensorData;
+  client_tx_->send_message(m);
+  net_.sim().after(cfg_.sensors.batch_interval(), [this] { on_sensor_batch(); });
+}
+
+void OffloadSession::on_metadata_beat() {
+  if (!running_) return;
+  ArtpMessageSpec m;
+  m.bytes = cfg_.metadata.bytes;
+  m.tclass = TrafficClass::kCriticalData;
+  m.priority = Priority::kHighest;
+  m.app = AppData::kConnectionMetadata;
+  client_tx_->send_message(m);
+  net_.sim().after(cfg_.metadata.interval(), [this] { on_metadata_beat(); });
+}
+
+void OffloadSession::on_frame() {
+  if (!running_) return;
+  std::uint32_t frame_id = next_frame_++;
+  sim::Time capture = net_.sim().now();
+  capture_time_[frame_id] = capture;
+  ++stats_.frames;
+
+  switch (active_strategy_) {
+    case OffloadStrategy::kLocalOnly: {
+      sim::Time compute = scaled_cost(device_, cfg_.costs.extract) +
+                          scaled_cost(device_, cfg_.costs.recognize);
+      stats_.energy_j += device_.active_power_w * sim::to_seconds(compute);
+      net_.sim().after(compute, [this, frame_id, capture] {
+        finish_frame(frame_id, net_.sim().now() - capture);
+      });
+      break;
+    }
+    case OffloadStrategy::kFullOffload: {
+      sim::Time encode = scaled_cost(device_, cfg_.costs.decode_frame) +
+                         crypto_delay(device_, cfg_.crypto, cfg_.video.frame_bytes(frame_id));
+      stats_.energy_j += device_.active_power_w * sim::to_seconds(encode);
+      net_.sim().after(encode, [this, frame_id] { offload_frame(frame_id, false); });
+      break;
+    }
+    case OffloadStrategy::kAdaptive:  // resolved to a concrete mode already
+    case OffloadStrategy::kCloudRidAR: {
+      sim::Time extract =
+          scaled_cost(device_, cfg_.costs.extract) +
+          crypto_delay(device_, cfg_.crypto,
+                       static_cast<std::int64_t>(cfg_.features_per_frame) * 36);
+      stats_.energy_j += device_.active_power_w * sim::to_seconds(extract);
+      net_.sim().after(extract, [this, frame_id] { offload_frame(frame_id, true); });
+      break;
+    }
+    case OffloadStrategy::kGlimpse: {
+      bool trigger;
+      if (cfg_.glimpse_adaptive) {
+        // Tracking confidence decays with scene/camera motion; a fresh
+        // recognition frame is offloaded when it falls below threshold.
+        double motion = std::max(
+            0.0, track_rng_.normal(cfg_.glimpse_motion_level, cfg_.glimpse_motion_level / 2));
+        tracking_quality_ *= 1.0 - std::min(motion, 0.9);
+        trigger = tracking_quality_ < cfg_.glimpse_quality_threshold;
+        if (trigger) tracking_quality_ = 1.0;  // refreshed by the new result
+      } else {
+        trigger = frame_id % static_cast<std::uint32_t>(cfg_.glimpse_offload_interval) == 0;
+      }
+      if (trigger) {
+        sim::Time extract =
+            scaled_cost(device_, cfg_.costs.extract) +
+            crypto_delay(device_, cfg_.crypto,
+                         static_cast<std::int64_t>(cfg_.features_per_frame) * 36);
+        stats_.energy_j += device_.active_power_w * sim::to_seconds(extract);
+        net_.sim().after(extract, [this, frame_id] { offload_frame(frame_id, true); });
+      } else {
+        // Tracked locally: the augmentation is updated from the last server
+        // result within the tracking budget.
+        sim::Time track = scaled_cost(device_, cfg_.costs.track);
+        stats_.energy_j += device_.active_power_w * sim::to_seconds(track);
+        net_.sim().after(track, [this, frame_id, capture] {
+          finish_frame(frame_id, net_.sim().now() - capture);
+        });
+      }
+      break;
+    }
+  }
+
+  net_.sim().after(cfg_.video.frame_interval(), [this] { on_frame(); });
+}
+
+void OffloadSession::offload_frame(std::uint32_t frame_id, bool as_features) {
+  ArtpMessageSpec m;
+  m.frame_id = frame_id;
+  if (as_features) {
+    m.bytes = static_cast<std::int64_t>(cfg_.features_per_frame) *
+              vision::kSerializedFeatureBytes;
+    m.app = AppData::kFeaturePayload;
+    // Features are per-frame ephemeral: protect them with FEC but let the
+    // sender shed stale ones — late features are worthless ("new data is
+    // preferred to loss recovery", paper §VI-A).
+    m.tclass = TrafficClass::kBestEffortLossRecovery;
+    m.priority = Priority::kMediumNoDelay;
+    m.stale_after = cfg_.deadline;
+  } else {
+    m.bytes = cfg_.video.frame_bytes(frame_id);
+    m.app = cfg_.video.frame_kind(frame_id);
+    bool ref = cfg_.video.is_reference(frame_id);
+    m.tclass = ref ? TrafficClass::kBestEffortLossRecovery : TrafficClass::kFullBestEffort;
+    m.priority = ref ? Priority::kMediumNoDrop : Priority::kLowest;
+  }
+  stats_.uplink_bytes += m.bytes;
+  ++stats_.offloaded_frames;
+  client_tx_->send_message(m);
+}
+
+void OffloadSession::on_server_message(const transport::ArtpDelivery& d) {
+  bool is_frame = d.app == AppData::kVideoReferenceFrame ||
+                  d.app == AppData::kVideoInterFrame || d.app == AppData::kFeaturePayload;
+  if (!is_frame || !d.complete) return;
+
+  sim::Time compute = scaled_cost(surrogate_, cfg_.costs.recognize);
+  if (d.app != AppData::kFeaturePayload) {
+    compute += scaled_cost(surrogate_, cfg_.costs.decode_frame) +
+               scaled_cost(surrogate_, cfg_.costs.extract);
+  }
+  std::uint32_t frame_id = d.frame_id;
+  auto reply = [this, frame_id] {
+    ArtpMessageSpec r;
+    r.bytes = 400;
+    r.frame_id = frame_id;
+    r.app = AppData::kComputeResult;
+    r.tclass = TrafficClass::kCriticalData;
+    r.priority = Priority::kHighest;
+    server_tx_->send_message(r);
+  };
+  if (server_compute_) {
+    server_compute_->submit(compute, std::move(reply));
+  } else {
+    net_.sim().after(compute, std::move(reply));
+  }
+}
+
+void OffloadSession::on_client_result(const transport::ArtpDelivery& d) {
+  if (d.app != AppData::kComputeResult || !d.complete) return;
+  auto it = capture_time_.find(d.frame_id);
+  if (it == capture_time_.end()) return;
+  finish_frame(d.frame_id, net_.sim().now() - it->second);
+}
+
+void OffloadSession::finish_frame(std::uint32_t frame_id, sim::Time latency) {
+  auto it = capture_time_.find(frame_id);
+  if (it == capture_time_.end()) return;
+  capture_time_.erase(it);
+  ++stats_.results;
+  stats_.latency_ms.add(sim::to_milliseconds(latency));
+  if (latency > cfg_.deadline) ++stats_.deadline_misses;
+  if (result_cb_) result_cb_(frame_id, latency);
+}
+
+}  // namespace arnet::mar

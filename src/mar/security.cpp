@@ -1,0 +1,34 @@
+#include "arnet/mar/security.hpp"
+
+namespace arnet::mar {
+
+const char* to_string(CryptoProfile p) {
+  switch (p) {
+    case CryptoProfile::kNone: return "none";
+    case CryptoProfile::kAes128Gcm: return "AES-128-GCM";
+    case CryptoProfile::kAes256Gcm: return "AES-256-GCM";
+  }
+  return "?";
+}
+
+CryptoCosts crypto_costs(CryptoProfile p) {
+  switch (p) {
+    case CryptoProfile::kNone:
+      return {0, 0.0};
+    case CryptoProfile::kAes128Gcm:
+      // 8 B explicit nonce + 16 B tag + 5 B record header.
+      return {29, 2500.0};
+    case CryptoProfile::kAes256Gcm:
+      return {29, 1800.0};
+  }
+  return {};
+}
+
+sim::Time crypto_delay(const DeviceProfile& device, CryptoProfile profile, std::int64_t bytes) {
+  CryptoCosts costs = crypto_costs(profile);
+  if (costs.reference_mb_per_s <= 0.0) return 0;
+  double seconds = static_cast<double>(bytes) / (costs.reference_mb_per_s * 1e6);
+  return scaled_cost(device, sim::from_seconds(seconds));
+}
+
+}  // namespace arnet::mar

@@ -1,0 +1,34 @@
+#include "arnet/mar/traffic.hpp"
+
+namespace arnet::mar {
+
+VideoModel VideoModel::uhd4k60() {
+  VideoModel v;
+  v.width = 3840;
+  v.height = 2160;
+  v.fps = 60;
+  v.bits_per_pixel = 12.0;
+  v.gop = 30;
+  // Calibrated so the compressed stream lands in the paper's 20-30 Mb/s.
+  v.ref_compression = 60.0;
+  v.inter_compression = 320.0;
+  return v;
+}
+
+VideoModel VideoModel::hd720p30() {
+  VideoModel v;  // defaults are the 720p30 feed
+  return v;
+}
+
+VideoModel VideoModel::glasses_vga15() {
+  VideoModel v;
+  v.width = 640;
+  v.height = 480;
+  v.fps = 15;
+  v.gop = 15;
+  v.ref_compression = 10.0;
+  v.inter_compression = 80.0;
+  return v;
+}
+
+}  // namespace arnet::mar

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+
+#include "arnet/net/network.hpp"
+#include "arnet/sim/stats.hpp"
+
+namespace arnet::net {
+
+/// Per-flow accounting over a whole Network (ns-3 FlowMonitor-style):
+/// delivered packets/bytes, end-to-end delays, hop counts. Installs itself
+/// as the network's packet tap; keep one instance per network.
+class FlowMonitor {
+ public:
+  struct FlowStats {
+    std::int64_t delivered_packets = 0;
+    std::int64_t delivered_bytes = 0;
+    std::int64_t transit_hops = 0;  ///< router traversals (not deliveries)
+    sim::Samples delay_ms;          ///< created_at -> destination arrival
+    sim::Time first_delivery = 0;
+    sim::Time last_delivery = 0;
+
+    double mean_hops() const {
+      return delivered_packets
+                 ? 1.0 + static_cast<double>(transit_hops) / delivered_packets
+                 : 0.0;
+    }
+    double throughput_mbps() const {
+      sim::Time span = last_delivery - first_delivery;
+      return span > 0 ? delivered_bytes * 8.0 / sim::to_seconds(span) / 1e6 : 0.0;
+    }
+  };
+
+  explicit FlowMonitor(Network& net) : net_(net) {
+    net_.set_packet_tap([this](const Packet& p, NodeId at, bool is_dst) {
+      on_packet(p, at, is_dst);
+    });
+  }
+
+  FlowMonitor(const FlowMonitor&) = delete;
+  FlowMonitor& operator=(const FlowMonitor&) = delete;
+
+  ~FlowMonitor() { net_.set_packet_tap(nullptr); }
+
+  const FlowStats& flow(FlowId id) { return flows_[id]; }
+  const std::map<FlowId, FlowStats>& flows() const { return flows_; }
+  std::size_t flow_count() const { return flows_.size(); }
+
+  std::int64_t total_delivered_bytes() const {
+    std::int64_t t = 0;
+    for (const auto& [id, f] : flows_) t += f.delivered_bytes;
+    return t;
+  }
+
+ private:
+  void on_packet(const Packet& p, NodeId /*at*/, bool is_dst) {
+    FlowStats& f = flows_[p.flow];
+    if (is_dst) {
+      ++f.delivered_packets;
+      f.delivered_bytes += p.size_bytes;
+      f.delay_ms.add(sim::to_milliseconds(net_.sim().now() - p.created_at));
+      if (f.first_delivery == 0) f.first_delivery = net_.sim().now();
+      f.last_delivery = net_.sim().now();
+    } else {
+      ++f.transit_hops;
+    }
+  }
+
+  Network& net_;
+  std::map<FlowId, FlowStats> flows_;
+};
+
+}  // namespace arnet::net

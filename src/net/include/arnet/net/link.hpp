@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "arnet/net/loss.hpp"
+#include "arnet/net/packet.hpp"
+#include "arnet/net/queue.hpp"
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+
+namespace arnet::net {
+
+/// Unidirectional point-to-point link: output queue -> serializer at
+/// `rate_bps` -> propagation pipe of `delay` -> optional loss -> sink.
+///
+/// `set_rate` may be called at any time (wireless models modulate capacity);
+/// the new rate applies from the next packet serialization.
+class Link {
+ public:
+  struct Config {
+    double rate_bps = 10e6;
+    sim::Time delay = sim::milliseconds(1);
+    std::size_t queue_packets = 100;          ///< used if `queue` is null
+    std::unique_ptr<Queue> queue;             ///< custom discipline
+    std::unique_ptr<LossModel> loss;          ///< null = lossless
+    std::string name;
+  };
+
+  using Sink = std::function<void(Packet&&)>;
+
+  Link(sim::Simulator& sim, sim::Rng rng, Config cfg);
+
+  /// Hand a packet to the link; drops according to the queue discipline.
+  void send(Packet p);
+
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_rate(double bps) { cfg_.rate_bps = bps; }
+  void set_delay(sim::Time d) { cfg_.delay = d; }
+
+  /// Administratively disable the link (e.g. out of coverage); queued and
+  /// in-flight packets are lost.
+  void set_up(bool up);
+  bool is_up() const { return up_; }
+
+  double rate_bps() const { return cfg_.rate_bps; }
+  sim::Time delay() const { return cfg_.delay; }
+  const std::string& name() const { return cfg_.name; }
+
+  const Queue& queue() const { return *queue_; }
+  std::int64_t delivered_bytes() const { return delivered_bytes_; }
+  std::int64_t delivered_packets() const { return delivered_packets_; }
+  std::int64_t lost_packets() const { return lost_packets_; }
+  sim::Summary& queueing_delay_ms() { return queueing_delay_ms_; }
+
+ private:
+  void start_transmission_if_idle();
+  void on_transmit_complete(Packet p);
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  Config cfg_;
+  std::unique_ptr<Queue> queue_;
+  Sink sink_;
+  bool transmitting_ = false;
+  bool up_ = true;
+  std::uint64_t epoch_ = 0;  ///< bumped on set_up(false) to void in-flight packets
+  sim::Time last_arrival_ = 0;  ///< FIFO guard when delay shrinks mid-flight
+
+  std::int64_t delivered_bytes_ = 0;
+  std::int64_t delivered_packets_ = 0;
+  std::int64_t lost_packets_ = 0;
+  sim::Summary queueing_delay_ms_;
+};
+
+}  // namespace arnet::net

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <memory>
+
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/rng.hpp"
+
+namespace arnet::net {
+
+/// Wire-loss process applied as a packet leaves a link.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  virtual bool lose(sim::Rng& rng, const Packet& p) = 0;
+};
+
+/// Independent per-packet loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_(p) {}
+  bool lose(sim::Rng& rng, const Packet&) override { return rng.bernoulli(p_); }
+
+ private:
+  double p_;
+};
+
+/// Two-state Gilbert-Elliott bursty loss: Good/Bad states with per-state
+/// loss probabilities; models wireless fading bursts.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Config {
+    double p_good_to_bad = 0.01;
+    double p_bad_to_good = 0.3;
+    double loss_in_good = 0.0;
+    double loss_in_bad = 0.5;
+  };
+
+  explicit GilbertElliottLoss(Config cfg) : cfg_(cfg) {}
+
+  bool lose(sim::Rng& rng, const Packet&) override {
+    if (good_) {
+      if (rng.bernoulli(cfg_.p_good_to_bad)) good_ = false;
+    } else {
+      if (rng.bernoulli(cfg_.p_bad_to_good)) good_ = true;
+    }
+    return rng.bernoulli(good_ ? cfg_.loss_in_good : cfg_.loss_in_bad);
+  }
+
+  bool in_good_state() const { return good_; }
+
+ private:
+  Config cfg_;
+  bool good_ = true;
+};
+
+}  // namespace arnet::net

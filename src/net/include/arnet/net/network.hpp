@@ -1,0 +1,119 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "arnet/net/link.hpp"
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::net {
+
+class Network;
+
+/// Handler invoked when a packet reaches its destination node and port.
+using PacketHandler = std::function<void(Packet&&)>;
+
+/// A host or router. Endpoints bind transport handlers to ports; routers
+/// forward by the network's next-hop tables. `forwarding_delay` models
+/// middlebox processing (firewalls etc., paper §IV-B's university scenario).
+class Node {
+ public:
+  Node(Network& net, NodeId id, std::string name)
+      : net_(net), id_(id), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  void bind(Port port, PacketHandler handler) { handlers_[port] = std::move(handler); }
+  void unbind(Port port) { handlers_.erase(port); }
+
+  void set_forwarding_delay(sim::Time d) { forwarding_delay_ = d; }
+  sim::Time forwarding_delay() const { return forwarding_delay_; }
+
+  /// Send from this node toward p.dst via computed routes.
+  void send(Packet p);
+
+  /// Called by the network layer on packet arrival at this node.
+  void on_packet(Packet&& p);
+
+  std::int64_t received_packets() const { return received_packets_; }
+
+ private:
+  Network& net_;
+  NodeId id_;
+  std::string name_;
+  sim::Time forwarding_delay_ = 0;
+  std::unordered_map<Port, PacketHandler> handlers_;
+  std::int64_t received_packets_ = 0;
+};
+
+/// Topology container: nodes, directed links, shortest-path routing.
+class Network {
+ public:
+  Network(sim::Simulator& sim, std::uint64_t seed) : sim_(sim), rng_(seed) {}
+
+  NodeId add_node(std::string name);
+  Node& node(NodeId id) { return *nodes_.at(id); }
+  const Node& node(NodeId id) const { return *nodes_.at(id); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Create a directed link a->b. Routing is recomputed lazily.
+  Link& add_link(NodeId a, NodeId b, Link::Config cfg);
+
+  /// Create a duplex pipe: returns {a->b, b->a}.
+  std::pair<Link*, Link*> connect(NodeId a, NodeId b, Link::Config ab, Link::Config ba);
+
+  /// Symmetric convenience: same rate/delay both ways.
+  std::pair<Link*, Link*> connect(NodeId a, NodeId b, double rate_bps, sim::Time delay,
+                                  std::size_t queue_packets = 100);
+
+  /// Dijkstra over (propagation + 1500B serialization) per hop.
+  void compute_routes();
+
+  /// Inject a packet at node p.src; routes hop by hop to p.dst.
+  void send(Packet p);
+
+  /// Inject on an explicit first-hop link (client-side path/policy routing
+  /// for multipath); later hops follow computed routes.
+  void send_via(Link& first_hop, Packet p);
+
+  Link* link_between(NodeId a, NodeId b);
+
+  sim::Simulator& sim() { return sim_; }
+  std::uint64_t assign_uid() { return next_uid_++; }
+  sim::Rng fork_rng(std::string_view label) { return rng_.fork(label); }
+
+  /// Observation tap invoked for every packet arriving at any node (both
+  /// transit and final delivery). Used by FlowMonitor; keep it cheap.
+  using PacketTap = std::function<void(const Packet&, NodeId at, bool is_destination)>;
+  void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+
+ private:
+  friend class Node;
+  void forward(NodeId at, Packet&& p);
+  void deliver_or_forward(NodeId at, Packet&& p);
+  void ensure_routes();
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  std::uint64_t next_uid_ = 1;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  // adjacency[a][b] -> first link a->b
+  std::map<NodeId, std::map<NodeId, Link*>> adjacency_;
+  // next_hop_[a][dst] -> neighbor
+  std::vector<std::vector<NodeId>> next_hop_;
+  bool routes_fresh_ = false;
+  PacketTap tap_;
+};
+
+}  // namespace arnet::net

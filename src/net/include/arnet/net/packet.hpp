@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint64_t;
+using Port = std::uint16_t;
+
+inline constexpr NodeId kNoNode = 0xFFFFFFFF;
+
+/// ARTP traffic classes (paper §VI-A).
+enum class TrafficClass : std::uint8_t {
+  kFullBestEffort,          ///< latency first; never recovered
+  kBestEffortLossRecovery,  ///< latency-sensitive but protected (FEC)
+  kCriticalData,            ///< reliable in-order delivery
+};
+
+/// ARTP traffic priorities (paper §VI-A): how to degrade under congestion.
+enum class Priority : std::uint8_t {
+  kHighest = 0,       ///< never discarded nor delayed
+  kMediumNoDrop = 1,  ///< may be delayed, never discarded
+  kMediumNoDelay = 2, ///< may be discarded, never delayed
+  kLowest = 3,        ///< discarded first under congestion
+};
+
+/// Application payload types used by the MAR traffic model (paper Fig. 4).
+enum class AppData : std::uint8_t {
+  kConnectionMetadata,
+  kSensorData,
+  kVideoReferenceFrame,
+  kVideoInterFrame,
+  kFeaturePayload,  ///< extracted features (CloudRidAR-style offloading)
+  kComputeResult,
+  kDatabaseObject,
+  kGeneric,
+};
+inline constexpr std::size_t kAppDataCount = 8;
+
+/// TCP segment header (simplified: no window scaling).
+struct TcpHeader {
+  std::uint64_t seq = 0;       ///< first payload byte offset
+  std::uint64_t ack = 0;       ///< next expected byte
+  bool is_ack = false;         ///< carries acknowledgment
+  bool is_syn = false;
+  bool is_fin = false;
+  /// SACK blocks: up to 3 [begin, end) ranges received above `ack`
+  /// (RFC 2018 allows 3-4 with timestamps).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+};
+
+/// Retransmission request for one missing critical chunk.
+struct ArtpNack {
+  std::uint64_t msg_id = 0;
+  std::uint32_t chunk = 0;
+};
+
+/// ARTP message header.
+struct ArtpHeader {
+  enum class Kind : std::uint8_t { kData, kParity, kFeedback };
+  Kind kind = Kind::kData;
+  std::uint64_t msg_id = 0;      ///< per-flow message sequence
+  std::uint32_t chunk = 0;       ///< chunk index (or parity index for kParity)
+  std::uint32_t chunk_count = 1; ///< data chunks in the message
+  std::uint32_t frame_id = 0;    ///< application frame/sample id
+  /// Contiguous sequence over critical-class messages (1-based; 0 for other
+  /// classes). Lets the receiver detect critical messages lost in full.
+  std::uint32_t critical_seq = 0;
+  std::uint8_t path_id = 0;      ///< multipath subflow id
+  std::uint64_t path_seq = 0;    ///< per-path wire sequence (loss detection)
+  sim::Time sent_at = 0;         ///< wire timestamp (delay-gradient CC)
+  sim::Time msg_submitted_at = 0;  ///< when the app handed over the message
+  // Feedback fields (valid when kind == kFeedback):
+  std::uint64_t fb_highest_seen = 0;
+  sim::Time fb_owd = 0;          ///< latest one-way delay sample on path_id
+  sim::Time fb_min_owd = 0;      ///< lowest one-way delay seen on path_id
+  double fb_loss_fraction = 0.0; ///< losses in the last feedback epoch
+  double fb_recv_rate_bps = 0.0; ///< goodput observed by the receiver
+  std::vector<ArtpNack> fb_nacks;  ///< missing chunks of partially seen messages
+  std::vector<std::uint32_t> fb_missing_critical;  ///< critical_seq gaps (full loss)
+};
+
+/// Raw datagram header for plain UDP-style traffic.
+struct UdpHeader {
+  std::uint64_t seq = 0;
+};
+
+using TransportHeader = std::variant<std::monostate, TcpHeader, ArtpHeader, UdpHeader>;
+
+/// A simulated packet. Value type: links and queues move/copy it freely.
+struct Packet {
+  std::uint64_t uid = 0;  ///< globally unique (assigned by Network)
+  FlowId flow = 0;
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Port src_port = 0;
+  Port dst_port = 0;
+  std::int32_t size_bytes = 0;  ///< wire size including headers
+
+  TrafficClass tclass = TrafficClass::kFullBestEffort;
+  Priority priority = Priority::kLowest;
+  AppData app = AppData::kGeneric;
+
+  sim::Time created_at = 0;
+  sim::Time enqueued_at = 0;  ///< set by queues for sojourn-time AQM
+
+  TransportHeader header;
+};
+
+}  // namespace arnet::net

@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::net {
+
+/// Buffering discipline attached to a link's sender side (paper §VI-H:
+/// the uplink queue policy strongly shapes MAR latency).
+class Queue {
+ public:
+  virtual ~Queue() = default;
+
+  /// Returns false if the packet was dropped on arrival.
+  virtual bool enqueue(Packet p, sim::Time now) = 0;
+
+  /// Next packet to transmit, or nullopt if empty. AQM disciplines may drop
+  /// internally during dequeue.
+  virtual std::optional<Packet> dequeue(sim::Time now) = 0;
+
+  virtual std::size_t packets() const = 0;
+  virtual std::int64_t bytes() const = 0;
+
+  bool empty() const { return packets() == 0; }
+  std::int64_t drops() const { return drops_; }
+
+ protected:
+  void count_drop() { ++drops_; }
+
+ private:
+  std::int64_t drops_ = 0;
+};
+
+/// FIFO with a packet-count capacity. Oversized instances model bufferbloat
+/// (the "around 1000 packets" kernel uplink buffer of §VI-H).
+class DropTailQueue final : public Queue {
+ public:
+  explicit DropTailQueue(std::size_t capacity_packets)
+      : capacity_(capacity_packets) {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::size_t packets() const override { return q_.size(); }
+  std::int64_t bytes() const override { return bytes_; }
+
+ private:
+  std::size_t capacity_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+/// CoDel AQM (RFC 8289): drops to keep the standing sojourn time near
+/// `target`, entering a drop state whose rate increases as sqrt(count).
+class CoDelQueue final : public Queue {
+ public:
+  struct Config {
+    sim::Time target = sim::milliseconds(5);
+    sim::Time interval = sim::milliseconds(100);
+    std::size_t capacity_packets = 10000;
+  };
+
+  CoDelQueue();
+  explicit CoDelQueue(Config cfg) : cfg_(cfg) {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::size_t packets() const override { return q_.size(); }
+  std::int64_t bytes() const override { return bytes_; }
+
+ private:
+  std::optional<Packet> pop_front();
+  bool should_drop(const Packet& p, sim::Time now);
+
+  Config cfg_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> q_;
+  // CoDel state machine.
+  bool dropping_ = false;
+  std::uint32_t count_ = 0;
+  sim::Time first_above_time_ = 0;
+  sim::Time drop_next_ = 0;
+};
+
+/// FQ-CoDel (RFC 8290, simplified): flows hashed into DRR buckets, each
+/// running CoDel; new flows get priority credits.
+class FqCoDelQueue final : public Queue {
+ public:
+  struct Config {
+    std::size_t bucket_count = 64;
+    std::int64_t quantum_bytes = 1514;
+    CoDelQueue::Config codel;
+  };
+
+  FqCoDelQueue();
+  explicit FqCoDelQueue(Config cfg);
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::size_t packets() const override { return packets_; }
+  std::int64_t bytes() const override { return bytes_; }
+
+ private:
+  struct Bucket {
+    std::unique_ptr<CoDelQueue> codel;
+    std::int64_t deficit = 0;
+    bool queued = false;  // present in new_/old_ lists
+  };
+
+  std::size_t bucket_of(const Packet& p) const;
+
+  Config cfg_;
+  std::vector<Bucket> buckets_;
+  std::deque<std::size_t> new_flows_;
+  std::deque<std::size_t> old_flows_;
+  std::size_t packets_ = 0;
+  std::int64_t bytes_ = 0;
+};
+
+/// Strict-priority classful queue: four bands indexed by Packet::priority.
+/// This is the ARTP sender-side discipline (paper §VI-A/B).
+class ClassfulPriorityQueue final : public Queue {
+ public:
+  explicit ClassfulPriorityQueue(std::size_t capacity_packets_per_band = 4096)
+      : capacity_(capacity_packets_per_band) {}
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::size_t packets() const override;
+  std::int64_t bytes() const override { return bytes_; }
+
+  std::size_t packets_in_band(Priority p) const {
+    return bands_[static_cast<std::size_t>(p)].size();
+  }
+
+  /// Drop everything queued at priority `p` or lower-importance (numerically
+  /// greater). Returns packets shed. Used for graceful degradation.
+  std::size_t shed_at_or_below(Priority p);
+
+ private:
+  std::size_t capacity_;
+  std::int64_t bytes_ = 0;
+  std::deque<Packet> bands_[4];
+};
+
+/// Deficit-round-robin weighted fair queue over traffic classes, the
+/// mechanism behind RSVP-style per-flow guarantees (paper §V-A1: "the
+/// possibility to provide QoS guarantees on specific AR applications could
+/// be a commercial argument for mobile broadband operators"). A class with
+/// weight w is guaranteed w / sum(w) of the link whenever it is backlogged,
+/// regardless of how hard other classes push.
+class WeightedFairQueue final : public Queue {
+ public:
+  struct ClassConfig {
+    double weight = 1.0;
+    std::size_t capacity_packets = 500;
+  };
+
+  /// `classify` maps a packet to a class index [0, classes.size()).
+  using Classifier = std::function<std::size_t(const Packet&)>;
+
+  WeightedFairQueue(std::vector<ClassConfig> classes, Classifier classify);
+
+  bool enqueue(Packet p, sim::Time now) override;
+  std::optional<Packet> dequeue(sim::Time now) override;
+  std::size_t packets() const override { return packets_; }
+  std::int64_t bytes() const override { return bytes_; }
+
+  std::int64_t class_dequeued_bytes(std::size_t cls) const {
+    return classes_[cls].dequeued_bytes;
+  }
+
+  /// Classifier for the common case: one reserved class for a given flow id
+  /// (class 0), everything else best-effort (class 1).
+  static Classifier reserve_flow(FlowId flow);
+
+ private:
+  struct Class {
+    ClassConfig cfg;
+    std::deque<Packet> q;
+    double deficit = 0.0;
+    bool in_visit = false;
+    std::int64_t dequeued_bytes = 0;
+  };
+
+  std::vector<Class> classes_;
+  Classifier classify_;
+  std::size_t rr_ = 0;
+  std::size_t packets_ = 0;
+  std::int64_t bytes_ = 0;
+  double quantum_base_ = 1514.0;
+};
+
+}  // namespace arnet::net

@@ -1,0 +1,73 @@
+#include "arnet/net/link.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace arnet::net {
+
+Link::Link(sim::Simulator& sim, sim::Rng rng, Config cfg)
+    : sim_(sim), rng_(std::move(rng)), cfg_(std::move(cfg)) {
+  if (cfg_.queue) {
+    queue_ = std::move(cfg_.queue);
+  } else {
+    queue_ = std::make_unique<DropTailQueue>(cfg_.queue_packets);
+  }
+}
+
+void Link::send(Packet p) {
+  if (!up_) {
+    ++lost_packets_;
+    return;
+  }
+  if (!queue_->enqueue(std::move(p), sim_.now())) return;  // tail drop
+  start_transmission_if_idle();
+}
+
+void Link::set_up(bool up) {
+  if (up_ == up) return;
+  up_ = up;
+  if (!up) {
+    // Flush the queue and invalidate in-flight serializations/deliveries.
+    while (auto p = queue_->dequeue(sim_.now())) ++lost_packets_;
+    transmitting_ = false;
+    ++epoch_;
+  } else {
+    start_transmission_if_idle();
+  }
+}
+
+void Link::start_transmission_if_idle() {
+  if (transmitting_ || !up_) return;
+  auto p = queue_->dequeue(sim_.now());
+  if (!p) return;
+  transmitting_ = true;
+  queueing_delay_ms_.add(sim::to_milliseconds(sim_.now() - p->enqueued_at));
+  sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
+  std::uint64_t epoch = epoch_;
+  sim_.after(tx, [this, epoch, pkt = std::move(*p)]() mutable {
+    if (epoch != epoch_) return;  // link went down mid-serialization
+    transmitting_ = false;
+    on_transmit_complete(std::move(pkt));
+    start_transmission_if_idle();
+  });
+}
+
+void Link::on_transmit_complete(Packet p) {
+  if (cfg_.loss && cfg_.loss->lose(rng_, p)) {
+    ++lost_packets_;
+    return;
+  }
+  std::uint64_t epoch = epoch_;
+  // A point-to-point pipe is FIFO: if the (mutable) propagation delay
+  // shrank since the previous packet, do not let this one overtake it.
+  sim::Time arrival = std::max(sim_.now() + cfg_.delay, last_arrival_);
+  last_arrival_ = arrival;
+  sim_.at(arrival, [this, epoch, pkt = std::move(p)]() mutable {
+    if (epoch != epoch_) return;  // link went down while propagating
+    delivered_bytes_ += pkt.size_bytes;
+    ++delivered_packets_;
+    if (sink_) sink_(std::move(pkt));
+  });
+}
+
+}  // namespace arnet::net

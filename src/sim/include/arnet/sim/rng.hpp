@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace arnet::sim {
+
+/// Deterministic random stream.
+///
+/// Every stochastic component takes an `Rng` (or forks a substream from one)
+/// so whole-scenario runs are reproducible from a single seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Derive an independent substream; `label` decorrelates components that
+  /// fork from the same parent.
+  Rng fork(std::string_view label) {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+    for (char c : label) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 1099511628211ULL;
+    }
+    return Rng(h ^ engine_());
+  }
+
+  double uniform() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Normal truncated below at `lo` (delays must not go negative).
+  double normal_at_least(double mean, double stddev, double lo) {
+    double v = normal(mean, stddev);
+    return v < lo ? lo : v;
+  }
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace arnet::sim

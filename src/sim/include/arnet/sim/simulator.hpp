@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::sim {
+
+/// Opaque handle to a scheduled event; used to cancel timers.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+/// Single-threaded discrete-event simulator.
+///
+/// Events at equal times run in scheduling order (FIFO), which keeps
+/// protocol traces deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Time now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (>= now()).
+  EventHandle at(Time t, Callback cb);
+
+  /// Schedule `cb` `delay` after now().
+  EventHandle after(Time delay, Callback cb) { return at(now_ + delay, std::move(cb)); }
+
+  /// Cancel a pending event. Cancelling an already-fired or invalid handle
+  /// is a no-op.
+  void cancel(EventHandle h);
+
+  /// Run until the event queue drains.
+  void run();
+
+  /// Run all events with time <= `t`, then set now() to `t`.
+  void run_until(Time t);
+
+  void run_for(Time delay) { run_until(now_ + delay); }
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time time;
+    std::uint64_t seq;  // tie-break: FIFO among equal-time events
+    std::uint64_t id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_and_run_front();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+/// Restartable one-shot timer bound to a simulator (e.g. a TCP RTO timer).
+///
+/// (Re)arming cancels any pending expiry. The owner must outlive the timer's
+/// pending callback or stop() it first; destruction stops it automatically.
+class Timer {
+ public:
+  Timer(Simulator& sim, Simulator::Callback on_expire)
+      : sim_(sim), on_expire_(std::move(on_expire)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { stop(); }
+
+  /// Arm (or re-arm) to fire `delay` from now.
+  void arm(Time delay) {
+    stop();
+    handle_ = sim_.after(delay, [this] {
+      handle_ = EventHandle{};
+      on_expire_();
+    });
+  }
+
+  void stop() {
+    if (handle_.valid()) {
+      sim_.cancel(handle_);
+      handle_ = EventHandle{};
+    }
+  }
+
+  bool armed() const { return handle_.valid(); }
+
+ private:
+  Simulator& sim_;
+  Simulator::Callback on_expire_;
+  EventHandle handle_;
+};
+
+}  // namespace arnet::sim

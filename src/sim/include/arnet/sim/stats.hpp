@@ -1,0 +1,148 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::sim {
+
+/// Streaming summary statistics (Welford's algorithm).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Sample store with exact quantiles; fine at simulation scales.
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return xs_.size(); }
+
+  double mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  /// Quantile by linear interpolation; `p` in [0, 1].
+  double percentile(double p) const {
+    if (xs_.empty()) return 0.0;
+    sort_if_needed();
+    double idx = p * static_cast<double>(xs_.size() - 1);
+    auto lo = static_cast<std::size_t>(idx);
+    auto hi = std::min(lo + 1, xs_.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return xs_[lo] * (1.0 - frac) + xs_[hi] * frac;
+  }
+
+  double median() const { return percentile(0.5); }
+  double min() const { return percentile(0.0); }
+  double max() const { return percentile(1.0); }
+
+  const std::vector<double>& values() const {
+    sort_if_needed();
+    return xs_;
+  }
+
+ private:
+  void sort_if_needed() const {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> xs_;
+  mutable bool sorted_ = true;
+};
+
+/// Timestamped series, e.g. a cwnd or throughput trace for a figure.
+class TimeSeries {
+ public:
+  void add(Time t, double v) { points_.emplace_back(t, v); }
+
+  const std::vector<std::pair<Time, double>>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Mean of values with timestamp in [t0, t1).
+  double mean_in(Time t0, Time t1) const {
+    double s = 0.0;
+    std::int64_t n = 0;
+    for (const auto& [t, v] : points_) {
+      if (t >= t0 && t < t1) {
+        s += v;
+        ++n;
+      }
+    }
+    return n ? s / static_cast<double>(n) : 0.0;
+  }
+
+ private:
+  std::vector<std::pair<Time, double>> points_;
+};
+
+/// Byte counter that converts interval deltas into Mb/s series.
+class RateMeter {
+ public:
+  void on_bytes(std::int64_t bytes) { total_ += bytes; }
+
+  /// Record throughput since the previous sample as one series point.
+  void sample(Time now) {
+    double mbps = 0.0;
+    if (now > last_t_) {
+      mbps = static_cast<double>(total_ - last_total_) * 8.0 /
+             to_seconds(now - last_t_) / 1e6;
+    }
+    series_.add(now, mbps);
+    last_total_ = total_;
+    last_t_ = now;
+  }
+
+  std::int64_t total_bytes() const { return total_; }
+  const TimeSeries& series() const { return series_; }
+
+  /// Average rate in Mb/s over [0, now].
+  double average_mbps(Time now) const {
+    if (now <= 0) return 0.0;
+    return static_cast<double>(total_) * 8.0 / to_seconds(now) / 1e6;
+  }
+
+ private:
+  std::int64_t total_ = 0;
+  std::int64_t last_total_ = 0;
+  Time last_t_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace arnet::sim

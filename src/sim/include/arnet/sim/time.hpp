@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+
+namespace arnet::sim {
+
+/// Simulated time in nanoseconds since simulation start.
+///
+/// A plain integer keeps arithmetic in hot paths trivial; all construction
+/// should go through the named helpers below so unit mistakes stay greppable.
+using Time = std::int64_t;
+
+inline constexpr Time kNever = INT64_MAX;
+
+constexpr Time nanoseconds(std::int64_t v) { return v; }
+constexpr Time microseconds(std::int64_t v) { return v * 1'000; }
+constexpr Time milliseconds(std::int64_t v) { return v * 1'000'000; }
+constexpr Time seconds(std::int64_t v) { return v * 1'000'000'000; }
+
+/// Fractional-second construction (e.g. transmission delays from rates).
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * 1e9);
+}
+constexpr Time from_milliseconds(double ms) {
+  return static_cast<Time>(ms * 1e6);
+}
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e9; }
+constexpr double to_milliseconds(Time t) {
+  return static_cast<double>(t) / 1e6;
+}
+constexpr double to_microseconds(Time t) {
+  return static_cast<double>(t) / 1e3;
+}
+
+/// Time taken to serialize `bytes` onto a link of `bits_per_second`.
+constexpr Time transmission_delay(std::int64_t bytes, double bits_per_second) {
+  return from_seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace arnet::sim

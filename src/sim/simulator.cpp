@@ -1,0 +1,58 @@
+#include "arnet/sim/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace arnet::sim {
+
+EventHandle Simulator::at(Time t, Callback cb) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  Event e{t, next_seq_++, next_id_++, std::move(cb)};
+  EventHandle h{e.id};
+  queue_.push(std::move(e));
+  return h;
+}
+
+void Simulator::cancel(EventHandle h) {
+  if (h.valid()) cancelled_.insert(h.id);
+}
+
+bool Simulator::pop_and_run_front() {
+  while (!queue_.empty()) {
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    // priority_queue::top() is const; the event must be moved out to run it
+    // without copying the callback state.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    assert(e.time >= now_);
+    now_ = e.time;
+    ++executed_;
+    e.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  while (pop_and_run_front()) {
+  }
+}
+
+void Simulator::run_until(Time t) {
+  while (!queue_.empty()) {
+    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().time > t) break;
+    pop_and_run_front();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace arnet::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "arnet/transport/artp.hpp"
+
+namespace arnet::transport {
+
+/// DCCP-flavored facade (paper §V-B3: "congestion control without reliable
+/// in-order delivery. New data is always preferred to former data for
+/// transmission"): unreliable datagrams over a rate controller, where
+/// anything that could not be sent fresh is dropped rather than queued.
+///
+/// Internally this is ARTP restricted to one full-best-effort, drop-eligible
+/// class with a tight staleness bound and no FEC — which is exactly the
+/// sense in which the paper's protocol generalizes the DCCP design.
+class DatagramCcSocket {
+ public:
+  struct Config {
+    sim::Time freshness = sim::milliseconds(50);  ///< drop datagrams older than this
+    std::unique_ptr<RateController> controller;   ///< default delay-gradient
+  };
+
+  DatagramCcSocket(net::Network& net, net::NodeId local, net::Port local_port,
+                   net::NodeId remote, net::Port remote_port, net::FlowId flow)
+      : DatagramCcSocket(net, local, local_port, remote, remote_port, flow, Config{}) {}
+
+  DatagramCcSocket(net::Network& net, net::NodeId local, net::Port local_port,
+                   net::NodeId remote, net::Port remote_port, net::FlowId flow, Config cfg)
+      : freshness_(cfg.freshness) {
+    ArtpSenderConfig scfg;
+    scfg.fec_parity = 0;
+    scfg.default_stale_after = cfg.freshness;
+    std::vector<ArtpPathConfig> paths;
+    if (cfg.controller) {
+      ArtpPathConfig pc;
+      pc.controller = std::move(cfg.controller);
+      paths.push_back(std::move(pc));
+    }
+    tx_ = std::make_unique<ArtpSender>(net, local, local_port, remote, remote_port, flow,
+                                       scfg, std::move(paths));
+  }
+
+  /// Queue one datagram; it is sent at the controller's rate or silently
+  /// dropped once stale.
+  std::uint64_t send(std::int64_t bytes, std::uint32_t tag = 0) {
+    ArtpMessageSpec m;
+    m.bytes = bytes;
+    m.tclass = net::TrafficClass::kFullBestEffort;
+    m.priority = net::Priority::kMediumNoDelay;
+    m.app = net::AppData::kGeneric;
+    m.frame_id = tag;
+    m.stale_after = freshness_;
+    return tx_->send_message(m);
+  }
+
+  double rate_bps() const { return tx_->allowed_rate_bps(); }
+  std::int64_t dropped_stale() const { return tx_->shed_messages(); }
+  std::int64_t sent_bytes() const { return tx_->sent_bytes(); }
+  ArtpSender& sender() { return *tx_; }
+
+ private:
+  sim::Time freshness_;
+  std::unique_ptr<ArtpSender> tx_;
+};
+
+}  // namespace arnet::transport

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "arnet/sim/stats.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::transport {
+
+/// RTP/RTCP-style receiver playout machinery (paper §V-A2: "jitter
+/// compensation mechanisms" and "intermedia synchronization"). Samples are
+/// buffered for a playout delay measured against their source timestamps;
+/// late samples are discarded (new data beats old, §V-B3), and the delay
+/// adapts to the observed jitter (EWMA of |transit - mean transit|, as in
+/// RFC 3550's interarrival jitter).
+class JitterBuffer {
+ public:
+  struct Config {
+    sim::Time initial_playout_delay = sim::milliseconds(40);
+    sim::Time min_playout_delay = sim::milliseconds(5);
+    sim::Time max_playout_delay = sim::milliseconds(300);
+    double jitter_headroom = 3.0;  ///< playout = mean transit + k * jitter
+    bool adaptive = true;
+  };
+
+  struct Sample {
+    std::uint32_t seq = 0;
+    sim::Time source_ts = 0;   ///< capture timestamp at the sender
+    sim::Time arrival = 0;
+  };
+
+  JitterBuffer() : JitterBuffer(Config{}) {}
+  explicit JitterBuffer(Config cfg) : cfg_(cfg), playout_delay_(cfg.initial_playout_delay) {}
+
+  /// Offer an arrived sample; returns false if it is already too late to
+  /// play (discarded).
+  bool push(const Sample& s, sim::Time now);
+
+  /// Pop every sample whose playout time has come, in sequence order.
+  /// Samples missing at their playout time are counted as underruns.
+  std::vector<Sample> due(sim::Time now);
+
+  sim::Time playout_delay() const { return playout_delay_; }
+  sim::Time interarrival_jitter() const { return jitter_; }
+  std::int64_t late_discards() const { return late_discards_; }
+  std::int64_t played() const { return played_; }
+  std::int64_t underruns() const { return underruns_; }
+
+ private:
+  sim::Time playout_time(const Sample& s) const;
+
+  Config cfg_;
+  sim::Time playout_delay_;
+  std::map<std::uint32_t, Sample> buffer_;
+  // RFC 3550-flavored transit statistics.
+  bool have_transit_ = false;
+  sim::Time last_transit_ = 0;
+  sim::Time jitter_ = 0;
+  double mean_transit_ = 0.0;
+  std::uint32_t next_seq_ = 0;
+  bool have_seq_ = false;
+  std::int64_t late_discards_ = 0;
+  std::int64_t played_ = 0;
+  std::int64_t underruns_ = 0;
+};
+
+/// Intermedia synchronizer (§V-A2: "receive content from different
+/// sources"): aligns N streams (e.g. video + audio + sensor overlays) on a
+/// common playout axis by delaying the faster streams to the slowest one's
+/// playout delay.
+class IntermediaSync {
+ public:
+  explicit IntermediaSync(std::size_t streams) : buffers_(streams) {}
+
+  JitterBuffer& stream(std::size_t i) { return buffers_[i]; }
+  std::size_t streams() const { return buffers_.size(); }
+
+  /// The common playout delay: the max across streams, so every stream's
+  /// sample for timestamp T is available when T+delay arrives.
+  sim::Time sync_playout_delay() const {
+    sim::Time d = 0;
+    for (const auto& b : buffers_) d = std::max(d, b.playout_delay());
+    return d;
+  }
+
+  /// Inter-stream skew if each stream played at its own delay (what sync
+  /// removes).
+  sim::Time max_skew() const {
+    if (buffers_.empty()) return 0;
+    sim::Time lo = buffers_[0].playout_delay(), hi = lo;
+    for (const auto& b : buffers_) {
+      lo = std::min(lo, b.playout_delay());
+      hi = std::max(hi, b.playout_delay());
+    }
+    return hi - lo;
+  }
+
+ private:
+  std::vector<JitterBuffer> buffers_;
+};
+
+}  // namespace arnet::transport

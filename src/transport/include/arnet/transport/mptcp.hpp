@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/tcp.hpp"
+
+namespace arnet::transport {
+
+/// Multipath TCP baseline (paper §V-B1): one logical bulk connection
+/// striped over several subflows, each pinned to its own first-hop link,
+/// with a coupled congestion-avoidance controller so the aggregate grows
+/// like a single TCP at a shared bottleneck (LIA-flavored: each subflow's
+/// CA growth is scaled by its share of the total window).
+///
+/// Simplifications (documented): subflows carry independent byte streams
+/// rather than striping one sequence space — equivalent for bulk-transfer
+/// throughput/handover studies, which is what the paper uses MPTCP for
+/// (bandwidth aggregation and WiFi handover).
+class MultipathTcp {
+ public:
+  struct PathSpec {
+    net::Link* first_hop = nullptr;  ///< nullptr = default route
+    std::string name = "subflow";
+  };
+
+  struct Config {
+    TcpSource::Config subflow;   ///< template for every subflow
+    bool coupled = true;         ///< couple CA growth across subflows
+    sim::Time couple_interval = sim::milliseconds(100);
+  };
+
+  MultipathTcp(net::Network& net, net::NodeId local, net::NodeId remote,
+               net::Port base_local_port, net::Port base_remote_port,
+               std::vector<PathSpec> paths, Config cfg);
+
+  /// Greedy logical connection: every subflow saturates its path.
+  void send_forever();
+
+  std::int64_t total_received() const;
+  std::int64_t subflow_received(std::size_t i) const;
+  std::size_t subflow_count() const { return subflows_.size(); }
+  const TcpSource& subflow_source(std::size_t i) const { return *subflows_[i].source; }
+
+ private:
+  void recouple();
+
+  struct Subflow {
+    std::unique_ptr<TcpSource> source;
+    std::unique_ptr<TcpSink> sink;
+    std::string name;
+  };
+
+  net::Network& net_;
+  Config cfg_;
+  std::vector<Subflow> subflows_;
+  sim::Timer couple_timer_;
+};
+
+}  // namespace arnet::transport

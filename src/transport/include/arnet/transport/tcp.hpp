@@ -1,0 +1,200 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "arnet/net/network.hpp"
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+
+namespace arnet::transport {
+
+/// TCP congestion-control flavor.
+enum class TcpFlavor {
+  kReno,     ///< fast retransmit/recovery, full window collapse on timeout
+  kNewReno,  ///< + partial-ACK hole retransmission during recovery
+  kCubic,    ///< NewReno loss handling + CUBIC window growth (RFC 8312)
+  kVegas,    ///< delay-based: backs off on rising RTT (paper ref [65])
+};
+
+const char* to_string(TcpFlavor f);
+
+/// Bulk-data TCP sender (ns-style "agent"): full slow start, AIMD congestion
+/// avoidance, fast retransmit/recovery, Jacobson/Karn RTO with exponential
+/// backoff. The paper uses TCP as the baseline whose behaviors motivate ARTP
+/// (Fig. 3 asymmetric-link collapse, Fig. 4 cwnd sawtooth).
+///
+/// Simplifications (documented, standard for simulation): no handshake, no
+/// flow-control window (receiver buffer assumed unbounded), segments are
+/// MSS-aligned.
+class TcpSource {
+ public:
+  struct Config {
+    std::int32_t mss = 1460;               ///< payload bytes per segment
+    std::int32_t header_bytes = 40;        ///< IP+TCP overhead on the wire
+    double initial_window_segments = 2.0;
+    /// Bounded by default so the first slow-start overshoot does not strand
+    /// the flow in a hole-by-hole NewReno recovery for seconds (set very
+    /// large to study that pathology).
+    double initial_ssthresh_segments = 64.0;
+    sim::Time min_rto = sim::milliseconds(200);
+    sim::Time initial_rto = sim::seconds(1);
+    sim::Time max_rto = sim::seconds(60);
+    TcpFlavor flavor = TcpFlavor::kNewReno;
+    /// Selective acknowledgments (RFC 2018/6675): the sender keeps a
+    /// scoreboard of SACKed ranges and retransmits only true holes during
+    /// recovery — one lost *burst* no longer costs one RTT per segment.
+    bool sack = false;
+    bool trace_cwnd = false;
+    /// Pin all segments to this first-hop link (multipath subflows);
+    /// nullptr = default routing.
+    net::Link* first_hop = nullptr;
+    /// Congestion-avoidance growth multiplier; MPTCP-style coupled
+    /// controllers shrink this so N subflows grow like one flow at a
+    /// shared bottleneck.
+    double ca_growth_scale = 1.0;
+  };
+
+  TcpSource(net::Network& net, net::NodeId local, net::Port local_port, net::NodeId remote,
+            net::Port remote_port, net::FlowId flow);
+  TcpSource(net::Network& net, net::NodeId local, net::Port local_port, net::NodeId remote,
+            net::Port remote_port, net::FlowId flow, Config cfg);
+
+  /// Queue `bytes` of application data (cumulative; -1 from `send_forever`).
+  void send(std::int64_t bytes);
+
+  /// Unbounded transfer (greedy flow).
+  void send_forever();
+
+  /// Bytes acknowledged by the receiver so far.
+  std::int64_t acked_bytes() const { return static_cast<std::int64_t>(highest_ack_); }
+
+  bool complete() const {
+    return app_limit_ >= 0 && static_cast<std::int64_t>(highest_ack_) >= app_limit_;
+  }
+
+  double cwnd_bytes() const { return cwnd_; }
+  void set_ca_growth_scale(double s) { cfg_.ca_growth_scale = s; }
+  double ssthresh_bytes() const { return ssthresh_; }
+  sim::Time srtt() const { return srtt_; }
+  int timeouts() const { return timeouts_; }
+  int fast_retransmits() const { return fast_retransmits_; }
+  const sim::TimeSeries& cwnd_trace() const { return cwnd_trace_; }
+
+  /// Invoked when `complete()` first becomes true.
+  void set_on_complete(std::function<void()> cb) { on_complete_ = std::move(cb); }
+
+ private:
+  void on_packet(net::Packet&& p);
+  void on_ack(std::uint64_t ack);
+  void on_rto();
+  void grow_window(std::int64_t newly_acked);
+  void on_loss_window_reduction();
+  void vegas_rtt_tick();
+  double cubic_target() const;
+  void try_send();
+  void send_segment(std::uint64_t seq, bool retransmission);
+  void enter_recovery();
+  void update_rtt(sim::Time sample);
+  void arm_rto();
+  void trace();
+  std::int64_t flight_size() const {
+    return static_cast<std::int64_t>(next_seq_ - highest_ack_);
+  }
+  std::int32_t segment_payload(std::uint64_t seq) const;
+
+  net::Network& net_;
+  net::NodeId local_, remote_;
+  net::Port local_port_, remote_port_;
+  net::FlowId flow_;
+  Config cfg_;
+  sim::Timer rto_timer_;
+
+  // Stream state (byte offsets).
+  std::uint64_t next_seq_ = 0;      ///< next new byte to send
+  std::uint64_t highest_ack_ = 0;   ///< highest cumulative ACK received
+  std::int64_t app_limit_ = 0;      ///< total bytes the app asked for; -1 = infinite
+
+  // Congestion control.
+  double cwnd_;      ///< bytes
+  double ssthresh_;  ///< bytes
+  int dupacks_ = 0;
+  bool in_recovery_ = false;
+  std::uint64_t recover_ = 0;  ///< NewReno recovery point
+  sim::Time rto_;
+  sim::Time srtt_ = 0;
+  sim::Time rttvar_ = 0;
+  int backoff_ = 1;
+
+  // SACK scoreboard: byte ranges the receiver holds above highest_ack_.
+  std::map<std::uint64_t, std::uint64_t> sacked_;  ///< begin -> end
+  std::uint64_t sack_retransmit_cursor_ = 0;       ///< next hole to repair
+  void integrate_sack(const net::TcpHeader& h);
+  bool retransmit_next_sack_hole();
+
+  // RTT timing (one in-flight sample, Karn's rule).
+  std::optional<std::pair<std::uint64_t, sim::Time>> timed_seq_;
+  std::uint64_t retransmitted_above_ = UINT64_MAX;  ///< lowest retransmitted seq since last sample
+
+  // CUBIC state (RFC 8312): window is a cubic function of time since the
+  // last reduction, anchored at the pre-loss maximum.
+  double cubic_wmax_ = 0.0;       ///< bytes
+  sim::Time cubic_epoch_ = -1;    ///< start of the current growth epoch
+  double cubic_k_ = 0.0;          ///< seconds to return to wmax
+
+  // Vegas state: expected vs actual throughput once per RTT.
+  sim::Time vegas_base_rtt_ = sim::kNever;
+  sim::Time vegas_min_rtt_epoch_ = sim::kNever;  ///< min sample this RTT
+  std::uint64_t vegas_next_tick_seq_ = 0;        ///< ends the current RTT epoch
+
+  int timeouts_ = 0;
+  int fast_retransmits_ = 0;
+  sim::TimeSeries cwnd_trace_;
+  std::function<void()> on_complete_;
+  bool completion_reported_ = false;
+};
+
+/// TCP receiver: cumulative ACKs, out-of-order reassembly, optional delayed
+/// ACKs. ACKs are real packets and traverse (and queue on) the reverse path,
+/// which is the crux of the paper's Fig. 3.
+class TcpSink {
+ public:
+  struct Config {
+    std::int32_t ack_bytes = 40;
+    bool sack = true;  ///< advertise out-of-order ranges (senders may ignore)
+    bool delayed_ack = false;                 ///< ACK every 2nd segment
+    sim::Time delack_timeout = sim::milliseconds(40);
+    net::Priority ack_priority = net::Priority::kLowest;
+  };
+
+  TcpSink(net::Network& net, net::NodeId local, net::Port local_port);
+  TcpSink(net::Network& net, net::NodeId local, net::Port local_port, Config cfg);
+  ~TcpSink();
+
+  std::int64_t received_bytes() const { return received_bytes_; }
+  std::uint64_t rcv_next() const { return rcv_next_; }
+  sim::RateMeter& goodput() { return goodput_; }
+
+ private:
+  void on_packet(net::Packet&& p);
+  void send_ack(net::NodeId to, net::Port port, net::FlowId flow);
+
+  net::Network& net_;
+  net::NodeId local_;
+  net::Port local_port_;
+  Config cfg_;
+  sim::Timer delack_timer_;
+
+  std::uint64_t rcv_next_ = 0;
+  std::map<std::uint64_t, std::uint64_t> ooo_;  ///< seq -> end (out of order)
+  std::int64_t received_bytes_ = 0;
+  int unacked_segments_ = 0;
+  // Return address learned from the first segment (single-peer sink).
+  std::optional<std::tuple<net::NodeId, net::Port, net::FlowId>> peer_;
+  sim::RateMeter goodput_;
+};
+
+}  // namespace arnet::transport

@@ -1,0 +1,63 @@
+#include "arnet/transport/jitter_buffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::transport {
+
+sim::Time JitterBuffer::playout_time(const Sample& s) const {
+  return s.source_ts + playout_delay_;
+}
+
+bool JitterBuffer::push(const Sample& s, sim::Time now) {
+  // RFC 3550 interarrival jitter: J += (|D| - J) / 16 where D is the
+  // difference of consecutive transit times.
+  sim::Time transit = s.arrival - s.source_ts;
+  if (have_transit_) {
+    sim::Time d = transit - last_transit_;
+    if (d < 0) d = -d;
+    jitter_ += (d - jitter_) / 16;
+  }
+  last_transit_ = transit;
+  have_transit_ = true;
+  mean_transit_ = 0.9 * mean_transit_ + 0.1 * static_cast<double>(transit);
+
+  if (cfg_.adaptive) {
+    auto target = static_cast<sim::Time>(
+        mean_transit_ + cfg_.jitter_headroom * static_cast<double>(jitter_));
+    // The playout point must cover the transit path; clamp to configured
+    // bounds and move gradually (re-syncing playout mid-stream is visible).
+    target = std::clamp(target, cfg_.min_playout_delay, cfg_.max_playout_delay);
+    playout_delay_ += (target - playout_delay_) / 8;
+  }
+
+  if (!have_seq_ || (played_ == 0 && underruns_ == 0 && s.seq < next_seq_)) {
+    // Until playback starts, reordered arrivals may still lower the base.
+    next_seq_ = s.seq;
+    have_seq_ = true;
+  }
+  bool behind_playback = (played_ > 0 || underruns_ > 0) && s.seq < next_seq_;
+  if (playout_time(s) <= now || behind_playback) {
+    ++late_discards_;
+    return false;
+  }
+  buffer_.emplace(s.seq, s);
+  return true;
+}
+
+std::vector<JitterBuffer::Sample> JitterBuffer::due(sim::Time now) {
+  std::vector<Sample> out;
+  while (!buffer_.empty()) {
+    auto it = buffer_.begin();
+    if (playout_time(it->second) > now) break;
+    // Sequence gaps whose playout time passed without arrival are underruns.
+    if (it->first > next_seq_) underruns_ += it->first - next_seq_;
+    next_seq_ = it->first + 1;
+    ++played_;
+    out.push_back(it->second);
+    buffer_.erase(it);
+  }
+  return out;
+}
+
+}  // namespace arnet::transport

@@ -1,0 +1,53 @@
+#include "arnet/transport/mptcp.hpp"
+
+namespace arnet::transport {
+
+MultipathTcp::MultipathTcp(net::Network& net, net::NodeId local, net::NodeId remote,
+                           net::Port base_local_port, net::Port base_remote_port,
+                           std::vector<PathSpec> paths, Config cfg)
+    : net_(net), cfg_(cfg), couple_timer_(net.sim(), [this] { recouple(); }) {
+  net::FlowId flow = 0xA0000000;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    Subflow sf;
+    sf.name = paths[i].name;
+    auto rport = static_cast<net::Port>(base_remote_port + i);
+    auto lport = static_cast<net::Port>(base_local_port + i);
+    sf.sink = std::make_unique<TcpSink>(net_, remote, rport);
+    TcpSource::Config scfg = cfg_.subflow;
+    scfg.first_hop = paths[i].first_hop;
+    sf.source = std::make_unique<TcpSource>(net_, local, lport, remote, rport,
+                                            flow + static_cast<net::FlowId>(i), scfg);
+    subflows_.push_back(std::move(sf));
+  }
+  if (cfg_.coupled && subflows_.size() > 1) couple_timer_.arm(cfg_.couple_interval);
+}
+
+void MultipathTcp::send_forever() {
+  for (auto& sf : subflows_) sf.source->send_forever();
+}
+
+std::int64_t MultipathTcp::total_received() const {
+  std::int64_t total = 0;
+  for (const auto& sf : subflows_) total += sf.sink->received_bytes();
+  return total;
+}
+
+std::int64_t MultipathTcp::subflow_received(std::size_t i) const {
+  return subflows_[i].sink->received_bytes();
+}
+
+void MultipathTcp::recouple() {
+  // LIA-flavored coupling: subflow i grows in proportion to its window
+  // share, so the sum of growth across subflows is ~1 MSS/RTT — a single
+  // TCP's worth — when they share a bottleneck.
+  double total_cwnd = 0.0;
+  for (const auto& sf : subflows_) total_cwnd += sf.source->cwnd_bytes();
+  if (total_cwnd > 0) {
+    for (auto& sf : subflows_) {
+      sf.source->set_ca_growth_scale(sf.source->cwnd_bytes() / total_cwnd);
+    }
+  }
+  couple_timer_.arm(cfg_.couple_interval);
+}
+
+}  // namespace arnet::transport

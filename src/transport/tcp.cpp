@@ -1,0 +1,436 @@
+#include "arnet/transport/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::transport {
+
+using net::Packet;
+using net::TcpHeader;
+
+const char* to_string(TcpFlavor f) {
+  switch (f) {
+    case TcpFlavor::kReno: return "Reno";
+    case TcpFlavor::kNewReno: return "NewReno";
+    case TcpFlavor::kCubic: return "CUBIC";
+    case TcpFlavor::kVegas: return "Vegas";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------- TcpSource
+
+TcpSource::TcpSource(net::Network& net, net::NodeId local, net::Port local_port,
+                     net::NodeId remote, net::Port remote_port, net::FlowId flow)
+    : TcpSource(net, local, local_port, remote, remote_port, flow, Config{}) {}
+
+TcpSource::TcpSource(net::Network& net, net::NodeId local, net::Port local_port,
+                     net::NodeId remote, net::Port remote_port, net::FlowId flow, Config cfg)
+    : net_(net),
+      local_(local),
+      remote_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      flow_(flow),
+      cfg_(cfg),
+      rto_timer_(net.sim(), [this] { on_rto(); }),
+      cwnd_(cfg.initial_window_segments * cfg.mss),
+      ssthresh_(cfg.initial_ssthresh_segments * cfg.mss),
+      rto_(cfg.initial_rto) {
+  net_.node(local_).bind(local_port_, [this](Packet&& p) { on_packet(std::move(p)); });
+}
+
+void TcpSource::send(std::int64_t bytes) {
+  if (app_limit_ >= 0) app_limit_ += bytes;
+  try_send();
+}
+
+void TcpSource::send_forever() {
+  app_limit_ = -1;
+  try_send();
+}
+
+std::int32_t TcpSource::segment_payload(std::uint64_t seq) const {
+  if (app_limit_ < 0) return cfg_.mss;
+  std::int64_t remaining = app_limit_ - static_cast<std::int64_t>(seq);
+  return static_cast<std::int32_t>(std::min<std::int64_t>(cfg_.mss, std::max<std::int64_t>(remaining, 0)));
+}
+
+void TcpSource::try_send() {
+  while (true) {
+    if (flight_size() + cfg_.mss > static_cast<std::int64_t>(cwnd_)) break;
+    std::int32_t payload = segment_payload(next_seq_);
+    if (payload <= 0) break;  // app-limited
+    send_segment(next_seq_, /*retransmission=*/false);
+    next_seq_ += static_cast<std::uint64_t>(payload);
+  }
+}
+
+void TcpSource::send_segment(std::uint64_t seq, bool retransmission) {
+  std::int32_t payload = segment_payload(seq);
+  if (payload <= 0) return;
+  Packet p;
+  p.flow = flow_;
+  p.src = local_;
+  p.dst = remote_;
+  p.src_port = local_port_;
+  p.dst_port = remote_port_;
+  p.size_bytes = payload + cfg_.header_bytes;
+  p.tclass = net::TrafficClass::kCriticalData;
+  p.priority = net::Priority::kLowest;
+  TcpHeader h;
+  h.seq = seq;
+  p.header = h;
+  if (cfg_.first_hop) {
+    p.src = local_;
+    net_.send_via(*cfg_.first_hop, std::move(p));
+  } else {
+    net_.node(local_).send(std::move(p));
+  }
+
+  if (retransmission) {
+    retransmitted_above_ = std::min(retransmitted_above_, seq);
+    timed_seq_.reset();  // Karn: never time retransmitted data
+  } else if (!timed_seq_) {
+    timed_seq_ = {seq, net_.sim().now()};
+  }
+  if (!rto_timer_.armed()) arm_rto();
+}
+
+void TcpSource::arm_rto() { rto_timer_.arm(rto_ * backoff_); }
+
+void TcpSource::update_rtt(sim::Time sample) {
+  vegas_base_rtt_ = std::min(vegas_base_rtt_, sample);
+  vegas_min_rtt_epoch_ = std::min(vegas_min_rtt_epoch_, sample);
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    sim::Time err = sample - srtt_;
+    srtt_ += err / 8;
+    rttvar_ += (std::abs(err) - rttvar_) / 4;
+  }
+  rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
+  rto_ = std::min(rto_, cfg_.max_rto);
+}
+
+void TcpSource::on_packet(Packet&& p) {
+  const auto* h = std::get_if<TcpHeader>(&p.header);
+  if (!h || !h->is_ack) return;
+  if (cfg_.sack) integrate_sack(*h);
+  on_ack(h->ack);
+}
+
+void TcpSource::integrate_sack(const net::TcpHeader& h) {
+  for (const auto& [begin, end] : h.sack) {
+    if (end <= begin) continue;
+    // Insert and merge with overlapping/adjacent ranges.
+    std::uint64_t b = begin, e = end;
+    auto it = sacked_.lower_bound(b);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= b) {
+        b = prev->first;
+        e = std::max(e, prev->second);
+        it = sacked_.erase(prev);
+      }
+    }
+    while (it != sacked_.end() && it->first <= e) {
+      e = std::max(e, it->second);
+      it = sacked_.erase(it);
+    }
+    sacked_.emplace(b, e);
+  }
+}
+
+bool TcpSource::retransmit_next_sack_hole() {
+  std::uint64_t seq = std::max(highest_ack_, sack_retransmit_cursor_);
+  while (seq < recover_) {
+    // Skip over SACKed ranges.
+    auto it = sacked_.upper_bound(seq);
+    if (it != sacked_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second > seq) {
+        seq = prev->second;
+        continue;
+      }
+    }
+    send_segment(seq, /*retransmission=*/true);
+    sack_retransmit_cursor_ = seq + static_cast<std::uint64_t>(segment_payload(seq));
+    return true;
+  }
+  return false;
+}
+
+void TcpSource::on_ack(std::uint64_t ack) {
+  if (ack > highest_ack_) {
+    // New data acknowledged.
+    backoff_ = 1;
+    if (timed_seq_ && ack > timed_seq_->first && timed_seq_->first < retransmitted_above_) {
+      update_rtt(net_.sim().now() - timed_seq_->second);
+    }
+    if (timed_seq_ && ack > timed_seq_->first) timed_seq_.reset();
+    if (ack >= retransmitted_above_) retransmitted_above_ = UINT64_MAX;
+
+    if (in_recovery_) {
+      if (ack >= recover_ || cfg_.flavor == TcpFlavor::kReno) {
+        // Full ACK (or plain Reno): leave recovery.
+        in_recovery_ = false;
+        dupacks_ = 0;
+        cwnd_ = ssthresh_;
+        sack_retransmit_cursor_ = 0;
+      } else {
+        // NewReno partial ACK (RFC 6582): retransmit the next hole, deflate
+        // the window by the newly acked amount, and keep sending new data.
+        // With SACK the scoreboard names the hole precisely.
+        double newly = static_cast<double>(ack - highest_ack_);
+        highest_ack_ = ack;
+        cwnd_ = std::max(cwnd_ - newly + cfg_.mss, 2.0 * cfg_.mss);
+        if (cfg_.sack) {
+          // A partial ACK means the lowest hole is still open (possibly a
+          // lost retransmission): restart the scoreboard sweep from it.
+          sack_retransmit_cursor_ = ack;
+          if (!retransmit_next_sack_hole()) send_segment(ack, /*retransmission=*/true);
+        } else {
+          send_segment(ack, /*retransmission=*/true);
+        }
+        trace();
+        arm_rto();
+        try_send();
+        return;
+      }
+    } else {
+      dupacks_ = 0;
+    }
+
+    std::int64_t newly = static_cast<std::int64_t>(ack - highest_ack_);
+    highest_ack_ = ack;
+    // Drop scoreboard state the cumulative ACK has overtaken.
+    for (auto it = sacked_.begin(); it != sacked_.end() && it->first < highest_ack_;) {
+      std::uint64_t end = it->second;
+      it = sacked_.erase(it);
+      if (end > highest_ack_) sacked_.emplace(highest_ack_, end);
+    }
+    grow_window(newly);
+    if (cfg_.flavor == TcpFlavor::kVegas && ack >= vegas_next_tick_seq_) vegas_rtt_tick();
+    trace();
+
+    if (complete()) {
+      rto_timer_.stop();
+      if (!completion_reported_) {
+        completion_reported_ = true;
+        if (on_complete_) on_complete_();
+      }
+      return;
+    }
+    arm_rto();
+    try_send();
+  } else if (ack == highest_ack_ && flight_size() > 0) {
+    ++dupacks_;
+    if (in_recovery_) {
+      // Window inflation during recovery lets new data flow; SACK repairs
+      // one more hole per incoming ACK (ack-clocked retransmission).
+      cwnd_ += cfg_.mss;
+      if (cfg_.sack) retransmit_next_sack_hole();
+      try_send();
+    } else if (dupacks_ == 3) {
+      enter_recovery();
+    }
+    trace();
+  }
+}
+
+void TcpSource::grow_window(std::int64_t newly_acked) {
+  switch (cfg_.flavor) {
+    case TcpFlavor::kReno:
+    case TcpFlavor::kNewReno:
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += static_cast<double>(newly_acked);  // slow start (ABC-style)
+      } else {
+        // ~1 MSS/RTT, scaled down for coupled multipath subflows.
+        cwnd_ += cfg_.ca_growth_scale * static_cast<double>(cfg_.mss) * cfg_.mss / cwnd_;
+      }
+      break;
+    case TcpFlavor::kCubic:
+      if (cwnd_ < ssthresh_) {
+        cwnd_ += static_cast<double>(newly_acked);
+        cubic_epoch_ = -1;
+      } else {
+        if (cubic_epoch_ < 0) {
+          cubic_epoch_ = net_.sim().now();
+          if (cubic_wmax_ < cwnd_) {
+            // New maximum territory: probe from here.
+            cubic_wmax_ = cwnd_;
+            cubic_k_ = 0.0;
+          }
+        }
+        double target = cubic_target();
+        double inc = target > cwnd_
+                         ? std::min<double>(cfg_.mss, cfg_.mss * (target - cwnd_) / cwnd_)
+                         : 0.01 * cfg_.mss;  // slow floor below the curve
+        cwnd_ += inc;
+      }
+      break;
+    case TcpFlavor::kVegas:
+      // Slow start only; congestion avoidance is the once-per-RTT tick.
+      if (cwnd_ < ssthresh_) cwnd_ += static_cast<double>(newly_acked);
+      break;
+  }
+}
+
+double TcpSource::cubic_target() const {
+  // RFC 8312 with C = 0.4, beta = 0.7, computed in MSS units.
+  double t = sim::to_seconds(net_.sim().now() - cubic_epoch_);
+  double wmax_mss = cubic_wmax_ / cfg_.mss;
+  double target_mss = 0.4 * std::pow(t - cubic_k_, 3.0) + wmax_mss;
+  return target_mss * cfg_.mss;
+}
+
+void TcpSource::vegas_rtt_tick() {
+  std::uint64_t epoch_end = next_seq_;
+  if (vegas_min_rtt_epoch_ != sim::kNever && vegas_base_rtt_ != sim::kNever &&
+      !in_recovery_) {
+    double obs = static_cast<double>(vegas_min_rtt_epoch_);
+    double base = static_cast<double>(vegas_base_rtt_);
+    // Packets queued by us = cwnd * (obs - base) / obs, in MSS.
+    double diff_mss = (cwnd_ / cfg_.mss) * (obs - base) / obs;
+    if (cwnd_ < ssthresh_) {
+      if (diff_mss > 4.0) ssthresh_ = cwnd_;  // gamma: leave slow start early
+    } else if (diff_mss < 2.0) {
+      cwnd_ += cfg_.mss;  // alpha: too few packets in the pipe
+    } else if (diff_mss > 4.0) {
+      cwnd_ -= cfg_.mss;  // beta: backing off before loss
+    }
+    cwnd_ = std::max(cwnd_, 2.0 * cfg_.mss);
+    // Track the threshold down so a delay-driven decrease cannot bounce the
+    // flow back into slow start.
+    ssthresh_ = std::min(ssthresh_, cwnd_);
+  }
+  vegas_min_rtt_epoch_ = sim::kNever;
+  vegas_next_tick_seq_ = epoch_end;
+}
+
+void TcpSource::on_loss_window_reduction() {
+  if (cfg_.flavor == TcpFlavor::kCubic) {
+    // CUBIC: remember the pre-loss maximum and decay by beta = 0.7.
+    double wmax_mss = cwnd_ / cfg_.mss;
+    cubic_wmax_ = cwnd_;
+    cubic_k_ = std::cbrt(wmax_mss * 0.3 / 0.4);
+    cubic_epoch_ = -1;
+    ssthresh_ = std::max(cwnd_ * 0.7, 2.0 * cfg_.mss);
+  } else {
+    ssthresh_ = std::max(static_cast<double>(flight_size()) / 2.0, 2.0 * cfg_.mss);
+  }
+}
+
+void TcpSource::enter_recovery() {
+  ++fast_retransmits_;
+  on_loss_window_reduction();
+  cwnd_ = ssthresh_ + 3 * cfg_.mss;
+  in_recovery_ = true;
+  recover_ = next_seq_;
+  sack_retransmit_cursor_ = highest_ack_;
+  send_segment(highest_ack_, /*retransmission=*/true);
+  if (cfg_.sack) sack_retransmit_cursor_ = highest_ack_ + static_cast<std::uint64_t>(segment_payload(highest_ack_));
+  trace();
+}
+
+void TcpSource::on_rto() {
+  if (complete() || flight_size() == 0) return;
+  ++timeouts_;
+  on_loss_window_reduction();
+  cwnd_ = cfg_.mss;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  backoff_ = std::min(backoff_ * 2, 64);
+  trace();
+  send_segment(highest_ack_, /*retransmission=*/true);
+  arm_rto();
+}
+
+void TcpSource::trace() {
+  if (cfg_.trace_cwnd) cwnd_trace_.add(net_.sim().now(), cwnd_);
+}
+
+// ------------------------------------------------------------------ TcpSink
+
+TcpSink::TcpSink(net::Network& net, net::NodeId local, net::Port local_port)
+    : TcpSink(net, local, local_port, Config{}) {}
+
+TcpSink::TcpSink(net::Network& net, net::NodeId local, net::Port local_port, Config cfg)
+    : net_(net),
+      local_(local),
+      local_port_(local_port),
+      cfg_(cfg),
+      delack_timer_(net.sim(), [this] {
+        if (peer_) {
+          auto [n, port, flow] = *peer_;
+          send_ack(n, port, flow);
+        }
+      }) {
+  net_.node(local_).bind(local_port_, [this](Packet&& p) { on_packet(std::move(p)); });
+}
+
+TcpSink::~TcpSink() { net_.node(local_).unbind(local_port_); }
+
+void TcpSink::on_packet(Packet&& p) {
+  const auto* h = std::get_if<TcpHeader>(&p.header);
+  if (!h || h->is_ack) return;
+  peer_ = {p.src, p.src_port, p.flow};
+  std::uint64_t seg_begin = h->seq;
+  std::uint64_t seg_end = h->seq + static_cast<std::uint64_t>(p.size_bytes - 40);
+  bool out_of_order = seg_begin > rcv_next_;
+
+  std::uint64_t before = rcv_next_;
+  if (seg_end > rcv_next_) {
+    if (seg_begin <= rcv_next_) {
+      rcv_next_ = seg_end;
+      // Absorb any contiguous out-of-order segments.
+      for (auto it = ooo_.begin(); it != ooo_.end() && it->first <= rcv_next_;) {
+        rcv_next_ = std::max(rcv_next_, it->second);
+        it = ooo_.erase(it);
+      }
+    } else {
+      auto& end = ooo_[seg_begin];
+      end = std::max(end, seg_end);
+    }
+  }
+  // Goodput counts only in-order stream progress (retransmissions and
+  // duplicates don't inflate it).
+  std::int64_t delivered = static_cast<std::int64_t>(rcv_next_ - before);
+  received_bytes_ += delivered;
+  goodput_.on_bytes(delivered);
+
+  ++unacked_segments_;
+  if (!cfg_.delayed_ack || unacked_segments_ >= 2 || out_of_order || !ooo_.empty()) {
+    send_ack(p.src, p.src_port, p.flow);
+  } else {
+    delack_timer_.arm(cfg_.delack_timeout);
+  }
+}
+
+void TcpSink::send_ack(net::NodeId to, net::Port port, net::FlowId flow) {
+  delack_timer_.stop();
+  unacked_segments_ = 0;
+  Packet ack;
+  ack.flow = flow;
+  ack.src = local_;
+  ack.dst = to;
+  ack.src_port = local_port_;
+  ack.dst_port = port;
+  ack.size_bytes = cfg_.ack_bytes;
+  ack.priority = cfg_.ack_priority;
+  TcpHeader h;
+  h.is_ack = true;
+  h.ack = rcv_next_;
+  if (cfg_.sack) {
+    for (const auto& [begin, end] : ooo_) {
+      if (h.sack.size() >= 3) break;
+      h.sack.emplace_back(begin, end);
+    }
+  }
+  ack.header = std::move(h);
+  net_.node(local_).send(std::move(ack));
+}
+
+}  // namespace arnet::transport

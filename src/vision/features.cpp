@@ -1,0 +1,208 @@
+#include "arnet/vision/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "arnet/sim/rng.hpp"
+
+namespace arnet::vision {
+
+namespace {
+
+// Bresenham circle of radius 3 (the classic FAST ring).
+constexpr int kRing[16][2] = {{0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0},  {3, 1},
+                              {2, 2},  {1, 3},  {0, 3},  {-1, 3}, {-2, 2}, {-3, 1},
+                              {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3}};
+
+/// Does the ring around (x,y) contain >= 9 contiguous pixels all brighter /
+/// darker than the thresholded center? Returns the corner score (sum of
+/// absolute differences over the qualifying arc) or 0.
+int fast_score(const Image& img, int x, int y, int threshold) {
+  int center = img.at(x, y);
+  int bright = center + threshold;
+  int dark = center - threshold;
+  // Classify ring pixels: +1 brighter, -1 darker, 0 neither.
+  int cls[16];
+  int vals[16];
+  for (int i = 0; i < 16; ++i) {
+    vals[i] = img.at(x + kRing[i][0], y + kRing[i][1]);
+    cls[i] = vals[i] > bright ? 1 : (vals[i] < dark ? -1 : 0);
+  }
+  // Search for an arc of >= 9 equal nonzero classes (wrap-around).
+  for (int polarity : {1, -1}) {
+    int run = 0;
+    int best_run = 0;
+    int run_score = 0, best_score = 0;
+    for (int i = 0; i < 32; ++i) {  // doubled for wrap-around
+      if (cls[i % 16] == polarity) {
+        ++run;
+        run_score += std::abs(vals[i % 16] - center);
+        if (run > best_run) {
+          best_run = run;
+          best_score = run_score;
+        }
+        if (run >= 16) break;
+      } else {
+        run = 0;
+        run_score = 0;
+      }
+    }
+    if (best_run >= 9) return best_score;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<Feature> fast_detect(const Image& img, int threshold, int nms_radius) {
+  std::vector<Feature> raw;
+  for (int y = 3; y < img.height() - 3; ++y) {
+    for (int x = 3; x < img.width() - 3; ++x) {
+      int s = fast_score(img, x, y, threshold);
+      if (s > 0) raw.push_back({x, y, s});
+    }
+  }
+  // Non-maximum suppression on a score-sorted list.
+  std::sort(raw.begin(), raw.end(), [](const Feature& a, const Feature& b) {
+    return a.score > b.score;
+  });
+  std::vector<Feature> kept;
+  std::vector<bool> suppressed(raw.size(), false);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(raw[i]);
+    for (std::size_t j = i + 1; j < raw.size(); ++j) {
+      if (suppressed[j]) continue;
+      if (std::abs(raw[i].x - raw[j].x) <= nms_radius &&
+          std::abs(raw[i].y - raw[j].y) <= nms_radius) {
+        suppressed[j] = true;
+      }
+    }
+  }
+  return kept;
+}
+
+namespace {
+
+struct BriefPattern {
+  std::array<std::array<int8_t, 4>, 256> pairs;  // x1,y1,x2,y2 in [-15,15]
+
+  BriefPattern() {
+    // Fixed seed: every library user computes identical descriptors.
+    sim::Rng rng(0xB21EF);
+    for (auto& p : pairs) {
+      for (int k = 0; k < 4; ++k) {
+        double v = std::clamp(rng.normal(0.0, 6.5), -15.0, 15.0);
+        p[static_cast<std::size_t>(k)] = static_cast<int8_t>(v);
+      }
+    }
+  }
+};
+
+const BriefPattern& brief_pattern() {
+  static const BriefPattern p;
+  return p;
+}
+
+}  // namespace
+
+DescribedFeatures brief_describe(const Image& img, const std::vector<Feature>& features) {
+  Image smooth = box_blur(img, 2);
+  const auto& pat = brief_pattern();
+  DescribedFeatures out;
+  for (const Feature& f : features) {
+    if (f.x < 16 || f.y < 16 || f.x >= img.width() - 16 || f.y >= img.height() - 16) continue;
+    Descriptor d;
+    for (int b = 0; b < 256; ++b) {
+      const auto& p = pat.pairs[static_cast<std::size_t>(b)];
+      std::uint8_t v1 = smooth.at(f.x + p[0], f.y + p[1]);
+      std::uint8_t v2 = smooth.at(f.x + p[2], f.y + p[3]);
+      if (v1 < v2) d.bits[static_cast<std::size_t>(b / 64)] |= 1ULL << (b % 64);
+    }
+    out.features.push_back(f);
+    out.descriptors.push_back(d);
+  }
+  return out;
+}
+
+double feature_orientation(const Image& img, const Feature& f, int radius) {
+  // Intensity centroid over a disc: angle(m01, m10).
+  double m10 = 0.0, m01 = 0.0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy > radius * radius) continue;
+      double v = img.at_clamped(f.x + dx, f.y + dy);
+      m10 += dx * v;
+      m01 += dy * v;
+    }
+  }
+  return std::atan2(m01, m10);
+}
+
+DescribedFeatures orb_describe(const Image& img, const std::vector<Feature>& features) {
+  Image smooth = box_blur(img, 2);
+  const auto& pat = brief_pattern();
+  DescribedFeatures out;
+  for (const Feature& f : features) {
+    if (f.x < 16 || f.y < 16 || f.x >= img.width() - 16 || f.y >= img.height() - 16) continue;
+    double angle = feature_orientation(smooth, f);
+    double c = std::cos(angle), s = std::sin(angle);
+    auto steer = [&](int px, int py, int& ox, int& oy) {
+      ox = std::clamp(static_cast<int>(std::lround(c * px - s * py)), -15, 15);
+      oy = std::clamp(static_cast<int>(std::lround(s * px + c * py)), -15, 15);
+    };
+    Descriptor d;
+    for (int b = 0; b < 256; ++b) {
+      const auto& p = pat.pairs[static_cast<std::size_t>(b)];
+      int x1, y1, x2, y2;
+      steer(p[0], p[1], x1, y1);
+      steer(p[2], p[3], x2, y2);
+      std::uint8_t v1 = smooth.at(f.x + x1, f.y + y1);
+      std::uint8_t v2 = smooth.at(f.x + x2, f.y + y2);
+      if (v1 < v2) d.bits[static_cast<std::size_t>(b / 64)] |= 1ULL << (b % 64);
+    }
+    out.features.push_back(f);
+    out.descriptors.push_back(d);
+  }
+  return out;
+}
+
+std::vector<Match> match_descriptors(const std::vector<Descriptor>& query,
+                                     const std::vector<Descriptor>& train,
+                                     double max_ratio, int max_distance) {
+  std::vector<Match> forward;
+  std::vector<int> best_for_train(train.size(), -1);
+  std::vector<int> best_dist_train(train.size(), 1 << 30);
+
+  for (std::size_t qi = 0; qi < query.size(); ++qi) {
+    int best = 1 << 30, second = 1 << 30, best_ti = -1;
+    for (std::size_t ti = 0; ti < train.size(); ++ti) {
+      int d = query[qi].hamming(train[ti]);
+      if (d < best) {
+        second = best;
+        best = d;
+        best_ti = static_cast<int>(ti);
+      } else if (d < second) {
+        second = d;
+      }
+    }
+    if (best_ti < 0 || best > max_distance) continue;
+    if (second < (1 << 30) && best >= max_ratio * second) continue;  // ambiguous
+    forward.push_back({static_cast<int>(qi), best_ti, best});
+    auto t = static_cast<std::size_t>(best_ti);
+    if (best < best_dist_train[t]) {
+      best_dist_train[t] = best;
+      best_for_train[t] = static_cast<int>(qi);
+    }
+  }
+  // Symmetric cross-check: keep a match only if it is also the train
+  // point's best query.
+  std::vector<Match> out;
+  for (const Match& m : forward) {
+    if (best_for_train[static_cast<std::size_t>(m.train)] == m.query) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace arnet::vision

@@ -1,0 +1,106 @@
+#include "arnet/vision/harris.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::vision {
+
+std::vector<Feature> harris_detect(const Image& img, const HarrisParams& params) {
+  const int w = img.width(), h = img.height();
+  if (w < 8 || h < 8) return {};
+
+  // Sobel gradients.
+  std::vector<double> ix(static_cast<std::size_t>(w) * h, 0.0);
+  std::vector<double> iy(static_cast<std::size_t>(w) * h, 0.0);
+  for (int y = 1; y < h - 1; ++y) {
+    for (int x = 1; x < w - 1; ++x) {
+      double gx = -img.at(x - 1, y - 1) - 2.0 * img.at(x - 1, y) - img.at(x - 1, y + 1) +
+                  img.at(x + 1, y - 1) + 2.0 * img.at(x + 1, y) + img.at(x + 1, y + 1);
+      double gy = -img.at(x - 1, y - 1) - 2.0 * img.at(x, y - 1) - img.at(x + 1, y - 1) +
+                  img.at(x - 1, y + 1) + 2.0 * img.at(x, y + 1) + img.at(x + 1, y + 1);
+      ix[static_cast<std::size_t>(y) * w + x] = gx;
+      iy[static_cast<std::size_t>(y) * w + x] = gy;
+    }
+  }
+
+  // Harris response with a small accumulation window.
+  const int r = params.window_radius;
+  std::vector<Feature> raw;
+  for (int y = 1 + r; y < h - 1 - r; ++y) {
+    for (int x = 1 + r; x < w - 1 - r; ++x) {
+      double sxx = 0, syy = 0, sxy = 0;
+      for (int dy = -r; dy <= r; ++dy) {
+        for (int dx = -r; dx <= r; ++dx) {
+          double gx = ix[static_cast<std::size_t>(y + dy) * w + (x + dx)];
+          double gy = iy[static_cast<std::size_t>(y + dy) * w + (x + dx)];
+          sxx += gx * gx;
+          syy += gy * gy;
+          sxy += gx * gy;
+        }
+      }
+      double det = sxx * syy - sxy * sxy;
+      double trace = sxx + syy;
+      double response = det - params.k * trace * trace;
+      if (response > params.threshold) {
+        raw.push_back({x, y, static_cast<int>(std::min(response / 1e4, 2.0e9))});
+      }
+    }
+  }
+
+  // Shared NMS policy with FAST.
+  std::sort(raw.begin(), raw.end(),
+            [](const Feature& a, const Feature& b) { return a.score > b.score; });
+  std::vector<Feature> kept;
+  std::vector<bool> suppressed(raw.size(), false);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (suppressed[i]) continue;
+    kept.push_back(raw[i]);
+    for (std::size_t j = i + 1; j < raw.size(); ++j) {
+      if (!suppressed[j] && std::abs(raw[i].x - raw[j].x) <= params.nms_radius &&
+          std::abs(raw[i].y - raw[j].y) <= params.nms_radius) {
+        suppressed[j] = true;
+      }
+    }
+  }
+  return kept;
+}
+
+Image downscale2(const Image& src) {
+  Image out(std::max(1, src.width() / 2), std::max(1, src.height() / 2));
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      int sum = src.at_clamped(2 * x, 2 * y) + src.at_clamped(2 * x + 1, 2 * y) +
+                src.at_clamped(2 * x, 2 * y + 1) + src.at_clamped(2 * x + 1, 2 * y + 1);
+      out.at(x, y) = static_cast<std::uint8_t>(sum / 4);
+    }
+  }
+  return out;
+}
+
+std::vector<Image> build_pyramid(const Image& base, int levels) {
+  std::vector<Image> pyr;
+  pyr.push_back(base);
+  for (int l = 1; l < levels; ++l) {
+    if (pyr.back().width() < 40 || pyr.back().height() < 40) break;
+    pyr.push_back(downscale2(box_blur(pyr.back(), 1)));
+  }
+  return pyr;
+}
+
+std::vector<ScaledFeature> multiscale_fast(const std::vector<Image>& pyramid, int threshold,
+                                           int nms_radius) {
+  std::vector<ScaledFeature> out;
+  int scale = 1;
+  for (std::size_t level = 0; level < pyramid.size(); ++level) {
+    for (const Feature& f : fast_detect(pyramid[level], threshold, nms_radius)) {
+      ScaledFeature sf;
+      sf.f = {f.x * scale, f.y * scale, f.score};
+      sf.level = static_cast<int>(level);
+      out.push_back(sf);
+    }
+    scale *= 2;
+  }
+  return out;
+}
+
+}  // namespace arnet::vision

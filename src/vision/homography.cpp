@@ -1,0 +1,138 @@
+#include "arnet/vision/homography.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::vision {
+
+namespace {
+
+/// Hartley normalization: translate centroid to origin, scale mean distance
+/// to sqrt(2). Returns the similarity transform.
+Mat3 normalizing_transform(const std::vector<Correspondence>& pts, bool use_dst) {
+  double cx = 0, cy = 0;
+  for (const auto& c : pts) {
+    const Vec2& p = use_dst ? c.dst : c.src;
+    cx += p.x;
+    cy += p.y;
+  }
+  cx /= static_cast<double>(pts.size());
+  cy /= static_cast<double>(pts.size());
+  double mean_dist = 0;
+  for (const auto& c : pts) {
+    const Vec2& p = use_dst ? c.dst : c.src;
+    mean_dist += std::hypot(p.x - cx, p.y - cy);
+  }
+  mean_dist /= static_cast<double>(pts.size());
+  double s = mean_dist > 1e-9 ? std::sqrt(2.0) / mean_dist : 1.0;
+  Mat3 t;
+  t.m = {s, 0, -s * cx, 0, s, -s * cy, 0, 0, 1};
+  return t;
+}
+
+}  // namespace
+
+std::optional<Mat3> estimate_homography_dlt(const std::vector<Correspondence>& pts) {
+  if (pts.size() < 4) return std::nullopt;
+  Mat3 ts = normalizing_transform(pts, false);
+  Mat3 td = normalizing_transform(pts, true);
+
+  // Accumulate A^T A for the 2n x 9 DLT system directly (9x9 symmetric).
+  std::array<std::array<double, 9>, 9> ata{};
+  auto accumulate = [&ata](const std::array<double, 9>& row) {
+    for (int i = 0; i < 9; ++i) {
+      if (row[static_cast<std::size_t>(i)] == 0.0) continue;
+      for (int j = 0; j < 9; ++j) {
+        ata[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] +=
+            row[static_cast<std::size_t>(i)] * row[static_cast<std::size_t>(j)];
+      }
+    }
+  };
+  for (const auto& c : pts) {
+    Vec2 p = ts.apply(c.src);
+    Vec2 q = td.apply(c.dst);
+    accumulate({-p.x, -p.y, -1, 0, 0, 0, q.x * p.x, q.x * p.y, q.x});
+    accumulate({0, 0, 0, -p.x, -p.y, -1, q.y * p.x, q.y * p.y, q.y});
+  }
+
+  std::array<double, 9> h = smallest_eigenvector<9>(ata);
+  double norm = 0;
+  for (double v : h) norm += v * v;
+  if (norm < 1e-18) return std::nullopt;
+
+  Mat3 hn;
+  hn.m = h;
+  if (std::abs(hn.determinant()) < 1e-12) return std::nullopt;
+  Mat3 result = td.inverse() * hn * ts;
+  if (std::abs(result.m[8]) < 1e-12) return std::nullopt;
+  return result.normalized();
+}
+
+std::optional<RansacResult> estimate_homography_ransac(const std::vector<Correspondence>& pts,
+                                                       sim::Rng& rng,
+                                                       const RansacParams& params) {
+  const int n = static_cast<int>(pts.size());
+  if (n < 4) return std::nullopt;
+
+  std::vector<int> best_inliers;
+  int iterations_needed = params.max_iterations;
+  int it = 0;
+  for (; it < iterations_needed && it < params.max_iterations; ++it) {
+    // Sample 4 distinct indices.
+    int idx[4];
+    for (int k = 0; k < 4; ++k) {
+      bool dup = true;
+      while (dup) {
+        idx[k] = static_cast<int>(rng.uniform_int(0, n - 1));
+        dup = false;
+        for (int j = 0; j < k; ++j) dup |= idx[j] == idx[k];
+      }
+    }
+    std::vector<Correspondence> sample = {pts[static_cast<std::size_t>(idx[0])],
+                                          pts[static_cast<std::size_t>(idx[1])],
+                                          pts[static_cast<std::size_t>(idx[2])],
+                                          pts[static_cast<std::size_t>(idx[3])]};
+    auto h = estimate_homography_dlt(sample);
+    if (!h) continue;
+
+    std::vector<int> inliers;
+    for (int i = 0; i < n; ++i) {
+      Vec2 mapped = h->apply(pts[static_cast<std::size_t>(i)].src);
+      if (distance(mapped, pts[static_cast<std::size_t>(i)].dst) <
+          params.inlier_threshold_px) {
+        inliers.push_back(i);
+      }
+    }
+    if (inliers.size() > best_inliers.size()) {
+      best_inliers = std::move(inliers);
+      // Adaptive iteration count from the inlier ratio.
+      double w = static_cast<double>(best_inliers.size()) / n;
+      double p_outlier_sample = 1.0 - w * w * w * w;
+      if (p_outlier_sample < 1e-9) {
+        iterations_needed = it + 1;
+      } else {
+        double needed =
+            std::log(1.0 - params.confidence) / std::log(p_outlier_sample);
+        iterations_needed = std::min(params.max_iterations,
+                                     static_cast<int>(std::ceil(needed)));
+      }
+    }
+  }
+
+  if (static_cast<int>(best_inliers.size()) < params.min_inliers) return std::nullopt;
+
+  // Refine on the full consensus set.
+  std::vector<Correspondence> consensus;
+  consensus.reserve(best_inliers.size());
+  for (int i : best_inliers) consensus.push_back(pts[static_cast<std::size_t>(i)]);
+  auto refined = estimate_homography_dlt(consensus);
+  if (!refined) return std::nullopt;
+
+  RansacResult r;
+  r.h = *refined;
+  r.inliers = std::move(best_inliers);
+  r.iterations = it;
+  return r;
+}
+
+}  // namespace arnet::vision

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "arnet/vision/image.hpp"
+
+namespace arnet::vision {
+
+/// A detected corner with its FAST score.
+struct Feature {
+  int x = 0;
+  int y = 0;
+  int score = 0;
+};
+
+/// FAST-9 corner detector (Rosten & Drummond): a pixel is a corner when 9
+/// contiguous pixels on the 16-pixel Bresenham circle are all brighter than
+/// center+threshold or all darker than center-threshold. Non-maximum
+/// suppression keeps local score maxima only.
+std::vector<Feature> fast_detect(const Image& img, int threshold = 20, int nms_radius = 4);
+
+/// 256-bit BRIEF descriptor over a smoothed 31x31 patch.
+struct Descriptor {
+  std::array<std::uint64_t, 4> bits{};
+
+  int hamming(const Descriptor& o) const {
+    int d = 0;
+    for (int i = 0; i < 4; ++i) d += __builtin_popcountll(bits[i] ^ o.bits[i]);
+    return d;
+  }
+};
+
+/// Wire size of one serialized feature (x, y as uint16 + 32-byte BRIEF) —
+/// what a CloudRidAR-style client actually uploads instead of pixels.
+inline constexpr std::int64_t kSerializedFeatureBytes = 2 + 2 + 32;
+
+/// Compute BRIEF descriptors for `features` on a pre-blurred copy of `img`.
+/// Features too close to the border are dropped (mirrored in the returned
+/// feature list).
+struct DescribedFeatures {
+  std::vector<Feature> features;
+  std::vector<Descriptor> descriptors;
+};
+DescribedFeatures brief_describe(const Image& img, const std::vector<Feature>& features);
+
+/// Intensity-centroid orientation of the patch around a corner (the ORB
+/// trick): the angle from the patch center to its brightness centroid.
+double feature_orientation(const Image& img, const Feature& f, int radius = 15);
+
+/// ORB-style rotation-aware BRIEF: the sampling pattern is steered by each
+/// feature's intensity-centroid orientation, making descriptors (largely)
+/// invariant to in-plane camera roll — plain BRIEF collapses beyond ~20 deg.
+DescribedFeatures orb_describe(const Image& img, const std::vector<Feature>& features);
+
+/// One correspondence between two descriptor sets.
+struct Match {
+  int query = 0;  ///< index into the query set
+  int train = 0;  ///< index into the train set
+  int distance = 0;
+};
+
+/// Brute-force Hamming matching with Lowe-style ratio test and symmetric
+/// cross-check.
+std::vector<Match> match_descriptors(const std::vector<Descriptor>& query,
+                                     const std::vector<Descriptor>& train,
+                                     double max_ratio = 0.8, int max_distance = 64);
+
+}  // namespace arnet::vision

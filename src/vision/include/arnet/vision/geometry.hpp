@@ -1,0 +1,134 @@
+#pragma once
+
+#include <array>
+#include <cmath>
+
+namespace arnet::vision {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+inline double distance(const Vec2& a, const Vec2& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+/// Row-major 3x3 matrix used as a planar homography.
+struct Mat3 {
+  std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+  static Mat3 identity() { return Mat3{}; }
+
+  static Mat3 translation(double tx, double ty) {
+    Mat3 h;
+    h.m = {1, 0, tx, 0, 1, ty, 0, 0, 1};
+    return h;
+  }
+
+  static Mat3 similarity(double scale, double angle_rad, double tx, double ty) {
+    double c = scale * std::cos(angle_rad), s = scale * std::sin(angle_rad);
+    Mat3 h;
+    h.m = {c, -s, tx, s, c, ty, 0, 0, 1};
+    return h;
+  }
+
+  double operator()(int r, int c) const { return m[static_cast<std::size_t>(r) * 3 + c]; }
+  double& operator()(int r, int c) { return m[static_cast<std::size_t>(r) * 3 + c]; }
+
+  Mat3 operator*(const Mat3& o) const {
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        double s = 0;
+        for (int k = 0; k < 3; ++k) s += (*this)(i, k) * o(k, j);
+        r(i, j) = s;
+      }
+    }
+    return r;
+  }
+
+  /// Projective application: returns the mapped 2D point.
+  Vec2 apply(const Vec2& p) const {
+    double w = m[6] * p.x + m[7] * p.y + m[8];
+    if (std::abs(w) < 1e-12) w = 1e-12;
+    return {(m[0] * p.x + m[1] * p.y + m[2]) / w, (m[3] * p.x + m[4] * p.y + m[5]) / w};
+  }
+
+  double determinant() const {
+    return m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6]) +
+           m[2] * (m[3] * m[7] - m[4] * m[6]);
+  }
+
+  /// Inverse via adjugate; callers must ensure the matrix is non-singular.
+  Mat3 inverse() const {
+    double d = determinant();
+    Mat3 r;
+    r.m = {(m[4] * m[8] - m[5] * m[7]) / d, (m[2] * m[7] - m[1] * m[8]) / d,
+           (m[1] * m[5] - m[2] * m[4]) / d, (m[5] * m[6] - m[3] * m[8]) / d,
+           (m[0] * m[8] - m[2] * m[6]) / d, (m[2] * m[3] - m[0] * m[5]) / d,
+           (m[3] * m[7] - m[4] * m[6]) / d, (m[1] * m[6] - m[0] * m[7]) / d,
+           (m[0] * m[4] - m[1] * m[3]) / d};
+    return r;
+  }
+
+  /// Scale so that m[8] == 1 (canonical homography form).
+  Mat3 normalized() const {
+    Mat3 r = *this;
+    if (std::abs(m[8]) > 1e-12) {
+      for (double& v : r.m) v /= m[8];
+    }
+    return r;
+  }
+};
+
+/// Smallest-eigenvalue eigenvector of a symmetric NxN matrix via cyclic
+/// Jacobi rotations. Used by the normalized DLT (null space of A^T A).
+template <int N>
+std::array<double, N> smallest_eigenvector(std::array<std::array<double, N>, N> a) {
+  std::array<std::array<double, N>, N> v{};
+  for (int i = 0; i < N; ++i) v[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0;
+    for (int p = 0; p < N; ++p) {
+      for (int q = p + 1; q < N; ++q) off += a[p][q] * a[p][q];
+    }
+    if (off < 1e-24) break;
+    for (int p = 0; p < N; ++p) {
+      for (int q = p + 1; q < N; ++q) {
+        if (std::abs(a[p][q]) < 1e-30) continue;
+        double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (int k = 0; k < N; ++k) {
+          double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (int k = 0; k < N; ++k) {
+          double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (int k = 0; k < N; ++k) {
+          double vkp = v[k][p], vkq = v[k][q];
+          v[k][p] = c * vkp - s * vkq;
+          v[k][q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  int best = 0;
+  for (int i = 1; i < N; ++i) {
+    if (a[i][i] < a[best][best]) best = i;
+  }
+  std::array<double, N> out{};
+  for (int i = 0; i < N; ++i) out[i] = v[i][best];
+  return out;
+}
+
+}  // namespace arnet::vision

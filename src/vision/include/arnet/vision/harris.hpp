@@ -1,0 +1,42 @@
+#pragma once
+
+#include <vector>
+
+#include "arnet/vision/features.hpp"
+#include "arnet/vision/image.hpp"
+
+namespace arnet::vision {
+
+/// Harris corner detector (Harris & Stephens 1988): corners are maxima of
+/// det(M) - k*trace(M)^2 over the gradient structure tensor M. Slower but
+/// more repeatable than FAST under blur/noise — the classic quality-vs-cost
+/// trade a MAR runtime picks per device class.
+struct HarrisParams {
+  double k = 0.05;
+  double threshold = 2.0e6;  ///< response cutoff (8-bit gradients)
+  int nms_radius = 4;
+  int window_radius = 1;  ///< structure-tensor accumulation window
+};
+
+std::vector<Feature> harris_detect(const Image& img, const HarrisParams& params = {});
+
+/// Downscale by 2x with 2x2 averaging.
+Image downscale2(const Image& src);
+
+/// Gaussian-ish image pyramid (successive blur + halving).
+std::vector<Image> build_pyramid(const Image& base, int levels);
+
+/// A feature with the pyramid level it was found on (coordinates are in
+/// base-image space).
+struct ScaledFeature {
+  Feature f;
+  int level = 0;
+};
+
+/// Multi-scale FAST: detect on every pyramid level and map coordinates back
+/// to the base image. Gives the recognition pipeline tolerance to larger
+/// scale changes than single-scale FAST.
+std::vector<ScaledFeature> multiscale_fast(const std::vector<Image>& pyramid,
+                                           int threshold = 20, int nms_radius = 4);
+
+}  // namespace arnet::vision

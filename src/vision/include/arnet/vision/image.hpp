@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace arnet::vision {
+
+/// 8-bit grayscale image with clamped access. The vision substrate works on
+/// synthetic scenes, so grayscale is sufficient to exercise the full
+/// detect/describe/match/estimate pipeline the paper's offloading model
+/// needs (feature extraction is the unit CloudRidAR runs on-device).
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0)
+      : width_(width), height_(height), data_(static_cast<std::size_t>(width) * height, fill) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return data_.empty(); }
+
+  std::uint8_t& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  std::uint8_t at(int x, int y) const {
+    return data_[static_cast<std::size_t>(y) * width_ + x];
+  }
+
+  /// Clamped access: out-of-bounds coordinates read the nearest edge pixel.
+  std::uint8_t at_clamped(int x, int y) const {
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+  }
+
+  /// Bilinear sample at fractional coordinates (clamped).
+  double bilinear(double x, double y) const {
+    int x0 = static_cast<int>(std::floor(x));
+    int y0 = static_cast<int>(std::floor(y));
+    double fx = x - x0, fy = y - y0;
+    double v00 = at_clamped(x0, y0), v10 = at_clamped(x0 + 1, y0);
+    double v01 = at_clamped(x0, y0 + 1), v11 = at_clamped(x0 + 1, y0 + 1);
+    return (v00 * (1 - fx) + v10 * fx) * (1 - fy) + (v01 * (1 - fx) + v11 * fx) * fy;
+  }
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t>& data() { return data_; }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// 5x5 box blur; BRIEF requires smoothing for repeatability under noise.
+Image box_blur(const Image& src, int radius = 2);
+
+}  // namespace arnet::vision

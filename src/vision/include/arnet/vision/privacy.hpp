@@ -1,0 +1,59 @@
+#pragma once
+
+#include <vector>
+
+#include "arnet/sim/rng.hpp"
+#include "arnet/vision/image.hpp"
+#include "arnet/vision/synth.hpp"
+
+namespace arnet::vision {
+
+/// A privacy-sensitive image region (paper §VI-G: "at least faces, license
+/// plates and visible street plates should be blurred before sending to
+/// other users for processing").
+struct SensitiveRegion {
+  int x = 0;  ///< top-left
+  int y = 0;
+  int w = 0;
+  int h = 0;
+  enum class Kind { kFace, kPlate } kind = Kind::kFace;
+
+  bool contains(int px, int py) const {
+    return px >= x && py >= y && px < x + w && py < y + h;
+  }
+};
+
+/// Render a scene containing synthetic sensitive objects: near-saturated
+/// elliptical blobs stand in for faces, bright striped rectangles for
+/// plates. Ground-truth regions are returned for detector evaluation.
+Image render_scene_with_sensitive(sim::Rng& rng, const SceneParams& params, int faces,
+                                  int plates, std::vector<SensitiveRegion>& truth);
+
+/// Detect sensitive regions: connected components of near-saturated pixels,
+/// classified by aspect ratio (wide & striped = plate, roundish = face).
+/// A deliberately simple stand-in for the face/plate detectors of
+/// PrivateEye / I-PIC, exercising the same pipeline position.
+std::vector<SensitiveRegion> detect_sensitive_regions(const Image& img,
+                                                      std::uint8_t threshold = 235,
+                                                      int min_area = 40);
+
+/// Heavy box blur restricted to `regions` (with a small margin); destroys
+/// features inside without touching the rest of the frame.
+void blur_regions(Image& img, const std::vector<SensitiveRegion>& regions, int radius = 6,
+                  int margin = 3);
+
+/// I-PIC-style user-selected privacy level.
+enum class PrivacyLevel {
+  kNone,           ///< raw frames leave the device
+  kBlurSensitive,  ///< faces/plates blurred before transmission
+  kBlurAll,        ///< the whole frame blurred (only coarse features remain)
+  kFeaturesOnly,   ///< never transmit pixels; only descriptors leave
+};
+
+const char* to_string(PrivacyLevel level);
+
+/// Applies the selected level to a frame about to leave the device.
+/// Returns the number of regions redacted (kBlurSensitive only).
+int apply_privacy(Image& frame, PrivacyLevel level);
+
+}  // namespace arnet::vision

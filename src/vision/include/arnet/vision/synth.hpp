@@ -1,0 +1,33 @@
+#pragma once
+
+#include "arnet/sim/rng.hpp"
+#include "arnet/vision/geometry.hpp"
+#include "arnet/vision/image.hpp"
+
+namespace arnet::vision {
+
+/// Synthetic scene parameters: textured backgrounds with high-contrast
+/// shapes give FAST plenty of corners, standing in for the real-world
+/// object photos a MAR browser matches against (paper §III-B homography).
+struct SceneParams {
+  int width = 320;
+  int height = 240;
+  int shapes = 24;
+  double noise_sigma = 0.0;
+};
+
+/// Deterministically render a random scene from `rng`.
+Image render_scene(sim::Rng& rng, const SceneParams& params);
+
+/// Warp `src` by homography `h` (inverse-mapped bilinear resampling);
+/// out-of-source pixels become `fill`.
+Image warp_image(const Image& src, const Mat3& h, std::uint8_t fill = 0);
+
+/// Additive Gaussian pixel noise, clamped to [0, 255].
+void add_noise(Image& img, sim::Rng& rng, double sigma);
+
+/// A plausible "camera motion" homography: small rotation, scale,
+/// translation and a touch of perspective.
+Mat3 random_camera_motion(sim::Rng& rng, double magnitude = 1.0);
+
+}  // namespace arnet::vision

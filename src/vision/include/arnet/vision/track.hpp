@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "arnet/vision/geometry.hpp"
+#include "arnet/vision/image.hpp"
+
+namespace arnet::vision {
+
+/// One tracked point: where it was, where it is now, and how well the patch
+/// matched (lower SSD = better).
+struct TrackedPoint {
+  Vec2 prev;
+  Vec2 curr;
+  double ssd = 0.0;
+  bool ok = false;
+};
+
+struct TrackParams {
+  int patch_radius = 4;   ///< 9x9 patches
+  int search_radius = 8;  ///< +-8 px window
+  double max_mean_ssd = 300.0;  ///< per-pixel squared error acceptance
+};
+
+/// Patch-SSD tracker: for each point, find the offset in `curr` minimizing
+/// the sum of squared differences of the surrounding patch. This is the
+/// cheap on-device tracking Glimpse runs between offloaded frames to hide
+/// network latency (paper §III-B).
+std::vector<TrackedPoint> track_points(const Image& prev, const Image& curr,
+                                       const std::vector<Vec2>& points,
+                                       const TrackParams& params = {});
+
+/// Fraction of points tracked successfully; a drop below a threshold is the
+/// classic trigger for offloading a fresh recognition frame.
+double tracking_quality(const std::vector<TrackedPoint>& tracks);
+
+}  // namespace arnet::vision

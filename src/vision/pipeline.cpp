@@ -1,0 +1,71 @@
+#include "arnet/vision/pipeline.hpp"
+
+#include <algorithm>
+
+namespace arnet::vision {
+
+int ObjectDatabase::add_object(std::string name, const Image& reference, int fast_threshold) {
+  Entry e;
+  e.name = std::move(name);
+  auto feats = fast_detect(reference, fast_threshold);
+  e.described = brief_describe(reference, feats);
+  objects_.push_back(std::move(e));
+  return static_cast<int>(objects_.size()) - 1;
+}
+
+DescribedFeatures RecognitionPipeline::extract(const Image& frame) const {
+  auto feats = fast_detect(frame, params_.fast_threshold, params_.nms_radius);
+  if (static_cast<int>(feats.size()) > params_.max_features) {
+    feats.resize(static_cast<std::size_t>(params_.max_features));  // strongest first (sorted)
+  }
+  return brief_describe(frame, feats);
+}
+
+std::optional<RecognitionResult> RecognitionPipeline::recognize(
+    const DescribedFeatures& frame_features, const ObjectDatabase& db, sim::Rng& rng) const {
+  RecognitionResult best;
+  bool found = false;
+  for (int id = 0; id < static_cast<int>(db.size()); ++id) {
+    const auto& obj = db.entry(id);
+    auto matches = match_descriptors(obj.described.descriptors, frame_features.descriptors);
+    if (static_cast<int>(matches.size()) < params_.ransac.min_inliers) continue;
+
+    std::vector<Correspondence> corr;
+    corr.reserve(matches.size());
+    for (const Match& m : matches) {
+      const Feature& src = obj.described.features[static_cast<std::size_t>(m.query)];
+      const Feature& dst = frame_features.features[static_cast<std::size_t>(m.train)];
+      corr.push_back({{static_cast<double>(src.x), static_cast<double>(src.y)},
+                      {static_cast<double>(dst.x), static_cast<double>(dst.y)}});
+    }
+    auto ransac = estimate_homography_ransac(corr, rng, params_.ransac);
+    if (!ransac) continue;
+    if (!found || static_cast<int>(ransac->inliers.size()) > best.inliers) {
+      found = true;
+      best.object_id = id;
+      best.object_name = obj.name;
+      best.matches = static_cast<int>(matches.size());
+      best.inliers = static_cast<int>(ransac->inliers.size());
+      best.pose = ransac->h;
+    }
+  }
+  if (!found) return std::nullopt;
+  best.frame_features = static_cast<int>(frame_features.features.size());
+  best.feature_upload_bytes =
+      static_cast<std::int64_t>(frame_features.features.size()) * kSerializedFeatureBytes;
+  return best;
+}
+
+std::optional<RecognitionResult> RecognitionPipeline::recognize_frame(
+    const Image& frame, const ObjectDatabase& db, sim::Rng& rng) const {
+  auto feats = extract(frame);
+  auto r = recognize(feats, db, rng);
+  if (r) {
+    r->frame_features = static_cast<int>(feats.features.size());
+    r->feature_upload_bytes =
+        static_cast<std::int64_t>(feats.features.size()) * kSerializedFeatureBytes;
+  }
+  return r;
+}
+
+}  // namespace arnet::vision

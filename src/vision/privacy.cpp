@@ -1,0 +1,155 @@
+#include "arnet/vision/privacy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace arnet::vision {
+
+Image render_scene_with_sensitive(sim::Rng& rng, const SceneParams& params, int faces,
+                                  int plates, std::vector<SensitiveRegion>& truth) {
+  Image img = render_scene(rng, params);
+  truth.clear();
+  // Keep the background below the detector threshold so the synthetic
+  // sensitive objects are the only near-saturated content.
+  for (auto& px : img.data()) px = std::min<std::uint8_t>(px, 220);
+
+  for (int f = 0; f < faces; ++f) {
+    int r = static_cast<int>(rng.uniform_int(6, 12));
+    int cx = static_cast<int>(rng.uniform_int(r + 2, params.width - r - 2));
+    int cy = static_cast<int>(rng.uniform_int(r + 2, params.height - r - 2));
+    for (int y = cy - r; y <= cy + r; ++y) {
+      for (int x = cx - r; x <= cx + r; ++x) {
+        double dx = (x - cx) / static_cast<double>(r);
+        double dy = (y - cy) / (0.8 * r);
+        if (dx * dx + dy * dy <= 1.0) img.at(x, y) = 250;
+      }
+    }
+    truth.push_back({cx - r, cy - static_cast<int>(0.8 * r), 2 * r,
+                     static_cast<int>(1.6 * r), SensitiveRegion::Kind::kFace});
+  }
+  for (int p = 0; p < plates; ++p) {
+    int w = static_cast<int>(rng.uniform_int(24, 40));
+    int h = static_cast<int>(rng.uniform_int(7, 10));
+    int x0 = static_cast<int>(rng.uniform_int(2, params.width - w - 2));
+    int y0 = static_cast<int>(rng.uniform_int(2, params.height - h - 2));
+    for (int y = y0; y < y0 + h; ++y) {
+      for (int x = x0; x < x0 + w; ++x) {
+        img.at(x, y) = (x / 3) % 2 ? 250 : 240;  // character-like stripes
+      }
+    }
+    truth.push_back({x0, y0, w, h, SensitiveRegion::Kind::kPlate});
+  }
+  return img;
+}
+
+std::vector<SensitiveRegion> detect_sensitive_regions(const Image& img,
+                                                      std::uint8_t threshold, int min_area) {
+  const int w = img.width(), h = img.height();
+  std::vector<bool> visited(static_cast<std::size_t>(w) * h, false);
+  std::vector<SensitiveRegion> out;
+
+  for (int sy = 0; sy < h; ++sy) {
+    for (int sx = 0; sx < w; ++sx) {
+      std::size_t idx = static_cast<std::size_t>(sy) * w + sx;
+      if (visited[idx] || img.at(sx, sy) < threshold) continue;
+      // BFS flood fill of the component.
+      int min_x = sx, max_x = sx, min_y = sy, max_y = sy, area = 0;
+      std::queue<std::pair<int, int>> q;
+      q.emplace(sx, sy);
+      visited[idx] = true;
+      while (!q.empty()) {
+        auto [x, y] = q.front();
+        q.pop();
+        ++area;
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+        min_y = std::min(min_y, y);
+        max_y = std::max(max_y, y);
+        constexpr int kDx[] = {1, -1, 0, 0};
+        constexpr int kDy[] = {0, 0, 1, -1};
+        for (int d = 0; d < 4; ++d) {
+          // 2-pixel bridging tolerates the dark stripes inside plates.
+          for (int step = 1; step <= 2; ++step) {
+            int bx = x + kDx[d] * step, by = y + kDy[d] * step;
+            if (bx < 0 || by < 0 || bx >= w || by >= h) break;
+            std::size_t bi = static_cast<std::size_t>(by) * w + bx;
+            if (!visited[bi] && img.at(bx, by) >= threshold) {
+              visited[bi] = true;
+              q.emplace(bx, by);
+            }
+          }
+        }
+      }
+      if (area < min_area) continue;
+      SensitiveRegion r;
+      r.x = min_x;
+      r.y = min_y;
+      r.w = max_x - min_x + 1;
+      r.h = max_y - min_y + 1;
+      double aspect = static_cast<double>(r.w) / std::max(r.h, 1);
+      r.kind = aspect > 2.0 ? SensitiveRegion::Kind::kPlate : SensitiveRegion::Kind::kFace;
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void blur_regions(Image& img, const std::vector<SensitiveRegion>& regions, int radius,
+                  int margin) {
+  for (const auto& r : regions) {
+    int x0 = std::max(0, r.x - margin);
+    int y0 = std::max(0, r.y - margin);
+    int x1 = std::min(img.width(), r.x + r.w + margin);
+    int y1 = std::min(img.height(), r.y + r.h + margin);
+    // Two box-blur passes approximate a strong Gaussian; computed from a
+    // snapshot so the blur doesn't feed on itself.
+    for (int pass = 0; pass < 2; ++pass) {
+      Image snapshot = img;
+      for (int y = y0; y < y1; ++y) {
+        for (int x = x0; x < x1; ++x) {
+          int sum = 0, n = 0;
+          for (int dy = -radius; dy <= radius; ++dy) {
+            for (int dx = -radius; dx <= radius; ++dx) {
+              sum += snapshot.at_clamped(x + dx, y + dy);
+              ++n;
+            }
+          }
+          img.at(x, y) = static_cast<std::uint8_t>(sum / n);
+        }
+      }
+    }
+  }
+}
+
+const char* to_string(PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::kNone: return "none";
+    case PrivacyLevel::kBlurSensitive: return "blur faces/plates";
+    case PrivacyLevel::kBlurAll: return "blur whole frame";
+    case PrivacyLevel::kFeaturesOnly: return "features only";
+  }
+  return "?";
+}
+
+int apply_privacy(Image& frame, PrivacyLevel level) {
+  switch (level) {
+    case PrivacyLevel::kNone:
+    case PrivacyLevel::kFeaturesOnly:
+      // kFeaturesOnly is enforced at the transport boundary (no pixels are
+      // ever submitted); nothing to do to the frame itself.
+      return 0;
+    case PrivacyLevel::kBlurSensitive: {
+      auto regions = detect_sensitive_regions(frame);
+      blur_regions(frame, regions);
+      return static_cast<int>(regions.size());
+    }
+    case PrivacyLevel::kBlurAll: {
+      frame = box_blur(frame, 4);
+      return 0;
+    }
+  }
+  return 0;
+}
+
+}  // namespace arnet::vision

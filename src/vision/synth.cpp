@@ -1,0 +1,97 @@
+#include "arnet/vision/synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::vision {
+
+Image box_blur(const Image& src, int radius) {
+  Image out(src.width(), src.height());
+  const int n = (2 * radius + 1) * (2 * radius + 1);
+  for (int y = 0; y < src.height(); ++y) {
+    for (int x = 0; x < src.width(); ++x) {
+      int sum = 0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          sum += src.at_clamped(x + dx, y + dy);
+        }
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(sum / n);
+    }
+  }
+  return out;
+}
+
+Image render_scene(sim::Rng& rng, const SceneParams& params) {
+  Image img(params.width, params.height);
+  // Smooth background gradient so the scene is not flat.
+  double gx = rng.uniform(-0.3, 0.3), gy = rng.uniform(-0.3, 0.3);
+  double base = rng.uniform(60.0, 160.0);
+  for (int y = 0; y < params.height; ++y) {
+    for (int x = 0; x < params.width; ++x) {
+      double v = base + gx * x + gy * y;
+      img.at(x, y) = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+    }
+  }
+  // High-contrast shapes: filled axis-aligned rectangles and discs.
+  for (int s = 0; s < params.shapes; ++s) {
+    auto shade = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    bool disc = rng.bernoulli(0.4);
+    int cx = static_cast<int>(rng.uniform_int(0, params.width - 1));
+    int cy = static_cast<int>(rng.uniform_int(0, params.height - 1));
+    if (disc) {
+      int r = static_cast<int>(rng.uniform_int(6, params.width / 8));
+      for (int y = std::max(0, cy - r); y < std::min(params.height, cy + r); ++y) {
+        for (int x = std::max(0, cx - r); x < std::min(params.width, cx + r); ++x) {
+          if ((x - cx) * (x - cx) + (y - cy) * (y - cy) <= r * r) img.at(x, y) = shade;
+        }
+      }
+    } else {
+      int w = static_cast<int>(rng.uniform_int(8, params.width / 5));
+      int h = static_cast<int>(rng.uniform_int(8, params.height / 5));
+      for (int y = std::max(0, cy - h / 2); y < std::min(params.height, cy + h / 2); ++y) {
+        for (int x = std::max(0, cx - w / 2); x < std::min(params.width, cx + w / 2); ++x) {
+          img.at(x, y) = shade;
+        }
+      }
+    }
+  }
+  if (params.noise_sigma > 0) add_noise(img, rng, params.noise_sigma);
+  return img;
+}
+
+Image warp_image(const Image& src, const Mat3& h, std::uint8_t fill) {
+  Image out(src.width(), src.height(), fill);
+  Mat3 inv = h.inverse();
+  for (int y = 0; y < out.height(); ++y) {
+    for (int x = 0; x < out.width(); ++x) {
+      Vec2 p = inv.apply({static_cast<double>(x), static_cast<double>(y)});
+      if (p.x < -0.5 || p.y < -0.5 || p.x > src.width() - 0.5 || p.y > src.height() - 0.5) {
+        continue;
+      }
+      out.at(x, y) = static_cast<std::uint8_t>(std::clamp(src.bilinear(p.x, p.y), 0.0, 255.0));
+    }
+  }
+  return out;
+}
+
+void add_noise(Image& img, sim::Rng& rng, double sigma) {
+  for (auto& px : img.data()) {
+    double v = px + rng.normal(0.0, sigma);
+    px = static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+  }
+}
+
+Mat3 random_camera_motion(sim::Rng& rng, double magnitude) {
+  double angle = rng.uniform(-0.08, 0.08) * magnitude;
+  double scale = 1.0 + rng.uniform(-0.06, 0.06) * magnitude;
+  double tx = rng.uniform(-12.0, 12.0) * magnitude;
+  double ty = rng.uniform(-9.0, 9.0) * magnitude;
+  Mat3 h = Mat3::similarity(scale, angle, tx, ty);
+  // Mild perspective terms.
+  h(2, 0) = rng.uniform(-4e-5, 4e-5) * magnitude;
+  h(2, 1) = rng.uniform(-4e-5, 4e-5) * magnitude;
+  return h;
+}
+
+}  // namespace arnet::vision

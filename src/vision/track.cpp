@@ -1,0 +1,67 @@
+#include "arnet/vision/track.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace arnet::vision {
+
+namespace {
+
+double patch_ssd(const Image& a, int ax, int ay, const Image& b, int bx, int by, int radius,
+                 double early_exit) {
+  double ssd = 0;
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      double d = static_cast<double>(a.at_clamped(ax + dx, ay + dy)) -
+                 static_cast<double>(b.at_clamped(bx + dx, by + dy));
+      ssd += d * d;
+    }
+    if (ssd > early_exit) return ssd;  // abandon hopeless candidates early
+  }
+  return ssd;
+}
+
+}  // namespace
+
+std::vector<TrackedPoint> track_points(const Image& prev, const Image& curr,
+                                       const std::vector<Vec2>& points,
+                                       const TrackParams& params) {
+  std::vector<TrackedPoint> out;
+  out.reserve(points.size());
+  const int n_pixels = (2 * params.patch_radius + 1) * (2 * params.patch_radius + 1);
+  const double accept = params.max_mean_ssd * n_pixels;
+
+  for (const Vec2& p : points) {
+    TrackedPoint tp;
+    tp.prev = p;
+    int px = static_cast<int>(std::lround(p.x));
+    int py = static_cast<int>(std::lround(p.y));
+    double best = std::numeric_limits<double>::infinity();
+    int best_dx = 0, best_dy = 0;
+    for (int dy = -params.search_radius; dy <= params.search_radius; ++dy) {
+      for (int dx = -params.search_radius; dx <= params.search_radius; ++dx) {
+        double ssd = patch_ssd(prev, px, py, curr, px + dx, py + dy, params.patch_radius,
+                               best);
+        if (ssd < best) {
+          best = ssd;
+          best_dx = dx;
+          best_dy = dy;
+        }
+      }
+    }
+    tp.curr = {p.x + best_dx, p.y + best_dy};
+    tp.ssd = best;
+    tp.ok = best <= accept;
+    out.push_back(tp);
+  }
+  return out;
+}
+
+double tracking_quality(const std::vector<TrackedPoint>& tracks) {
+  if (tracks.empty()) return 0.0;
+  int ok = 0;
+  for (const auto& t : tracks) ok += t.ok ? 1 : 0;
+  return static_cast<double>(ok) / static_cast<double>(tracks.size());
+}
+
+}  // namespace arnet::vision

@@ -1,0 +1,54 @@
+#include "arnet/wireless/coverage.hpp"
+
+#include <algorithm>
+
+namespace arnet::wireless {
+
+CoverageProcess::Config CoverageProcess::wi2me_wifi() { return Config{}; }
+
+CoverageProcess::Config CoverageProcess::cellular() {
+  Config c;
+  c.mean_usable = sim::seconds(600);
+  c.mean_gap = sim::seconds(3);
+  c.min_gap = sim::seconds(1);
+  return c;
+}
+
+CoverageProcess::CoverageProcess(sim::Simulator& sim, sim::Rng rng, net::Link& up,
+                                 net::Link& down, Config cfg)
+    : sim_(sim), rng_(std::move(rng)), up_(up), down_(down), cfg_(cfg),
+      usable_(cfg.start_usable) {}
+
+void CoverageProcess::start() {
+  running_ = true;
+  up_.set_up(usable_);
+  down_.set_up(usable_);
+  last_toggle_ = sim_.now();
+  schedule_next();
+}
+
+void CoverageProcess::schedule_next() {
+  if (!running_) return;
+  sim::Time hold;
+  if (usable_) {
+    hold = sim::from_seconds(rng_.exponential(sim::to_seconds(cfg_.mean_usable)));
+  } else {
+    hold = std::max(cfg_.min_gap,
+                    sim::from_seconds(rng_.exponential(sim::to_seconds(cfg_.mean_gap))));
+  }
+  sim_.after(hold, [this] {
+    if (!running_) return;
+    if (usable_) {
+      usable_time_ += sim_.now() - last_toggle_;
+    } else {
+      ++handovers_;
+    }
+    usable_ = !usable_;
+    last_toggle_ = sim_.now();
+    up_.set_up(usable_);
+    down_.set_up(usable_);
+    schedule_next();
+  });
+}
+
+}  // namespace arnet::wireless

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <string>
+
+#include "arnet/net/link.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::wireless {
+
+/// Stochastic access-network profile: everyday (not theoretical) behavior of
+/// a radio technology, calibrated to the measurements the paper cites
+/// (OpenSignal / SpeedTest / Xu et al., §IV-A).
+struct CellularProfile {
+  std::string name;
+  double mean_down_bps;
+  double mean_up_bps;
+  /// Log-normal sigma of the rate process ("abrupt changes of several
+  /// orders of magnitude" for HSPA+).
+  double rate_sigma;
+  sim::Time base_one_way_delay;   ///< per-direction radio+core latency
+  sim::Time delay_jitter;         ///< stddev of the delay process
+  sim::Time spike_extra_delay;    ///< occasional latency spike magnitude
+  double spike_probability;       ///< per-update chance of a spike
+  std::size_t uplink_queue_packets;  ///< oversized on real cellular uplinks
+
+  /// HSPA+ as measured: ~0.7-3.5 Mb/s down, ~1.5 Mb/s up, 110-130 ms RTT,
+  /// spikes to 800 ms (Xu et al. Singapore study).
+  static CellularProfile hspa_plus();
+  /// LTE as measured: ~12-20 Mb/s down, ~8 Mb/s up, 66-85 ms RTT.
+  static CellularProfile lte();
+  /// LTE under ideal lab conditions (the "advertised" row of §IV-A2).
+  static CellularProfile lte_theoretical();
+  /// 5G per the NGMN white paper AR KPIs: 300/50 Mb/s, 10 ms end-to-end.
+  static CellularProfile fiveg_kpi();
+};
+
+/// Attaches to an uplink/downlink Link pair and modulates their rate and
+/// delay with a log-normal rate process plus delay jitter and spikes, turning
+/// static point-to-point pipes into everyday cellular behavior.
+class CellularModulator {
+ public:
+  struct Config {
+    CellularProfile profile;
+    sim::Time update_interval = sim::milliseconds(100);
+  };
+
+  CellularModulator(sim::Simulator& sim, sim::Rng rng, net::Link& uplink, net::Link& downlink,
+                    Config cfg);
+
+  void start();
+  void stop() { running_ = false; }
+
+  double current_down_bps() const { return down_bps_; }
+  double current_up_bps() const { return up_bps_; }
+  sim::Time current_one_way_delay() const { return delay_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  net::Link& uplink_;
+  net::Link& downlink_;
+  Config cfg_;
+  bool running_ = false;
+  double down_bps_ = 0;
+  double up_bps_ = 0;
+  sim::Time delay_ = 0;
+};
+
+/// Builds a client<->core duplex pair shaped like `profile` inside `net`,
+/// returning the modulator that keeps it moving. The caller owns the links
+/// via the network; the modulator must be kept alive and started.
+struct CellularAttachment {
+  net::Link* uplink;
+  net::Link* downlink;
+  std::unique_ptr<CellularModulator> modulator;
+};
+
+CellularAttachment attach_cellular(net::Network& net, net::NodeId client, net::NodeId tower,
+                                   const CellularProfile& profile, std::uint64_t seed);
+
+}  // namespace arnet::wireless

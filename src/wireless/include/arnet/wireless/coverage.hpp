@@ -1,0 +1,57 @@
+#pragma once
+
+#include "arnet/net/link.hpp"
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+
+namespace arnet::wireless {
+
+/// Urban WiFi usability process (paper §IV-A4, Wi2Me study): even where APs
+/// are visible ~98.9% of the time, a *usable* Internet connection exists only
+/// ~53.8% of the time because of sparse open APs and multi-second
+/// association/handover gaps. Modeled as an alternating renewal process of
+/// usable and gap periods that toggles a Link pair up/down.
+class CoverageProcess {
+ public:
+  struct Config {
+    sim::Time mean_usable = sim::seconds(30);
+    sim::Time mean_gap = sim::seconds(26);  ///< ~53.8% duty cycle
+    sim::Time min_gap = sim::seconds(2);    ///< handover takes seconds
+    bool start_usable = true;
+  };
+
+  /// Calibrated to the Wi2Me measurements for mobile WiFi.
+  static Config wi2me_wifi();
+  /// Cellular stays associated through movement; rare short outages.
+  static Config cellular();
+
+  CoverageProcess(sim::Simulator& sim, sim::Rng rng, net::Link& up, net::Link& down, Config cfg);
+
+  void start();
+  void stop() { running_ = false; }
+
+  bool usable() const { return usable_; }
+  double usable_fraction(sim::Time now) const {
+    return now > 0 ? sim::to_seconds(usable_time_ + (usable_ ? now - last_toggle_ : 0)) /
+                         sim::to_seconds(now)
+                   : 0.0;
+  }
+  int handovers() const { return handovers_; }
+
+ private:
+  void schedule_next();
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  net::Link& up_;
+  net::Link& down_;
+  Config cfg_;
+  bool running_ = false;
+  bool usable_ = true;
+  sim::Time last_toggle_ = 0;
+  sim::Time usable_time_ = 0;
+  int handovers_ = 0;
+};
+
+}  // namespace arnet::wireless

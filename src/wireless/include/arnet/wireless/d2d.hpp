@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+
+#include "arnet/net/link.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::wireless {
+
+/// Device-to-device technologies compared in the paper (§IV-A3/A5, §VI-E):
+/// WiFi Direct (unlicensed, ~200 m, up to 500 Mb/s, strongly mobility
+/// dependent) and LTE Direct (licensed, ~1 km, up to 1 Gb/s, not deployed).
+enum class D2dTechnology { kWifiDirect, kLteDirect };
+
+struct D2dParams {
+  std::string name;
+  double max_rate_bps;
+  double range_m;
+  sim::Time base_delay;
+  /// Energy model (relative units per MB): the paper's cited comparison —
+  /// WiFi Direct wins for small transfers, LTE Direct for dense crowds.
+  double energy_per_mb;
+  double discovery_energy;  ///< cost of finding nearby peers
+};
+
+D2dParams d2d_params(D2dTechnology tech);
+
+/// Achievable D2D rate at `distance_m`, derated by relative mobility
+/// (0 = static, 1 = both peers walking; cf. the opportunistic video
+/// compression measurements the paper cites for WiFi Direct).
+double d2d_rate_bps(D2dTechnology tech, double distance_m, double mobility = 0.0);
+
+/// One-way latency at `distance_m` (propagation is negligible; this models
+/// MAC contention growing near the range edge).
+sim::Time d2d_delay(D2dTechnology tech, double distance_m);
+
+/// Link::Config for a D2D pipe between two devices at `distance_m`.
+net::Link::Config d2d_link_config(D2dTechnology tech, double distance_m,
+                                  double mobility = 0.0);
+
+/// Total energy (relative units) to discover `peers` nearby devices and
+/// move `mb` megabytes — the paper's §IV-A5 comparison: "LTE-Direct is able
+/// to provide the most energy efficient communication scheme when the
+/// number of user is relatively high ... WiFi-direct presents a better
+/// energy efficiency in case of small amount of data".
+double d2d_energy(D2dTechnology tech, double mb, int peers);
+
+/// The cheaper technology for this workload.
+D2dTechnology d2d_energy_winner(double mb, int peers);
+
+}  // namespace arnet::wireless

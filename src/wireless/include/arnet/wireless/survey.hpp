@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace arnet::wireless {
+
+/// One row of the paper's §IV-A wireless survey: advertised capability vs
+/// everyday measured behavior (OpenSignal / SpeedTest / peer-reviewed
+/// studies cited in the text). Used by the `sec4_network_survey` bench both
+/// as the reference column and to parameterize the simulated access models.
+struct SurveyRow {
+  std::string technology;
+  double theoretical_down_mbps;
+  double theoretical_up_mbps;
+  double measured_down_mbps;   ///< midpoint of the cited measured range
+  double measured_up_mbps;
+  double measured_rtt_ms;
+  std::string notes;
+};
+
+inline std::vector<SurveyRow> wireless_survey() {
+  return {
+      {"HSPA+", 42.0, 22.0, 2.1, 1.5, 120.0,
+       "0.66-3.48 Mb/s down, 110-131 ms RTT (US); spikes to 800 ms (SG)"},
+      {"LTE", 326.0, 75.0, 12.3, 7.9, 75.0,
+       "6.6-12.3 Mb/s down (US avg), 19.6/7.9 Mb/s (SpeedTest), 66-85 ms RTT"},
+      {"LTE Direct", 1000.0, 1000.0, 0.0, 0.0, 0.0,
+       "D2D, ~1 km range; not commercially deployed"},
+      {"802.11n", 600.0, 600.0, 6.7, 6.7, 150.0,
+       "OpenSignal everyday download average; ~ms in a clean home cell"},
+      {"802.11ac", 1300.0, 1300.0, 33.4, 33.4, 150.0,
+       "OpenSignal everyday download average"},
+      {"WiFi Direct", 500.0, 500.0, 0.0, 0.0, 0.0,
+       "D2D, ~200 m; strongly mobility-dependent"},
+      {"5G (NGMN AR KPI)", 1000.0, 1000.0, 300.0, 50.0, 10.0,
+       "target: 300/50 Mb/s at 10 ms e2e, 0-100 km/h"},
+  };
+}
+
+/// §III-B bandwidth requirement estimates reproduced by the
+/// `sec3_bandwidth_requirements` bench.
+struct BandwidthEstimate {
+  std::string source;
+  double mbps;
+  std::string notes;
+};
+
+std::vector<BandwidthEstimate> mar_bandwidth_estimates();
+
+}  // namespace arnet::wireless

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::wireless {
+
+/// 802.11 MAC/PHY overhead parameters. Defaults approximate 802.11a/g OFDM
+/// timing; the absolute values matter less than the structure: every frame
+/// pays fixed airtime (DIFS + backoff + preamble + SIFS + ACK) plus payload
+/// serialization at the *station's own* PHY rate.
+struct WifiMacParams {
+  sim::Time difs = sim::microseconds(34);
+  sim::Time sifs = sim::microseconds(16);
+  sim::Time slot = sim::microseconds(9);
+  std::uint32_t cw_min_slots = 15;       ///< mean backoff = cw_min/2 slots
+  sim::Time phy_preamble = sim::microseconds(20);
+  sim::Time ack_duration = sim::microseconds(44);  ///< ACK at control rate
+  std::int32_t mac_header_bytes = 34;
+  std::uint32_t retry_limit = 7;
+  /// RTS/CTS handshake before each data frame (hidden-terminal protection;
+  /// costs two control frames + SIFS gaps of airtime per exchange).
+  bool rts_cts = false;
+  sim::Time rts_duration = sim::microseconds(52);
+  sim::Time cts_duration = sim::microseconds(44);
+};
+
+/// Shared-medium 802.11 DCF cell: one AP plus stations, each with its own
+/// PHY rate. DCF gives every backlogged transmitter an (approximately) equal
+/// share of transmission *opportunities* — not airtime — which is exactly the
+/// mechanism behind the performance anomaly of Fig. 2 (Heusse et al. 2003):
+/// one slow station drags every station's throughput down to roughly the
+/// slow station's level.
+///
+/// The cell is deliberately standalone (it does not pretend to be a
+/// point-to-point Link): frames are handed in per station and delivered to
+/// per-entity sinks. kApId addresses the AP; the AP contends for the medium
+/// like any station.
+class WifiCell {
+ public:
+  static constexpr std::uint32_t kApId = 0;
+
+  using Sink = std::function<void(net::Packet&&, std::uint32_t from)>;
+
+  struct Config {
+    WifiMacParams mac;
+    double ap_phy_bps = 54e6;
+    std::size_t queue_packets = 200;
+    double frame_loss = 0.0;  ///< per-attempt corruption probability
+  };
+
+  WifiCell(sim::Simulator& sim, sim::Rng rng, Config cfg);
+
+  /// Register a station; returns its id (>= 1).
+  std::uint32_t add_station(double phy_bps, std::string name = "sta");
+
+  /// Change a station's PHY rate (rate adaptation as it moves).
+  void set_phy_rate(std::uint32_t station, double phy_bps);
+
+  /// Deliver sink for frames addressed to `entity` (station id or kApId).
+  void set_sink(std::uint32_t entity, Sink sink);
+
+  /// Enqueue a frame from `from` to `to` (station->AP, AP->station, or
+  /// station->station which relays through the AP, costing double airtime).
+  void send(std::uint32_t from, std::uint32_t to, net::Packet p);
+
+  std::int64_t delivered_bytes(std::uint32_t entity) const;
+  std::int64_t delivered_packets(std::uint32_t entity) const;
+  std::int64_t dropped_frames() const { return dropped_; }
+
+  /// Mean medium occupancy of one `bytes`-sized frame at `phy_bps`.
+  sim::Time frame_airtime(std::int32_t bytes, double phy_bps) const;
+
+ private:
+  struct Entity {
+    std::string name;
+    double phy_bps = 54e6;
+    std::deque<std::pair<std::uint32_t, net::Packet>> queue;  ///< (dst, frame)
+    Sink sink;
+    std::int64_t delivered_bytes = 0;
+    std::int64_t delivered_packets = 0;
+  };
+
+  void try_start_transmission();
+  void finish_transmission(std::uint32_t from, std::uint32_t to, net::Packet p);
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  Config cfg_;
+  std::map<std::uint32_t, Entity> entities_;
+  std::uint32_t next_station_ = 1;
+  bool busy_ = false;
+  std::uint32_t rr_cursor_ = 0;  ///< round-robin fairness over entity ids
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace arnet::wireless

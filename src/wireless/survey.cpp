@@ -1,0 +1,17 @@
+#include "arnet/wireless/survey.hpp"
+
+namespace arnet::wireless {
+
+std::vector<BandwidthEstimate> mar_bandwidth_estimates() {
+  // Values as stated in §III-B of the paper (midpoints of quoted ranges).
+  return {
+      {"Human eye -> brain (foveal only)", 8.0, "6-10 Mb/s, central 2 deg of retina"},
+      {"Raw FOV-scaled camera estimate", 10'500.0, "9-12 Gb/s for a 60-70 deg camera FOV"},
+      {"Uncompressed 4K 60 FPS 12 bpp video", 711.0, "paper's stated bitrate"},
+      {"Lossy-compressed 4K 60 FPS video", 25.0, "20-30 Mb/s"},
+      {"Minimum for advanced AR operations", 10.0, "paper's working estimate"},
+      {"Future stereo/IR multi-feed flows", 300.0, "\"several hundreds of Mbps\""},
+  };
+}
+
+}  // namespace arnet::wireless

@@ -1,0 +1,125 @@
+#include "arnet/wireless/wifi.hpp"
+
+#include <utility>
+
+namespace arnet::wireless {
+
+WifiCell::WifiCell(sim::Simulator& sim, sim::Rng rng, Config cfg)
+    : sim_(sim), rng_(std::move(rng)), cfg_(cfg) {
+  Entity ap;
+  ap.name = "ap";
+  ap.phy_bps = cfg_.ap_phy_bps;
+  entities_.emplace(kApId, std::move(ap));
+}
+
+std::uint32_t WifiCell::add_station(double phy_bps, std::string name) {
+  std::uint32_t id = next_station_++;
+  Entity e;
+  e.name = std::move(name);
+  e.phy_bps = phy_bps;
+  entities_.emplace(id, std::move(e));
+  return id;
+}
+
+void WifiCell::set_phy_rate(std::uint32_t station, double phy_bps) {
+  entities_.at(station).phy_bps = phy_bps;
+}
+
+void WifiCell::set_sink(std::uint32_t entity, Sink sink) {
+  entities_.at(entity).sink = std::move(sink);
+}
+
+sim::Time WifiCell::frame_airtime(std::int32_t bytes, double phy_bps) const {
+  const WifiMacParams& m = cfg_.mac;
+  sim::Time backoff = m.slot * (m.cw_min_slots / 2);
+  sim::Time payload =
+      sim::transmission_delay(bytes + m.mac_header_bytes, phy_bps);
+  sim::Time handshake = m.rts_cts ? m.rts_duration + m.sifs + m.cts_duration + m.sifs : 0;
+  return m.difs + backoff + handshake + m.phy_preamble + payload + m.sifs + m.ack_duration;
+}
+
+void WifiCell::send(std::uint32_t from, std::uint32_t to, net::Packet p) {
+  Entity& e = entities_.at(from);
+  if (e.queue.size() >= cfg_.queue_packets) {
+    ++dropped_;
+    return;
+  }
+  e.queue.emplace_back(to, std::move(p));
+  try_start_transmission();
+}
+
+void WifiCell::try_start_transmission() {
+  if (busy_) return;
+  // DCF fairness: every backlogged entity wins the contention equally often.
+  // Round-robin over entity ids approximates that without simulating
+  // per-slot backoff.
+  const std::size_t n = entities_.size();
+  Entity* winner = nullptr;
+  std::uint32_t winner_id = 0;
+  for (std::size_t step = 0; step < n; ++step) {
+    rr_cursor_ = (rr_cursor_ + 1) % n;
+    auto it = entities_.begin();
+    std::advance(it, rr_cursor_);
+    if (!it->second.queue.empty()) {
+      winner = &it->second;
+      winner_id = it->first;
+      break;
+    }
+  }
+  if (!winner) return;
+
+  busy_ = true;
+  auto [to, pkt] = std::move(winner->queue.front());
+  winner->queue.pop_front();
+
+  // Occupancy = airtime of the frame at the sender's PHY rate, plus full
+  // retries on corruption (up to the retry limit).
+  sim::Time occupancy = frame_airtime(pkt.size_bytes, winner->phy_bps);
+  bool delivered = true;
+  if (cfg_.frame_loss > 0.0) {
+    std::uint32_t attempts = 1;
+    while (rng_.bernoulli(cfg_.frame_loss) && attempts < cfg_.mac.retry_limit) {
+      ++attempts;
+      occupancy += frame_airtime(pkt.size_bytes, winner->phy_bps);
+    }
+    if (attempts >= cfg_.mac.retry_limit && rng_.bernoulli(cfg_.frame_loss)) {
+      delivered = false;
+      ++dropped_;
+    }
+  }
+
+  sim_.after(occupancy, [this, winner_id, to, delivered, p = std::move(pkt)]() mutable {
+    busy_ = false;
+    if (delivered) finish_transmission(winner_id, to, std::move(p));
+    try_start_transmission();
+  });
+}
+
+void WifiCell::finish_transmission(std::uint32_t from, std::uint32_t to, net::Packet p) {
+  // Station-to-station frames relay via the AP: requeue from the AP, paying
+  // a second medium occupancy, as in infrastructure mode.
+  if (from != kApId && to != kApId) {
+    Entity& ap = entities_.at(kApId);
+    if (ap.queue.size() >= cfg_.queue_packets) {
+      ++dropped_;
+      return;
+    }
+    ap.queue.emplace_back(to, std::move(p));
+    return;
+  }
+  auto it = entities_.find(to);
+  if (it == entities_.end()) return;
+  it->second.delivered_bytes += p.size_bytes;
+  ++it->second.delivered_packets;
+  if (it->second.sink) it->second.sink(std::move(p), from);
+}
+
+std::int64_t WifiCell::delivered_bytes(std::uint32_t entity) const {
+  return entities_.at(entity).delivered_bytes;
+}
+
+std::int64_t WifiCell::delivered_packets(std::uint32_t entity) const {
+  return entities_.at(entity).delivered_packets;
+}
+
+}  // namespace arnet::wireless

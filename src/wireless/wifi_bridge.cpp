@@ -1,0 +1,58 @@
+#include "arnet/wireless/wifi_bridge.hpp"
+
+#include <algorithm>
+
+namespace arnet::wireless {
+
+void WifiSharedMedium::attach(net::Link& uplink, double phy_bps, std::string name) {
+  Station s;
+  s.uplink = &uplink;
+  s.phy_bps = phy_bps;
+  s.name = std::move(name);
+  stations_.push_back(std::move(s));
+}
+
+sim::Time WifiSharedMedium::frame_airtime(double phy_bps) const {
+  const WifiMacParams& m = cfg_.mac;
+  sim::Time backoff = m.slot * (m.cw_min_slots / 2);
+  sim::Time payload =
+      sim::transmission_delay(cfg_.reference_frame_bytes + m.mac_header_bytes, phy_bps);
+  sim::Time handshake = m.rts_cts ? m.rts_duration + m.sifs + m.cts_duration + m.sifs : 0;
+  return m.difs + backoff + handshake + m.phy_preamble + payload + m.sifs + m.ack_duration;
+}
+
+double WifiSharedMedium::solo_goodput_bps(double phy_bps) const {
+  return cfg_.reference_frame_bytes * 8.0 / sim::to_seconds(frame_airtime(phy_bps));
+}
+
+void WifiSharedMedium::tick() {
+  if (!running_) return;
+  // DCF equal opportunities among *backlogged* stations: over one round,
+  // each backlogged station sends one reference frame, occupying
+  // airtime(phy_i); everyone's goodput is frame_bytes / sum(airtimes).
+  sim::Time round = 0;
+  std::size_t backlogged = 0;
+  for (const Station& s : stations_) {
+    if (s.uplink->is_up() && !s.uplink->queue().empty()) {
+      round += frame_airtime(s.phy_bps);
+      ++backlogged;
+    }
+  }
+  for (Station& s : stations_) {
+    double rate;
+    if (backlogged == 0 || s.uplink->queue().empty()) {
+      // Idle medium: a newly active station starts at its solo rate.
+      rate = solo_goodput_bps(s.phy_bps);
+    } else if (s.uplink->is_up()) {
+      rate = cfg_.reference_frame_bytes * 8.0 / sim::to_seconds(round);
+    } else {
+      rate = s.last_rate;
+    }
+    rate = std::max(rate, 16e3);
+    s.last_rate = rate;
+    s.uplink->set_rate(rate);
+  }
+  sim_.after(cfg_.update_interval, [this] { tick(); });
+}
+
+}  // namespace arnet::wireless

@@ -1,0 +1,126 @@
+// Tests for the adaptive offloading runtime: strategy selection must follow
+// the live link conditions (the paper's x/y split chosen dynamically).
+#include <gtest/gtest.h>
+
+#include "arnet/mar/offload.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::mar {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct AdaptiveFixture {
+  sim::Simulator sim;
+  net::Network net{sim, 55};
+  net::NodeId client, server;
+  net::Link* up;
+
+  AdaptiveFixture(double bps, sim::Time delay) {
+    client = net.add_node("client");
+    server = net.add_node("edge");
+    auto [u, d] = net.connect(client, server, bps, delay, 500);
+    up = u;
+    (void)d;
+  }
+};
+
+TEST(Adaptive, PicksCloudRidArOnGoodEdgeLink) {
+  AdaptiveFixture f(30e6, milliseconds(6));
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kAdaptive;
+  cfg.device = DeviceClass::kSmartphone;
+  OffloadSession s(f.net, f.client, f.server, cfg);
+  s.start();
+  f.sim.run_until(seconds(10));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kCloudRidAR);
+  EXPECT_LT(s.stats().miss_rate(), 0.1);
+}
+
+TEST(Adaptive, FallsBackToGlimpseOnFarServer) {
+  // 60 ms one-way: no per-frame offload can meet 75 ms; the runtime must
+  // hide latency behind local tracking.
+  AdaptiveFixture f(30e6, milliseconds(60));
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kAdaptive;
+  cfg.device = DeviceClass::kSmartphone;
+  OffloadSession s(f.net, f.client, f.server, cfg);
+  s.start();
+  f.sim.run_until(seconds(10));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kGlimpse);
+}
+
+TEST(Adaptive, PicksLocalOnDesktopWithBadNetwork) {
+  AdaptiveFixture f(1e6, milliseconds(80));
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kAdaptive;
+  cfg.device = DeviceClass::kDesktop;  // can run vision locally
+  OffloadSession s(f.net, f.client, f.server, cfg);
+  s.start();
+  f.sim.run_until(seconds(10));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kLocalOnly);
+  EXPECT_LT(s.stats().miss_rate(), 0.05);
+}
+
+TEST(Adaptive, SwitchesWhenLinkDegrades) {
+  AdaptiveFixture f(30e6, milliseconds(6));
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kAdaptive;
+  cfg.device = DeviceClass::kSmartphone;
+  OffloadSession s(f.net, f.client, f.server, cfg);
+  s.start();
+  f.sim.run_until(seconds(5));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kCloudRidAR);
+  // The edge path degrades to WAN-like latency mid-session.
+  f.up->set_delay(milliseconds(70));
+  f.net.link_between(f.server, f.client)->set_delay(milliseconds(70));
+  f.sim.run_until(seconds(15));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kGlimpse);
+  EXPECT_GE(s.strategy_switches(), 1);
+}
+
+TEST(Adaptive, RecoversWhenLinkHeals) {
+  AdaptiveFixture f(30e6, milliseconds(70));
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kAdaptive;
+  cfg.device = DeviceClass::kSmartphone;
+  OffloadSession s(f.net, f.client, f.server, cfg);
+  s.start();
+  f.sim.run_until(seconds(5));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kGlimpse);
+  f.up->set_delay(milliseconds(5));
+  f.net.link_between(f.server, f.client)->set_delay(milliseconds(5));
+  f.sim.run_until(seconds(15));
+  EXPECT_EQ(s.active_strategy(), OffloadStrategy::kCloudRidAR);
+}
+
+TEST(Adaptive, BeatsEveryFixedStrategyOnAVaryingLink) {
+  // Link alternates between edge-grade and WAN-grade every 8 s; the
+  // adaptive runtime should limit deadline misses versus fixed CloudRidAR.
+  auto run = [](OffloadStrategy strategy) {
+    AdaptiveFixture f(30e6, milliseconds(6));
+    for (int i = 0; i < 5; ++i) {
+      f.sim.at(seconds(8 * (i + 1)), [&f, i] {
+        sim::Time d = i % 2 == 0 ? milliseconds(65) : milliseconds(6);
+        f.up->set_delay(d);
+        f.net.link_between(f.server, f.client)->set_delay(d);
+      });
+    }
+    OffloadConfig cfg;
+    cfg.strategy = strategy;
+    cfg.device = DeviceClass::kSmartphone;
+    OffloadSession s(f.net, f.client, f.server, cfg);
+    s.start();
+    f.sim.run_until(seconds(48));
+    s.stop();
+    return s.stats().miss_rate();
+  };
+  double adaptive = run(OffloadStrategy::kAdaptive);
+  double fixed = run(OffloadStrategy::kCloudRidAR);
+  EXPECT_LT(adaptive, 0.75 * fixed);
+}
+
+}  // namespace
+}  // namespace arnet::mar

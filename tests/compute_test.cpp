@@ -1,0 +1,111 @@
+// Tests for the shared ComputeResource and its effect on offload sessions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "arnet/mar/compute.hpp"
+#include "arnet/mar/offload.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::mar {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+TEST(ComputeResource, SerialJobsQueueOnOneCore) {
+  sim::Simulator sim;
+  ComputeResource cpu(sim, 1);
+  std::vector<sim::Time> done;
+  for (int i = 0; i < 3; ++i) {
+    cpu.submit(milliseconds(10), [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], milliseconds(10));
+  EXPECT_EQ(done[1], milliseconds(20));
+  EXPECT_EQ(done[2], milliseconds(30));
+  EXPECT_GT(cpu.queue_wait_ms().max(), 9.0);  // the third job waited 20 ms
+}
+
+TEST(ComputeResource, CoresRunInParallel) {
+  sim::Simulator sim;
+  ComputeResource cpu(sim, 4);
+  int done = 0;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(milliseconds(10), [&] { ++done; });
+  }
+  sim.run();
+  EXPECT_EQ(done, 4);
+  EXPECT_EQ(sim.now(), milliseconds(10));  // all four finished together
+  EXPECT_NEAR(cpu.utilization(), 1.0, 1e-9);
+}
+
+TEST(ComputeResource, UtilizationReflectsIdleTime) {
+  sim::Simulator sim;
+  ComputeResource cpu(sim, 2);
+  cpu.submit(milliseconds(10), [] {});
+  sim.run_until(milliseconds(100));
+  // 10 ms busy on one of two cores over 100 ms = 5 %.
+  EXPECT_NEAR(cpu.utilization(), 0.05, 1e-6);
+}
+
+TEST(ComputeResource, SharedPoolCreatesContentionAcrossSessions) {
+  // Two clients offload to one server. With a dedicated-capacity model both
+  // get identical latency; with a single shared core, they queue.
+  auto run = [](bool shared) {
+    sim::Simulator sim;
+    net::Network net(sim, 3);
+    auto s = net.add_node("server");
+    std::unique_ptr<ComputeResource> pool;
+    if (shared) pool = std::make_unique<ComputeResource>(sim, 1);
+    std::vector<std::unique_ptr<OffloadSession>> sessions;
+    for (int i = 0; i < 6; ++i) {
+      auto c = net.add_node("c" + std::to_string(i));
+      net.connect(c, s, 50e6, milliseconds(4), 300);
+      OffloadConfig cfg;
+      cfg.strategy = OffloadStrategy::kFullOffload;  // heavy server work
+      cfg.send_sensor_stream = false;
+      auto sess = std::make_unique<OffloadSession>(net, c, s, cfg);
+      if (pool) sess->set_server_compute(pool.get());
+      sessions.push_back(std::move(sess));
+    }
+    net.compute_routes();
+    for (auto& sess : sessions) sess->start();
+    sim.run_until(seconds(10));
+    sim::Samples lat;
+    for (auto& sess : sessions) {
+      sess->stop();
+      for (double v : sess->stats().latency_ms.values()) lat.add(v);
+    }
+    return lat.median();
+  };
+  double dedicated = run(false);
+  double contended = run(true);
+  // 6 users x 30 fps x ~3.2 ms server work = 58 % of one core... plus
+  // bursts: queueing inflates latency measurably.
+  EXPECT_GT(contended, dedicated + 1.0);
+}
+
+TEST(ComputeResource, OffloadSessionStillCompletesWithPool) {
+  sim::Simulator sim;
+  net::Network net(sim, 3);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 30e6, milliseconds(5), 300);
+  ComputeResource pool(sim, 2);
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kCloudRidAR;
+  OffloadSession session(net, c, s, cfg);
+  session.set_server_compute(&pool);
+  session.start();
+  sim.run_until(seconds(10));
+  session.stop();
+  EXPECT_GT(session.stats().results, 250);
+  EXPECT_GT(pool.jobs(), 250);
+}
+
+}  // namespace
+}  // namespace arnet::mar

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "arnet/edge/placement.hpp"
+#include "arnet/sim/rng.hpp"
+
+namespace arnet::edge {
+namespace {
+
+using sim::milliseconds;
+
+PlacementProblem grid_problem(int site_grid, int users, double city_km, sim::Time max_rtt,
+                              std::uint64_t seed) {
+  PlacementProblem p;
+  p.set_constraint(0, {max_rtt});
+  for (int i = 0; i < site_grid; ++i) {
+    for (int j = 0; j < site_grid; ++j) {
+      double step = city_km / (site_grid + 1);
+      p.add_site({{step * (i + 1), step * (j + 1)},
+                  "dc-" + std::to_string(i) + "-" + std::to_string(j)});
+    }
+  }
+  sim::Rng rng(seed);
+  for (int u = 0; u < users; ++u) {
+    p.add_user({{rng.uniform(0, city_km), rng.uniform(0, city_km)}, 0});
+  }
+  return p;
+}
+
+TEST(Placement, SingleSiteCoversRelaxedConstraint) {
+  auto p = grid_problem(3, 40, 20.0, milliseconds(50), 1);
+  auto sol = p.solve_greedy();
+  EXPECT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.datacenters(), 1u);  // 50 ms covers the whole 20 km city
+}
+
+TEST(Placement, TightConstraintNeedsMoreSites) {
+  auto relaxed = grid_problem(5, 50, 40.0, sim::from_milliseconds(9.0), 2).solve_greedy();
+  auto tight = grid_problem(5, 50, 40.0, sim::from_milliseconds(5.5), 2).solve_greedy();
+  ASSERT_TRUE(relaxed.feasible);
+  ASSERT_TRUE(tight.feasible);
+  EXPECT_GT(tight.datacenters(), relaxed.datacenters());
+}
+
+TEST(Placement, InfeasibleWhenUsersOutOfReach) {
+  PlacementProblem p;
+  p.set_constraint(0, {milliseconds(5)});
+  p.add_site({{0, 0}, "dc"});
+  p.add_user({{100, 100}, 0});  // ~15 ms away
+  auto sol = p.solve_greedy();
+  EXPECT_FALSE(sol.feasible);
+  EXPECT_EQ(sol.assignment[0], -1);
+}
+
+TEST(Placement, ExactMatchesGreedyOrBetter) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    auto p = grid_problem(4, 40, 40.0, milliseconds(6), seed);
+    auto greedy = p.solve_greedy();
+    auto exact = p.solve_exact();
+    ASSERT_TRUE(exact.feasible) << "seed " << seed;
+    EXPECT_LE(exact.datacenters(), greedy.datacenters()) << "seed " << seed;
+    // Greedy's ln(n) bound is far from tight here; expect near-optimal.
+    EXPECT_LE(greedy.datacenters(), exact.datacenters() + 2) << "seed " << seed;
+  }
+}
+
+TEST(Placement, AssignmentPicksNearestChosenSite) {
+  PlacementProblem p;
+  p.set_constraint(0, {milliseconds(30)});
+  int near = p.add_site({{1, 1}, "near"});
+  p.add_site({{50, 50}, "far"});
+  p.add_user({{0, 0}, 0});
+  p.add_user({{52, 52}, 0});
+  auto sol = p.solve_greedy();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.assignment[0], near);
+}
+
+TEST(Placement, MixedAppConstraintsRespected) {
+  PlacementProblem p;
+  p.set_constraint(0, {milliseconds(50)});  // tolerant telemetry
+  p.set_constraint(1, {milliseconds(6)});   // MAR
+  p.add_site({{0, 0}, "dc0"});
+  p.add_site({{20, 0}, "dc1"});
+  p.add_user({{19, 0}, 1});  // MAR user near dc1 only
+  p.add_user({{1, 0}, 0});
+  auto sol = p.solve_greedy();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_EQ(sol.assignment[0], 1);
+  auto worst = p.max_assigned_rtt(sol);
+  EXPECT_LE(worst, milliseconds(50));
+}
+
+TEST(Placement, MaxAssignedRttWithinConstraint) {
+  auto p = grid_problem(4, 60, 30.0, milliseconds(7), 9);
+  auto sol = p.solve_greedy();
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_LE(p.max_assigned_rtt(sol), milliseconds(7));
+}
+
+TEST(Sync, NwaySyncGrowsWithSpread) {
+  std::vector<CandidateSite> sites = {
+      {{0, 0}, "a"}, {{5, 0}, "b"}, {{60, 0}, "c"}};
+  LatencyModel model;
+  sim::Time tight = nway_sync_period(sites, {0, 1}, model);
+  sim::Time wide = nway_sync_period(sites, {0, 2}, model);
+  EXPECT_GT(wide, tight);
+  // Single datacenter needs no sync.
+  EXPECT_EQ(nway_sync_period(sites, {0}, model), 0);
+}
+
+TEST(Sync, InterDcFactorScales) {
+  std::vector<CandidateSite> sites = {{{0, 0}, "a"}, {{40, 0}, "b"}};
+  LatencyModel model;
+  sim::Time base = nway_sync_period(sites, {0, 1}, model, 1.0);
+  sim::Time guarded = nway_sync_period(sites, {0, 1}, model, 2.0);
+  EXPECT_EQ(guarded, 2 * base);
+}
+
+}  // namespace
+}  // namespace arnet::edge

@@ -1,0 +1,169 @@
+// Cross-module integration tests: scenarios that exercise the whole stack
+// (deployments, wireless dynamics, transport, offloading, QoE) together,
+// plus the QoE model's properties.
+#include <gtest/gtest.h>
+
+#include "arnet/core/qoe.hpp"
+#include "arnet/core/scenarios.hpp"
+#include "arnet/mar/offload.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/wireless/cellular.hpp"
+#include "arnet/wireless/coverage.hpp"
+
+namespace arnet {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+// ------------------------------------------------------------------- QoE
+
+TEST(Qoe, AnchorPoints) {
+  core::QoeInputs perfect{15.0, 20.0, 0.0, 30.0, 30.0};
+  EXPECT_GT(core::qoe_mos(perfect), 4.3);
+  core::QoeInputs telemetry{250.0, 400.0, 0.9, 30.0, 30.0};
+  EXPECT_LT(core::qoe_mos(telemetry), 1.5);
+}
+
+TEST(Qoe, MonotoneInEachInput) {
+  core::QoeInputs base{40.0, 60.0, 0.05, 25.0, 30.0};
+  double mos = core::qoe_mos(base);
+  auto worse = base;
+  worse.median_latency_ms = 120.0;
+  worse.p95_latency_ms = 140.0;
+  EXPECT_LT(core::qoe_mos(worse), mos);
+  worse = base;
+  worse.miss_rate = 0.5;
+  EXPECT_LT(core::qoe_mos(worse), mos);
+  worse = base;
+  worse.result_rate_hz = 8.0;
+  EXPECT_LT(core::qoe_mos(worse), mos);
+  worse = base;
+  worse.p95_latency_ms = 300.0;  // jitter alone
+  EXPECT_LT(core::qoe_mos(worse), mos);
+}
+
+TEST(Qoe, BoundedAndGraded) {
+  for (double lat : {1.0, 50.0, 500.0}) {
+    for (double miss : {0.0, 0.5, 1.0}) {
+      core::QoeInputs in{lat, lat * 1.5, miss, 30.0, 30.0};
+      double mos = core::qoe_mos(in);
+      EXPECT_GE(mos, 1.0);
+      EXPECT_LE(mos, 5.0);
+      EXPECT_NE(std::string(core::qoe_grade(mos)), "");
+    }
+  }
+  EXPECT_STREQ(core::qoe_grade(4.9), "excellent");
+  EXPECT_STREQ(core::qoe_grade(1.1), "bad");
+}
+
+// ---------------------------------------------------- Whole-stack scenarios
+
+/// Run an adaptive offloading session over a Table II deployment; return
+/// the MOS.
+double mos_for(core::Table2Setup setup) {
+  auto sc = core::make_table2_scenario(setup, 77);
+  sc.start_dynamics();
+  mar::OffloadConfig cfg;
+  cfg.strategy = mar::OffloadStrategy::kAdaptive;
+  cfg.device = mar::DeviceClass::kSmartphone;
+  mar::OffloadSession session(*sc.net, sc.client, sc.server, cfg);
+  session.start();
+  sc.sim->run_until(seconds(25));
+  session.stop();
+  return core::qoe_mos(core::qoe_inputs(session.stats(), 25.0));
+}
+
+TEST(Integration, QoeTracksDeploymentQuality) {
+  double local = mos_for(core::Table2Setup::kLocalServerWifi);
+  double cloud = mos_for(core::Table2Setup::kCloudServerWifi);
+  double lte = mos_for(core::Table2Setup::kCloudServerLte);
+  // The paper's Table II consequence as user experience: edge > cloud > LTE.
+  EXPECT_GT(local, cloud);
+  EXPECT_GT(cloud, lte);
+  EXPECT_GT(local, 3.2);  // edge deployment is genuinely usable
+}
+
+TEST(Integration, AdaptiveSavesTheLteDeployment) {
+  // On the LTE deployment, fixed CloudRidAR busts the budget on every
+  // frame while the adaptive runtime falls back to Glimpse tracking.
+  auto run = [](mar::OffloadStrategy strategy) {
+    auto sc = core::make_table2_scenario(core::Table2Setup::kCloudServerLte, 78);
+    sc.start_dynamics();
+    mar::OffloadConfig cfg;
+    cfg.strategy = strategy;
+    cfg.device = mar::DeviceClass::kSmartphone;
+    mar::OffloadSession session(*sc.net, sc.client, sc.server, cfg);
+    session.start();
+    sc.sim->run_until(seconds(25));
+    session.stop();
+    return core::qoe_mos(core::qoe_inputs(session.stats(), 25.0));
+  };
+  double fixed = run(mar::OffloadStrategy::kCloudRidAR);
+  double adaptive = run(mar::OffloadStrategy::kAdaptive);
+  EXPECT_GT(adaptive, fixed + 0.5);
+}
+
+TEST(Integration, CoverageGapsDegradeSinglePathQoe) {
+  // One stack: offload session over a WiFi path driven by the Wi2Me
+  // coverage process; the same session over always-up WiFi scores higher.
+  auto run = [](bool flaky) {
+    sim::Simulator sim;
+    net::Network net(sim, 31);
+    auto c = net.add_node("c");
+    auto ap = net.add_node("ap");
+    auto s = net.add_node("s");
+    auto [up, down] = net.connect(c, ap, 25e6, milliseconds(4), 300);
+    net.connect(ap, s, 1e9, milliseconds(3), 500);
+    net.compute_routes();
+    std::unique_ptr<wireless::CoverageProcess> cov;
+    if (flaky) {
+      wireless::CoverageProcess::Config cc;
+      cc.mean_usable = seconds(20);
+      cc.mean_gap = seconds(8);
+      cov = std::make_unique<wireless::CoverageProcess>(sim, sim::Rng(5), *up, *down, cc);
+      cov->start();
+    }
+    mar::OffloadConfig cfg;
+    cfg.strategy = mar::OffloadStrategy::kCloudRidAR;
+    mar::OffloadSession session(net, c, s, cfg);
+    session.start();
+    sim.run_until(seconds(60));
+    session.stop();
+    return core::qoe_mos(core::qoe_inputs(session.stats(), 60.0));
+  };
+  double stable = run(false);
+  double flaky = run(true);
+  EXPECT_GT(stable, flaky + 0.4);
+}
+
+TEST(Integration, HspaCannotCarryMarButEdgeWifiCan) {
+  // §IV-A1's verdict end to end: the same app over an HSPA+ model vs an
+  // edge WiFi deployment.
+  auto run_hspa = [] {
+    sim::Simulator sim;
+    net::Network net(sim, 13);
+    auto c = net.add_node("c");
+    auto t = net.add_node("tower");
+    auto s = net.add_node("server");
+    auto att = wireless::attach_cellular(net, c, t, wireless::CellularProfile::hspa_plus(), 3);
+    net.connect(t, s, 10e9, milliseconds(5), 1000);
+    net.compute_routes();
+    att.modulator->start();
+    mar::OffloadConfig cfg;
+    cfg.strategy = mar::OffloadStrategy::kCloudRidAR;
+    mar::OffloadSession session(net, c, s, cfg);
+    session.start();
+    sim.run_until(seconds(30));
+    session.stop();
+    return core::qoe_mos(core::qoe_inputs(session.stats(), 30.0));
+  };
+  double hspa = run_hspa();
+  double edge = mos_for(core::Table2Setup::kLocalServerWifi);
+  EXPECT_LT(hspa, 2.0);  // "improper for any real-time multimedia application"
+  EXPECT_GT(edge, hspa + 1.5);
+}
+
+}  // namespace
+}  // namespace arnet

@@ -1,0 +1,191 @@
+// Tests for the §VI-G privacy & security layer: sensitive-region detection,
+// redaction, its interaction with the recognition pipeline, and transport
+// crypto overhead.
+#include <gtest/gtest.h>
+
+#include "arnet/mar/offload.hpp"
+#include "arnet/mar/security.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/vision/features.hpp"
+#include "arnet/vision/pipeline.hpp"
+#include "arnet/vision/privacy.hpp"
+
+namespace arnet::vision {
+namespace {
+
+double iou(const SensitiveRegion& a, const SensitiveRegion& b) {
+  int x0 = std::max(a.x, b.x), y0 = std::max(a.y, b.y);
+  int x1 = std::min(a.x + a.w, b.x + b.w), y1 = std::min(a.y + a.h, b.y + b.h);
+  int inter = std::max(0, x1 - x0) * std::max(0, y1 - y0);
+  int uni = a.w * a.h + b.w * b.h - inter;
+  return uni > 0 ? static_cast<double>(inter) / uni : 0.0;
+}
+
+TEST(Privacy, DetectorFindsPlantedRegions) {
+  sim::Rng rng(5);
+  std::vector<SensitiveRegion> truth;
+  Image img = render_scene_with_sensitive(rng, SceneParams{}, 3, 2, truth);
+  auto found = detect_sensitive_regions(img);
+  ASSERT_EQ(truth.size(), 5u);
+  int matched = 0;
+  for (const auto& t : truth) {
+    for (const auto& f : found) {
+      if (iou(t, f) > 0.3) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(matched, 4);  // at least 4 of 5 planted regions recovered
+}
+
+TEST(Privacy, DetectorClassifiesByShape) {
+  sim::Rng rng(7);
+  std::vector<SensitiveRegion> truth;
+  Image img = render_scene_with_sensitive(rng, SceneParams{}, 2, 2, truth);
+  auto found = detect_sensitive_regions(img);
+  int plates = 0, faces = 0;
+  for (const auto& f : found) {
+    (f.kind == SensitiveRegion::Kind::kPlate ? plates : faces) += 1;
+  }
+  EXPECT_GE(plates, 1);
+  EXPECT_GE(faces, 1);
+}
+
+TEST(Privacy, CleanSceneHasNoDetections) {
+  sim::Rng rng(9);
+  std::vector<SensitiveRegion> truth;
+  Image img = render_scene_with_sensitive(rng, SceneParams{}, 0, 0, truth);
+  EXPECT_TRUE(detect_sensitive_regions(img).empty());
+}
+
+TEST(Privacy, BlurDestroysFeaturesInsideRegionOnly) {
+  sim::Rng rng(11);
+  std::vector<SensitiveRegion> truth;
+  Image img = render_scene_with_sensitive(rng, SceneParams{}, 4, 2, truth);
+  auto before = fast_detect(img, 20);
+  Image redacted = img;
+  blur_regions(redacted, truth);
+  auto after = fast_detect(redacted, 20);
+
+  auto in_any_region = [&](const Feature& f) {
+    for (const auto& r : truth) {
+      if (f.x >= r.x - 4 && f.x < r.x + r.w + 4 && f.y >= r.y - 4 && f.y < r.y + r.h + 4) {
+        return true;
+      }
+    }
+    return false;
+  };
+  int inside_before = 0, inside_after = 0, outside_after = 0, outside_before = 0;
+  for (const auto& f : before) (in_any_region(f) ? inside_before : outside_before) += 1;
+  for (const auto& f : after) (in_any_region(f) ? inside_after : outside_after) += 1;
+  ASSERT_GT(inside_before, 0);
+  EXPECT_LT(inside_after, inside_before / 3);  // redacted content has no corners
+  EXPECT_GT(outside_after, outside_before / 2);  // the rest of the scene survives
+}
+
+TEST(Privacy, RecognitionSurvivesSensitiveBlur) {
+  // The paper's requirement: anonymize before offloading *and* keep the
+  // application functional. Blur the faces, then recognize the scene.
+  sim::Rng rng(13);
+  std::vector<SensitiveRegion> truth;
+  SceneParams params;
+  params.shapes = 30;  // plenty of non-sensitive texture
+  Image ref = render_scene_with_sensitive(rng, params, 2, 1, truth);
+  ObjectDatabase db;
+  db.add_object("scene", ref);
+
+  sim::Rng mrng(17);
+  Image frame = warp_image(ref, random_camera_motion(mrng, 0.5));
+  int redacted = apply_privacy(frame, PrivacyLevel::kBlurSensitive);
+  EXPECT_GE(redacted, 2);
+
+  RecognitionPipeline pipe;
+  sim::Rng rrng(19);
+  auto result = pipe.recognize_frame(frame, db, rrng);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->object_id, 0);
+}
+
+TEST(Privacy, BlurAllDegradesRecognition) {
+  sim::Rng rng(23);
+  Image ref = render_scene(rng, SceneParams{});
+  ObjectDatabase db;
+  db.add_object("scene", ref);
+  sim::Rng mrng(29);
+  Image frame = warp_image(ref, random_camera_motion(mrng, 0.5));
+  Image blurred = frame;
+  apply_privacy(blurred, PrivacyLevel::kBlurAll);
+
+  RecognitionPipeline pipe;
+  sim::Rng r1(31), r2(31);
+  auto clear_result = pipe.recognize_frame(frame, db, r1);
+  auto blur_result = pipe.recognize_frame(blurred, db, r2);
+  ASSERT_TRUE(clear_result);
+  int blurred_inliers = blur_result ? blur_result->inliers : 0;
+  EXPECT_LT(blurred_inliers, clear_result->inliers / 2);
+}
+
+}  // namespace
+}  // namespace arnet::vision
+
+namespace arnet::mar {
+namespace {
+
+TEST(Security, CryptoCostsScaleWithProfileAndDevice) {
+  EXPECT_EQ(crypto_costs(CryptoProfile::kNone).per_packet_overhead_bytes, 0);
+  EXPECT_GT(crypto_costs(CryptoProfile::kAes128Gcm).per_packet_overhead_bytes, 20);
+  const auto& glasses = device_profile(DeviceClass::kSmartGlasses);
+  const auto& desktop = device_profile(DeviceClass::kDesktop);
+  sim::Time g = crypto_delay(glasses, CryptoProfile::kAes128Gcm, 100'000);
+  sim::Time d = crypto_delay(desktop, CryptoProfile::kAes128Gcm, 100'000);
+  EXPECT_GT(g, 10 * d);
+  EXPECT_EQ(crypto_delay(desktop, CryptoProfile::kNone, 100'000), 0);
+  // AES-256 is slower than AES-128.
+  EXPECT_GT(crypto_delay(desktop, CryptoProfile::kAes256Gcm, 100'000),
+            crypto_delay(desktop, CryptoProfile::kAes128Gcm, 100'000));
+}
+
+TEST(Security, EncryptedOffloadStillMeetsBudgetOnPhone) {
+  sim::Simulator sim;
+  net::Network net(sim, 3);
+  auto c = net.add_node("phone");
+  auto s = net.add_node("edge");
+  net.connect(c, s, 30e6, sim::milliseconds(8), 500);
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kCloudRidAR;
+  cfg.crypto = CryptoProfile::kAes128Gcm;
+  OffloadSession session(net, c, s, cfg);
+  session.start();
+  sim.run_until(sim::seconds(10));
+  session.stop();
+  EXPECT_GT(session.stats().results, 250);
+  EXPECT_LT(session.stats().miss_rate(), 0.15);
+}
+
+TEST(Security, CryptoAddsWireOverheadAndLatency) {
+  auto run = [](CryptoProfile crypto) {
+    sim::Simulator sim;
+    net::Network net(sim, 3);
+    auto c = net.add_node("phone");
+    auto s = net.add_node("edge");
+    net.connect(c, s, 30e6, sim::milliseconds(8), 500);
+    OffloadConfig cfg;
+    cfg.strategy = OffloadStrategy::kFullOffload;
+    cfg.device = DeviceClass::kSmartphone;
+    cfg.crypto = crypto;
+    OffloadSession session(net, c, s, cfg);
+    session.start();
+    sim.run_until(sim::seconds(10));
+    session.stop();
+    return session.stats().latency_ms.median();
+  };
+  double plain = run(CryptoProfile::kNone);
+  double enc = run(CryptoProfile::kAes256Gcm);
+  EXPECT_GT(enc, plain);           // encryption is not free...
+  EXPECT_LT(enc, plain + 20.0);    // ...but must not dominate the budget
+}
+
+}  // namespace
+}  // namespace arnet::mar

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::sim {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(2), 2'000'000'000);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(75)), 75.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_EQ(from_milliseconds(1.5), 1'500'000);
+}
+
+TEST(Time, TransmissionDelay) {
+  // 1500 bytes at 12 Mb/s = 1 ms.
+  EXPECT_EQ(transmission_delay(1500, 12e6), milliseconds(1));
+  // 1 byte at 8 bps = 1 s.
+  EXPECT_EQ(transmission_delay(1, 8.0), seconds(1));
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(milliseconds(30), [&] { order.push_back(3); });
+  sim.at(milliseconds(10), [&] { order.push_back(1); });
+  sim.at(milliseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), milliseconds(30));
+  EXPECT_EQ(sim.events_executed(), 3u);
+}
+
+TEST(Simulator, EqualTimesRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(milliseconds(5), [&, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator sim;
+  Time fired = -1;
+  sim.at(milliseconds(10), [&] {
+    sim.after(milliseconds(5), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, milliseconds(15));
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(milliseconds(10), [&] { ++fired; });
+  sim.at(milliseconds(50), [&] { ++fired; });
+  sim.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), milliseconds(20));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.at(milliseconds(10), [&] { ran = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, CancelAfterFireIsNoop) {
+  Simulator sim;
+  bool ran = false;
+  auto h = sim.at(milliseconds(10), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  sim.cancel(h);  // must not crash or corrupt state
+  sim.after(milliseconds(1), [] {});
+  sim.run();
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.at(milliseconds(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.at(milliseconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.after(microseconds(1), chain);
+  };
+  sim.after(0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+}
+
+TEST(Timer, ArmFiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(milliseconds(10));
+  EXPECT_TRUE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(Timer, RearmReplacesPending) {
+  Simulator sim;
+  Time fired_at = -1;
+  Timer t(sim, [&] { fired_at = sim.now(); });
+  t.arm(milliseconds(10));
+  t.arm(milliseconds(30));
+  sim.run();
+  EXPECT_EQ(fired_at, milliseconds(30));
+}
+
+TEST(Timer, StopCancels) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(milliseconds(10));
+  t.stop();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(42);
+  Rng a = parent.fork("link-a");
+  Rng b = parent.fork("link-b");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+    auto n = rng.uniform_int(-5, 5);
+    EXPECT_GE(n, -5);
+    EXPECT_LE(n, 5);
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(7);
+  double s = 0.0;
+  for (int i = 0; i < 20000; ++i) s += rng.exponential(5.0);
+  EXPECT_NEAR(s / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, NormalAtLeastClamps) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(rng.normal_at_least(0.0, 10.0, 0.5), 0.5);
+}
+
+TEST(Stats, SummaryMatchesClosedForm) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 1e-3);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, SamplesPercentiles) {
+  Samples s;
+  for (int i = 100; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 1e-9);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-9);
+}
+
+TEST(Stats, EmptySamplesAreZero) {
+  Samples s;
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  Summary sm;
+  EXPECT_DOUBLE_EQ(sm.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(sm.stddev(), 0.0);
+}
+
+TEST(Stats, TimeSeriesWindowMean) {
+  TimeSeries ts;
+  ts.add(seconds(1), 10.0);
+  ts.add(seconds(2), 20.0);
+  ts.add(seconds(3), 30.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(seconds(1), seconds(3)), 15.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(seconds(0), seconds(10)), 20.0);
+  EXPECT_DOUBLE_EQ(ts.mean_in(seconds(5), seconds(10)), 0.0);
+}
+
+TEST(Stats, RateMeterComputesMbps) {
+  RateMeter m;
+  m.on_bytes(125'000);  // 1 Mb
+  m.sample(seconds(1));
+  EXPECT_NEAR(m.series().points().back().second, 1.0, 1e-9);
+  m.on_bytes(250'000);  // 2 Mb in next second
+  m.sample(seconds(2));
+  EXPECT_NEAR(m.series().points().back().second, 2.0, 1e-9);
+  EXPECT_NEAR(m.average_mbps(seconds(2)), 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace arnet::sim

@@ -1,0 +1,155 @@
+// Tests for TCP selective acknowledgments (RFC 2018/6675-flavored).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arnet/net/loss.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/tcp.hpp"
+
+namespace arnet::transport {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+struct LossyPipe {
+  sim::Simulator sim;
+  net::Network net{sim, 42};
+  net::NodeId a, b;
+
+  LossyPipe(double loss, std::uint64_t seed = 42) : net(sim, seed) {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    net::Link::Config up;
+    up.rate_bps = 20e6;
+    up.delay = milliseconds(25);
+    up.queue_packets = 1000;
+    if (loss > 0) {
+      // Bursty losses: where SACK shines over NewReno.
+      net::GilbertElliottLoss::Config ge;
+      ge.p_good_to_bad = 0.004;
+      ge.p_bad_to_good = 0.25;
+      ge.loss_in_bad = 0.7;
+      up.loss = std::make_unique<net::GilbertElliottLoss>(ge);
+    }
+    net::Link::Config down;
+    down.rate_bps = 20e6;
+    down.delay = milliseconds(25);
+    down.queue_packets = 1000;
+    net.connect(a, b, std::move(up), std::move(down));
+  }
+};
+
+std::int64_t run_transfer(bool sack, std::uint64_t seed, sim::Time dur) {
+  LossyPipe p(0.01, seed);
+  TcpSink sink(p.net, p.b, 80);
+  TcpSource::Config cfg;
+  cfg.sack = sack;
+  TcpSource src(p.net, p.a, 1000, p.b, 80, 1, cfg);
+  src.send_forever();
+  p.sim.run_until(dur);
+  return sink.received_bytes();
+}
+
+TEST(TcpSack, CompletesCleanTransfer) {
+  LossyPipe p(0.0);
+  TcpSink sink(p.net, p.b, 80);
+  TcpSource::Config cfg;
+  cfg.sack = true;
+  TcpSource src(p.net, p.a, 1000, p.b, 80, 1, cfg);
+  bool done = false;
+  src.set_on_complete([&] { done = true; });
+  src.send(800'000);
+  p.sim.run_until(seconds(20));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sink.received_bytes(), 800'000);
+}
+
+TEST(TcpSack, BeatsNewRenoUnderBurstLoss) {
+  // Burst losses drop several segments per window; NewReno repairs one per
+  // RTT while SACK repairs one per incoming ACK.
+  double total_sack = 0, total_newreno = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    total_sack += static_cast<double>(run_transfer(true, seed, seconds(20)));
+    total_newreno += static_cast<double>(run_transfer(false, seed, seconds(20)));
+  }
+  EXPECT_GT(total_sack, 1.15 * total_newreno);
+}
+
+TEST(TcpSack, RecoveryIsMostlyFastRetransmitNotTimeout) {
+  // Loss *events* scale with packets sent, so raw RTO counts are not
+  // comparable across flows with different throughput. The SACK property
+  // worth asserting: most loss events are repaired by fast recovery, and
+  // the flow keeps a healthy goodput despite the bursts.
+  int timeouts = 0, fast = 0;
+  std::int64_t bytes = 0;
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    LossyPipe p(0.01, seed);
+    TcpSink sink(p.net, p.b, 80);
+    TcpSource::Config cfg;
+    cfg.sack = true;
+    TcpSource src(p.net, p.a, 1000, p.b, 80, 1, cfg);
+    src.send_forever();
+    p.sim.run_until(seconds(20));
+    timeouts += src.timeouts();
+    fast += src.fast_retransmits();
+    bytes += sink.received_bytes();
+  }
+  EXPECT_GT(fast, timeouts);
+  // >2 Mb/s average on a 20 Mb/s pipe with ~2 % bursty loss.
+  EXPECT_GT(bytes, 3 * 5'000'000);
+}
+
+TEST(TcpSack, ExactDeliveryUnderHeavyLoss) {
+  LossyPipe p(0.01, 7);
+  TcpSink sink(p.net, p.b, 80);
+  TcpSource::Config cfg;
+  cfg.sack = true;
+  TcpSource src(p.net, p.a, 1000, p.b, 80, 1, cfg);
+  src.send(500'000);
+  p.sim.run_until(seconds(120));
+  EXPECT_TRUE(src.complete());
+  EXPECT_EQ(sink.received_bytes(), 500'000);  // no duplication into the app
+}
+
+TEST(TcpSack, SinkAdvertisesOutOfOrderRanges) {
+  // Direct check of the ACK contents: drop one segment, observe SACK block.
+  sim::Simulator sim;
+  net::Network net(sim, 1);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  net.connect(a, b, 10e6, milliseconds(5), 100);
+
+  std::vector<net::TcpHeader> acks;
+  net.node(a).bind(1000, [&](net::Packet&& p) {
+    if (auto* h = std::get_if<net::TcpHeader>(&p.header)) acks.push_back(*h);
+  });
+  TcpSink sink(net, b, 80);
+
+  auto send_seg = [&](std::uint64_t seq, std::int32_t payload) {
+    net::Packet p;
+    p.src = a;
+    p.dst = b;
+    p.src_port = 1000;
+    p.dst_port = 80;
+    p.size_bytes = payload + 40;
+    net::TcpHeader h;
+    h.seq = seq;
+    p.header = h;
+    net.node(a).send(std::move(p));
+  };
+  send_seg(0, 1000);
+  send_seg(2000, 1000);  // hole at [1000, 2000)
+  sim.run();
+  ASSERT_GE(acks.size(), 2u);
+  const auto& last = acks.back();
+  EXPECT_EQ(last.ack, 1000u);
+  ASSERT_EQ(last.sack.size(), 1u);
+  EXPECT_EQ(last.sack[0].first, 2000u);
+  EXPECT_EQ(last.sack[0].second, 3000u);
+}
+
+}  // namespace
+}  // namespace arnet::transport

@@ -1,0 +1,265 @@
+// Tests for the TCP congestion-control flavors (Reno/NewReno/CUBIC/Vegas),
+// the MPTCP-style multipath baseline, and the TFRC equation controller —
+// the protocol landscape the paper surveys in §V.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/artp.hpp"
+#include "arnet/transport/congestion.hpp"
+#include "arnet/transport/mptcp.hpp"
+#include "arnet/transport/tcp.hpp"
+
+namespace arnet::transport {
+namespace {
+
+using net::Network;
+using net::NodeId;
+using sim::milliseconds;
+using sim::seconds;
+
+struct Pipe {
+  sim::Simulator sim;
+  Network net{sim, 42};
+  NodeId a, b;
+  net::Link* up;
+
+  Pipe(double bps, sim::Time delay, std::size_t queue) {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    auto [l, r] = net.connect(a, b, bps, delay, queue);
+    up = l;
+    (void)r;
+  }
+};
+
+double run_flavor_mbps(TcpFlavor flavor, double bps, sim::Time delay, std::size_t queue,
+                       sim::Time dur) {
+  Pipe p(bps, delay, queue);
+  TcpSink sink(p.net, p.b, 80);
+  TcpSource::Config cfg;
+  cfg.flavor = flavor;
+  TcpSource src(p.net, p.a, 1000, p.b, 80, 1, cfg);
+  src.send_forever();
+  p.sim.run_until(dur);
+  return sink.received_bytes() * 8.0 / sim::to_seconds(dur) / 1e6;
+}
+
+TEST(TcpFlavors, AllFlavorsCompleteTransfers) {
+  for (auto f : {TcpFlavor::kReno, TcpFlavor::kNewReno, TcpFlavor::kCubic, TcpFlavor::kVegas}) {
+    Pipe p(10e6, milliseconds(10), 100);
+    TcpSink sink(p.net, p.b, 80);
+    TcpSource::Config cfg;
+    cfg.flavor = f;
+    TcpSource src(p.net, p.a, 1000, p.b, 80, 1, cfg);
+    bool done = false;
+    src.set_on_complete([&] { done = true; });
+    src.send(500'000);
+    p.sim.run_until(seconds(20));
+    EXPECT_TRUE(done) << to_string(f);
+    EXPECT_EQ(sink.received_bytes(), 500'000) << to_string(f);
+  }
+}
+
+TEST(TcpFlavors, CubicOutgrowsRenoOnLongFatPipe) {
+  // 100 Mb/s x 80 ms: Reno's 1 MSS/RTT crawl leaves capacity unused in a
+  // 30 s window; CUBIC's polynomial probing recovers much faster.
+  double reno = run_flavor_mbps(TcpFlavor::kNewReno, 100e6, milliseconds(40), 400, seconds(30));
+  double cubic = run_flavor_mbps(TcpFlavor::kCubic, 100e6, milliseconds(40), 400, seconds(30));
+  EXPECT_GT(cubic, reno * 1.2);
+  EXPECT_LE(cubic, 100.0);
+}
+
+TEST(TcpFlavors, VegasKeepsQueueShort) {
+  // On a modest pipe with a deep buffer, Reno fills the queue (high srtt)
+  // while Vegas holds a few packets (srtt near propagation RTT).
+  Pipe preno(10e6, milliseconds(20), 500);
+  TcpSink sink_r(preno.net, preno.b, 80);
+  TcpSource::Config rcfg;
+  rcfg.flavor = TcpFlavor::kNewReno;
+  TcpSource reno(preno.net, preno.a, 1000, preno.b, 80, 1, rcfg);
+  reno.send_forever();
+  preno.sim.run_until(seconds(20));
+
+  Pipe pveg(10e6, milliseconds(20), 500);
+  TcpSink sink_v(pveg.net, pveg.b, 80);
+  TcpSource::Config vcfg;
+  vcfg.flavor = TcpFlavor::kVegas;
+  TcpSource vegas(pveg.net, pveg.a, 1000, pveg.b, 80, 1, vcfg);
+  vegas.send_forever();
+  pveg.sim.run_until(seconds(20));
+
+  EXPECT_LT(vegas.srtt(), milliseconds(60));   // ~2 pkts of standing queue
+  EXPECT_GT(reno.srtt(), milliseconds(100));   // bufferbloat
+  // Vegas still uses the link well.
+  EXPECT_GT(sink_v.received_bytes() * 8.0 / 20 / 1e6, 8.0);
+}
+
+TEST(TcpFlavors, RenoStarvesVegasAtSharedBottleneck) {
+  // The fairness problem the paper cites ([65]): loss-based Reno fills the
+  // buffer, delay-based Vegas interprets that as congestion and retreats.
+  Pipe p(10e6, milliseconds(20), 250);
+  TcpSink sink_r(p.net, p.b, 80);
+  TcpSink sink_v(p.net, p.b, 81);
+  TcpSource::Config rcfg;
+  rcfg.flavor = TcpFlavor::kNewReno;
+  TcpSource reno(p.net, p.a, 1000, p.b, 80, 1, rcfg);
+  TcpSource::Config vcfg;
+  vcfg.flavor = TcpFlavor::kVegas;
+  TcpSource vegas(p.net, p.a, 1001, p.b, 81, 2, vcfg);
+  reno.send_forever();
+  vegas.send_forever();
+  p.sim.run_until(seconds(30));
+  EXPECT_GT(sink_r.received_bytes(), 3 * sink_v.received_bytes());
+}
+
+TEST(Mptcp, AggregatesDisjointPaths) {
+  sim::Simulator sim;
+  Network net(sim, 7);
+  auto c = net.add_node("c");
+  auto r1 = net.add_node("r1");
+  auto r2 = net.add_node("r2");
+  auto s = net.add_node("s");
+  auto [p1, q1] = net.connect(c, r1, 8e6, milliseconds(10), 100);
+  (void)q1;
+  net.connect(r1, s, 1e9, milliseconds(1), 500);
+  auto [p2, q2] = net.connect(c, r2, 12e6, milliseconds(15), 100);
+  (void)q2;
+  net.connect(r2, s, 1e9, milliseconds(1), 500);
+
+  MultipathTcp::Config cfg;
+  cfg.coupled = false;  // disjoint bottlenecks: run uncoupled for full use
+  MultipathTcp mptcp(net, c, s, 1000, 80, {{p1, "path1"}, {p2, "path2"}}, cfg);
+  mptcp.send_forever();
+  sim.run_until(seconds(20));
+  double mbps = mptcp.total_received() * 8.0 / 20 / 1e6;
+  EXPECT_GT(mbps, 15.0);  // well above either path alone
+  EXPECT_GT(mptcp.subflow_received(0), 0);
+  EXPECT_GT(mptcp.subflow_received(1), 0);
+}
+
+TEST(Mptcp, SurvivesPathFailure) {
+  sim::Simulator sim;
+  Network net(sim, 7);
+  auto c = net.add_node("c");
+  auto r1 = net.add_node("r1");
+  auto r2 = net.add_node("r2");
+  auto s = net.add_node("s");
+  auto [p1, q1] = net.connect(c, r1, 10e6, milliseconds(5), 100);
+  (void)q1;
+  net.connect(r1, s, 1e9, milliseconds(1), 500);
+  auto [p2, q2] = net.connect(c, r2, 10e6, milliseconds(25), 100);
+  (void)q2;
+  net.connect(r2, s, 1e9, milliseconds(1), 500);
+
+  MultipathTcp mptcp(net, c, s, 1000, 80, {{p1, "wifi"}, {p2, "lte"}},
+                     MultipathTcp::Config{});
+  mptcp.send_forever();
+  sim.at(seconds(5), [&, l = p1] { l->set_up(false); });  // WiFi dies
+  sim.run_until(seconds(20));
+  std::int64_t at_20 = mptcp.total_received();
+  sim.run_until(seconds(30));
+  // The LTE subflow keeps the logical connection moving.
+  EXPECT_GT(mptcp.total_received(), at_20 + 5'000'000);
+}
+
+TEST(Mptcp, CoupledSubflowsAreFairToSingleTcp) {
+  // Two MPTCP subflows + one plain TCP share one 12 Mb/s bottleneck. With
+  // LIA-style coupling the MPTCP aggregate should take roughly half, not
+  // two thirds.
+  sim::Simulator sim;
+  Network net(sim, 7);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 12e6, milliseconds(20), 120);
+
+  MultipathTcp mptcp(net, c, s, 1000, 80, {{nullptr, "sf1"}, {nullptr, "sf2"}},
+                     MultipathTcp::Config{});
+  TcpSink single_sink(net, s, 90);
+  TcpSource single(net, c, 1100, s, 90, 99);
+  // Let the single flow establish first so simultaneous slow starts don't
+  // lock it out before coupling takes effect.
+  single.send_forever();
+  sim.at(seconds(2), [&] { mptcp.send_forever(); });
+  sim.run_until(seconds(60));
+  double ratio = static_cast<double>(mptcp.total_received()) /
+                 static_cast<double>(single_sink.received_bytes());
+  EXPECT_LT(ratio, 1.9);  // uncoupled subflows would push toward ~2
+  EXPECT_GT(ratio, 0.45);
+}
+
+TEST(Tfrc, RateTracksLossEquation) {
+  TfrcController tfrc;
+  CcFeedback fb;
+  fb.owd = milliseconds(25);  // RTT 50 ms
+  fb.min_owd = milliseconds(25);
+  fb.loss_fraction = 0.01;
+  double rate = 0;
+  for (int i = 0; i < 100; ++i) rate = tfrc.on_feedback(fb, 0);
+  // TCP equation at p=1%, RTT=50 ms, s=1200 B: roughly 2-3 Mb/s.
+  EXPECT_GT(rate, 1.0e6);
+  EXPECT_LT(rate, 5.0e6);
+
+  // Quadrupling loss roughly halves the equation rate.
+  fb.loss_fraction = 0.04;
+  double rate4 = 0;
+  for (int i = 0; i < 100; ++i) rate4 = tfrc.on_feedback(fb, 0);
+  EXPECT_LT(rate4, 0.65 * rate);
+}
+
+TEST(Tfrc, SmootherThanLossAimd) {
+  // Feed both controllers the same noisy loss process; TFRC's rate variance
+  // should be far smaller — the property that makes it media-friendly.
+  sim::Rng rng(3);
+  TfrcController tfrc;
+  LossAimdController aimd;
+  sim::Samples tfrc_rates, aimd_rates;
+  for (int i = 0; i < 400; ++i) {
+    CcFeedback fb;
+    fb.owd = milliseconds(25);
+    fb.min_owd = milliseconds(20);
+    fb.loss_fraction = rng.bernoulli(0.3) ? 0.02 : 0.0;
+    tfrc_rates.add(tfrc.on_feedback(fb, 0) / 1e6);
+    aimd_rates.add(aimd.on_feedback(fb, 0) / 1e6);
+  }
+  // Compare spread relative to each controller's own median (the absolute
+  // operating points differ by design).
+  double tfrc_rel =
+      (tfrc_rates.percentile(0.9) - tfrc_rates.percentile(0.1)) / tfrc_rates.median();
+  double aimd_rel =
+      (aimd_rates.percentile(0.9) - aimd_rates.percentile(0.1)) / aimd_rates.median();
+  EXPECT_LT(tfrc_rel, 0.6 * aimd_rel);
+}
+
+TEST(Tfrc, WorksAsArtpController) {
+  sim::Simulator sim;
+  Network net(sim, 7);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 10e6, milliseconds(15), 300);
+  ArtpReceiver rx(net, s, 80);
+  int delivered = 0;
+  rx.set_message_callback([&](const ArtpDelivery& d) { delivered += d.complete ? 1 : 0; });
+  ArtpSenderConfig cfg;
+  std::vector<ArtpPathConfig> paths;
+  ArtpPathConfig pc;
+  pc.controller = std::make_unique<TfrcController>();
+  paths.push_back(std::move(pc));
+  ArtpSender tx(net, c, 1000, s, 80, 1, cfg, std::move(paths));
+  for (int i = 0; i < 200; ++i) {
+    sim.at(milliseconds(20) * i, [&tx] {
+      ArtpMessageSpec m;
+      m.bytes = 8000;
+      m.tclass = net::TrafficClass::kFullBestEffort;
+      m.priority = net::Priority::kMediumNoDrop;
+      tx.send_message(m);
+    });
+  }
+  sim.run_until(seconds(10));
+  EXPECT_GT(delivered, 180);
+}
+
+}  // namespace
+}  // namespace arnet::transport

@@ -1,0 +1,188 @@
+// Tests for the Harris detector, image pyramid, multi-scale FAST, and the
+// WFQ / RTS-CTS additions sharing this suite for build economy.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arnet/net/link.hpp"
+#include "arnet/net/queue.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/vision/harris.hpp"
+#include "arnet/vision/synth.hpp"
+#include "arnet/wireless/wifi.hpp"
+
+namespace arnet::vision {
+namespace {
+
+TEST(Harris, DetectsSquareCorners) {
+  Image img(64, 64, 20);
+  for (int y = 20; y < 44; ++y) {
+    for (int x = 20; x < 44; ++x) img.at(x, y) = 220;
+  }
+  auto feats = harris_detect(img);
+  ASSERT_GE(feats.size(), 4u);
+  for (const auto& f : feats) {
+    double d1 = std::hypot(f.x - 20.0, f.y - 20.0);
+    double d2 = std::hypot(f.x - 43.0, f.y - 20.0);
+    double d3 = std::hypot(f.x - 20.0, f.y - 43.0);
+    double d4 = std::hypot(f.x - 43.0, f.y - 43.0);
+    EXPECT_LT(std::min(std::min(d1, d2), std::min(d3, d4)), 4.0);
+  }
+}
+
+TEST(Harris, RejectsEdgesAndFlats) {
+  // A pure vertical edge has a rank-1 structure tensor: no Harris corners.
+  Image img(64, 64, 20);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 32; x < 64; ++x) img.at(x, y) = 220;
+  }
+  EXPECT_TRUE(harris_detect(img).empty());
+  Image flat(64, 64, 128);
+  EXPECT_TRUE(harris_detect(flat).empty());
+}
+
+TEST(Harris, MoreStableUnderBlurThanFast) {
+  sim::Rng rng(3);
+  Image img = render_scene(rng, SceneParams{});
+  Image blurred = box_blur(img, 2);
+  auto fast_sharp = fast_detect(img, 20);
+  auto fast_blur = fast_detect(blurred, 20);
+  auto harris_sharp = harris_detect(img);
+  auto harris_blur = harris_detect(blurred);
+  ASSERT_GT(fast_sharp.size(), 0u);
+  ASSERT_GT(harris_sharp.size(), 0u);
+  double fast_keep = static_cast<double>(fast_blur.size()) / fast_sharp.size();
+  double harris_keep = static_cast<double>(harris_blur.size()) / harris_sharp.size();
+  EXPECT_GT(harris_keep, fast_keep);
+}
+
+TEST(Pyramid, HalvesEachLevel) {
+  Image img(320, 240);
+  auto pyr = build_pyramid(img, 4);
+  ASSERT_EQ(pyr.size(), 4u);
+  EXPECT_EQ(pyr[1].width(), 160);
+  EXPECT_EQ(pyr[2].width(), 80);
+  EXPECT_EQ(pyr[3].width(), 40);
+}
+
+TEST(Pyramid, StopsAtMinimumSize) {
+  Image img(100, 80);
+  auto pyr = build_pyramid(img, 8);
+  EXPECT_LT(pyr.size(), 8u);
+  EXPECT_GE(pyr.back().width(), 20);
+}
+
+TEST(MultiscaleFast, FindsLargeScaleChanges) {
+  // A scene scaled down 2.5x: single-scale matching suffers, but the
+  // multiscale detector still finds corners at a matching pyramid level.
+  sim::Rng rng(5);
+  Image img = render_scene(rng, SceneParams{});
+  auto pyr = build_pyramid(img, 3);
+  auto feats = multiscale_fast(pyr);
+  int at_level[3] = {0, 0, 0};
+  for (const auto& sf : feats) {
+    ASSERT_LT(sf.level, 3);
+    ++at_level[sf.level];
+    // Coordinates mapped back to base-image space.
+    EXPECT_LT(sf.f.x, img.width());
+    EXPECT_LT(sf.f.y, img.height());
+  }
+  EXPECT_GT(at_level[0], 0);
+  EXPECT_GT(at_level[1], 0);
+}
+
+}  // namespace
+}  // namespace arnet::vision
+
+namespace arnet::net {
+namespace {
+
+Packet sized(std::int32_t bytes, FlowId flow) {
+  Packet p;
+  p.size_bytes = bytes;
+  p.flow = flow;
+  return p;
+}
+
+TEST(WeightedFairQueue, HonorsWeightsUnderSaturation) {
+  // Class 0 (reserved, weight 3) and class 1 (weight 1), both saturated:
+  // dequeued bytes must split ~3:1.
+  WeightedFairQueue q({{3.0, 1000}, {1.0, 1000}}, WeightedFairQueue::reserve_flow(42));
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(q.enqueue(sized(1000, 42), 0));
+    ASSERT_TRUE(q.enqueue(sized(1000, 7), 0));
+  }
+  for (int i = 0; i < 400; ++i) ASSERT_TRUE(q.dequeue(0).has_value());
+  double ratio = static_cast<double>(q.class_dequeued_bytes(0)) /
+                 static_cast<double>(q.class_dequeued_bytes(1));
+  EXPECT_NEAR(ratio, 3.0, 0.4);
+}
+
+TEST(WeightedFairQueue, IdleClassDoesNotHoardBandwidth) {
+  // Only the best-effort class is backlogged: it gets everything.
+  WeightedFairQueue q({{3.0, 1000}, {1.0, 1000}}, WeightedFairQueue::reserve_flow(42));
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(q.enqueue(sized(1000, 7), 0));
+  int served = 0;
+  while (q.dequeue(0)) ++served;
+  EXPECT_EQ(served, 50);
+}
+
+TEST(WeightedFairQueue, ReservedFlowKeepsRateOnSharedLink) {
+  // End-to-end: an AR flow with an RSVP-style reservation keeps its
+  // bandwidth share while a background flood saturates the same link.
+  sim::Simulator sim;
+  Link::Config cfg;
+  cfg.rate_bps = 8e6;
+  cfg.delay = sim::milliseconds(5);
+  cfg.queue = std::make_unique<WeightedFairQueue>(
+      std::vector<WeightedFairQueue::ClassConfig>{{3.0, 500}, {1.0, 500}},
+      WeightedFairQueue::reserve_flow(42));
+  Link link(sim, sim::Rng(1), std::move(cfg));
+  std::int64_t ar_bytes = 0, bg_bytes = 0;
+  link.set_sink([&](Packet&& p) { (p.flow == 42 ? ar_bytes : bg_bytes) += p.size_bytes; });
+  // AR flow offers 4 Mb/s; background offers 12 Mb/s.
+  for (int i = 0; i < 1000; ++i) {
+    sim.at(sim::milliseconds(2) * i, [&] {
+      link.send(sized(1000, 42));
+      link.send(sized(1500, 7));
+      link.send(sized(1500, 7));
+    });
+  }
+  sim.run_until(sim::seconds(2));
+  double ar_mbps = ar_bytes * 8.0 / 2 / 1e6;
+  // Reservation guarantees 3/4 of 8 Mb/s = 6 > offered 4: full delivery.
+  EXPECT_GT(ar_mbps, 3.6);
+}
+
+TEST(WeightedFairQueue, PerClassCapacityDrops) {
+  WeightedFairQueue q({{1.0, 5}, {1.0, 5}}, WeightedFairQueue::reserve_flow(42));
+  for (int i = 0; i < 10; ++i) q.enqueue(sized(100, 42), 0);
+  EXPECT_EQ(q.packets(), 5u);
+  EXPECT_EQ(q.drops(), 5);
+}
+
+}  // namespace
+}  // namespace arnet::net
+
+namespace arnet::wireless {
+namespace {
+
+TEST(WifiRtsCts, HandshakeCostsAirtime) {
+  sim::Simulator sim;
+  WifiCell::Config plain_cfg;
+  WifiCell plain(sim, sim::Rng(1), plain_cfg);
+  WifiCell::Config rts_cfg;
+  rts_cfg.mac.rts_cts = true;
+  WifiCell protected_cell(sim, sim::Rng(1), rts_cfg);
+  sim::Time t_plain = plain.frame_airtime(1500, 54e6);
+  sim::Time t_rts = protected_cell.frame_airtime(1500, 54e6);
+  EXPECT_GT(t_rts, t_plain + sim::microseconds(100));
+  // Overhead hurts small frames relatively more.
+  double small_ratio = static_cast<double>(protected_cell.frame_airtime(100, 54e6)) /
+                       static_cast<double>(plain.frame_airtime(100, 54e6));
+  double big_ratio = static_cast<double>(t_rts) / static_cast<double>(t_plain);
+  EXPECT_GT(small_ratio, big_ratio);
+}
+
+}  // namespace
+}  // namespace arnet::wireless

@@ -1,0 +1,131 @@
+// Tests for ORB-style oriented descriptors and the Glimpse dynamic trigger.
+#include <gtest/gtest.h>
+
+#include "arnet/mar/offload.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/vision/features.hpp"
+#include "arnet/vision/synth.hpp"
+
+namespace arnet::vision {
+namespace {
+
+/// Fraction of cross-checked matches consistent with the known rotation.
+double match_accuracy(const DescribedFeatures& a, const DescribedFeatures& b,
+                      const Mat3& truth) {
+  auto matches = match_descriptors(a.descriptors, b.descriptors);
+  if (matches.size() < 8) return 0.0;
+  int good = 0;
+  for (const auto& m : matches) {
+    const Feature& fa = a.features[static_cast<std::size_t>(m.query)];
+    const Feature& fb = b.features[static_cast<std::size_t>(m.train)];
+    Vec2 mapped = truth.apply({static_cast<double>(fa.x), static_cast<double>(fa.y)});
+    if (std::hypot(mapped.x - fb.x, mapped.y - fb.y) < 3.0) ++good;
+  }
+  return static_cast<double>(good) / static_cast<double>(matches.size());
+}
+
+TEST(Orb, OrientationFollowsPatchRotation) {
+  // A patch with a bright half on the right has orientation ~0; rotating
+  // the gradient by 90 deg rotates the centroid angle accordingly.
+  Image right(64, 64, 20);
+  for (int y = 0; y < 64; ++y) {
+    for (int x = 32; x < 64; ++x) right.at(x, y) = 220;
+  }
+  Image down(64, 64, 20);
+  for (int y = 32; y < 64; ++y) {
+    for (int x = 0; x < 64; ++x) down.at(x, y) = 220;
+  }
+  double a_right = feature_orientation(right, {32, 32, 0});
+  double a_down = feature_orientation(down, {32, 32, 0});
+  EXPECT_NEAR(a_right, 0.0, 0.2);
+  EXPECT_NEAR(a_down, 1.5708, 0.2);
+}
+
+TEST(Orb, SurvivesLargeRotationWherePlainBriefFails) {
+  sim::Rng rng(3);
+  SceneParams params;
+  params.width = 360;
+  params.height = 360;
+  Image img = render_scene(rng, params);
+  // Rotate 55 degrees about the image center.
+  double angle = 55.0 * 3.14159265 / 180.0;
+  Mat3 to_origin = Mat3::translation(-180, -180);
+  Mat3 rot = Mat3::similarity(1.0, angle, 0, 0);
+  Mat3 back = Mat3::translation(180, 180);
+  Mat3 h = back * rot * to_origin;
+  Image rotated = warp_image(img, h);
+
+  auto fa = fast_detect(img, 20);
+  auto fb = fast_detect(rotated, 20);
+  auto plain_a = brief_describe(img, fa);
+  auto plain_b = brief_describe(rotated, fb);
+  auto orb_a = orb_describe(img, fa);
+  auto orb_b = orb_describe(rotated, fb);
+
+  double plain_acc = match_accuracy(plain_a, plain_b, h);
+  double orb_acc = match_accuracy(orb_a, orb_b, h);
+  EXPECT_GT(orb_acc, 0.5);
+  EXPECT_GT(orb_acc, plain_acc + 0.25);
+}
+
+TEST(Orb, ComparableToPlainBriefWithoutRotation) {
+  sim::Rng rng(5);
+  Image img = render_scene(rng, SceneParams{});
+  Mat3 t = Mat3::translation(6, -4);
+  Image moved = warp_image(img, t);
+  auto fa = fast_detect(img, 20);
+  auto fb = fast_detect(moved, 20);
+  double orb_acc = match_accuracy(orb_describe(img, fa), orb_describe(moved, fb), t);
+  EXPECT_GT(orb_acc, 0.7);
+}
+
+}  // namespace
+}  // namespace arnet::vision
+
+namespace arnet::mar {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+OffloadStats run_glimpse(double motion, bool adaptive) {
+  sim::Simulator sim;
+  net::Network net(sim, 19);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 30e6, milliseconds(8), 500);
+  OffloadConfig cfg;
+  cfg.strategy = OffloadStrategy::kGlimpse;
+  cfg.glimpse_adaptive = adaptive;
+  cfg.glimpse_motion_level = motion;
+  OffloadSession session(net, c, s, cfg);
+  session.start();
+  sim.run_until(seconds(20));
+  session.stop();
+  return session.stats();
+}
+
+TEST(GlimpseAdaptive, OffloadsMoreUnderFastMotion) {
+  auto calm = run_glimpse(0.02, true);
+  auto shaky = run_glimpse(0.15, true);
+  ASSERT_GT(calm.frames, 500);
+  EXPECT_GT(shaky.offloaded_frames, 2 * calm.offloaded_frames);
+  EXPECT_GT(shaky.uplink_bytes, 2 * calm.uplink_bytes);
+}
+
+TEST(GlimpseAdaptive, CalmSceneBeatsFixedIntervalOnUplink) {
+  // With little motion, the dynamic trigger offloads far less than the
+  // fixed every-5th-frame policy at equivalent tracking quality.
+  auto fixed = run_glimpse(0.02, false);
+  auto adaptive = run_glimpse(0.02, true);
+  EXPECT_LT(adaptive.uplink_bytes, fixed.uplink_bytes / 2);
+}
+
+TEST(GlimpseAdaptive, AllFramesStillProduceResults) {
+  auto stats = run_glimpse(0.08, true);
+  EXPECT_GT(static_cast<double>(stats.results) / stats.frames, 0.95);
+}
+
+}  // namespace
+}  // namespace arnet::mar

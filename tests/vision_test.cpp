@@ -1,0 +1,354 @@
+#include <gtest/gtest.h>
+
+#include "arnet/sim/rng.hpp"
+#include "arnet/vision/features.hpp"
+#include "arnet/vision/geometry.hpp"
+#include "arnet/vision/homography.hpp"
+#include "arnet/vision/image.hpp"
+#include "arnet/vision/pipeline.hpp"
+#include "arnet/vision/synth.hpp"
+#include "arnet/vision/track.hpp"
+
+namespace arnet::vision {
+namespace {
+
+TEST(Image, ClampedAndBilinearAccess) {
+  Image img(4, 4);
+  img.at(0, 0) = 10;
+  img.at(3, 3) = 200;
+  EXPECT_EQ(img.at_clamped(-5, -5), 10);
+  EXPECT_EQ(img.at_clamped(10, 10), 200);
+  img.at(1, 1) = 100;
+  img.at(2, 1) = 200;
+  EXPECT_NEAR(img.bilinear(1.5, 1.0), 150.0, 1e-9);
+}
+
+TEST(Mat3, InverseRoundTrips) {
+  Mat3 h = Mat3::similarity(1.3, 0.4, 10, -5);
+  h(2, 0) = 1e-4;
+  Mat3 id = h * h.inverse();
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_NEAR(id(i, j), i == j ? 1.0 : 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Mat3, ApplyTranslation) {
+  Mat3 t = Mat3::translation(5, -3);
+  Vec2 p = t.apply({1, 1});
+  EXPECT_DOUBLE_EQ(p.x, 6);
+  EXPECT_DOUBLE_EQ(p.y, -2);
+}
+
+TEST(Jacobi, FindsNullVectorOfSingularMatrix) {
+  // A = v v^T for v = (1,2,3): eigenvector for eigenvalue 0 must be
+  // orthogonal to v.
+  std::array<std::array<double, 3>, 3> a{};
+  double v[3] = {1, 2, 3};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) a[i][j] = v[i] * v[j];
+  }
+  auto e = smallest_eigenvector<3>(a);
+  double dot = e[0] * 1 + e[1] * 2 + e[2] * 3;
+  EXPECT_NEAR(dot, 0.0, 1e-9);
+  double norm = e[0] * e[0] + e[1] * e[1] + e[2] * e[2];
+  EXPECT_NEAR(norm, 1.0, 1e-9);
+}
+
+TEST(Synth, SceneIsDeterministicPerSeed) {
+  sim::Rng a(5), b(5), c(6);
+  SceneParams p;
+  Image ia = render_scene(a, p);
+  Image ib = render_scene(b, p);
+  Image ic = render_scene(c, p);
+  EXPECT_EQ(ia.data(), ib.data());
+  EXPECT_NE(ia.data(), ic.data());
+}
+
+TEST(Synth, WarpByTranslationShiftsContent) {
+  sim::Rng rng(5);
+  Image img = render_scene(rng, SceneParams{});
+  Image shifted = warp_image(img, Mat3::translation(7, 0));
+  int agree = 0, total = 0;
+  for (int y = 20; y < img.height() - 20; ++y) {
+    for (int x = 20; x < img.width() - 20; ++x) {
+      ++total;
+      if (std::abs(int(shifted.at(x, y)) - int(img.at(x - 7, y))) <= 1) ++agree;
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.99);
+}
+
+TEST(Fast, DetectsSyntheticCorner) {
+  // Bright square on dark background: corners at the 4 square corners.
+  Image img(64, 64, 20);
+  for (int y = 20; y < 44; ++y) {
+    for (int x = 20; x < 44; ++x) img.at(x, y) = 220;
+  }
+  auto feats = fast_detect(img, 20);
+  ASSERT_GE(feats.size(), 4u);
+  // Every detection should be near one of the four square corners.
+  for (const auto& f : feats) {
+    double d1 = std::hypot(f.x - 20.0, f.y - 20.0);
+    double d2 = std::hypot(f.x - 43.0, f.y - 20.0);
+    double d3 = std::hypot(f.x - 20.0, f.y - 43.0);
+    double d4 = std::hypot(f.x - 43.0, f.y - 43.0);
+    EXPECT_LT(std::min(std::min(d1, d2), std::min(d3, d4)), 4.0)
+        << "stray corner at " << f.x << "," << f.y;
+  }
+}
+
+TEST(Fast, FlatImageHasNoCorners) {
+  Image img(64, 64, 128);
+  EXPECT_TRUE(fast_detect(img, 20).empty());
+}
+
+TEST(Fast, NmsLimitsDensity) {
+  sim::Rng rng(9);
+  Image img = render_scene(rng, SceneParams{});
+  auto feats = fast_detect(img, 20, /*nms_radius=*/6);
+  for (std::size_t i = 0; i < feats.size(); ++i) {
+    for (std::size_t j = i + 1; j < feats.size(); ++j) {
+      bool close = std::abs(feats[i].x - feats[j].x) <= 6 &&
+                   std::abs(feats[i].y - feats[j].y) <= 6;
+      EXPECT_FALSE(close);
+    }
+  }
+}
+
+TEST(Fast, SceneProducesUsableFeatureCount) {
+  sim::Rng rng(11);
+  Image img = render_scene(rng, SceneParams{});
+  auto feats = fast_detect(img, 20);
+  EXPECT_GT(feats.size(), 30u);
+  EXPECT_LT(feats.size(), 2000u);
+}
+
+TEST(Brief, DescriptorStableUnderNoise) {
+  sim::Rng rng(13);
+  Image img = render_scene(rng, SceneParams{});
+  auto feats = fast_detect(img, 20);
+  auto clean = brief_describe(img, feats);
+  Image noisy = img;
+  sim::Rng nrng(99);
+  add_noise(noisy, nrng, 4.0);
+  auto dirty = brief_describe(noisy, feats);
+  ASSERT_EQ(clean.descriptors.size(), dirty.descriptors.size());
+  ASSERT_GT(clean.descriptors.size(), 10u);
+  double mean_dist = 0;
+  for (std::size_t i = 0; i < clean.descriptors.size(); ++i) {
+    mean_dist += clean.descriptors[i].hamming(dirty.descriptors[i]);
+  }
+  mean_dist /= static_cast<double>(clean.descriptors.size());
+  // Same point under mild noise: far below the ~128 expected for random
+  // descriptors.
+  EXPECT_LT(mean_dist, 40.0);
+}
+
+TEST(Brief, DifferentPointsAreFar) {
+  sim::Rng rng(13);
+  Image img = render_scene(rng, SceneParams{});
+  auto d = brief_describe(img, fast_detect(img, 20));
+  ASSERT_GT(d.descriptors.size(), 10u);
+  double mean = 0;
+  int n = 0;
+  for (std::size_t i = 0; i + 1 < d.descriptors.size() && n < 200; i += 2, ++n) {
+    mean += d.descriptors[i].hamming(d.descriptors[i + 1]);
+  }
+  mean /= n;
+  EXPECT_GT(mean, 60.0);
+}
+
+TEST(Match, FindsCorrespondencesUnderTranslation) {
+  sim::Rng rng(17);
+  Image img = render_scene(rng, SceneParams{});
+  Mat3 t = Mat3::translation(9, 4);
+  Image moved = warp_image(img, t);
+  auto a = brief_describe(img, fast_detect(img, 20));
+  auto b = brief_describe(moved, fast_detect(moved, 20));
+  auto matches = match_descriptors(a.descriptors, b.descriptors);
+  ASSERT_GT(matches.size(), 15u);
+  int correct = 0;
+  for (const auto& m : matches) {
+    const auto& fa = a.features[static_cast<std::size_t>(m.query)];
+    const auto& fb = b.features[static_cast<std::size_t>(m.train)];
+    if (std::abs(fb.x - fa.x - 9) <= 2 && std::abs(fb.y - fa.y - 4) <= 2) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / matches.size(), 0.8);
+}
+
+TEST(Dlt, RecoversExactHomographyFromCleanPoints) {
+  Mat3 truth = Mat3::similarity(1.1, 0.2, 15, -8);
+  truth(2, 0) = 2e-4;
+  std::vector<Correspondence> pts;
+  for (int i = 0; i < 12; ++i) {
+    Vec2 p{20.0 + 25 * (i % 4), 15.0 + 30 * (i / 4)};
+    pts.push_back({p, truth.apply(p)});
+  }
+  auto h = estimate_homography_dlt(pts);
+  ASSERT_TRUE(h);
+  for (int i = 0; i < 50; ++i) {
+    Vec2 p{double(7 * i % 100), double(11 * i % 80)};
+    EXPECT_LT(distance(h->apply(p), truth.apply(p)), 0.01);
+  }
+}
+
+TEST(Dlt, RejectsDegenerateInput) {
+  // All points collinear.
+  std::vector<Correspondence> pts;
+  for (int i = 0; i < 8; ++i) {
+    Vec2 p{static_cast<double>(i), static_cast<double>(2 * i)};
+    pts.push_back({p, p});
+  }
+  auto h = estimate_homography_dlt(pts);
+  if (h) {
+    // If numerically something came back, it must not be wildly confident:
+    // mapping a non-collinear probe should not be trusted. Accept either
+    // nullopt or a result; the RANSAC layer guards with inlier counts.
+    SUCCEED();
+  }
+  EXPECT_FALSE(estimate_homography_dlt({}).has_value());
+}
+
+TEST(Ransac, SurvivesOutliers) {
+  sim::Rng rng(23);
+  Mat3 truth = Mat3::similarity(0.95, -0.15, -12, 6);
+  std::vector<Correspondence> pts;
+  for (int i = 0; i < 60; ++i) {
+    Vec2 p{rng.uniform(0, 300), rng.uniform(0, 200)};
+    pts.push_back({p, truth.apply(p)});
+  }
+  for (int i = 0; i < 40; ++i) {  // 40% outliers
+    pts.push_back({{rng.uniform(0, 300), rng.uniform(0, 200)},
+                   {rng.uniform(0, 300), rng.uniform(0, 200)}});
+  }
+  auto r = estimate_homography_ransac(pts, rng);
+  ASSERT_TRUE(r);
+  EXPECT_GE(static_cast<int>(r->inliers.size()), 55);
+  Vec2 probe{150, 100};
+  EXPECT_LT(distance(r->h.apply(probe), truth.apply(probe)), 1.0);
+}
+
+TEST(Ransac, FailsCleanlyOnPureNoise) {
+  sim::Rng rng(29);
+  std::vector<Correspondence> pts;
+  for (int i = 0; i < 50; ++i) {
+    pts.push_back({{rng.uniform(0, 300), rng.uniform(0, 200)},
+                   {rng.uniform(0, 300), rng.uniform(0, 200)}});
+  }
+  RansacParams params;
+  params.min_inliers = 12;
+  auto r = estimate_homography_ransac(pts, rng, params);
+  EXPECT_FALSE(r.has_value());
+}
+
+TEST(Track, FollowsPureTranslation) {
+  sim::Rng rng(31);
+  Image img = render_scene(rng, SceneParams{});
+  Image moved = warp_image(img, Mat3::translation(5, -3));
+  auto feats = fast_detect(img, 20);
+  ASSERT_GT(feats.size(), 20u);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < std::min<std::size_t>(feats.size(), 50); ++i) {
+    pts.push_back({static_cast<double>(feats[i].x), static_cast<double>(feats[i].y)});
+  }
+  auto tracks = track_points(img, moved, pts);
+  int good = 0;
+  for (const auto& t : tracks) {
+    if (t.ok && std::abs(t.curr.x - t.prev.x - 5) <= 1 &&
+        std::abs(t.curr.y - t.prev.y + 3) <= 1) {
+      ++good;
+    }
+  }
+  EXPECT_GT(static_cast<double>(good) / tracks.size(), 0.7);
+  EXPECT_GT(tracking_quality(tracks), 0.7);
+}
+
+TEST(Track, QualityDropsOnUnrelatedFrame) {
+  sim::Rng rng(37);
+  Image a = render_scene(rng, SceneParams{});
+  Image b = render_scene(rng, SceneParams{});  // different scene
+  auto feats = fast_detect(a, 20);
+  std::vector<Vec2> pts;
+  for (std::size_t i = 0; i < std::min<std::size_t>(feats.size(), 40); ++i) {
+    pts.push_back({static_cast<double>(feats[i].x), static_cast<double>(feats[i].y)});
+  }
+  auto same = track_points(a, a, pts);
+  auto diff = track_points(a, b, pts);
+  EXPECT_GT(tracking_quality(same), 0.95);
+  EXPECT_LT(tracking_quality(diff), tracking_quality(same));
+}
+
+TEST(Pipeline, RecognizesWarpedObjectAmongDistractors) {
+  sim::Rng rng(41);
+  ObjectDatabase db;
+  std::vector<Image> refs;
+  for (int i = 0; i < 4; ++i) {
+    refs.push_back(render_scene(rng, SceneParams{}));
+    db.add_object("object-" + std::to_string(i), refs.back());
+  }
+  // Camera sees object 2 under a small motion.
+  sim::Rng mrng(43);
+  Mat3 motion = random_camera_motion(mrng);
+  Image frame = warp_image(refs[2], motion);
+
+  RecognitionPipeline pipe;
+  sim::Rng rrng(47);
+  auto result = pipe.recognize_frame(frame, db, rrng);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(result->object_id, 2);
+  EXPECT_GT(result->inliers, 10);
+  EXPECT_GT(result->feature_upload_bytes, 0);
+  // Pose maps reference corners close to where the motion put them.
+  Vec2 probe{100, 80};
+  EXPECT_LT(distance(result->pose.apply(probe), motion.apply(probe)), 3.0);
+}
+
+TEST(Pipeline, NoMatchOnUnknownScene) {
+  sim::Rng rng(53);
+  ObjectDatabase db;
+  for (int i = 0; i < 3; ++i) {
+    Image ref = render_scene(rng, SceneParams{});
+    db.add_object("object-" + std::to_string(i), ref);
+  }
+  Image unknown = render_scene(rng, SceneParams{});
+  RecognitionPipeline pipe;
+  sim::Rng rrng(59);
+  auto result = pipe.recognize_frame(unknown, db, rrng);
+  EXPECT_FALSE(result.has_value());
+}
+
+TEST(Pipeline, FeatureBytesMatchCloudRidArModel) {
+  sim::Rng rng(61);
+  Image img = render_scene(rng, SceneParams{});
+  RecognitionPipeline pipe;
+  auto feats = pipe.extract(img);
+  EXPECT_EQ(static_cast<std::int64_t>(feats.features.size()) * kSerializedFeatureBytes,
+            static_cast<std::int64_t>(feats.features.size()) * 36);
+}
+
+/// Property sweep: recognition keeps working across motion magnitudes.
+class PipelineMotionSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PipelineMotionSweep, RecognitionSurvivesMotion) {
+  double magnitude = GetParam();
+  sim::Rng rng(67);
+  ObjectDatabase db;
+  Image ref = render_scene(rng, SceneParams{});
+  db.add_object("target", ref);
+  sim::Rng mrng(static_cast<std::uint64_t>(magnitude * 1000) + 3);
+  Mat3 motion = random_camera_motion(mrng, magnitude);
+  Image frame = warp_image(ref, motion);
+  RecognitionPipeline pipe;
+  sim::Rng rrng(71);
+  auto result = pipe.recognize_frame(frame, db, rrng);
+  ASSERT_TRUE(result) << "magnitude " << magnitude;
+  EXPECT_EQ(result->object_id, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, PipelineMotionSweep,
+                         ::testing::Values(0.25, 0.5, 1.0, 1.5));
+
+}  // namespace
+}  // namespace arnet::vision
