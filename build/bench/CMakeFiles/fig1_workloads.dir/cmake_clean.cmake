@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_workloads.dir/fig1_workloads.cpp.o"
+  "CMakeFiles/fig1_workloads.dir/fig1_workloads.cpp.o.d"
+  "fig1_workloads"
+  "fig1_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_wifi_anomaly.dir/fig2_wifi_anomaly.cpp.o"
+  "CMakeFiles/fig2_wifi_anomaly.dir/fig2_wifi_anomaly.cpp.o.d"
+  "fig2_wifi_anomaly"
+  "fig2_wifi_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_wifi_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

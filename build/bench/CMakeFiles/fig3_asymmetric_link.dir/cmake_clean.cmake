@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_asymmetric_link.dir/fig3_asymmetric_link.cpp.o"
+  "CMakeFiles/fig3_asymmetric_link.dir/fig3_asymmetric_link.cpp.o.d"
+  "fig3_asymmetric_link"
+  "fig3_asymmetric_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_asymmetric_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_graceful_degradation.dir/fig4_graceful_degradation.cpp.o"
+  "CMakeFiles/fig4_graceful_degradation.dir/fig4_graceful_degradation.cpp.o.d"
+  "fig4_graceful_degradation"
+  "fig4_graceful_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_graceful_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_distributed_offloading.dir/fig5_distributed_offloading.cpp.o"
+  "CMakeFiles/fig5_distributed_offloading.dir/fig5_distributed_offloading.cpp.o.d"
+  "fig5_distributed_offloading"
+  "fig5_distributed_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_distributed_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_bandwidth_requirements.dir/sec3_bandwidth_requirements.cpp.o"
+  "CMakeFiles/sec3_bandwidth_requirements.dir/sec3_bandwidth_requirements.cpp.o.d"
+  "sec3_bandwidth_requirements"
+  "sec3_bandwidth_requirements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_bandwidth_requirements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

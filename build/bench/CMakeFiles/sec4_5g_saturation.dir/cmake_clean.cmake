@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_5g_saturation.dir/sec4_5g_saturation.cpp.o"
+  "CMakeFiles/sec4_5g_saturation.dir/sec4_5g_saturation.cpp.o.d"
+  "sec4_5g_saturation"
+  "sec4_5g_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_5g_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_network_survey.dir/sec4_network_survey.cpp.o"
+  "CMakeFiles/sec4_network_survey.dir/sec4_network_survey.cpp.o.d"
+  "sec4_network_survey"
+  "sec4_network_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_network_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

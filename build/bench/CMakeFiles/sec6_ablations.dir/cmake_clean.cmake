@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_ablations.dir/sec6_ablations.cpp.o"
+  "CMakeFiles/sec6_ablations.dir/sec6_ablations.cpp.o.d"
+  "sec6_ablations"
+  "sec6_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_loss_recovery.dir/sec6_loss_recovery.cpp.o"
+  "CMakeFiles/sec6_loss_recovery.dir/sec6_loss_recovery.cpp.o.d"
+  "sec6_loss_recovery"
+  "sec6_loss_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_loss_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_multipath_policies.dir/sec6_multipath_policies.cpp.o"
+  "CMakeFiles/sec6_multipath_policies.dir/sec6_multipath_policies.cpp.o.d"
+  "sec6_multipath_policies"
+  "sec6_multipath_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_multipath_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6_multipath_policies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_placement.dir/sec6_placement.cpp.o"
+  "CMakeFiles/sec6_placement.dir/sec6_placement.cpp.o.d"
+  "sec6_placement"
+  "sec6_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_privacy.dir/sec6_privacy.cpp.o"
+  "CMakeFiles/sec6_privacy.dir/sec6_privacy.cpp.o.d"
+  "sec6_privacy"
+  "sec6_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_offload_rtt.cpp" "bench/CMakeFiles/table2_offload_rtt.dir/table2_offload_rtt.cpp.o" "gcc" "bench/CMakeFiles/table2_offload_rtt.dir/table2_offload_rtt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/arnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/arnet_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/mar/CMakeFiles/arnet_mar.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/arnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/arnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/arnet_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/edge/CMakeFiles/arnet_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

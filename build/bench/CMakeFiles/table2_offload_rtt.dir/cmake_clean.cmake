@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_offload_rtt.dir/table2_offload_rtt.cpp.o"
+  "CMakeFiles/table2_offload_rtt.dir/table2_offload_rtt.cpp.o.d"
+  "table2_offload_rtt"
+  "table2_offload_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_offload_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ar_browser.dir/ar_browser.cpp.o"
+  "CMakeFiles/ar_browser.dir/ar_browser.cpp.o.d"
+  "ar_browser"
+  "ar_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ar_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

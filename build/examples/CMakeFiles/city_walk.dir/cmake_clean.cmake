@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_walk.dir/city_walk.cpp.o"
+  "CMakeFiles/city_walk.dir/city_walk.cpp.o.d"
+  "city_walk"
+  "city_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

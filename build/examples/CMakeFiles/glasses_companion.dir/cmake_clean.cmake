@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glasses_companion.dir/glasses_companion.cpp.o"
+  "CMakeFiles/glasses_companion.dir/glasses_companion.cpp.o.d"
+  "glasses_companion"
+  "glasses_companion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glasses_companion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for glasses_companion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for glasses_companion.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_core.dir/qoe.cpp.o"
+  "CMakeFiles/arnet_core.dir/qoe.cpp.o.d"
+  "CMakeFiles/arnet_core.dir/scenarios.cpp.o"
+  "CMakeFiles/arnet_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/arnet_core.dir/table.cpp.o"
+  "CMakeFiles/arnet_core.dir/table.cpp.o.d"
+  "libarnet_core.a"
+  "libarnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/edge/mobility.cpp" "src/edge/CMakeFiles/arnet_edge.dir/mobility.cpp.o" "gcc" "src/edge/CMakeFiles/arnet_edge.dir/mobility.cpp.o.d"
+  "/root/repo/src/edge/placement.cpp" "src/edge/CMakeFiles/arnet_edge.dir/placement.cpp.o" "gcc" "src/edge/CMakeFiles/arnet_edge.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/arnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_edge.dir/mobility.cpp.o"
+  "CMakeFiles/arnet_edge.dir/mobility.cpp.o.d"
+  "CMakeFiles/arnet_edge.dir/placement.cpp.o"
+  "CMakeFiles/arnet_edge.dir/placement.cpp.o.d"
+  "libarnet_edge.a"
+  "libarnet_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mar/cost_model.cpp" "src/mar/CMakeFiles/arnet_mar.dir/cost_model.cpp.o" "gcc" "src/mar/CMakeFiles/arnet_mar.dir/cost_model.cpp.o.d"
+  "/root/repo/src/mar/device.cpp" "src/mar/CMakeFiles/arnet_mar.dir/device.cpp.o" "gcc" "src/mar/CMakeFiles/arnet_mar.dir/device.cpp.o.d"
+  "/root/repo/src/mar/offload.cpp" "src/mar/CMakeFiles/arnet_mar.dir/offload.cpp.o" "gcc" "src/mar/CMakeFiles/arnet_mar.dir/offload.cpp.o.d"
+  "/root/repo/src/mar/security.cpp" "src/mar/CMakeFiles/arnet_mar.dir/security.cpp.o" "gcc" "src/mar/CMakeFiles/arnet_mar.dir/security.cpp.o.d"
+  "/root/repo/src/mar/traffic.cpp" "src/mar/CMakeFiles/arnet_mar.dir/traffic.cpp.o" "gcc" "src/mar/CMakeFiles/arnet_mar.dir/traffic.cpp.o.d"
+  "/root/repo/src/mar/workloads.cpp" "src/mar/CMakeFiles/arnet_mar.dir/workloads.cpp.o" "gcc" "src/mar/CMakeFiles/arnet_mar.dir/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/arnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/vision/CMakeFiles/arnet_vision.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/arnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_mar.dir/cost_model.cpp.o"
+  "CMakeFiles/arnet_mar.dir/cost_model.cpp.o.d"
+  "CMakeFiles/arnet_mar.dir/device.cpp.o"
+  "CMakeFiles/arnet_mar.dir/device.cpp.o.d"
+  "CMakeFiles/arnet_mar.dir/offload.cpp.o"
+  "CMakeFiles/arnet_mar.dir/offload.cpp.o.d"
+  "CMakeFiles/arnet_mar.dir/security.cpp.o"
+  "CMakeFiles/arnet_mar.dir/security.cpp.o.d"
+  "CMakeFiles/arnet_mar.dir/traffic.cpp.o"
+  "CMakeFiles/arnet_mar.dir/traffic.cpp.o.d"
+  "CMakeFiles/arnet_mar.dir/workloads.cpp.o"
+  "CMakeFiles/arnet_mar.dir/workloads.cpp.o.d"
+  "libarnet_mar.a"
+  "libarnet_mar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_mar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_net.dir/link.cpp.o"
+  "CMakeFiles/arnet_net.dir/link.cpp.o.d"
+  "CMakeFiles/arnet_net.dir/network.cpp.o"
+  "CMakeFiles/arnet_net.dir/network.cpp.o.d"
+  "CMakeFiles/arnet_net.dir/queue.cpp.o"
+  "CMakeFiles/arnet_net.dir/queue.cpp.o.d"
+  "libarnet_net.a"
+  "libarnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_sim.dir/simulator.cpp.o"
+  "CMakeFiles/arnet_sim.dir/simulator.cpp.o.d"
+  "libarnet_sim.a"
+  "libarnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_transport.dir/artp.cpp.o"
+  "CMakeFiles/arnet_transport.dir/artp.cpp.o.d"
+  "CMakeFiles/arnet_transport.dir/jitter_buffer.cpp.o"
+  "CMakeFiles/arnet_transport.dir/jitter_buffer.cpp.o.d"
+  "CMakeFiles/arnet_transport.dir/mptcp.cpp.o"
+  "CMakeFiles/arnet_transport.dir/mptcp.cpp.o.d"
+  "CMakeFiles/arnet_transport.dir/tcp.cpp.o"
+  "CMakeFiles/arnet_transport.dir/tcp.cpp.o.d"
+  "libarnet_transport.a"
+  "libarnet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vision/features.cpp" "src/vision/CMakeFiles/arnet_vision.dir/features.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/features.cpp.o.d"
+  "/root/repo/src/vision/harris.cpp" "src/vision/CMakeFiles/arnet_vision.dir/harris.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/harris.cpp.o.d"
+  "/root/repo/src/vision/homography.cpp" "src/vision/CMakeFiles/arnet_vision.dir/homography.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/homography.cpp.o.d"
+  "/root/repo/src/vision/pipeline.cpp" "src/vision/CMakeFiles/arnet_vision.dir/pipeline.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/pipeline.cpp.o.d"
+  "/root/repo/src/vision/privacy.cpp" "src/vision/CMakeFiles/arnet_vision.dir/privacy.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/privacy.cpp.o.d"
+  "/root/repo/src/vision/synth.cpp" "src/vision/CMakeFiles/arnet_vision.dir/synth.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/synth.cpp.o.d"
+  "/root/repo/src/vision/track.cpp" "src/vision/CMakeFiles/arnet_vision.dir/track.cpp.o" "gcc" "src/vision/CMakeFiles/arnet_vision.dir/track.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/arnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_vision.dir/features.cpp.o"
+  "CMakeFiles/arnet_vision.dir/features.cpp.o.d"
+  "CMakeFiles/arnet_vision.dir/harris.cpp.o"
+  "CMakeFiles/arnet_vision.dir/harris.cpp.o.d"
+  "CMakeFiles/arnet_vision.dir/homography.cpp.o"
+  "CMakeFiles/arnet_vision.dir/homography.cpp.o.d"
+  "CMakeFiles/arnet_vision.dir/pipeline.cpp.o"
+  "CMakeFiles/arnet_vision.dir/pipeline.cpp.o.d"
+  "CMakeFiles/arnet_vision.dir/privacy.cpp.o"
+  "CMakeFiles/arnet_vision.dir/privacy.cpp.o.d"
+  "CMakeFiles/arnet_vision.dir/synth.cpp.o"
+  "CMakeFiles/arnet_vision.dir/synth.cpp.o.d"
+  "CMakeFiles/arnet_vision.dir/track.cpp.o"
+  "CMakeFiles/arnet_vision.dir/track.cpp.o.d"
+  "libarnet_vision.a"
+  "libarnet_vision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_vision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

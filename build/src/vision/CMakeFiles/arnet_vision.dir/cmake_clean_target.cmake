@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarnet_vision.a"
+)

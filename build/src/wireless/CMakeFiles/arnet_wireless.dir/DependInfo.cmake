@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/cellular.cpp" "src/wireless/CMakeFiles/arnet_wireless.dir/cellular.cpp.o" "gcc" "src/wireless/CMakeFiles/arnet_wireless.dir/cellular.cpp.o.d"
+  "/root/repo/src/wireless/coverage.cpp" "src/wireless/CMakeFiles/arnet_wireless.dir/coverage.cpp.o" "gcc" "src/wireless/CMakeFiles/arnet_wireless.dir/coverage.cpp.o.d"
+  "/root/repo/src/wireless/d2d.cpp" "src/wireless/CMakeFiles/arnet_wireless.dir/d2d.cpp.o" "gcc" "src/wireless/CMakeFiles/arnet_wireless.dir/d2d.cpp.o.d"
+  "/root/repo/src/wireless/survey.cpp" "src/wireless/CMakeFiles/arnet_wireless.dir/survey.cpp.o" "gcc" "src/wireless/CMakeFiles/arnet_wireless.dir/survey.cpp.o.d"
+  "/root/repo/src/wireless/wifi.cpp" "src/wireless/CMakeFiles/arnet_wireless.dir/wifi.cpp.o" "gcc" "src/wireless/CMakeFiles/arnet_wireless.dir/wifi.cpp.o.d"
+  "/root/repo/src/wireless/wifi_bridge.cpp" "src/wireless/CMakeFiles/arnet_wireless.dir/wifi_bridge.cpp.o" "gcc" "src/wireless/CMakeFiles/arnet_wireless.dir/wifi_bridge.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/arnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/arnet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

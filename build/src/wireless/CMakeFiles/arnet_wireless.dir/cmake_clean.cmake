@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arnet_wireless.dir/cellular.cpp.o"
+  "CMakeFiles/arnet_wireless.dir/cellular.cpp.o.d"
+  "CMakeFiles/arnet_wireless.dir/coverage.cpp.o"
+  "CMakeFiles/arnet_wireless.dir/coverage.cpp.o.d"
+  "CMakeFiles/arnet_wireless.dir/d2d.cpp.o"
+  "CMakeFiles/arnet_wireless.dir/d2d.cpp.o.d"
+  "CMakeFiles/arnet_wireless.dir/survey.cpp.o"
+  "CMakeFiles/arnet_wireless.dir/survey.cpp.o.d"
+  "CMakeFiles/arnet_wireless.dir/wifi.cpp.o"
+  "CMakeFiles/arnet_wireless.dir/wifi.cpp.o.d"
+  "CMakeFiles/arnet_wireless.dir/wifi_bridge.cpp.o"
+  "CMakeFiles/arnet_wireless.dir/wifi_bridge.cpp.o.d"
+  "libarnet_wireless.a"
+  "libarnet_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arnet_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mar_test.dir/mar_test.cpp.o"
+  "CMakeFiles/mar_test.dir/mar_test.cpp.o.d"
+  "mar_test"
+  "mar_test.pdb"
+  "mar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_artp_test.dir/transport_artp_test.cpp.o"
+  "CMakeFiles/transport_artp_test.dir/transport_artp_test.cpp.o.d"
+  "transport_artp_test"
+  "transport_artp_test.pdb"
+  "transport_artp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_artp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vision_orb_test.dir/vision_orb_test.cpp.o"
+  "CMakeFiles/vision_orb_test.dir/vision_orb_test.cpp.o.d"
+  "vision_orb_test"
+  "vision_orb_test.pdb"
+  "vision_orb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vision_orb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

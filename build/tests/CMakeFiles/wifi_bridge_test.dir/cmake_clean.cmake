@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wifi_bridge_test.dir/wifi_bridge_test.cpp.o"
+  "CMakeFiles/wifi_bridge_test.dir/wifi_bridge_test.cpp.o.d"
+  "wifi_bridge_test"
+  "wifi_bridge_test.pdb"
+  "wifi_bridge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wifi_bridge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

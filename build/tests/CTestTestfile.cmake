@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_tcp_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_artp_test[1]_include.cmake")
+include("/root/repo/build/tests/transport_flavors_test[1]_include.cmake")
+include("/root/repo/build/tests/wireless_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_test[1]_include.cmake")
+include("/root/repo/build/tests/mar_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/privacy_test[1]_include.cmake")
+include("/root/repo/build/tests/adaptive_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_harris_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_mobility_test[1]_include.cmake")
+include("/root/repo/build/tests/vision_orb_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_sack_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/media_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_test[1]_include.cmake")
+include("/root/repo/build/tests/compute_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/wifi_bridge_test[1]_include.cmake")
