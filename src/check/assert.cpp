@@ -1,0 +1,53 @@
+#include "arnet/check/assert.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace arnet::check {
+namespace {
+
+std::atomic<FailPolicy> g_policy{FailPolicy::kAbort};
+std::atomic<std::uint64_t> g_failures{0};
+
+// Under kCountAndLog only the first few diagnostics are printed; a broken
+// invariant in a per-packet path would otherwise flood stderr.
+constexpr std::uint64_t kMaxLoggedFailures = 20;
+
+}  // namespace
+
+FailPolicy fail_policy() noexcept { return g_policy.load(std::memory_order_relaxed); }
+void set_fail_policy(FailPolicy p) noexcept { g_policy.store(p, std::memory_order_relaxed); }
+
+std::uint64_t failure_count() noexcept { return g_failures.load(std::memory_order_relaxed); }
+void reset_failures() noexcept { g_failures.store(0, std::memory_order_relaxed); }
+
+namespace detail {
+
+void fail(const char* macro, const char* expr, const char* file, int line,
+          const std::string& message) {
+  std::uint64_t n = g_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::string diag = std::string(macro) + " failed: (" + expr + ") at " + file + ":" +
+                     std::to_string(line);
+  if (!message.empty()) diag += " — " + message;
+  switch (fail_policy()) {
+    case FailPolicy::kThrow:
+      throw CheckError(diag);
+    case FailPolicy::kCountAndLog:
+      if (n <= kMaxLoggedFailures) {
+        std::fprintf(stderr, "[arnet::check] %s (failure #%llu)\n", diag.c_str(),
+                     static_cast<unsigned long long>(n));
+        if (n == kMaxLoggedFailures) {
+          std::fprintf(stderr, "[arnet::check] further failures counted but not logged\n");
+        }
+      }
+      return;
+    case FailPolicy::kAbort:
+      break;
+  }
+  std::fprintf(stderr, "[arnet::check] %s\n", diag.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace arnet::check

@@ -1,0 +1,87 @@
+#include "arnet/check/conservation.hpp"
+
+namespace arnet::check {
+
+void ConservationAuditor::violation(const std::string& what) {
+  ++violations_;
+  ARNET_CHECK(false, "packet conservation: ", what);
+}
+
+void ConservationAuditor::on_inject(sim::Time now, const net::Packet& p) {
+  if (p.uid == 0) {
+    violation(detail::format("packet injected without uid (flow ", p.flow, ", t=", now, ")"));
+    return;
+  }
+  auto [it, inserted] = outstanding_.emplace(p.uid, p.flow);
+  if (!inserted) {
+    violation(detail::format("uid ", p.uid, " re-injected while still in flight (flow ",
+                             p.flow, ", t=", now, ")"));
+    return;
+  }
+  ++flows_[p.flow].injected;
+}
+
+void ConservationAuditor::on_deliver(sim::Time now, const net::Packet& p, net::NodeId at) {
+  auto it = outstanding_.find(p.uid);
+  if (it == outstanding_.end()) {
+    violation(detail::format("delivery of uid ", p.uid, " at node ", at,
+                             " which is not in flight (flow ", p.flow, ", t=", now,
+                             ") — double delivery or unreported injection"));
+    return;
+  }
+  outstanding_.erase(it);
+  ++flows_[p.flow].delivered;
+}
+
+void ConservationAuditor::on_drop(sim::Time now, const net::Packet& p, net::DropReason reason) {
+  auto it = outstanding_.find(p.uid);
+  if (it == outstanding_.end()) {
+    violation(detail::format("drop (", net::to_string(reason), ") of uid ", p.uid,
+                             " which is not in flight (flow ", p.flow, ", t=", now,
+                             ") — double drop or unreported injection"));
+    return;
+  }
+  outstanding_.erase(it);
+  ++flows_[p.flow].dropped;
+  ++drops_by_reason_[reason];
+}
+
+void ConservationAuditor::checkpoint() {
+  // Tally the in-flight set per flow and compare against the counters. The
+  // counters move on notification events, the set on uid identity, so any
+  // missed/duplicated event desynchronizes the two views.
+  std::map<net::FlowId, std::int64_t> live;
+  for (const auto& [uid, flow] : outstanding_) ++live[flow];
+  for (const auto& [flow, c] : flows_) {
+    std::int64_t in_flight = 0;
+    if (auto it = live.find(flow); it != live.end()) in_flight = it->second;
+    if (c.injected != c.delivered + c.dropped + in_flight) {
+      violation(detail::format("flow ", flow, ": injected=", c.injected,
+                               " != delivered=", c.delivered, " + dropped=", c.dropped,
+                               " + in_flight=", in_flight));
+    }
+  }
+  for (const auto& [flow, n] : live) {
+    if (flows_.find(flow) == flows_.end()) {
+      violation(detail::format("flow ", flow, ": ", n, " packets in flight but no counters"));
+    }
+  }
+}
+
+void ConservationAuditor::expect_drained() {
+  checkpoint();
+  if (!outstanding_.empty()) {
+    const auto& [uid, flow] = *outstanding_.begin();
+    violation(detail::format(outstanding_.size(),
+                             " packets still in flight after drain; first: uid ", uid,
+                             " (flow ", flow, ") — a component lost it without "
+                             "reporting a drop"));
+  }
+}
+
+std::int64_t ConservationAuditor::drops_for(net::DropReason r) const {
+  auto it = drops_by_reason_.find(r);
+  return it == drops_by_reason_.end() ? 0 : it->second;
+}
+
+}  // namespace arnet::check

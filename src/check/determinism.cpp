@@ -1,0 +1,86 @@
+#include "arnet/check/determinism.hpp"
+
+#include "arnet/check/assert.hpp"
+
+namespace arnet::check {
+
+void TraceRecorder::attach(net::Network& net) {
+  net.add_observer(this);
+  nets_.push_back(&net);
+}
+
+void TraceRecorder::attach(sim::Simulator& sim) {
+  sim.add_observer(this);
+  sims_.push_back(&sim);
+}
+
+void TraceRecorder::detach_all() {
+  for (net::Network* n : nets_) n->remove_observer(this);
+  nets_.clear();
+  for (sim::Simulator* s : sims_) s->remove_observer(this);
+  sims_.clear();
+}
+
+void TraceRecorder::mix(std::uint64_t v) {
+  // FNV-1a over the value's 8 bytes, LSB first.
+  for (int i = 0; i < 8; ++i) {
+    fp_ ^= (v >> (8 * i)) & 0xFF;
+    fp_ *= 1099511628211ULL;
+  }
+}
+
+void TraceRecorder::record_packet(std::uint64_t tag, sim::Time now, const net::Packet& p) {
+  ++records_;
+  mix(tag);
+  mix(static_cast<std::uint64_t>(now));
+  mix(p.uid);
+  mix(p.flow);
+  mix(static_cast<std::uint64_t>(p.size_bytes));
+}
+
+void TraceRecorder::on_inject(sim::Time now, const net::Packet& p) {
+  record_packet(0x01, now, p);
+}
+
+void TraceRecorder::on_deliver(sim::Time now, const net::Packet& p, net::NodeId at) {
+  record_packet(0x100ULL | at, now, p);
+}
+
+void TraceRecorder::on_drop(sim::Time now, const net::Packet& p, net::DropReason reason) {
+  record_packet(0x200ULL | static_cast<std::uint64_t>(reason), now, p);
+}
+
+void TraceRecorder::on_execute(sim::Time t, std::uint64_t seq, std::uint64_t /*id*/) {
+  ++records_;
+  mix(0x03);
+  mix(static_cast<std::uint64_t>(t));
+  mix(seq);
+}
+
+DeterminismReport DeterminismHarness::run_twice(const Scenario& scenario, std::uint64_t seed) {
+  DeterminismReport report;
+  report.seed = seed;
+  {
+    TraceRecorder first;
+    scenario(seed, first);
+    report.fingerprint_first = first.fingerprint();
+    report.records_first = first.records();
+  }
+  {
+    TraceRecorder second;
+    scenario(seed, second);
+    report.fingerprint_second = second.fingerprint();
+    report.records_second = second.records();
+  }
+  return report;
+}
+
+DeterminismReport DeterminismHarness::verify(const Scenario& scenario, std::uint64_t seed) {
+  DeterminismReport report = run_twice(scenario, seed);
+  ARNET_CHECK(report.deterministic(), "same-seed runs diverged (seed ", report.seed,
+              "): fingerprints ", report.fingerprint_first, " vs ", report.fingerprint_second,
+              ", ", report.records_first, " vs ", report.records_second, " trace records");
+  return report;
+}
+
+}  // namespace arnet::check

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace arnet::check {
+
+/// What a failed ARNET_ASSERT / ARNET_CHECK does. The policy is a process-wide
+/// setting so a scenario driver (or test) can pick the failure mode without
+/// recompiling:
+///  - kAbort:       print the diagnostic and abort(). Default; a corrupted
+///                  trace must never be mistaken for a result.
+///  - kThrow:       throw CheckError. Lets tests assert that an invariant
+///                  fires, and lets long batch drivers skip a bad scenario.
+///  - kCountAndLog: increment failure_count(), log the first few diagnostics,
+///                  and continue. For auditing runs that want a full tally.
+enum class FailPolicy { kAbort, kThrow, kCountAndLog };
+
+/// Thrown by failed checks under FailPolicy::kThrow.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+FailPolicy fail_policy() noexcept;
+void set_fail_policy(FailPolicy p) noexcept;
+
+/// Total failed checks since start / last reset (all policies count).
+std::uint64_t failure_count() noexcept;
+void reset_failures() noexcept;
+
+/// RAII policy override for a scope (exception-safe restore).
+class ScopedFailPolicy {
+ public:
+  explicit ScopedFailPolicy(FailPolicy p) : prev_(fail_policy()) { set_fail_policy(p); }
+  ~ScopedFailPolicy() { set_fail_policy(prev_); }
+  ScopedFailPolicy(const ScopedFailPolicy&) = delete;
+  ScopedFailPolicy& operator=(const ScopedFailPolicy&) = delete;
+
+ private:
+  FailPolicy prev_;
+};
+
+namespace detail {
+
+/// Dispatch a failed check according to the current policy. Returns (only)
+/// under kCountAndLog.
+void fail(const char* macro, const char* expr, const char* file, int line,
+          const std::string& message);
+
+template <typename... Args>
+std::string format(Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace arnet::check
+
+/// ARNET_CHECK(cond, msg...) — always-on invariant check (every build type,
+/// including NDEBUG/Release). Message arguments are streamed only on failure.
+#define ARNET_CHECK(cond, ...)                                                    \
+  do {                                                                            \
+    if (!(cond)) [[unlikely]] {                                                   \
+      ::arnet::check::detail::fail("ARNET_CHECK", #cond, __FILE__, __LINE__,      \
+                                   ::arnet::check::detail::format(__VA_ARGS__));  \
+    }                                                                             \
+  } while (0)
+
+/// ARNET_ASSERT(cond, msg...) — hot-path invariant. Also active in release
+/// builds (the simulator's traces are the product; guarding them is worth the
+/// branch), but can be compiled out with -DARNET_DISABLE_ASSERTS for
+/// microbenchmark builds.
+#ifdef ARNET_DISABLE_ASSERTS
+#define ARNET_ASSERT(cond, ...) \
+  do {                          \
+  } while (0)
+#else
+#define ARNET_ASSERT(cond, ...)                                                   \
+  do {                                                                            \
+    if (!(cond)) [[unlikely]] {                                                   \
+      ::arnet::check::detail::fail("ARNET_ASSERT", #cond, __FILE__, __LINE__,     \
+                                   ::arnet::check::detail::format(__VA_ARGS__));  \
+    }                                                                             \
+  } while (0)
+#endif

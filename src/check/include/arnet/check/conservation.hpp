@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "arnet/check/assert.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/net/observer.hpp"
+
+namespace arnet::check {
+
+/// Packet-conservation auditor: taps a Network and verifies, per flow,
+///
+///     injected == delivered + dropped + in_flight
+///
+/// at every checkpoint, where in_flight is the set of uids whose terminal
+/// event (deliver or drop) has not happened yet. Event-level violations —
+/// a deliver/drop for a uid that is not in flight (double accounting, or a
+/// packet the network never admitted), or a re-injected live uid — are
+/// flagged immediately through ARNET_CHECK, so the failure policy decides
+/// whether they abort, throw, or count. A packet that silently vanishes
+/// (a component forgets to report a drop) shows up as residual in-flight at
+/// expect_drained().
+///
+/// Attach one per Network, before traffic starts.
+class ConservationAuditor final : public net::NetworkObserver {
+ public:
+  struct FlowCounts {
+    std::int64_t injected = 0;
+    std::int64_t delivered = 0;
+    std::int64_t dropped = 0;
+    std::int64_t in_flight() const { return injected - delivered - dropped; }
+  };
+
+  explicit ConservationAuditor(net::Network& net) : net_(&net) { net.add_observer(this); }
+  ~ConservationAuditor() override {
+    if (net_) net_->remove_observer(this);
+  }
+  ConservationAuditor(const ConservationAuditor&) = delete;
+  ConservationAuditor& operator=(const ConservationAuditor&) = delete;
+
+  // NetworkObserver. Public so tests can feed forged events and verify the
+  // auditor rejects them.
+  void on_inject(sim::Time now, const net::Packet& p) override;
+  void on_deliver(sim::Time now, const net::Packet& p, net::NodeId at) override;
+  void on_drop(sim::Time now, const net::Packet& p, net::DropReason reason) override;
+
+  /// Verify the conservation equation for every flow seen so far. Cheap
+  /// enough to call at periodic checkpoints during a long run.
+  void checkpoint();
+
+  /// checkpoint() plus: nothing may remain in flight. Call after the event
+  /// queue drained (packets parked in queues or pipes at an early stop are
+  /// legitimately in flight, so only use this on completed runs).
+  void expect_drained();
+
+  const FlowCounts& flow(net::FlowId id) const { return flows_.at(id); }
+  const std::map<net::FlowId, FlowCounts>& flows() const { return flows_; }
+  std::int64_t total_in_flight() const { return static_cast<std::int64_t>(outstanding_.size()); }
+  std::int64_t drops_for(net::DropReason r) const;
+
+  /// Violations observed so far (nonzero only under FailPolicy::kCountAndLog;
+  /// the other policies abort/throw at the first one).
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  void violation(const std::string& what);
+
+  net::Network* net_;
+  std::map<net::FlowId, FlowCounts> flows_;
+  std::map<std::uint64_t, net::FlowId> outstanding_;  ///< live uid -> flow
+  std::map<net::DropReason, std::int64_t> drops_by_reason_;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace arnet::check

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::check {
+
+/// Event-order auditor for the discrete-event engine. Attached to a
+/// Simulator it machine-checks the engine's scheduling contract on every
+/// executed event:
+///   - monotonic time: an event never fires before the previous one,
+///   - FIFO tie-break: among equal-time events, scheduling order (seq) wins,
+///   - cancel hygiene: cancel() only sees handles the engine actually issued,
+///     and (at finish(), once drained) no cancel tombstones remain — a
+///     leftover tombstone means a handle was cancelled after it fired, which
+///     silently skews pending_events() bookkeeping.
+/// Violations go through ARNET_CHECK (policy decides abort/throw/count).
+class SimAuditor final : public sim::SimObserver {
+ public:
+  explicit SimAuditor(sim::Simulator& sim) : sim_(&sim) { sim.add_observer(this); }
+  ~SimAuditor() override {
+    if (sim_) sim_->remove_observer(this);
+  }
+  SimAuditor(const SimAuditor&) = delete;
+  SimAuditor& operator=(const SimAuditor&) = delete;
+
+  void on_execute(sim::Time t, std::uint64_t seq, std::uint64_t id) override;
+  void on_cancel(std::uint64_t id, bool issued) override;
+
+  /// End-of-run hygiene check; only meaningful once the queue drained.
+  void finish();
+
+  std::uint64_t events_seen() const { return events_; }
+  std::uint64_t violations() const { return violations_; }
+
+ private:
+  void violation(const std::string& what);
+
+  sim::Simulator* sim_;
+  bool any_ = false;
+  sim::Time last_time_ = 0;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t events_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace arnet::check

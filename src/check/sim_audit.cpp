@@ -1,0 +1,42 @@
+#include "arnet/check/sim_audit.hpp"
+
+#include "arnet/check/assert.hpp"
+
+namespace arnet::check {
+
+void SimAuditor::violation(const std::string& what) {
+  ++violations_;
+  ARNET_CHECK(false, "simulator event order: ", what);
+}
+
+void SimAuditor::on_execute(sim::Time t, std::uint64_t seq, std::uint64_t id) {
+  ++events_;
+  if (any_) {
+    if (t < last_time_) {
+      violation(detail::format("event ", id, " fires at t=", t,
+                               "ns after the clock reached t=", last_time_, "ns"));
+    } else if (t == last_time_ && seq <= last_seq_) {
+      violation(detail::format("FIFO tie-break broken at t=", t, "ns: event ", id,
+                               " (seq ", seq, ") ran after seq ", last_seq_));
+    }
+  }
+  any_ = true;
+  last_time_ = t;
+  last_seq_ = seq;
+}
+
+void SimAuditor::on_cancel(std::uint64_t id, bool issued) {
+  if (!issued) {
+    violation(detail::format("cancel of handle ", id, " which the simulator never issued"));
+  }
+}
+
+void SimAuditor::finish() {
+  if (sim_ && sim_->pending_events() == 0 && sim_->cancel_backlog() > 0) {
+    violation(detail::format(sim_->cancel_backlog(),
+                             " stale cancel tombstones after drain — handles were "
+                             "cancelled after their events fired"));
+  }
+}
+
+}  // namespace arnet::check

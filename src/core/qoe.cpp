@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "arnet/check/assert.hpp"
+
 namespace arnet::core {
 
 namespace {
@@ -33,7 +35,14 @@ double qoe_mos(const QoeInputs& in) {
   double rate_score = rate * rate;  // dropping half the frames hurts more than half
 
   double composite = latency_score * jitter_score * miss_score * rate_score;
-  return 1.0 + 4.0 * composite;
+  double mos = 1.0 + 4.0 * composite;
+  // MOS is on the 1..5 ACR scale by construction; NaN inputs (e.g. an empty
+  // latency sample set divided through) would otherwise propagate into every
+  // table that reports QoE.
+  ARNET_CHECK(mos >= 1.0 && mos <= 5.0, "QoE MOS ", mos,
+              " outside [1,5] — check inputs (median=", in.median_latency_ms,
+              "ms, p95=", in.p95_latency_ms, "ms, miss=", in.miss_rate, ")");
+  return mos;
 }
 
 QoeInputs qoe_inputs(const mar::OffloadStats& stats, double duration_s, double target_fps) {

@@ -9,17 +9,6 @@ using net::Priority;
 using net::TrafficClass;
 using transport::ArtpMessageSpec;
 
-namespace {
-// Sessions may share nodes (many users offloading to one edge server), so
-// each instance claims its own block of ports and flow ids.
-net::Port next_port_block() {
-  static net::Port next = 5000;
-  net::Port base = next;
-  next = static_cast<net::Port>(next + 4);
-  return base;
-}
-}  // namespace
-
 const char* to_string(OffloadStrategy s) {
   switch (s) {
     case OffloadStrategy::kLocalOnly:
@@ -50,7 +39,12 @@ OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeI
                            : cfg.strategy),
       track_rng_(net.fork_rng("glimpse-tracking")) {
   cfg_.artp.header_bytes += crypto_costs(cfg_.crypto).per_packet_overhead_bytes;
-  const net::Port base = next_port_block();
+  // Sessions may share nodes (many users offloading to one edge server), so
+  // each instance claims its own block of ports and flow ids — from the
+  // network, not a process-global counter, which would make the second
+  // same-seed run of a scenario bind different ports and break
+  // trace-fingerprint determinism (caught by check::DeterminismHarness).
+  const net::Port base = net.allocate_port_block(4);
   const net::Port client_data = base, server_data = static_cast<net::Port>(base + 1),
                   server_result = static_cast<net::Port>(base + 2),
                   client_result = static_cast<net::Port>(base + 3);

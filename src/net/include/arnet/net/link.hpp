@@ -5,6 +5,7 @@
 #include <string>
 
 #include "arnet/net/loss.hpp"
+#include "arnet/net/observer.hpp"
 #include "arnet/net/packet.hpp"
 #include "arnet/net/queue.hpp"
 #include "arnet/sim/rng.hpp"
@@ -31,12 +32,18 @@ class Link {
 
   using Sink = std::function<void(Packet&&)>;
 
+  /// Invoked for every packet the link kills, wherever it dies: queue
+  /// discipline, loss model, or link-down flush/invalidation. Installed by
+  /// Network to feed its NetworkObservers.
+  using DropHook = std::function<void(const Packet&, DropReason)>;
+
   Link(sim::Simulator& sim, sim::Rng rng, Config cfg);
 
   /// Hand a packet to the link; drops according to the queue discipline.
   void send(Packet p);
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
+  void set_drop_hook(DropHook hook);
   void set_rate(double bps) { cfg_.rate_bps = bps; }
   void set_delay(sim::Time d) { cfg_.delay = d; }
 
@@ -58,12 +65,16 @@ class Link {
  private:
   void start_transmission_if_idle();
   void on_transmit_complete(Packet p);
+  void notify_drop(const Packet& p, DropReason r) {
+    if (drop_hook_) drop_hook_(p, r);
+  }
 
   sim::Simulator& sim_;
   sim::Rng rng_;
   Config cfg_;
   std::unique_ptr<Queue> queue_;
   Sink sink_;
+  DropHook drop_hook_;
   bool transmitting_ = false;
   bool up_ = true;
   std::uint64_t epoch_ = 0;  ///< bumped on set_up(false) to void in-flight packets

@@ -4,10 +4,10 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "arnet/net/link.hpp"
+#include "arnet/net/observer.hpp"
 #include "arnet/net/packet.hpp"
 #include "arnet/sim/rng.hpp"
 #include "arnet/sim/simulator.hpp"
@@ -52,7 +52,9 @@ class Node {
   NodeId id_;
   std::string name_;
   sim::Time forwarding_delay_ = 0;
-  std::unordered_map<Port, PacketHandler> handlers_;
+  // std::map, not unordered: port->handler lookup is tiny, and ordered
+  // iteration keeps any future per-node sweeps deterministic (lint policy).
+  std::map<Port, PacketHandler> handlers_;
   std::int64_t received_packets_ = 0;
 };
 
@@ -92,20 +94,40 @@ class Network {
   std::uint64_t assign_uid() { return next_uid_++; }
   sim::Rng fork_rng(std::string_view label) { return rng_.fork(label); }
 
+  /// Claim a contiguous block of ephemeral ports. Per-network, not
+  /// process-global: a scenario rebuilt from the same seed binds identical
+  /// ports, so its traces fingerprint identically (determinism harness).
+  Port allocate_port_block(Port count) {
+    Port base = next_port_;
+    next_port_ = static_cast<Port>(next_port_ + count);
+    return base;
+  }
+
   /// Observation tap invoked for every packet arriving at any node (both
   /// transit and final delivery). Used by FlowMonitor; keep it cheap.
   using PacketTap = std::function<void(const Packet&, NodeId at, bool is_destination)>;
   void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
+
+  /// Life-cycle observers (inject/deliver/drop); see NetworkObserver. Several
+  /// may be registered (auditor + trace recorder); notification order is
+  /// registration order. Observers must outlive the network or remove
+  /// themselves first.
+  void add_observer(NetworkObserver* obs);
+  void remove_observer(NetworkObserver* obs);
 
  private:
   friend class Node;
   void forward(NodeId at, Packet&& p);
   void deliver_or_forward(NodeId at, Packet&& p);
   void ensure_routes();
+  void notify_inject(const Packet& p);
+  void notify_deliver(const Packet& p, NodeId at);
+  void notify_drop(const Packet& p, DropReason r);
 
   sim::Simulator& sim_;
   sim::Rng rng_;
   std::uint64_t next_uid_ = 1;
+  Port next_port_ = 5000;  ///< ephemeral range start
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   // adjacency[a][b] -> first link a->b
@@ -114,6 +136,7 @@ class Network {
   std::vector<std::vector<NodeId>> next_hop_;
   bool routes_fresh_ = false;
   PacketTap tap_;
+  std::vector<NetworkObserver*> observers_;
 };
 
 }  // namespace arnet::net

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "arnet/net/packet.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::net {
+
+/// Why a packet left the network without reaching its destination.
+enum class DropReason : std::uint8_t {
+  kQueue,       ///< queue discipline refused or AQM-dropped it
+  kLinkDown,    ///< link administratively down (queued or in flight)
+  kRandomLoss,  ///< link loss model fired
+  kUnroutable,  ///< no route to destination
+};
+
+const char* to_string(DropReason r);
+
+/// Packet life-cycle observer. The network reports the three terminal
+/// accounting events for every packet it carries:
+///   on_inject  — the packet entered the network (uid assigned),
+///   on_deliver — it arrived at its destination node (consumed),
+///   on_drop    — it died in transit (queue/loss/link-down/unroutable).
+/// Every injected packet sees exactly one deliver or drop, or is still in
+/// flight (queued, serializing, or propagating) when the simulation stops.
+/// arnet::check::ConservationAuditor audits exactly this contract; keep
+/// implementations cheap — these run per packet.
+class NetworkObserver {
+ public:
+  virtual ~NetworkObserver() = default;
+  virtual void on_inject(sim::Time /*now*/, const Packet& /*p*/) {}
+  virtual void on_deliver(sim::Time /*now*/, const Packet& /*p*/, NodeId /*at*/) {}
+  virtual void on_drop(sim::Time /*now*/, const Packet& /*p*/, DropReason /*reason*/) {}
+};
+
+}  // namespace arnet::net

@@ -16,6 +16,10 @@ namespace arnet::net {
 /// the uplink queue policy strongly shapes MAR latency).
 class Queue {
  public:
+  /// Invoked with every packet the discipline discards (tail drop or AQM),
+  /// at the moment it is discarded. Installed by Link for drop accounting.
+  using DropHook = std::function<void(const Packet&)>;
+
   virtual ~Queue() = default;
 
   /// Returns false if the packet was dropped on arrival.
@@ -28,14 +32,27 @@ class Queue {
   virtual std::size_t packets() const = 0;
   virtual std::int64_t bytes() const = 0;
 
+  /// Virtual so composite disciplines (FQ-CoDel) can propagate the hook to
+  /// their inner queues.
+  virtual void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
+
   bool empty() const { return packets() == 0; }
   std::int64_t drops() const { return drops_; }
 
  protected:
+  /// Count a drop without notifying (composite queues whose inner discipline
+  /// already reported the packet).
   void count_drop() { ++drops_; }
+
+  /// Count a drop and report the dying packet to the hook.
+  void drop(const Packet& p) {
+    ++drops_;
+    if (drop_hook_) drop_hook_(p);
+  }
 
  private:
   std::int64_t drops_ = 0;
+  DropHook drop_hook_;
 };
 
 /// FIFO with a packet-count capacity. Oversized instances model bufferbloat
@@ -105,6 +122,10 @@ class FqCoDelQueue final : public Queue {
   std::optional<Packet> dequeue(sim::Time now) override;
   std::size_t packets() const override { return packets_; }
   std::int64_t bytes() const override { return bytes_; }
+
+  /// Inner CoDel buckets drop both on enqueue and inside dequeue; they get
+  /// the hook so AQM drops are reported exactly once.
+  void set_drop_hook(DropHook hook) override;
 
  private:
   struct Bucket {

@@ -14,9 +14,17 @@ Link::Link(sim::Simulator& sim, sim::Rng rng, Config cfg)
   }
 }
 
+void Link::set_drop_hook(DropHook hook) {
+  drop_hook_ = std::move(hook);
+  queue_->set_drop_hook(
+      drop_hook_ ? [this](const Packet& p) { drop_hook_(p, DropReason::kQueue); }
+                 : Queue::DropHook{});
+}
+
 void Link::send(Packet p) {
   if (!up_) {
     ++lost_packets_;
+    notify_drop(p, DropReason::kLinkDown);
     return;
   }
   if (!queue_->enqueue(std::move(p), sim_.now())) return;  // tail drop
@@ -28,7 +36,10 @@ void Link::set_up(bool up) {
   up_ = up;
   if (!up) {
     // Flush the queue and invalidate in-flight serializations/deliveries.
-    while (auto p = queue_->dequeue(sim_.now())) ++lost_packets_;
+    while (auto p = queue_->dequeue(sim_.now())) {
+      ++lost_packets_;
+      notify_drop(*p, DropReason::kLinkDown);
+    }
     transmitting_ = false;
     ++epoch_;
   } else {
@@ -45,7 +56,10 @@ void Link::start_transmission_if_idle() {
   sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
   std::uint64_t epoch = epoch_;
   sim_.after(tx, [this, epoch, pkt = std::move(*p)]() mutable {
-    if (epoch != epoch_) return;  // link went down mid-serialization
+    if (epoch != epoch_) {  // link went down mid-serialization
+      notify_drop(pkt, DropReason::kLinkDown);
+      return;
+    }
     transmitting_ = false;
     on_transmit_complete(std::move(pkt));
     start_transmission_if_idle();
@@ -55,6 +69,7 @@ void Link::start_transmission_if_idle() {
 void Link::on_transmit_complete(Packet p) {
   if (cfg_.loss && cfg_.loss->lose(rng_, p)) {
     ++lost_packets_;
+    notify_drop(p, DropReason::kRandomLoss);
     return;
   }
   std::uint64_t epoch = epoch_;
@@ -63,7 +78,10 @@ void Link::on_transmit_complete(Packet p) {
   sim::Time arrival = std::max(sim_.now() + cfg_.delay, last_arrival_);
   last_arrival_ = arrival;
   sim_.at(arrival, [this, epoch, pkt = std::move(p)]() mutable {
-    if (epoch != epoch_) return;  // link went down while propagating
+    if (epoch != epoch_) {  // link went down while propagating
+      notify_drop(pkt, DropReason::kLinkDown);
+      return;
+    }
     delivered_bytes_ += pkt.size_bytes;
     ++delivered_packets_;
     if (sink_) sink_(std::move(pkt));

@@ -1,10 +1,23 @@
 #include "arnet/net/network.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 
+#include "arnet/check/assert.hpp"
+
 namespace arnet::net {
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kQueue: return "queue";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kRandomLoss: return "random-loss";
+    case DropReason::kUnroutable: return "unroutable";
+  }
+  return "unknown";
+}
 
 void Node::send(Packet p) {
   p.src = id_;
@@ -15,6 +28,9 @@ void Node::on_packet(Packet&& p) {
   ++received_packets_;
   if (net_.tap_) net_.tap_(p, id_, p.dst == id_);
   if (p.dst == id_) {
+    // Reaching the destination node is final delivery for conservation
+    // accounting, whether or not a handler consumes the payload.
+    net_.notify_deliver(p, id_);
     if (auto it = handlers_.find(p.dst_port); it != handlers_.end()) {
       it->second(std::move(p));
     }
@@ -40,6 +56,7 @@ Link& Network::add_link(NodeId a, NodeId b, Link::Config cfg) {
   auto link = std::make_unique<Link>(sim_, rng_.fork(cfg.name), std::move(cfg));
   Link* raw = link.get();
   raw->set_sink([this, b](Packet&& p) { node(b).on_packet(std::move(p)); });
+  raw->set_drop_hook([this](const Packet& p, DropReason r) { notify_drop(p, r); });
   links_.push_back(std::move(link));
   adjacency_[a][b] = raw;
   routes_fresh_ = false;
@@ -103,13 +120,36 @@ void Network::ensure_routes() {
 void Network::send(Packet p) {
   if (p.uid == 0) p.uid = assign_uid();
   if (p.created_at == 0) p.created_at = sim_.now();
+  notify_inject(p);
   deliver_or_forward(p.src, std::move(p));
 }
 
 void Network::send_via(Link& first_hop, Packet p) {
   if (p.uid == 0) p.uid = assign_uid();
   if (p.created_at == 0) p.created_at = sim_.now();
+  notify_inject(p);
   first_hop.send(std::move(p));
+}
+
+void Network::add_observer(NetworkObserver* obs) {
+  ARNET_CHECK(obs != nullptr, "null NetworkObserver");
+  observers_.push_back(obs);
+}
+
+void Network::remove_observer(NetworkObserver* obs) {
+  observers_.erase(std::remove(observers_.begin(), observers_.end(), obs), observers_.end());
+}
+
+void Network::notify_inject(const Packet& p) {
+  for (NetworkObserver* o : observers_) o->on_inject(sim_.now(), p);
+}
+
+void Network::notify_deliver(const Packet& p, NodeId at) {
+  for (NetworkObserver* o : observers_) o->on_deliver(sim_.now(), p, at);
+}
+
+void Network::notify_drop(const Packet& p, DropReason r) {
+  for (NetworkObserver* o : observers_) o->on_drop(sim_.now(), p, r);
 }
 
 Link* Network::link_between(NodeId a, NodeId b) {
@@ -134,7 +174,10 @@ void Network::deliver_or_forward(NodeId at, Packet&& p) {
 void Network::forward(NodeId at, Packet&& p) {
   ensure_routes();
   NodeId nh = next_hop_.at(at).at(p.dst);
-  if (nh == kNoNode) return;  // unroutable: drop
+  if (nh == kNoNode) {  // unroutable: drop
+    notify_drop(p, DropReason::kUnroutable);
+    return;
+  }
   Link* link = adjacency_.at(at).at(nh);
   link->send(std::move(p));
 }

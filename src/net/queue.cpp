@@ -8,7 +8,7 @@ namespace arnet::net {
 
 bool DropTailQueue::enqueue(Packet p, sim::Time now) {
   if (q_.size() >= capacity_) {
-    count_drop();
+    drop(p);
     return false;
   }
   p.enqueued_at = now;
@@ -31,7 +31,7 @@ CoDelQueue::CoDelQueue() : CoDelQueue(Config{}) {}
 
 bool CoDelQueue::enqueue(Packet p, sim::Time now) {
   if (q_.size() >= cfg_.capacity_packets) {
-    count_drop();
+    drop(p);
     return false;
   }
   p.enqueued_at = now;
@@ -74,7 +74,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
     } else if (now >= drop_next_) {
       // Drop and re-dequeue, tightening the control interval.
       while (p && now >= drop_next_ && dropping_) {
-        count_drop();
+        drop(*p);
         ++count_;
         p = pop_front();
         if (!p) {
@@ -92,7 +92,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
   } else if (above &&
              (now - drop_next_ < cfg_.interval || now - first_above_time_ >= cfg_.interval)) {
     // Enter dropping state.
-    count_drop();
+    drop(*p);
     ++count_;
     p = pop_front();
     dropping_ = true;
@@ -116,6 +116,12 @@ FqCoDelQueue::FqCoDelQueue() : FqCoDelQueue(Config{}) {}
 FqCoDelQueue::FqCoDelQueue(Config cfg) : cfg_(cfg) {
   buckets_.resize(cfg_.bucket_count);
   for (auto& b : buckets_) b.codel = std::make_unique<CoDelQueue>(cfg_.codel);
+}
+
+void FqCoDelQueue::set_drop_hook(DropHook hook) {
+  // The composite's own counter still ticks via count_drop(); the packets
+  // themselves are reported by the bucket that discards them.
+  for (auto& b : buckets_) b.codel->set_drop_hook(hook);
 }
 
 std::size_t FqCoDelQueue::bucket_of(const Packet& p) const {
@@ -186,7 +192,7 @@ std::optional<Packet> FqCoDelQueue::dequeue(sim::Time now) {
 bool ClassfulPriorityQueue::enqueue(Packet p, sim::Time now) {
   auto band = static_cast<std::size_t>(p.priority);
   if (bands_[band].size() >= capacity_) {
-    count_drop();
+    drop(p);
     return false;
   }
   p.enqueued_at = now;
@@ -228,7 +234,7 @@ bool WeightedFairQueue::enqueue(Packet p, sim::Time now) {
   std::size_t cls = std::min(classify_(p), classes_.size() - 1);
   Class& c = classes_[cls];
   if (c.q.size() >= c.cfg.capacity_packets) {
-    count_drop();
+    drop(p);
     return false;
   }
   p.enqueued_at = now;
@@ -273,11 +279,13 @@ std::optional<Packet> WeightedFairQueue::dequeue(sim::Time /*now*/) {
 std::size_t ClassfulPriorityQueue::shed_at_or_below(Priority p) {
   std::size_t shed = 0;
   for (std::size_t i = static_cast<std::size_t>(p); i < 4; ++i) {
-    for (const auto& pkt : bands_[i]) bytes_ -= pkt.size_bytes;
+    for (const auto& pkt : bands_[i]) {
+      bytes_ -= pkt.size_bytes;
+      drop(pkt);
+    }
     shed += bands_[i].size();
     bands_[i].clear();
   }
-  for (std::size_t i = 0; i < shed; ++i) count_drop();
   return shed;
 }
 

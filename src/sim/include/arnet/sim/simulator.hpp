@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <queue>
@@ -14,6 +15,20 @@ namespace arnet::sim {
 struct EventHandle {
   std::uint64_t id = 0;
   bool valid() const { return id != 0; }
+};
+
+/// Execution observer: sees every event the simulator runs and every cancel
+/// request. arnet::check::SimAuditor uses it to machine-check the engine's
+/// ordering contract; arnet::check::TraceRecorder folds the stream into a
+/// determinism fingerprint. Callbacks run per event — keep them cheap.
+class SimObserver {
+ public:
+  virtual ~SimObserver() = default;
+  /// An event is about to run; `seq` is its scheduling order, `id` its handle.
+  virtual void on_execute(Time /*t*/, std::uint64_t /*seq*/, std::uint64_t /*id*/) {}
+  /// cancel() was called on a valid handle; `issued` is false if the id was
+  /// never returned by at()/after().
+  virtual void on_cancel(std::uint64_t /*id*/, bool /*issued*/) {}
 };
 
 /// Single-threaded discrete-event simulator.
@@ -45,7 +60,23 @@ class Simulator {
   void run_for(Time delay) { run_until(now_ + delay); }
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  std::size_t pending_events() const {
+    // Saturate: cancels of already-fired handles can leave more tombstones
+    // than queued events (see cancel_backlog()).
+    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
+  }
+
+  /// Cancel tombstones not yet matched against a queued event. With an empty
+  /// queue a nonzero backlog means stale cancels: handles cancelled after
+  /// they fired. SimAuditor::finish() flags that hygiene violation.
+  std::size_t cancel_backlog() const { return cancelled_.size(); }
+
+  /// Register/unregister an execution observer (auditing & trace
+  /// fingerprinting). Several may be registered; order = registration order.
+  void add_observer(SimObserver* obs) { observers_.push_back(obs); }
+  void remove_observer(SimObserver* obs) {
+    observers_.erase(std::remove(observers_.begin(), observers_.end(), obs), observers_.end());
+  }
 
  private:
   struct Event {
@@ -69,6 +100,7 @@ class Simulator {
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<SimObserver*> observers_;
 };
 
 /// Restartable one-shot timer bound to a simulator (e.g. a TCP RTO timer).

@@ -1,7 +1,8 @@
 #include "arnet/sim/simulator.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "arnet/check/assert.hpp"
 
 namespace arnet::sim {
 
@@ -14,7 +15,9 @@ EventHandle Simulator::at(Time t, Callback cb) {
 }
 
 void Simulator::cancel(EventHandle h) {
-  if (h.valid()) cancelled_.insert(h.id);
+  if (!h.valid()) return;
+  for (SimObserver* o : observers_) o->on_cancel(h.id, h.id < next_id_);
+  cancelled_.insert(h.id);
 }
 
 bool Simulator::pop_and_run_front() {
@@ -28,7 +31,11 @@ bool Simulator::pop_and_run_front() {
     // without copying the callback state.
     Event e = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
-    assert(e.time >= now_);
+    // Survives NDEBUG: a backwards clock silently corrupts every downstream
+    // trace, so it must halt release runs too.
+    ARNET_ASSERT(e.time >= now_, "event ", e.id, " (seq ", e.seq, ") fires at t=", e.time,
+                 "ns but the clock is already at t=", now_, "ns");
+    for (SimObserver* o : observers_) o->on_execute(e.time, e.seq, e.id);
     now_ = e.time;
     ++executed_;
     e.cb();

@@ -1,5 +1,7 @@
 #include "arnet/transport/artp.hpp"
 
+#include "arnet/check/assert.hpp"
+
 #include <algorithm>
 #include <cassert>
 
@@ -219,6 +221,10 @@ void ArtpSender::shed_front_message(std::deque<Chunk>& q) {
     q.pop_front();
   }
   ++shed_messages_;
+  // Shedding must never double-subtract a chunk: a negative backlog would
+  // silently disable graceful degradation (it gates on backlog thresholds).
+  ARNET_ASSERT(backlog_bytes_ >= 0, "ARTP backlog went negative (", backlog_bytes_,
+               " bytes) after shedding message ", msg);
 }
 
 void ArtpSender::restage_critical(std::uint32_t cseq, std::uint32_t only_chunk,

@@ -1,5 +1,7 @@
 #include "arnet/transport/tcp.hpp"
 
+#include "arnet/check/assert.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -163,6 +165,10 @@ bool TcpSource::retransmit_next_sack_hole() {
 }
 
 void TcpSource::on_ack(std::uint64_t ack) {
+  // A peer can only acknowledge bytes we actually put on the wire; anything
+  // beyond next_seq_ means sender/receiver sequence state diverged.
+  ARNET_ASSERT(ack <= next_seq_, "ACK for byte ", ack, " but only ", next_seq_,
+               " bytes were ever sent (flow ", flow_, ")");
   if (ack > highest_ack_) {
     // New data acknowledged.
     backoff_ = 1;

@@ -1,0 +1,325 @@
+// Correctness-tooling tests: ARNET_ASSERT/ARNET_CHECK policies, the
+// simulator event-order auditor, packet-conservation auditing, and the
+// same-seed determinism harness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arnet/check/assert.hpp"
+#include "arnet/check/conservation.hpp"
+#include "arnet/check/determinism.hpp"
+#include "arnet/check/sim_audit.hpp"
+#include "arnet/mar/offload.hpp"
+#include "arnet/net/loss.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/udp.hpp"
+
+using namespace arnet;
+
+// ---------------------------------------------------------------- policies
+
+TEST(CheckPolicyTest, ThrowPolicyThrowsAndCounts) {
+  check::ScopedFailPolicy policy(check::FailPolicy::kThrow);
+  check::reset_failures();
+  EXPECT_THROW(ARNET_CHECK(1 == 2, "one is not ", 2), check::CheckError);
+  EXPECT_THROW(ARNET_ASSERT(false, "asserts are live in every build type"),
+               check::CheckError);
+  EXPECT_EQ(check::failure_count(), 2u);
+}
+
+TEST(CheckPolicyTest, CountAndLogContinues) {
+  check::ScopedFailPolicy policy(check::FailPolicy::kCountAndLog);
+  check::reset_failures();
+  for (int i = 0; i < 5; ++i) ARNET_CHECK(i < 0, "failure #", i);
+  EXPECT_EQ(check::failure_count(), 5u);
+  check::reset_failures();
+}
+
+TEST(CheckPolicyTest, PassingChecksAreFree) {
+  check::reset_failures();
+  ARNET_CHECK(2 + 2 == 4);
+  ARNET_ASSERT(true, "never evaluated");
+  EXPECT_EQ(check::failure_count(), 0u);
+}
+
+TEST(CheckPolicyTest, MessageCarriesDiagnostics) {
+  check::ScopedFailPolicy policy(check::FailPolicy::kThrow);
+  try {
+    ARNET_CHECK(false, "flow ", 7, " lost ", 3, " packets");
+    FAIL() << "should have thrown";
+  } catch (const check::CheckError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("flow 7 lost 3 packets"), std::string::npos) << what;
+    EXPECT_NE(what.find("check_test.cpp"), std::string::npos) << what;
+  }
+  check::reset_failures();
+}
+
+// ---------------------------------------------------------------- sim audit
+
+TEST(SimAuditTest, CleanRunHasNoViolations) {
+  sim::Simulator sim;
+  check::SimAuditor audit(sim);
+  int fired = 0;
+  // Equal-time events (FIFO tie-break) plus a legitimate cancel.
+  sim.at(sim::milliseconds(5), [&] { ++fired; });
+  sim.at(sim::milliseconds(5), [&] { ++fired; });
+  sim.at(sim::milliseconds(1), [&] { ++fired; });
+  auto h = sim.after(sim::milliseconds(2), [&] { ++fired; });
+  sim.cancel(h);
+  sim.run();
+  audit.finish();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(audit.events_seen(), 3u);
+  EXPECT_EQ(audit.violations(), 0u);
+}
+
+TEST(SimAuditTest, FlagsCancelOfUnissuedHandle) {
+  check::ScopedFailPolicy policy(check::FailPolicy::kCountAndLog);
+  check::reset_failures();
+  sim::Simulator sim;
+  check::SimAuditor audit(sim);
+  sim.cancel(sim::EventHandle{999999});  // simulator never issued this id
+  EXPECT_EQ(audit.violations(), 1u);
+  check::reset_failures();
+}
+
+TEST(SimAuditTest, FlagsStaleCancelAfterDrain) {
+  check::ScopedFailPolicy policy(check::FailPolicy::kCountAndLog);
+  check::reset_failures();
+  sim::Simulator sim;
+  check::SimAuditor audit(sim);
+  auto h = sim.after(sim::milliseconds(1), [] {});
+  sim.run();
+  sim.cancel(h);  // handle already fired: tombstone can never be collected
+  audit.finish();
+  EXPECT_GE(audit.violations(), 1u);
+  EXPECT_GT(sim.cancel_backlog(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);  // saturates instead of underflowing
+  check::reset_failures();
+}
+
+// ------------------------------------------------------------- conservation
+
+namespace {
+
+/// Two hosts behind a slow lossy bottleneck; blast UDP datagrams so that all
+/// terminal fates occur: delivery, queue tail-drop, and random wire loss.
+struct LossyPair {
+  sim::Simulator sim;
+  net::Network net{sim, /*seed=*/7};
+  net::NodeId a, b;
+
+  LossyPair() {
+    a = net.add_node("a");
+    b = net.add_node("b");
+    net::Link::Config ab;
+    ab.rate_bps = 2e6;
+    ab.delay = sim::milliseconds(5);
+    ab.queue_packets = 8;  // small: force tail drops
+    ab.loss = std::make_unique<net::BernoulliLoss>(0.1);
+    net::Link::Config ba;
+    ba.rate_bps = 2e6;
+    ba.delay = sim::milliseconds(5);
+    net.connect(a, b, std::move(ab), std::move(ba));
+  }
+};
+
+}  // namespace
+
+TEST(ConservationTest, LossyRunConserves) {
+  LossyPair t;
+  check::ConservationAuditor audit(t.net);
+  transport::UdpEndpoint tx(t.net, t.a, 1000);
+  transport::UdpEndpoint rx(t.net, t.b, 2000);
+  int received = 0;
+  rx.set_handler([&](net::Packet&&) { ++received; });
+
+  constexpr int kPackets = 400;
+  for (int i = 0; i < kPackets; ++i) {
+    t.sim.after(sim::milliseconds(i), [&] { tx.send(t.b, 2000, 1200, /*flow=*/1); });
+  }
+  t.sim.run();
+
+  audit.checkpoint();
+  audit.expect_drained();
+  EXPECT_EQ(audit.violations(), 0u);
+
+  const auto& f = audit.flow(1);
+  EXPECT_EQ(f.injected, kPackets);
+  EXPECT_EQ(f.delivered + f.dropped, kPackets);
+  EXPECT_EQ(f.delivered, received);
+  EXPECT_EQ(f.in_flight(), 0);
+  // The topology forces both drop mechanisms to fire.
+  EXPECT_GT(audit.drops_for(net::DropReason::kRandomLoss), 0);
+  EXPECT_GT(audit.drops_for(net::DropReason::kQueue), 0);
+}
+
+TEST(ConservationTest, CatchesInjectedFakeDrop) {
+  LossyPair t;
+  check::ConservationAuditor audit(t.net);
+  check::ScopedFailPolicy policy(check::FailPolicy::kThrow);
+  // Forge a drop event for a packet the network never carried: the auditor
+  // must reject it instead of silently absorbing the bogus accounting.
+  net::Packet fake;
+  fake.uid = 0xDEADBEEF;
+  fake.flow = 1;
+  fake.size_bytes = 1200;
+  EXPECT_THROW(audit.on_drop(t.sim.now(), fake, net::DropReason::kQueue),
+               check::CheckError);
+  EXPECT_EQ(audit.violations(), 1u);
+  check::reset_failures();
+}
+
+TEST(ConservationTest, CatchesDoubleDelivery) {
+  LossyPair t;
+  check::ConservationAuditor audit(t.net);
+  check::ScopedFailPolicy policy(check::FailPolicy::kThrow);
+  net::Packet p;
+  p.uid = 42;
+  p.flow = 3;
+  audit.on_inject(0, p);
+  audit.on_deliver(1, p, t.b);
+  EXPECT_THROW(audit.on_deliver(2, p, t.b), check::CheckError);  // same uid twice
+  check::reset_failures();
+}
+
+TEST(ConservationTest, LinkDownLossIsAccounted) {
+  sim::Simulator sim;
+  net::Network net(sim, 3);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  auto [ab, ba] = net.connect(a, b, 1e6, sim::milliseconds(10));
+  (void)ba;
+  check::ConservationAuditor audit(net);
+  transport::UdpEndpoint tx(net, a, 1000);
+  for (int i = 0; i < 50; ++i) tx.send(b, 2000, 1200, /*flow=*/9);
+  // Kill the link while packets sit in its queue and pipe.
+  sim.after(sim::milliseconds(5), [l = ab] { l->set_up(false); });
+  sim.run();
+  audit.expect_drained();
+  EXPECT_EQ(audit.violations(), 0u);
+  const auto& f = audit.flow(9);
+  EXPECT_EQ(f.injected, 50);
+  EXPECT_EQ(f.delivered + f.dropped, 50);
+  EXPECT_GT(audit.drops_for(net::DropReason::kLinkDown), 0);
+}
+
+// -------------------------------------------------------------- determinism
+
+namespace {
+
+/// Quickstart-shaped scenario: phone -> AP -> edge CloudRidAR offloading
+/// over a lossy WiFi hop, trace-fingerprinting the whole stack (ARTP, MAR
+/// traffic model, link RNG streams, event engine).
+void offload_scenario(std::uint64_t seed, check::TraceRecorder& trace) {
+  sim::Simulator sim;
+  net::Network net(sim, seed);
+  trace.attach(net);
+  trace.attach(sim);
+
+  net::NodeId phone = net.add_node("phone");
+  net::NodeId ap = net.add_node("ap");
+  net::NodeId edge = net.add_node("edge");
+  net::Link::Config up;
+  up.rate_bps = 25e6;
+  up.delay = sim::milliseconds(3);
+  up.loss = std::make_unique<net::BernoulliLoss>(0.02);
+  net::Link::Config down;
+  down.rate_bps = 25e6;
+  down.delay = sim::milliseconds(3);
+  net.connect(phone, ap, std::move(up), std::move(down));
+  net.connect(ap, edge, 1e9, sim::milliseconds(2));
+
+  mar::OffloadConfig cfg;
+  cfg.strategy = mar::OffloadStrategy::kCloudRidAR;
+  cfg.device = mar::DeviceClass::kSmartphone;
+  cfg.video = mar::VideoModel::hd720p30();
+  cfg.deadline = sim::milliseconds(75);
+  mar::OffloadSession session(net, phone, edge, cfg);
+  session.start();
+  sim.run_until(sim::seconds(5));
+  session.stop();
+}
+
+}  // namespace
+
+TEST(DeterminismTest, SameSeedProducesIdenticalFingerprints) {
+  auto report = check::DeterminismHarness::verify(offload_scenario, /*seed=*/1);
+  EXPECT_TRUE(report.deterministic());
+  EXPECT_EQ(report.fingerprint_first, report.fingerprint_second);
+  EXPECT_EQ(report.records_first, report.records_second);
+  EXPECT_GT(report.records_first, 1000u) << "scenario produced no meaningful trace";
+}
+
+TEST(DeterminismTest, PerturbedSeedProducesDifferentFingerprint) {
+  auto a = check::DeterminismHarness::run_twice(offload_scenario, /*seed=*/1);
+  auto b = check::DeterminismHarness::run_twice(offload_scenario, /*seed=*/2);
+  ASSERT_TRUE(a.deterministic());
+  ASSERT_TRUE(b.deterministic());
+  EXPECT_NE(a.fingerprint_first, b.fingerprint_first)
+      << "different seeds must perturb the packet/event trace";
+}
+
+TEST(DeterminismTest, DivergenceIsDetected) {
+  check::ScopedFailPolicy policy(check::FailPolicy::kThrow);
+  // A scenario that depends on state outside the seed is the exact failure
+  // mode the harness exists to catch.
+  int calls = 0;
+  auto nondeterministic = [&calls](std::uint64_t /*seed*/, check::TraceRecorder& trace) {
+    sim::Simulator sim;
+    net::Network net(sim, static_cast<std::uint64_t>(++calls));  // leaks across runs
+    trace.attach(net);
+    auto a = net.add_node("a");
+    auto b = net.add_node("b");
+    net::Link::Config ab;
+    ab.rate_bps = 1e6;
+    ab.delay = sim::milliseconds(1);
+    ab.loss = std::make_unique<net::BernoulliLoss>(0.5);
+    net::Link::Config ba;
+    ba.rate_bps = 1e6;
+    ba.delay = sim::milliseconds(1);
+    net.connect(a, b, std::move(ab), std::move(ba));
+    transport::UdpEndpoint tx(net, a, 1);
+    for (int i = 0; i < 100; ++i) tx.send(b, 2, 1000, 1);
+    sim.run();
+  };
+  EXPECT_THROW(check::DeterminismHarness::verify(nondeterministic, 1), check::CheckError);
+  check::reset_failures();
+}
+
+TEST(DeterminismTest, AuditorsComposeWithHarness) {
+  // All three tools on one run: trace fingerprinting, conservation, and
+  // event-order auditing operating as stacked observers.
+  auto audited = [](std::uint64_t seed, check::TraceRecorder& trace) {
+    sim::Simulator sim;
+    check::SimAuditor sim_audit(sim);
+    net::Network net(sim, seed);
+    check::ConservationAuditor conserve(net);
+    trace.attach(net);
+    trace.attach(sim);
+    auto a = net.add_node("a");
+    auto b = net.add_node("b");
+    net::Link::Config ab;
+    ab.rate_bps = 5e6;
+    ab.delay = sim::milliseconds(2);
+    ab.queue_packets = 20;
+    ab.loss = std::make_unique<net::BernoulliLoss>(0.05);
+    net::Link::Config ba;
+    ba.rate_bps = 5e6;
+    ba.delay = sim::milliseconds(2);
+    net.connect(a, b, std::move(ab), std::move(ba));
+    transport::UdpEndpoint tx(net, a, 1);
+    for (int i = 0; i < 200; ++i) {
+      sim.after(sim::milliseconds(i / 4), [&] { tx.send(b, 2, 1000, 1); });
+    }
+    sim.run();
+    conserve.expect_drained();
+    sim_audit.finish();
+    EXPECT_EQ(conserve.violations(), 0u);
+    EXPECT_EQ(sim_audit.violations(), 0u);
+  };
+  auto report = check::DeterminismHarness::verify(audited, /*seed=*/11);
+  EXPECT_TRUE(report.deterministic());
+}

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Nondeterminism lint for arnet simulation-path code.
+
+Every figure and table this repo reproduces comes out of the discrete-event
+simulator, so a single source of run-to-run variation silently invalidates
+results. This lint statically bans the common hazard classes from src/:
+
+  wall-clock          std::chrono::{system,steady,high_resolution}_clock,
+                      gettimeofday / clock_gettime / time(NULL): simulated
+                      time must come from sim::Simulator::now() only.
+  ambient-randomness  rand()/srand()/std::random_device: all randomness must
+                      flow from a seeded sim::Rng (or a substream fork).
+  unordered-container std::unordered_{map,set,...}: iteration order depends
+                      on hash seeding, allocation history and libstdc++
+                      version; a sweep over one that feeds scheduling or
+                      aggregation decisions reorders events between runs.
+                      Use std::map/std::set (or sort before iterating).
+  address-keyed       std::map/std::set keyed on a pointer type: ordering
+                      follows the allocator's address layout, which ASLR
+                      re-rolls every run.
+
+Known-benign uses are allowlisted below with a justification; the list is
+deliberately tiny and a stale entry fails the lint so it cannot rot.
+
+Usage: lint_determinism.py <dir-or-file> [...]
+Exit code 0 = clean, 1 = violations (or stale allowlist), 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"std::chrono::(?:system_clock|steady_clock|high_resolution_clock)"
+            r"|\bgettimeofday\s*\("
+            r"|\bclock_gettime\s*\("
+            r"|(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0)\s*\)"
+        ),
+        "wall-clock time in sim-path code; use sim::Simulator::now()",
+    ),
+    (
+        "ambient-randomness",
+        re.compile(r"(?<![\w:.])(?:rand|srand)\s*\(|std::random_device"),
+        "unseeded randomness; route through a seeded sim::Rng stream",
+    ),
+    (
+        "unordered-container",
+        re.compile(r"std::unordered_(?:map|multimap|set|multiset)\s*<"),
+        "hash-ordered container; iteration order is not reproducible "
+        "(use std::map/std::set, or allowlist a provably non-iterated use)",
+    ),
+    (
+        "address-keyed",
+        # Ordered associative container whose key type is a pointer: the
+        # comparator sorts by address, which ASLR randomizes.
+        re.compile(
+            r"std::(?:multi)?map\s*<\s*[\w:<>\s]*?\*\s*,"
+            r"|std::(?:multi)?set\s*<\s*[\w:<>\s]*?\*\s*>"
+        ),
+        "pointer-keyed ordered container; ordering follows ASLR'd addresses "
+        "(key on a stable id instead)",
+    ),
+]
+
+# (path suffix, rule id) -> justification. Kept deliberately small (<= 3);
+# growing it needs a reviewed justification here.
+ALLOWLIST = {
+    ("sim/include/arnet/sim/simulator.hpp", "unordered-container"):
+        "cancelled-event id set: membership tests only, never iterated, "
+        "so hash order cannot reach scheduling decisions",
+}
+
+SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
+
+
+def strip_comments(text: str) -> str:
+    """Blank out //... and /*...*/ spans (and string literals), preserving
+    line structure so reported line numbers stay correct."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line | block | str | chr
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "str"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "chr"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        elif state in ("str", "chr"):
+            quote = '"' if state == "str" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+            out.append(c if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def lint_file(path: Path, root: Path):
+    violations = []
+    allow_hits = set()
+    rel = path.as_posix()
+    code = strip_comments(path.read_text(encoding="utf-8", errors="replace"))
+    for lineno, line in enumerate(code.splitlines(), start=1):
+        for rule_id, pattern, message in RULES:
+            if not pattern.search(line):
+                continue
+            allow_key = next(
+                (k for k in ALLOWLIST
+                 if rel.endswith(k[0]) and k[1] == rule_id),
+                None,
+            )
+            if allow_key is not None:
+                allow_hits.add(allow_key)
+                continue
+            violations.append((rel, lineno, rule_id, message))
+    return violations, allow_hits
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    files = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            files.extend(
+                sorted(f for f in p.rglob("*") if f.suffix in SOURCE_SUFFIXES))
+        elif p.is_file():
+            files.append(p)
+        else:
+            print(f"lint_determinism: no such path: {arg}", file=sys.stderr)
+            return 2
+
+    all_violations = []
+    used_allow = set()
+    for f in files:
+        violations, allow_hits = lint_file(f, Path(argv[1]))
+        all_violations.extend(violations)
+        used_allow.update(allow_hits)
+
+    for rel, lineno, rule_id, message in all_violations:
+        print(f"{rel}:{lineno}: [{rule_id}] {message}")
+
+    stale = set(ALLOWLIST) - used_allow
+    for suffix, rule_id in sorted(stale):
+        print(f"stale allowlist entry: ({suffix}, {rule_id}) matched nothing; "
+              f"remove it")
+
+    if all_violations or stale:
+        print(f"\nlint_determinism: {len(all_violations)} violation(s), "
+              f"{len(stale)} stale allowlist entr(y/ies) in {len(files)} files")
+        return 1
+    print(f"lint_determinism: clean ({len(files)} files, "
+          f"{len(used_allow)}/{len(ALLOWLIST)} allowlist entries in use)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
