@@ -4,10 +4,18 @@
 // network phases; instead of halving a window, ARTP sheds by priority while
 // the application adapts quality from QoS feedback. A TCP flow runs through
 // the same capacity schedule for the cwnd sawtooth comparison.
+//
+// All series flow through arnet::obs: the runs publish into a
+// MetricsRegistry, the registry is exported to fig4_metrics.jsonl, and the
+// printed table is built from the *re-imported* file — exercising the full
+// exporter round trip the way a plotting script would.
+#include <fstream>
 #include <iostream>
 
 #include "arnet/core/table.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/obs/export.hpp"
+#include "arnet/obs/registry.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/transport/artp.hpp"
 #include "arnet/transport/tcp.hpp"
@@ -28,15 +36,19 @@ constexpr double kPhase2Bps = 3e6;
 constexpr double kPhase3Bps = 0.9e6;
 constexpr sim::Time kPhaseLen = seconds(10);
 
+const char* kMetricsPath = "fig4_metrics.jsonl";
+
+std::string app_entity(AppData app) {
+  return std::string("app:") + net::to_string(app);
+}
+
 struct ArtpRun {
-  // Per-traffic-type delivered rate, sampled per second.
-  sim::TimeSeries metadata, sensors, refs, inters;
   std::int64_t metadata_delivered = 0, metadata_offered = 0;
   std::int64_t refs_delivered = 0, refs_offered = 0;
   std::int64_t inters_delivered = 0, inters_offered = 0;
 };
 
-ArtpRun run_artp() {
+ArtpRun run_artp(obs::MetricsRegistry& reg) {
   sim::Simulator sim;
   net::Network net(sim, 4);
   auto client = net.add_node("client");
@@ -46,7 +58,9 @@ ArtpRun run_artp() {
   sim.at(kPhaseLen, [l = up] { l->set_rate(kPhase2Bps); });
   sim.at(2 * kPhaseLen, [l = up] { l->set_rate(kPhase3Bps); });
 
-  transport::ArtpReceiver rx(net, server, 80);
+  transport::ArtpReceiver::Config rx_cfg;
+  rx_cfg.metrics = &reg;
+  transport::ArtpReceiver rx(net, server, 80, rx_cfg);
   std::array<sim::RateMeter, net::kAppDataCount> delivered;
   ArtpRun result;
   rx.set_message_callback([&](const transport::ArtpDelivery& d) {
@@ -59,8 +73,9 @@ ArtpRun run_artp() {
       default: break;
     }
   });
-  transport::ArtpSender tx(net, client, 1000, server, 80, 1,
-                           transport::ArtpSenderConfig{});
+  transport::ArtpSenderConfig tx_cfg;
+  tx_cfg.metrics = &reg;
+  transport::ArtpSender tx(net, client, 1000, server, 80, 1, tx_cfg);
 
   // Application adaptation from QoS feedback (the "adjustable variables" of
   // the figure): congestion level scales interframe quality and sensor rate.
@@ -116,24 +131,26 @@ ArtpRun run_artp() {
     });
   }
 
+  // Per-traffic-type delivered rate, sampled per second into the recorder.
   for (int t = 1; t <= 30; ++t) {
     sim.at(seconds(t), [&] {
-      auto sample = [&](AppData app, sim::TimeSeries& out) {
+      auto sample = [&](AppData app) {
         auto& meter = delivered[static_cast<std::size_t>(app)];
         meter.sample(sim.now());
-        out.add(sim.now(), meter.series().points().back().second);
+        reg.recorder().record("artp.rate_mbps", app_entity(app), sim.now(),
+                              meter.series().points().back().second);
       };
-      sample(AppData::kConnectionMetadata, result.metadata);
-      sample(AppData::kSensorData, result.sensors);
-      sample(AppData::kVideoReferenceFrame, result.refs);
-      sample(AppData::kVideoInterFrame, result.inters);
+      sample(AppData::kConnectionMetadata);
+      sample(AppData::kSensorData);
+      sample(AppData::kVideoReferenceFrame);
+      sample(AppData::kVideoInterFrame);
     });
   }
   sim.run_until(seconds(30));
   return result;
 }
 
-sim::TimeSeries run_tcp_cwnd() {
+void run_tcp_cwnd(obs::MetricsRegistry& reg) {
   sim::Simulator sim;
   net::Network net(sim, 4);
   auto client = net.add_node("client");
@@ -144,17 +161,16 @@ sim::TimeSeries run_tcp_cwnd() {
   sim.at(2 * kPhaseLen, [l = up] { l->set_rate(kPhase3Bps); });
   transport::TcpSink sink(net, server, 80);
   transport::TcpSource::Config cfg;
-  cfg.trace_cwnd = true;
+  cfg.metrics = &reg;  // publishes the dense tcp.cwnd trace + RTT histogram
   transport::TcpSource src(net, client, 1000, server, 80, 1, cfg);
   src.send_forever();
-  sim::TimeSeries per_second;
   for (int t = 1; t <= 30; ++t) {
     sim.at(seconds(t), [&] {
-      per_second.add(sim.now(), src.cwnd_bytes() / 1460.0);  // in segments
+      reg.recorder().record("tcp.cwnd_segments", "tcp", sim.now(),
+                            src.cwnd_bytes() / 1460.0);
     });
   }
   sim.run_until(seconds(30));
-  return per_second;
 }
 
 double phase_mean(const sim::TimeSeries& ts, int phase) {
@@ -168,18 +184,50 @@ int main() {
             << "Link capacity: 8 Mb/s (phase 1) -> 3 Mb/s (phase 2) -> 0.9 Mb/s\n"
             << "(phase 3), 10 s each.\n\n";
 
-  auto artp = run_artp();
-  auto cwnd = run_tcp_cwnd();
+  obs::MetricsRegistry reg;
+  auto artp = run_artp(reg);
+  run_tcp_cwnd(reg);
+
+  // Export everything, then rebuild the figure from the file alone.
+  {
+    std::ofstream os(kMetricsPath);
+    obs::write_jsonl(reg, os);
+  }
+  obs::MetricsRegistry imported;
+  {
+    std::ifstream is(kMetricsPath);
+    if (!obs::read_jsonl(is, imported)) {
+      std::cerr << "failed to re-import " << kMetricsPath << "\n";
+      return 1;
+    }
+  }
+  std::cout << "Series exported to " << kMetricsPath
+            << " and re-imported for the table below.\n\n";
+
+  auto series = [&](const std::string& name, const std::string& entity)
+      -> const sim::TimeSeries& {
+    const sim::TimeSeries* ts = imported.recorder().find(name, entity);
+    if (!ts) {
+      std::cerr << "missing series " << name << " [" << entity << "]\n";
+      std::exit(1);
+    }
+    return *ts;
+  };
 
   core::TablePrinter t({"Traffic type (class/priority)", "phase 1", "phase 2", "phase 3"});
   auto row = [&](const char* name, const sim::TimeSeries& ts) {
     t.add_row({name, core::fmt_mbps(phase_mean(ts, 1) * 1e6),
                core::fmt_mbps(phase_mean(ts, 2) * 1e6), core::fmt_mbps(phase_mean(ts, 3) * 1e6)});
   };
-  row("Connection metadata (critical/highest)", artp.metadata);
-  row("Sensor data (best effort/medium-1)", artp.sensors);
-  row("Video reference frames (recovery/medium)", artp.refs);
-  row("Video interframes (best effort/lowest)", artp.inters);
+  row("Connection metadata (critical/highest)",
+      series("artp.rate_mbps", app_entity(AppData::kConnectionMetadata)));
+  row("Sensor data (best effort/medium-1)",
+      series("artp.rate_mbps", app_entity(AppData::kSensorData)));
+  row("Video reference frames (recovery/medium)",
+      series("artp.rate_mbps", app_entity(AppData::kVideoReferenceFrame)));
+  row("Video interframes (best effort/lowest)",
+      series("artp.rate_mbps", app_entity(AppData::kVideoInterFrame)));
+  const sim::TimeSeries& cwnd = series("tcp.cwnd_segments", "tcp");
   t.add_row({"TCP baseline: mean cwnd (segments)", core::fmt(phase_mean(cwnd, 1), 1),
              core::fmt(phase_mean(cwnd, 2), 1), core::fmt(phase_mean(cwnd, 3), 1)});
   t.print(std::cout);
@@ -191,6 +239,11 @@ int main() {
             << "  (quality reduced only in phase 3)\n"
             << "  interframes " << artp.inters_offered << " -> " << artp.inters_delivered
             << "  (first to be shed)\n";
+
+  if (const obs::Counter* shed = imported.find_counter("artp.shed_messages", "artp")) {
+    std::cout << "  ARTP shed " << shed->value() << " messages under congestion"
+              << " (re-imported counter).\n";
+  }
 
   std::cout << "\nShape check vs the paper: TCP saws its window down uniformly; ARTP\n"
                "keeps metadata untouched across all phases, trims sensor data and\n"

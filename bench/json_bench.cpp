@@ -1,0 +1,107 @@
+#include "json_bench.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "arnet/obs/metrics.hpp"
+
+namespace arnet::benchjson {
+
+namespace {
+
+// Shortest representation that still distinguishes the measured values;
+// bench output is consumed by the schema checker and plotting scripts, not
+// round-tripped, so printf precision is fine here.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+struct Measurement {
+  std::int64_t iterations = 0;
+  double wall_s = 0.0;
+  std::int64_t sim_events = 0;
+  obs::Histogram latency_ns;
+};
+
+Measurement measure(const Case& c) {
+  using clock = std::chrono::steady_clock;
+  constexpr double kBudgetSeconds = 0.2;
+  constexpr std::int64_t kMinIterations = 3;
+
+  c.body();  // warm-up: first-touch allocations, cold caches
+
+  Measurement m;
+  auto start = clock::now();
+  while (true) {
+    auto t0 = clock::now();
+    m.sim_events += c.body();
+    auto t1 = clock::now();
+    ++m.iterations;
+    m.latency_ns.record(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+    double elapsed = std::chrono::duration<double>(t1 - start).count();
+    if (m.iterations >= kMinIterations && elapsed >= kBudgetSeconds) {
+      m.wall_s = elapsed;
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int run_json(const std::string& suite, const std::vector<Case>& cases,
+             const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  os << "{\"schema\":\"arnet-bench-v1\",\"suite\":\"" << suite
+     << "\",\"benchmarks\":[";
+  bool first = true;
+  for (const Case& c : cases) {
+    std::fprintf(stderr, "running %s...\n", c.name.c_str());
+    Measurement m = measure(c);
+    const obs::Histogram& h = m.latency_ns;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << c.name << "\""
+       << ",\"iterations\":" << m.iterations
+       << ",\"wall_time_s\":" << fmt(m.wall_s)
+       << ",\"ops_per_sec\":"
+       << fmt(static_cast<double>(m.iterations) / m.wall_s)
+       << ",\"sim_events\":" << m.sim_events
+       << ",\"sim_events_per_sec\":"
+       << fmt(static_cast<double>(m.sim_events) / m.wall_s)
+       << ",\"latency_ns\":{"
+       << "\"mean\":" << fmt(h.mean()) << ",\"p50\":" << fmt(h.p50())
+       << ",\"p90\":" << fmt(h.p90()) << ",\"p99\":" << fmt(h.p99())
+       << ",\"min\":" << fmt(h.min()) << ",\"max\":" << fmt(h.max())
+       << "}}";
+  }
+  os << "]}\n";
+  return os.good() ? 0 : 1;
+}
+
+int main_dispatch(int argc, char** argv, const std::string& suite,
+                  const std::vector<Case>& cases) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return run_json(suite, cases, argv[i + 1]);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace arnet::benchjson

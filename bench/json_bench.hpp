@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace arnet::benchjson {
+
+/// One benchmark case. `body` runs a single iteration of the workload and
+/// returns the number of simulator events it executed (0 for pure-compute
+/// workloads such as the vision kernels).
+struct Case {
+  std::string name;
+  std::function<std::int64_t()> body;
+};
+
+/// Run every case and write an "arnet-bench-v1" JSON document to `path`:
+///
+///   {"schema": "arnet-bench-v1", "suite": "<suite>",
+///    "benchmarks": [{"name": ..., "iterations": N, "wall_time_s": ...,
+///                    "ops_per_sec": ..., "sim_events": ...,
+///                    "sim_events_per_sec": ...,
+///                    "latency_ns": {"mean": ..., "p50": ..., "p90": ...,
+///                                   "p99": ..., "min": ..., "max": ...}},
+///                   ...]}
+///
+/// Per-iteration wall latencies feed an obs::Histogram, so the percentile
+/// semantics match the rest of the observability layer. Returns 0 on
+/// success, 1 if `path` cannot be written.
+int run_json(const std::string& suite, const std::vector<Case>& cases,
+             const std::string& path);
+
+/// Entry-point helper for the microbench binaries: with "--json <path>" on
+/// the command line runs `run_json` and returns; otherwise hands the full
+/// command line to google-benchmark (console output, regex filters, etc.).
+int main_dispatch(int argc, char** argv, const std::string& suite,
+                  const std::vector<Case>& cases);
+
+}  // namespace arnet::benchjson

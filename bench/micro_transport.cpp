@@ -1,9 +1,13 @@
-// Micro-benchmarks of the simulation and transport hot paths
-// (google-benchmark): event loop turnover, queue disciplines, and
-// end-to-end simulated transfers per wall-clock second.
+// Micro-benchmarks of the simulation and transport hot paths: event loop
+// turnover, queue disciplines, and end-to-end simulated transfers per
+// wall-clock second. Two entry modes share the same workload bodies:
+// google-benchmark console runs (default), and `--json <path>` which emits
+// the arnet-bench-v1 baseline consumed by CI (see json_bench.hpp).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "arnet/net/network.hpp"
 #include "arnet/net/queue.hpp"
@@ -12,23 +16,22 @@
 #include "arnet/transport/jitter_buffer.hpp"
 #include "arnet/transport/tcp.hpp"
 #include "arnet/wireless/wifi.hpp"
+#include "json_bench.hpp"
 
 namespace {
 
 using namespace arnet;
 
-void BM_SimulatorEventTurnover(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator sim;
-    int fired = 0;
-    for (int i = 0; i < 10'000; ++i) {
-      sim.at(sim::microseconds(i), [&fired] { ++fired; });
-    }
-    sim.run();
-    benchmark::DoNotOptimize(fired);
+std::int64_t run_simulator_event_turnover() {
+  sim::Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    sim.at(sim::microseconds(i), [&fired] { ++fired; });
   }
+  sim.run();
+  benchmark::DoNotOptimize(fired);
+  return static_cast<std::int64_t>(sim.events_executed());
 }
-BENCHMARK(BM_SimulatorEventTurnover);
 
 template <typename Q>
 void queue_cycle(Q& q) {
@@ -42,138 +45,186 @@ void queue_cycle(Q& q) {
   }
 }
 
-void BM_DropTailQueue(benchmark::State& state) {
-  for (auto _ : state) {
-    net::DropTailQueue q(512);
-    queue_cycle(q);
-    benchmark::DoNotOptimize(q.drops());
+std::int64_t run_drop_tail_queue() {
+  net::DropTailQueue q(512);
+  queue_cycle(q);
+  benchmark::DoNotOptimize(q.drops());
+  return 0;
+}
+
+std::int64_t run_codel_queue() {
+  net::CoDelQueue q;
+  queue_cycle(q);
+  benchmark::DoNotOptimize(q.drops());
+  return 0;
+}
+
+std::int64_t run_fq_codel_queue() {
+  net::FqCoDelQueue q;
+  queue_cycle(q);
+  benchmark::DoNotOptimize(q.drops());
+  return 0;
+}
+
+std::int64_t run_weighted_fair_queue() {
+  net::WeightedFairQueue q({{3.0, 512}, {1.0, 512}},
+                           net::WeightedFairQueue::reserve_flow(1));
+  queue_cycle(q);
+  benchmark::DoNotOptimize(q.drops());
+  return 0;
+}
+
+std::int64_t run_classful_priority_queue() {
+  net::ClassfulPriorityQueue q;
+  for (int i = 0; i < 256; ++i) {
+    net::Packet p;
+    p.size_bytes = 1500;
+    p.priority = static_cast<net::Priority>(i % 4);
+    q.enqueue(std::move(p), 0);
   }
+  while (q.dequeue(0)) {
+  }
+  benchmark::DoNotOptimize(q.drops());
+  return 0;
+}
+
+std::int64_t run_jitter_buffer_push_pop() {
+  transport::JitterBuffer jb;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    sim::Time ts = sim::milliseconds(10) * i;
+    transport::JitterBuffer::Sample s{i, ts, ts + sim::milliseconds(20)};
+    jb.push(s, s.arrival);
+    benchmark::DoNotOptimize(jb.due(s.arrival));
+  }
+  return 0;
+}
+
+std::int64_t run_tcp_bulk_transfer() {
+  // Wall-clock cost of simulating a 1 MB TCP transfer over a 10 Mb/s link.
+  sim::Simulator sim;
+  net::Network net(sim, 1);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 10e6, sim::milliseconds(10), 100);
+  transport::TcpSink sink(net, s, 80);
+  transport::TcpSource src(net, c, 1000, s, 80, 1);
+  src.send(1'000'000);
+  sim.run_until(sim::seconds(30));
+  benchmark::DoNotOptimize(sink.received_bytes());
+  return static_cast<std::int64_t>(sim.events_executed());
+}
+
+std::int64_t run_artp_session() {
+  // Wall-clock cost of simulating 10 s of a 30 Hz ARTP feature stream.
+  sim::Simulator sim;
+  net::Network net(sim, 1);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 20e6, sim::milliseconds(10), 300);
+  transport::ArtpReceiver rx(net, s, 80);
+  transport::ArtpSender tx(net, c, 1000, s, 80, 1, transport::ArtpSenderConfig{});
+  for (int i = 0; i < 300; ++i) {
+    sim.at(sim::from_seconds(i / 30.0), [&tx] {
+      transport::ArtpMessageSpec m;
+      m.bytes = 14'400;
+      m.tclass = net::TrafficClass::kBestEffortLossRecovery;
+      m.priority = net::Priority::kMediumNoDrop;
+      tx.send_message(m);
+    });
+  }
+  sim.run_until(sim::seconds(11));
+  benchmark::DoNotOptimize(rx.delivered_messages());
+  return static_cast<std::int64_t>(sim.events_executed());
+}
+
+std::int64_t run_wifi_cell_saturated() {
+  // Wall-clock cost of 1 simulated second of a saturated 4-station cell.
+  sim::Simulator sim;
+  wireless::WifiCell cell(sim, sim::Rng(1), wireless::WifiCell::Config{});
+  std::vector<std::uint32_t> stas;
+  for (int i = 0; i < 4; ++i) stas.push_back(cell.add_station(54e6));
+  cell.set_sink(wireless::WifiCell::kApId, [&](net::Packet&& p, std::uint32_t from) {
+    (void)p;
+    net::Packet next;
+    next.size_bytes = 1500;
+    cell.send(from, wireless::WifiCell::kApId, std::move(next));
+  });
+  for (auto s : stas) {
+    for (int i = 0; i < 3; ++i) {
+      net::Packet p;
+      p.size_bytes = 1500;
+      cell.send(s, wireless::WifiCell::kApId, std::move(p));
+    }
+  }
+  sim.run_until(sim::seconds(1));
+  benchmark::DoNotOptimize(cell.delivered_bytes(wireless::WifiCell::kApId));
+  return static_cast<std::int64_t>(sim.events_executed());
+}
+
+void BM_SimulatorEventTurnover(benchmark::State& state) {
+  for (auto _ : state) run_simulator_event_turnover();
+}
+BENCHMARK(BM_SimulatorEventTurnover);
+
+void BM_DropTailQueue(benchmark::State& state) {
+  for (auto _ : state) run_drop_tail_queue();
 }
 BENCHMARK(BM_DropTailQueue);
 
 void BM_CoDelQueue(benchmark::State& state) {
-  for (auto _ : state) {
-    net::CoDelQueue q;
-    queue_cycle(q);
-    benchmark::DoNotOptimize(q.drops());
-  }
+  for (auto _ : state) run_codel_queue();
 }
 BENCHMARK(BM_CoDelQueue);
 
 void BM_FqCoDelQueue(benchmark::State& state) {
-  for (auto _ : state) {
-    net::FqCoDelQueue q;
-    queue_cycle(q);
-    benchmark::DoNotOptimize(q.drops());
-  }
+  for (auto _ : state) run_fq_codel_queue();
 }
 BENCHMARK(BM_FqCoDelQueue);
 
 void BM_WeightedFairQueue(benchmark::State& state) {
-  for (auto _ : state) {
-    net::WeightedFairQueue q({{3.0, 512}, {1.0, 512}},
-                             net::WeightedFairQueue::reserve_flow(1));
-    queue_cycle(q);
-    benchmark::DoNotOptimize(q.drops());
-  }
+  for (auto _ : state) run_weighted_fair_queue();
 }
 BENCHMARK(BM_WeightedFairQueue);
 
 void BM_JitterBufferPushPop(benchmark::State& state) {
-  for (auto _ : state) {
-    transport::JitterBuffer jb;
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      sim::Time ts = sim::milliseconds(10) * i;
-      transport::JitterBuffer::Sample s{i, ts, ts + sim::milliseconds(20)};
-      jb.push(s, s.arrival);
-      benchmark::DoNotOptimize(jb.due(s.arrival));
-    }
-  }
+  for (auto _ : state) run_jitter_buffer_push_pop();
 }
 BENCHMARK(BM_JitterBufferPushPop);
 
 void BM_ClassfulPriorityQueue(benchmark::State& state) {
-  for (auto _ : state) {
-    net::ClassfulPriorityQueue q;
-    for (int i = 0; i < 256; ++i) {
-      net::Packet p;
-      p.size_bytes = 1500;
-      p.priority = static_cast<net::Priority>(i % 4);
-      q.enqueue(std::move(p), 0);
-    }
-    while (q.dequeue(0)) {
-    }
-    benchmark::DoNotOptimize(q.drops());
-  }
+  for (auto _ : state) run_classful_priority_queue();
 }
 BENCHMARK(BM_ClassfulPriorityQueue);
 
 void BM_TcpBulkTransferSimulated(benchmark::State& state) {
-  // Wall-clock cost of simulating a 1 MB TCP transfer over a 10 Mb/s link.
-  for (auto _ : state) {
-    sim::Simulator sim;
-    net::Network net(sim, 1);
-    auto c = net.add_node("c");
-    auto s = net.add_node("s");
-    net.connect(c, s, 10e6, sim::milliseconds(10), 100);
-    transport::TcpSink sink(net, s, 80);
-    transport::TcpSource src(net, c, 1000, s, 80, 1);
-    src.send(1'000'000);
-    sim.run_until(sim::seconds(30));
-    benchmark::DoNotOptimize(sink.received_bytes());
-  }
+  for (auto _ : state) run_tcp_bulk_transfer();
 }
 BENCHMARK(BM_TcpBulkTransferSimulated);
 
 void BM_ArtpSessionSimulated(benchmark::State& state) {
-  // Wall-clock cost of simulating 10 s of a 30 Hz ARTP feature stream.
-  for (auto _ : state) {
-    sim::Simulator sim;
-    net::Network net(sim, 1);
-    auto c = net.add_node("c");
-    auto s = net.add_node("s");
-    net.connect(c, s, 20e6, sim::milliseconds(10), 300);
-    transport::ArtpReceiver rx(net, s, 80);
-    transport::ArtpSender tx(net, c, 1000, s, 80, 1, transport::ArtpSenderConfig{});
-    for (int i = 0; i < 300; ++i) {
-      sim.at(sim::from_seconds(i / 30.0), [&tx] {
-        transport::ArtpMessageSpec m;
-        m.bytes = 14'400;
-        m.tclass = net::TrafficClass::kBestEffortLossRecovery;
-        m.priority = net::Priority::kMediumNoDrop;
-        tx.send_message(m);
-      });
-    }
-    sim.run_until(sim::seconds(11));
-    benchmark::DoNotOptimize(rx.delivered_messages());
-  }
+  for (auto _ : state) run_artp_session();
 }
 BENCHMARK(BM_ArtpSessionSimulated);
 
 void BM_WifiCellSaturated(benchmark::State& state) {
-  // Wall-clock cost of 1 simulated second of a saturated 4-station cell.
-  for (auto _ : state) {
-    sim::Simulator sim;
-    wireless::WifiCell cell(sim, sim::Rng(1), wireless::WifiCell::Config{});
-    std::vector<std::uint32_t> stas;
-    for (int i = 0; i < 4; ++i) stas.push_back(cell.add_station(54e6));
-    cell.set_sink(wireless::WifiCell::kApId, [&](net::Packet&& p, std::uint32_t from) {
-      (void)p;
-      net::Packet next;
-      next.size_bytes = 1500;
-      cell.send(from, wireless::WifiCell::kApId, std::move(next));
-    });
-    for (auto s : stas) {
-      for (int i = 0; i < 3; ++i) {
-        net::Packet p;
-        p.size_bytes = 1500;
-        cell.send(s, wireless::WifiCell::kApId, std::move(p));
-      }
-    }
-    sim.run_until(sim::seconds(1));
-    benchmark::DoNotOptimize(cell.delivered_bytes(wireless::WifiCell::kApId));
-  }
+  for (auto _ : state) run_wifi_cell_saturated();
 }
 BENCHMARK(BM_WifiCellSaturated);
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<arnet::benchjson::Case> cases = {
+      {"SimulatorEventTurnover", run_simulator_event_turnover},
+      {"DropTailQueue", run_drop_tail_queue},
+      {"CoDelQueue", run_codel_queue},
+      {"FqCoDelQueue", run_fq_codel_queue},
+      {"WeightedFairQueue", run_weighted_fair_queue},
+      {"ClassfulPriorityQueue", run_classful_priority_queue},
+      {"JitterBufferPushPop", run_jitter_buffer_push_pop},
+      {"TcpBulkTransferSimulated", run_tcp_bulk_transfer},
+      {"ArtpSessionSimulated", run_artp_session},
+      {"WifiCellSaturated", run_wifi_cell_saturated},
+  };
+  return arnet::benchjson::main_dispatch(argc, argv, "micro_transport", cases);
+}

@@ -11,6 +11,7 @@
 #include "arnet/mar/security.hpp"
 #include "arnet/mar/traffic.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/obs/registry.hpp"
 #include "arnet/sim/stats.hpp"
 #include "arnet/transport/artp.hpp"
 
@@ -54,6 +55,11 @@ struct OffloadConfig {
   CryptoProfile crypto = CryptoProfile::kNone;
   /// kAdaptive: how often the runtime re-evaluates its strategy choice.
   sim::Time adapt_interval = sim::milliseconds(500);
+  /// When set, the session publishes "mar.frames" / "mar.deadline_hit" /
+  /// "mar.deadline_miss" counters and a "mar.frame_latency_ms" histogram
+  /// under `metrics_entity`. The registry must outlive the session.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_entity = "mar";
 };
 
 /// End-to-end per-frame statistics of one offloading run.

@@ -164,6 +164,7 @@ void OffloadSession::on_frame() {
   sim::Time capture = net_.sim().now();
   capture_time_[frame_id] = capture;
   ++stats_.frames;
+  if (cfg_.metrics) cfg_.metrics->counter("mar.frames", cfg_.metrics_entity).add();
 
   switch (active_strategy_) {
     case OffloadStrategy::kLocalOnly: {
@@ -294,6 +295,14 @@ void OffloadSession::finish_frame(std::uint32_t frame_id, sim::Time latency) {
   ++stats_.results;
   stats_.latency_ms.add(sim::to_milliseconds(latency));
   if (latency > cfg_.deadline) ++stats_.deadline_misses;
+  if (cfg_.metrics) {
+    cfg_.metrics->histogram("mar.frame_latency_ms", cfg_.metrics_entity)
+        .record(sim::to_milliseconds(latency));
+    cfg_.metrics
+        ->counter(latency > cfg_.deadline ? "mar.deadline_miss" : "mar.deadline_hit",
+                  cfg_.metrics_entity)
+        .add();
+  }
   if (result_cb_) result_cb_(frame_id, latency);
 }
 

@@ -8,6 +8,7 @@
 #include "arnet/net/observer.hpp"
 #include "arnet/net/packet.hpp"
 #include "arnet/net/queue.hpp"
+#include "arnet/obs/registry.hpp"
 #include "arnet/sim/rng.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
@@ -62,10 +63,20 @@ class Link {
   std::int64_t lost_packets() const { return lost_packets_; }
   sim::Summary& queueing_delay_ms() { return queueing_delay_ms_; }
 
+  /// Publish this link's behavior into `reg` under `entity` (e.g.
+  /// "link:uplink"): per-packet queue sojourn ("queue.sojourn_ms"
+  /// histogram), drops by reason ("link.drop.<reason>" counters), delivered
+  /// bytes/packets counters, and a running "link.utilization" gauge
+  /// (serialization busy-time / elapsed time). The registry must outlive
+  /// the link.
+  void attach_obs(obs::MetricsRegistry& reg, std::string entity);
+
  private:
   void start_transmission_if_idle();
   void on_transmit_complete(Packet p);
+  void install_queue_hook();
   void notify_drop(const Packet& p, DropReason r) {
+    if (metrics_) metrics_->counter(std::string("link.drop.") + to_string(r), obs_entity_).add();
     if (drop_hook_) drop_hook_(p, r);
   }
 
@@ -84,6 +95,11 @@ class Link {
   std::int64_t delivered_packets_ = 0;
   std::int64_t lost_packets_ = 0;
   sim::Summary queueing_delay_ms_;
+
+  // Observability (attach_obs): null when not attached.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string obs_entity_;
+  sim::Time busy_time_ = 0;  ///< cumulative serialization time
 };
 
 }  // namespace arnet::net

@@ -42,6 +42,8 @@ enum class AppData : std::uint8_t {
 };
 inline constexpr std::size_t kAppDataCount = 8;
 
+const char* to_string(AppData a);
+
 /// TCP segment header (simplified: no window scaling).
 struct TcpHeader {
   std::uint64_t seq = 0;       ///< first payload byte offset

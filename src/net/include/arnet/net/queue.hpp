@@ -81,6 +81,11 @@ class CoDelQueue final : public Queue {
     sim::Time target = sim::milliseconds(5);
     sim::Time interval = sim::milliseconds(100);
     std::size_t capacity_packets = 10000;
+    /// Link MTU for the "standing queue of at least two full packets" exit
+    /// condition (RFC 8289 §4.3). Must track the link's real MTU: with small
+    /// frames (features, sensor batches, D2D) a hardcoded Ethernet MTU would
+    /// exempt a permanently standing queue from AQM entirely.
+    std::int32_t mtu_bytes = 1514;
   };
 
   CoDelQueue();
@@ -94,6 +99,11 @@ class CoDelQueue final : public Queue {
  private:
   std::optional<Packet> pop_front();
   bool should_drop(const Packet& p, sim::Time now);
+  /// True when a drop spell ended less than one interval ago. drop_next_ == 0
+  /// means the queue has never dropped, which must not count as "recent".
+  bool recently_dropping(sim::Time now) const {
+    return drop_next_ > 0 && now - drop_next_ < cfg_.interval;
+  }
 
   Config cfg_;
   std::int64_t bytes_ = 0;

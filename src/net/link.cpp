@@ -14,11 +14,24 @@ Link::Link(sim::Simulator& sim, sim::Rng rng, Config cfg)
   }
 }
 
+void Link::attach_obs(obs::MetricsRegistry& reg, std::string entity) {
+  metrics_ = &reg;
+  obs_entity_ = std::move(entity);
+  install_queue_hook();
+}
+
 void Link::set_drop_hook(DropHook hook) {
   drop_hook_ = std::move(hook);
+  install_queue_hook();
+}
+
+void Link::install_queue_hook() {
+  // Route queue discards through notify_drop so both the observer hook and
+  // the "link.drop.queue" counter see them.
   queue_->set_drop_hook(
-      drop_hook_ ? [this](const Packet& p) { drop_hook_(p, DropReason::kQueue); }
-                 : Queue::DropHook{});
+      (drop_hook_ || metrics_)
+          ? [this](const Packet& p) { notify_drop(p, DropReason::kQueue); }
+          : Queue::DropHook{});
 }
 
 void Link::send(Packet p) {
@@ -54,6 +67,16 @@ void Link::start_transmission_if_idle() {
   transmitting_ = true;
   queueing_delay_ms_.add(sim::to_milliseconds(sim_.now() - p->enqueued_at));
   sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
+  if (metrics_) {
+    metrics_->histogram("queue.sojourn_ms", obs_entity_)
+        .record(sim::to_milliseconds(sim_.now() - p->enqueued_at));
+    busy_time_ += tx;
+    sim::Time elapsed = sim_.now() + tx;  // utilization through this frame
+    if (elapsed > 0) {
+      metrics_->gauge("link.utilization", obs_entity_)
+          .set(sim::to_seconds(busy_time_) / sim::to_seconds(elapsed));
+    }
+  }
   std::uint64_t epoch = epoch_;
   sim_.after(tx, [this, epoch, pkt = std::move(*p)]() mutable {
     if (epoch != epoch_) {  // link went down mid-serialization
@@ -84,6 +107,10 @@ void Link::on_transmit_complete(Packet p) {
     }
     delivered_bytes_ += pkt.size_bytes;
     ++delivered_packets_;
+    if (metrics_) {
+      metrics_->counter("link.delivered_bytes", obs_entity_).add(pkt.size_bytes);
+      metrics_->counter("link.delivered_packets", obs_entity_).add();
+    }
     if (sink_) sink_(std::move(pkt));
   });
 }

@@ -19,6 +19,20 @@ const char* to_string(DropReason r) {
   return "unknown";
 }
 
+const char* to_string(AppData a) {
+  switch (a) {
+    case AppData::kConnectionMetadata: return "connection-metadata";
+    case AppData::kSensorData: return "sensor-data";
+    case AppData::kVideoReferenceFrame: return "video-reference-frame";
+    case AppData::kVideoInterFrame: return "video-inter-frame";
+    case AppData::kFeaturePayload: return "feature-payload";
+    case AppData::kComputeResult: return "compute-result";
+    case AppData::kDatabaseObject: return "database-object";
+    case AppData::kGeneric: return "generic";
+  }
+  return "unknown";
+}
+
 void Node::send(Packet p) {
   p.src = id_;
   net_.send(std::move(p));

@@ -1,0 +1,37 @@
+#include "arnet/net/obs_tap.hpp"
+
+#include <utility>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::net {
+
+ObsTap::ObsTap(Network& net, obs::MetricsRegistry& reg, std::string entity)
+    : net_(net), reg_(reg), entity_(std::move(entity)) {
+  net_.add_observer(this);
+}
+
+ObsTap::~ObsTap() { net_.remove_observer(this); }
+
+std::string ObsTap::flow_entity(FlowId flow) {
+  return "flow:" + std::to_string(flow);
+}
+
+void ObsTap::on_inject(sim::Time /*now*/, const Packet& /*p*/) {
+  reg_.counter("net.injected_packets", entity_).add();
+}
+
+void ObsTap::on_deliver(sim::Time now, const Packet& p, NodeId /*at*/) {
+  reg_.counter("net.delivered_packets", entity_).add();
+  reg_.counter("net.delivered_bytes", entity_).add(p.size_bytes);
+  std::string fe = flow_entity(p.flow);
+  reg_.counter("flow.delivered_packets", fe).add();
+  reg_.counter("flow.delivered_bytes", fe).add(p.size_bytes);
+  reg_.histogram("flow.delay_ms", fe).record(sim::to_milliseconds(now - p.created_at));
+}
+
+void ObsTap::on_drop(sim::Time /*now*/, const Packet& /*p*/, DropReason reason) {
+  reg_.counter(std::string("net.drop.") + to_string(reason), entity_).add();
+}
+
+}  // namespace arnet::net

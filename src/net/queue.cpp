@@ -50,7 +50,7 @@ std::optional<Packet> CoDelQueue::pop_front() {
 
 bool CoDelQueue::should_drop(const Packet& p, sim::Time now) {
   sim::Time sojourn = now - p.enqueued_at;
-  if (sojourn < cfg_.target || bytes_ < 2 * 1514) {
+  if (sojourn < cfg_.target || bytes_ < 2 * cfg_.mtu_bytes) {
     first_above_time_ = 0;
     return false;
   }
@@ -89,16 +89,17 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
         }
       }
     }
-  } else if (above &&
-             (now - drop_next_ < cfg_.interval || now - first_above_time_ >= cfg_.interval)) {
+  } else if (above && (recently_dropping(now) || now - first_above_time_ >= cfg_.interval)) {
     // Enter dropping state.
     drop(*p);
     ++count_;
     p = pop_front();
     dropping_ = true;
     // Control-law memory: restart from a higher rate if we were dropping
-    // recently.
-    if (now - drop_next_ < cfg_.interval) {
+    // recently. drop_next_ == 0 means "never dropped" — at cold start the
+    // raw `now - drop_next_ < interval` test would read as "recently
+    // dropping" and seed the first spell with stale-looking memory.
+    if (recently_dropping(now)) {
       count_ = count_ > 2 ? count_ - 2 : 1;
     } else {
       count_ = 1;

@@ -1,0 +1,261 @@
+#include "arnet/obs/export.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+namespace arnet::obs {
+
+namespace {
+
+/// Shortest round-trip formatting of a double (std::to_chars), so an
+/// export -> import cycle reproduces values bit-exactly.
+std::string fmt_double(double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+void write_id(std::ostream& os, const char* kind, const MetricId& id) {
+  os << "{\"kind\":\"" << kind << "\",\"name\":\"" << json_escape(id.name)
+     << "\",\"entity\":\"" << json_escape(id.entity) << "\"";
+}
+
+// ------------------------------------------------------------- line parser
+//
+// A minimal parser for the flat objects write_jsonl emits: string values,
+// numeric values, and arrays of [number, number] pairs. Anything else is a
+// malformed line.
+
+struct ParsedLine {
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+  std::map<std::string, std::vector<std::pair<double, double>>> pair_lists;
+};
+
+struct Cursor {
+  const char* p;
+  const char* end;
+
+  void skip_ws() {
+    while (p < end && (*p == ' ' || *p == '\t')) ++p;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return p < end && *p == c;
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.eat('"')) return false;
+  out.clear();
+  while (c.p < c.end) {
+    char ch = *c.p++;
+    if (ch == '"') return true;
+    if (ch == '\\') {
+      if (c.p >= c.end) return false;
+      char esc = *c.p++;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        default: return false;  // \uXXXX not emitted by the writer
+      }
+    } else {
+      out += ch;
+    }
+  }
+  return false;
+}
+
+bool parse_number(Cursor& c, double& out) {
+  c.skip_ws();
+  char* after = nullptr;
+  out = std::strtod(c.p, &after);
+  if (after == c.p) return false;
+  c.p = after;
+  return true;
+}
+
+bool parse_pair_list(Cursor& c, std::vector<std::pair<double, double>>& out) {
+  if (!c.eat('[')) return false;
+  out.clear();
+  if (c.eat(']')) return true;  // empty list
+  do {
+    double a = 0, b = 0;
+    if (!c.eat('[') || !parse_number(c, a) || !c.eat(',') || !parse_number(c, b) ||
+        !c.eat(']')) {
+      return false;
+    }
+    out.emplace_back(a, b);
+  } while (c.eat(','));
+  return c.eat(']');
+}
+
+bool parse_line(const std::string& line, ParsedLine& out) {
+  Cursor c{line.data(), line.data() + line.size()};
+  if (!c.eat('{')) return false;
+  if (c.eat('}')) return true;
+  do {
+    std::string key;
+    if (!parse_string(c, key) || !c.eat(':')) return false;
+    c.skip_ws();
+    if (c.peek('"')) {
+      std::string v;
+      if (!parse_string(c, v)) return false;
+      out.strings[key] = v;
+    } else if (c.peek('[')) {
+      std::vector<std::pair<double, double>> v;
+      if (!parse_pair_list(c, v)) return false;
+      out.pair_lists[key] = std::move(v);
+    } else {
+      double v = 0;
+      if (!parse_number(c, v)) return false;
+      out.numbers[key] = v;
+    }
+  } while (c.eat(','));
+  return c.eat('}');
+}
+
+bool has_keys(const ParsedLine& l, std::initializer_list<const char*> strs,
+              std::initializer_list<const char*> nums) {
+  for (const char* k : strs) {
+    if (l.strings.find(k) == l.strings.end()) return false;
+  }
+  for (const char* k : nums) {
+    if (l.numbers.find(k) == l.numbers.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void write_jsonl(const MetricsRegistry& reg, std::ostream& os) {
+  for (const auto& [id, c] : reg.counters()) {
+    write_id(os, "counter", id);
+    os << ",\"value\":" << c.value() << "}\n";
+  }
+  for (const auto& [id, g] : reg.gauges()) {
+    write_id(os, "gauge", id);
+    os << ",\"value\":" << fmt_double(g.value()) << "}\n";
+  }
+  for (const auto& [id, h] : reg.histograms()) {
+    write_id(os, "histogram", id);
+    os << ",\"count\":" << h.count() << ",\"sum\":" << fmt_double(h.mean() * static_cast<double>(h.count()))
+       << ",\"min\":" << fmt_double(h.min()) << ",\"max\":" << fmt_double(h.max())
+       << ",\"mean\":" << fmt_double(h.mean()) << ",\"p50\":" << fmt_double(h.p50())
+       << ",\"p90\":" << fmt_double(h.p90()) << ",\"p99\":" << fmt_double(h.p99())
+       << ",\"buckets\":[";
+    bool first = true;
+    for (const auto& [idx, n] : h.nonzero_buckets()) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << idx << "," << n << "]";
+    }
+    os << "]}\n";
+  }
+  for (const auto& [id, ts] : reg.recorder().all()) {
+    write_id(os, "series", id);
+    os << ",\"points\":[";
+    bool first = true;
+    for (const auto& [t, v] : ts.points()) {
+      if (!first) os << ",";
+      first = false;
+      os << "[" << t << "," << fmt_double(v) << "]";
+    }
+    os << "]}\n";
+  }
+}
+
+bool read_jsonl(std::istream& is, MetricsRegistry& out) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    ParsedLine l;
+    if (!parse_line(line, l)) return false;
+    if (!has_keys(l, {"kind", "name", "entity"}, {})) return false;
+    const std::string& kind = l.strings["kind"];
+    const std::string& name = l.strings["name"];
+    const std::string& entity = l.strings["entity"];
+    if (kind == "counter") {
+      if (!has_keys(l, {}, {"value"})) return false;
+      out.counter(name, entity).add(static_cast<std::int64_t>(l.numbers["value"]));
+    } else if (kind == "gauge") {
+      if (!has_keys(l, {}, {"value"})) return false;
+      out.gauge(name, entity).set(l.numbers["value"]);
+    } else if (kind == "histogram") {
+      if (!has_keys(l, {}, {"sum", "min", "max"})) return false;
+      auto it = l.pair_lists.find("buckets");
+      if (it == l.pair_lists.end()) return false;
+      std::vector<std::pair<int, std::int64_t>> buckets;
+      for (const auto& [idx, n] : it->second) {
+        buckets.emplace_back(static_cast<int>(idx), static_cast<std::int64_t>(n));
+      }
+      out.histogram(name, entity)
+          .restore(buckets, l.numbers["sum"], l.numbers["min"], l.numbers["max"]);
+    } else if (kind == "series") {
+      auto it = l.pair_lists.find("points");
+      if (it == l.pair_lists.end()) return false;
+      sim::TimeSeries& ts = out.recorder().series(name, entity);
+      for (const auto& [t, v] : it->second) {
+        ts.add(static_cast<sim::Time>(t), v);
+      }
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+void write_csv(const TimeSeriesRecorder& rec, std::ostream& os) {
+  os << "name,entity,t_ns,value\n";
+  for (const auto& [id, ts] : rec.all()) {
+    for (const auto& [t, v] : ts.points()) {
+      os << id.name << "," << id.entity << "," << t << "," << fmt_double(v) << "\n";
+    }
+  }
+}
+
+}  // namespace arnet::obs

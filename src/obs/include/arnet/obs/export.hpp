@@ -1,0 +1,39 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arnet/obs/registry.hpp"
+
+namespace arnet::obs {
+
+/// JSONL export: one self-describing JSON object per line, so consumers can
+/// stream-filter with grep/jq and partial files stay parseable. Schema
+/// (`arnet-obs-v1`), one of:
+///
+///   {"kind":"counter","name":N,"entity":E,"value":I}
+///   {"kind":"gauge","name":N,"entity":E,"value":F}
+///   {"kind":"histogram","name":N,"entity":E,"count":I,"sum":F,"min":F,
+///    "max":F,"mean":F,"p50":F,"p90":F,"p99":F,"buckets":[[idx,count],...]}
+///   {"kind":"series","name":N,"entity":E,"points":[[t_ns,value],...]}
+///
+/// Histogram lines carry both the derived summary (for humans and plotting
+/// scripts) and the raw buckets (so a re-import is lossless up to bucket
+/// resolution and histograms stay mergeable downstream).
+void write_jsonl(const MetricsRegistry& reg, std::ostream& os);
+
+/// Parse a `write_jsonl` document back into `out`, merging into whatever it
+/// already holds. Returns false (and stops) on the first malformed line.
+/// This is deliberately a reader for the schema above, not a general JSON
+/// parser.
+bool read_jsonl(std::istream& is, MetricsRegistry& out);
+
+/// CSV export of every recorded time series: `name,entity,t_ns,value` with a
+/// header row — the format the plotting scripts and spreadsheet spot checks
+/// consume.
+void write_csv(const TimeSeriesRecorder& rec, std::ostream& os);
+
+/// JSON string escaping (exposed for the bench JSON emitter).
+std::string json_escape(const std::string& s);
+
+}  // namespace arnet::obs

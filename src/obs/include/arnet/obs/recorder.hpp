@@ -1,0 +1,49 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arnet/obs/metrics.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/sim/time.hpp"
+
+namespace arnet::obs {
+
+/// Named, entity-keyed collection of timestamped series: cwnd traces, RTT
+/// samples over time, queue sojourn, per-class delivered rate... This is the
+/// uniform replacement for the ad-hoc per-agent trace members scattered
+/// through transport and the figure harnesses: agents `record()` into the
+/// recorder they were handed, exporters serialize all of it in one pass.
+class TimeSeriesRecorder {
+ public:
+  void record(const std::string& name, const std::string& entity, sim::Time t, double v) {
+    series_[MetricId{name, entity}].add(t, v);
+  }
+
+  /// Series accessor, created on first use (for publishers).
+  sim::TimeSeries& series(const std::string& name, const std::string& entity) {
+    return series_[MetricId{name, entity}];
+  }
+
+  /// Lookup without creation (for consumers); nullptr when absent.
+  const sim::TimeSeries* find(const std::string& name, const std::string& entity) const {
+    auto it = series_.find(MetricId{name, entity});
+    return it == series_.end() ? nullptr : &it->second;
+  }
+
+  const std::map<MetricId, sim::TimeSeries>& all() const { return series_; }
+  bool empty() const { return series_.empty(); }
+
+  /// Append the other recorder's points series-by-series.
+  void merge_from(const TimeSeriesRecorder& o) {
+    for (const auto& [id, ts] : o.series_) {
+      sim::TimeSeries& mine = series_[id];
+      for (const auto& [t, v] : ts.points()) mine.add(t, v);
+    }
+  }
+
+ private:
+  std::map<MetricId, sim::TimeSeries> series_;
+};
+
+}  // namespace arnet::obs

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "arnet/obs/metrics.hpp"
+#include "arnet/obs/recorder.hpp"
+
+namespace arnet::obs {
+
+/// Per-entity metrics hub: counters, gauges, log-bucketed histograms, and a
+/// time-series recorder, all keyed by (metric name, entity). Subsystems are
+/// handed a registry pointer and publish into it; exporters (JSONL/CSV) and
+/// figure harnesses consume it. Instruments are created on first touch, so
+/// publishing code never needs registration ceremony.
+///
+/// Ordered maps keep iteration (export, merge) deterministic — a hard
+/// requirement for this repo's trace-fingerprint harness.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, const std::string& entity) {
+    return counters_[MetricId{name, entity}];
+  }
+  Gauge& gauge(const std::string& name, const std::string& entity) {
+    return gauges_[MetricId{name, entity}];
+  }
+  Histogram& histogram(const std::string& name, const std::string& entity) {
+    return histograms_[MetricId{name, entity}];
+  }
+  TimeSeriesRecorder& recorder() { return recorder_; }
+  const TimeSeriesRecorder& recorder() const { return recorder_; }
+
+  const std::map<MetricId, Counter>& counters() const { return counters_; }
+  const std::map<MetricId, Gauge>& gauges() const { return gauges_; }
+  const std::map<MetricId, Histogram>& histograms() const { return histograms_; }
+
+  /// Lookup without creation; nullptr when the instrument does not exist.
+  const Counter* find_counter(const std::string& name, const std::string& entity) const {
+    auto it = counters_.find(MetricId{name, entity});
+    return it == counters_.end() ? nullptr : &it->second;
+  }
+  const Gauge* find_gauge(const std::string& name, const std::string& entity) const {
+    auto it = gauges_.find(MetricId{name, entity});
+    return it == gauges_.end() ? nullptr : &it->second;
+  }
+  const Histogram* find_histogram(const std::string& name, const std::string& entity) const {
+    auto it = histograms_.find(MetricId{name, entity});
+    return it == histograms_.end() ? nullptr : &it->second;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty() && recorder_.empty();
+  }
+
+  /// Aggregate another registry into this one: counters add, histograms
+  /// merge bucket-wise, gauges latest-wins, series append. Used to combine
+  /// per-shard or per-run registries into one report.
+  void merge_from(const MetricsRegistry& o) {
+    for (const auto& [id, c] : o.counters_) counters_[id].merge(c);
+    for (const auto& [id, g] : o.gauges_) gauges_[id].merge(g);
+    for (const auto& [id, h] : o.histograms_) histograms_[id].merge(h);
+    recorder_.merge_from(o.recorder_);
+  }
+
+ private:
+  std::map<MetricId, Counter> counters_;
+  std::map<MetricId, Gauge> gauges_;
+  std::map<MetricId, Histogram> histograms_;
+  TimeSeriesRecorder recorder_;
+};
+
+}  // namespace arnet::obs

@@ -1,0 +1,84 @@
+#include "arnet/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace arnet::obs {
+
+int Histogram::bucket_of(double v) {
+  if (!(v >= 1.0)) return 0;  // underflow: v < 1, zero, negative, NaN
+  int idx = 1 + static_cast<int>(std::floor(std::log10(v) * kBucketsPerDecade));
+  return std::min(idx, kBucketCount - 1);
+}
+
+double Histogram::bucket_lower(int i) {
+  if (i <= 0) return 0.0;
+  return std::pow(10.0, static_cast<double>(i - 1) / kBucketsPerDecade);
+}
+
+void Histogram::record(double v) {
+  if (counts_.empty()) counts_.assign(kBucketCount, 0);
+  ++counts_[static_cast<std::size_t>(bucket_of(v))];
+  ++count_;
+  sum_ += v;
+  min_ = std::min(min_, v);
+  max_ = std::max(max_, v);
+}
+
+double Histogram::percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank in [0, count-1], matching linear-interpolated exact quantiles.
+  double rank = p * static_cast<double>(count_ - 1);
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    std::int64_t c = counts_[static_cast<std::size_t>(i)];
+    if (c == 0) continue;
+    if (rank < static_cast<double>(seen + c)) {
+      double frac = (rank - static_cast<double>(seen)) / static_cast<double>(c);
+      double lo = bucket_lower(i);
+      double hi = bucket_lower(i + 1);
+      double v = lo + (hi - lo) * frac;
+      return std::clamp(v, min_, max_);
+    }
+    seen += c;
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& o) {
+  if (o.count_ == 0) return;
+  if (counts_.empty()) counts_.assign(kBucketCount, 0);
+  for (int i = 0; i < kBucketCount; ++i) {
+    counts_[static_cast<std::size_t>(i)] += o.counts_[static_cast<std::size_t>(i)];
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+std::vector<std::pair<int, std::int64_t>> Histogram::nonzero_buckets() const {
+  std::vector<std::pair<int, std::int64_t>> out;
+  for (int i = 0; i < kBucketCount && !counts_.empty(); ++i) {
+    std::int64_t c = counts_[static_cast<std::size_t>(i)];
+    if (c > 0) out.emplace_back(i, c);
+  }
+  return out;
+}
+
+void Histogram::restore(const std::vector<std::pair<int, std::int64_t>>& buckets, double sum,
+                        double min_v, double max_v) {
+  if (buckets.empty()) return;
+  if (counts_.empty()) counts_.assign(kBucketCount, 0);
+  for (const auto& [i, c] : buckets) {
+    if (i < 0 || i >= kBucketCount || c <= 0) continue;
+    counts_[static_cast<std::size_t>(i)] += c;
+    count_ += c;
+  }
+  sum_ += sum;
+  min_ = std::min(min_, min_v);
+  max_ = std::max(max_, max_v);
+}
+
+}  // namespace arnet::obs

@@ -47,8 +47,10 @@ class Simulator {
   /// Schedule `cb` `delay` after now().
   EventHandle after(Time delay, Callback cb) { return at(now_ + delay, std::move(cb)); }
 
-  /// Cancel a pending event. Cancelling an already-fired or invalid handle
-  /// is a no-op.
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
+  /// or invalid handle is a true no-op: it leaves no tombstone behind, so
+  /// long-running scenarios that race timers against completions (every RTO
+  /// path does) cannot grow the cancelled set without bound.
   void cancel(EventHandle h);
 
   /// Run until the event queue drains.
@@ -60,15 +62,13 @@ class Simulator {
   void run_for(Time delay) { run_until(now_ + delay); }
 
   std::uint64_t events_executed() const { return executed_; }
-  std::size_t pending_events() const {
-    // Saturate: cancels of already-fired handles can leave more tombstones
-    // than queued events (see cancel_backlog()).
-    return queue_.size() >= cancelled_.size() ? queue_.size() - cancelled_.size() : 0;
-  }
+  /// Live (scheduled, not cancelled) events. Exact: cancel() only tombstones
+  /// ids that are actually queued, so the subtraction cannot underflow.
+  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
 
-  /// Cancel tombstones not yet matched against a queued event. With an empty
-  /// queue a nonzero backlog means stale cancels: handles cancelled after
-  /// they fired. SimAuditor::finish() flags that hygiene violation.
+  /// Cancel tombstones not yet matched against a queued event. Bounded by
+  /// pending_events(); always 0 once the queue drains. SimAuditor::finish()
+  /// still audits that invariant as a backstop.
   std::size_t cancel_backlog() const { return cancelled_.size(); }
 
   /// Register/unregister an execution observer (auditing & trace
@@ -93,12 +93,16 @@ class Simulator {
   };
 
   bool pop_and_run_front();
+  bool discard_cancelled_front();
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Membership-only id sets (never iterated): which ids are still queued,
+  // and which queued ids were cancelled (tombstones matched lazily at pop).
+  std::unordered_set<std::uint64_t> pending_ids_;
   std::unordered_set<std::uint64_t> cancelled_;
   std::vector<SimObserver*> observers_;
 };

@@ -10,6 +10,7 @@ EventHandle Simulator::at(Time t, Callback cb) {
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
   Event e{t, next_seq_++, next_id_++, std::move(cb)};
   EventHandle h{e.id};
+  pending_ids_.insert(e.id);
   queue_.push(std::move(e));
   return h;
 }
@@ -17,31 +18,40 @@ EventHandle Simulator::at(Time t, Callback cb) {
 void Simulator::cancel(EventHandle h) {
   if (!h.valid()) return;
   for (SimObserver* o : observers_) o->on_cancel(h.id, h.id < next_id_);
-  cancelled_.insert(h.id);
+  // Tombstone only ids that are actually still queued: a cancel of an
+  // already-fired (or never-issued, or double-cancelled) handle must not
+  // leave state behind, or the set grows without bound over long runs.
+  if (pending_ids_.erase(h.id) > 0) cancelled_.insert(h.id);
+}
+
+/// Pop cancelled events off the queue front, collecting their tombstones.
+/// Returns true iff a live event remains at the front.
+bool Simulator::discard_cancelled_front() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return true;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+  return false;
 }
 
 bool Simulator::pop_and_run_front() {
-  while (!queue_.empty()) {
-    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    // priority_queue::top() is const; the event must be moved out to run it
-    // without copying the callback state.
-    Event e = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    // Survives NDEBUG: a backwards clock silently corrupts every downstream
-    // trace, so it must halt release runs too.
-    ARNET_ASSERT(e.time >= now_, "event ", e.id, " (seq ", e.seq, ") fires at t=", e.time,
-                 "ns but the clock is already at t=", now_, "ns");
-    for (SimObserver* o : observers_) o->on_execute(e.time, e.seq, e.id);
-    now_ = e.time;
-    ++executed_;
-    e.cb();
-    return true;
-  }
-  return false;
+  if (!discard_cancelled_front()) return false;
+  // priority_queue::top() is const; the event must be moved out to run it
+  // without copying the callback state.
+  Event e = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  pending_ids_.erase(e.id);
+  // Survives NDEBUG: a backwards clock silently corrupts every downstream
+  // trace, so it must halt release runs too.
+  ARNET_ASSERT(e.time >= now_, "event ", e.id, " (seq ", e.seq, ") fires at t=", e.time,
+               "ns but the clock is already at t=", now_, "ns");
+  for (SimObserver* o : observers_) o->on_execute(e.time, e.seq, e.id);
+  now_ = e.time;
+  ++executed_;
+  e.cb();
+  return true;
 }
 
 void Simulator::run() {
@@ -50,13 +60,7 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time t) {
-  while (!queue_.empty()) {
-    if (auto it = cancelled_.find(queue_.top().id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      queue_.pop();
-      continue;
-    }
-    if (queue_.top().time > t) break;
+  while (discard_cancelled_front() && queue_.top().time <= t) {
     pop_and_run_front();
   }
   if (now_ < t) now_ = t;

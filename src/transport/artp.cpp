@@ -196,20 +196,28 @@ ArtpSender::Path* ArtpSender::pick_path(const Chunk& c, bool& duplicate_on_secon
 }
 
 void ArtpSender::update_congestion_level() {
+  int before = congestion_level_;
   double rate = allowed_rate_bps();
   if (rate <= 0) {
     congestion_level_ = 3;
-    return;
-  }
-  sim::Time backlog_time = sim::from_seconds(static_cast<double>(backlog_bytes_) * 8.0 / rate);
-  if (backlog_time < cfg_.shed_backlog_threshold) {
-    congestion_level_ = 0;
-  } else if (backlog_time < 2 * cfg_.shed_backlog_threshold) {
-    congestion_level_ = 1;
-  } else if (backlog_time < 4 * cfg_.shed_backlog_threshold) {
-    congestion_level_ = 2;
   } else {
-    congestion_level_ = 3;
+    sim::Time backlog_time = sim::from_seconds(static_cast<double>(backlog_bytes_) * 8.0 / rate);
+    if (backlog_time < cfg_.shed_backlog_threshold) {
+      congestion_level_ = 0;
+    } else if (backlog_time < 2 * cfg_.shed_backlog_threshold) {
+      congestion_level_ = 1;
+    } else if (backlog_time < 4 * cfg_.shed_backlog_threshold) {
+      congestion_level_ = 2;
+    } else {
+      congestion_level_ = 3;
+    }
+  }
+  if (cfg_.metrics) {
+    cfg_.metrics->gauge("artp.congestion_level", cfg_.metrics_entity)
+        .set(static_cast<double>(congestion_level_));
+    if (congestion_level_ > before) {
+      cfg_.metrics->counter("artp.degradation_events", cfg_.metrics_entity).add();
+    }
   }
 }
 
@@ -221,6 +229,9 @@ void ArtpSender::shed_front_message(std::deque<Chunk>& q) {
     q.pop_front();
   }
   ++shed_messages_;
+  if (cfg_.metrics) {
+    cfg_.metrics->counter("artp.shed_messages", cfg_.metrics_entity).add();
+  }
   // Shedding must never double-subtract a chunk: a negative backlog would
   // silently disable graceful degradation (it gates on backlog thresholds).
   ARNET_ASSERT(backlog_bytes_ >= 0, "ARTP backlog went negative (", backlog_bytes_,
@@ -342,6 +353,14 @@ void ArtpSender::pace_tick() {
   pace_timer_.arm(cfg_.pace_interval);
 }
 
+void ArtpSender::note_sent(const Chunk& c, std::int32_t wire_bytes) {
+  if (!cfg_.metrics) return;
+  cfg_.metrics
+      ->counter("artp.sent_bytes",
+                cfg_.metrics_entity + "/band:" + std::to_string(band_of(c)))
+      .add(wire_bytes);
+}
+
 void ArtpSender::transmit(const Chunk& c, Path& path) {
   Packet p;
   p.flow = flow_;
@@ -371,6 +390,7 @@ void ArtpSender::transmit(const Chunk& c, Path& path) {
   path.sent_bytes += p.size_bytes;
   sent_bytes_ += p.size_bytes;
   app_meters_[static_cast<std::size_t>(c.app)].on_bytes(p.size_bytes);
+  note_sent(c, p.size_bytes);
 
   if (path.cfg.first_hop) {
     p.src = local_;
@@ -417,6 +437,7 @@ void ArtpSender::transmit(const Chunk& c, Path& path) {
       path.sent_bytes += fp.size_bytes;
       sent_bytes_ += fp.size_bytes;
       app_meters_[static_cast<std::size_t>(c.app)].on_bytes(fp.size_bytes);
+      note_sent(c, fp.size_bytes);
       if (path.cfg.first_hop) {
         net_.send_via(*path.cfg.first_hop, std::move(fp));
       } else {
@@ -587,8 +608,20 @@ void ArtpReceiver::try_deliver(std::uint64_t msg_id) {
     }
   } else {
     ++delivered_messages_;
+    note_delivery(d);
     if (message_cb_) message_cb_(d);
   }
+}
+
+void ArtpReceiver::note_delivery(const ArtpDelivery& d) {
+  if (!cfg_.metrics) return;
+  cfg_.metrics->counter("artp.delivered_messages", cfg_.metrics_entity).add();
+  cfg_.metrics
+      ->counter("artp.goodput_bytes",
+                cfg_.metrics_entity + "/app:" + net::to_string(d.app))
+      .add(d.bytes);
+  cfg_.metrics->histogram("artp.msg_latency_ms", cfg_.metrics_entity)
+      .record(sim::to_milliseconds(d.latency()));
 }
 
 void ArtpReceiver::flush_critical_in_order() {
@@ -598,6 +631,7 @@ void ArtpReceiver::flush_critical_in_order() {
     auto ready = critical_ready_.begin();
     ++delivered_messages_;
     ++next_critical_seq_;
+    note_delivery(ready->second);
     if (message_cb_) message_cb_(ready->second);
     critical_ready_.erase(ready);
   }

@@ -12,6 +12,7 @@
 #include "arnet/net/link.hpp"
 #include "arnet/net/network.hpp"
 #include "arnet/net/packet.hpp"
+#include "arnet/obs/registry.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
 #include "arnet/transport/congestion.hpp"
@@ -92,6 +93,13 @@ struct ArtpSenderConfig {
   sim::Time critical_rto = sim::milliseconds(200);
   MultipathPolicy policy = MultipathPolicy::kSingle;
   bool duplicate_critical_on_two_paths = false;
+  /// When set, the sender publishes per-band "artp.sent_bytes" counters
+  /// (entity "<metrics_entity>/band:N"), shed counters, an
+  /// "artp.congestion_level" gauge, and an "artp.degradation_events" counter
+  /// (level escalations) under `metrics_entity`. The registry must outlive
+  /// the sender.
+  obs::MetricsRegistry* metrics = nullptr;
+  std::string metrics_entity = "artp";
 };
 
 /// One transmission path of a (possibly multipath) ARTP connection.
@@ -178,6 +186,8 @@ class ArtpSender {
   /// chunks. Returns nullptr when no path may carry it now.
   Path* pick_path(const Chunk& c, bool& duplicate_on_secondary);
   void transmit(const Chunk& c, Path& path);
+  /// Per-band wire-byte accounting into the attached metrics registry.
+  void note_sent(const Chunk& c, std::int32_t wire_bytes);
   void update_congestion_level();
   std::size_t band_of(const Chunk& c) const { return static_cast<std::size_t>(c.priority); }
   Path* lowest_owd_up_path(const Path* exclude = nullptr);
@@ -229,6 +239,12 @@ class ArtpReceiver {
     std::int32_t feedback_bytes = 60;
     /// Incomplete non-critical messages are reported (incomplete) after this.
     sim::Time expiry = sim::milliseconds(250);
+    /// When set, the receiver publishes "artp.delivered_messages", per-app
+    /// goodput counters ("artp.goodput_bytes" under
+    /// "<metrics_entity>/app:<name>"), and an "artp.msg_latency_ms"
+    /// histogram under `metrics_entity`.
+    obs::MetricsRegistry* metrics = nullptr;
+    std::string metrics_entity = "artp-rx";
   };
 
   ArtpReceiver(net::Network& net, net::NodeId local, net::Port local_port);
@@ -279,6 +295,7 @@ class ArtpReceiver {
   void note_chunk(std::uint64_t msg_id, const net::ArtpHeader& h, const net::Packet& p,
                   bool via_fec);
   void try_deliver(std::uint64_t msg_id);
+  void note_delivery(const ArtpDelivery& d);
   void flush_critical_in_order();
   void feedback_tick();
   void expire_stale(sim::Time now);

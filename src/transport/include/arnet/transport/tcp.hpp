@@ -7,6 +7,7 @@
 
 #include "arnet/net/network.hpp"
 #include "arnet/net/packet.hpp"
+#include "arnet/obs/registry.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
 
@@ -56,6 +57,12 @@ class TcpSource {
     /// controllers shrink this so N subflows grow like one flow at a
     /// shared bottleneck.
     double ca_growth_scale = 1.0;
+    /// When set, the source publishes "tcp.cwnd"/"tcp.ssthresh" time series,
+    /// a "tcp.rtt_ms" histogram, and "tcp.rto_timeouts"/
+    /// "tcp.fast_retransmits" counters under `metrics_entity`. The registry
+    /// must outlive the source.
+    obs::MetricsRegistry* metrics = nullptr;
+    std::string metrics_entity = "tcp";
   };
 
   TcpSource(net::Network& net, net::NodeId local, net::Port local_port, net::NodeId remote,

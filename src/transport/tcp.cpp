@@ -60,9 +60,13 @@ std::int32_t TcpSource::segment_payload(std::uint64_t seq) const {
 
 void TcpSource::try_send() {
   while (true) {
-    if (flight_size() + cfg_.mss > static_cast<std::int64_t>(cwnd_)) break;
     std::int32_t payload = segment_payload(next_seq_);
     if (payload <= 0) break;  // app-limited
+    // Window check against the *actual* next segment, not a full MSS: an
+    // app-limited sub-MSS tail may fill the remaining window instead of
+    // stalling until flight drains below cwnd - MSS (which costs the tail a
+    // spurious extra RTT on every short transfer).
+    if (flight_size() + payload > static_cast<std::int64_t>(cwnd_)) break;
     send_segment(next_seq_, /*retransmission=*/false);
     next_seq_ += static_cast<std::uint64_t>(payload);
   }
@@ -114,6 +118,10 @@ void TcpSource::update_rtt(sim::Time sample) {
   }
   rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
   rto_ = std::min(rto_, cfg_.max_rto);
+  if (cfg_.metrics) {
+    cfg_.metrics->histogram("tcp.rtt_ms", cfg_.metrics_entity)
+        .record(sim::to_milliseconds(sample));
+  }
 }
 
 void TcpSource::on_packet(Packet&& p) {
@@ -331,6 +339,7 @@ void TcpSource::on_loss_window_reduction() {
 
 void TcpSource::enter_recovery() {
   ++fast_retransmits_;
+  if (cfg_.metrics) cfg_.metrics->counter("tcp.fast_retransmits", cfg_.metrics_entity).add();
   on_loss_window_reduction();
   cwnd_ = ssthresh_ + 3 * cfg_.mss;
   in_recovery_ = true;
@@ -344,6 +353,7 @@ void TcpSource::enter_recovery() {
 void TcpSource::on_rto() {
   if (complete() || flight_size() == 0) return;
   ++timeouts_;
+  if (cfg_.metrics) cfg_.metrics->counter("tcp.rto_timeouts", cfg_.metrics_entity).add();
   on_loss_window_reduction();
   cwnd_ = cfg_.mss;
   dupacks_ = 0;
@@ -356,6 +366,11 @@ void TcpSource::on_rto() {
 
 void TcpSource::trace() {
   if (cfg_.trace_cwnd) cwnd_trace_.add(net_.sim().now(), cwnd_);
+  if (cfg_.metrics) {
+    auto& rec = cfg_.metrics->recorder();
+    rec.record("tcp.cwnd", cfg_.metrics_entity, net_.sim().now(), cwnd_);
+    rec.record("tcp.ssthresh", cfg_.metrics_entity, net_.sim().now(), ssthresh_);
+  }
 }
 
 // ------------------------------------------------------------------ TcpSink

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "arnet/net/packet.hpp"
+#include "arnet/obs/registry.hpp"
 #include "arnet/sim/rng.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
@@ -80,6 +81,12 @@ class WifiCell {
   /// Mean medium occupancy of one `bytes`-sized frame at `phy_bps`.
   sim::Time frame_airtime(std::int32_t bytes, double phy_bps) const;
 
+  /// Publish the cell's behavior into `reg`: per-entity
+  /// "wifi.airtime_share" gauges (fraction of elapsed time this sender held
+  /// the medium, entity "<entity>/<name>"), "wifi.sta_rate_bps" gauges, and
+  /// delivered bytes/packets counters. The registry must outlive the cell.
+  void attach_obs(obs::MetricsRegistry& reg, std::string entity);
+
  private:
   struct Entity {
     std::string name;
@@ -88,10 +95,13 @@ class WifiCell {
     Sink sink;
     std::int64_t delivered_bytes = 0;
     std::int64_t delivered_packets = 0;
+    sim::Time airtime = 0;  ///< cumulative medium occupancy as sender
   };
 
   void try_start_transmission();
   void finish_transmission(std::uint32_t from, std::uint32_t to, net::Packet p);
+  std::string entity_label(std::uint32_t id, const Entity& e) const;
+  void publish_obs(std::uint32_t id, const Entity& e);
 
   sim::Simulator& sim_;
   sim::Rng rng_;
@@ -101,6 +111,10 @@ class WifiCell {
   bool busy_ = false;
   std::uint32_t rr_cursor_ = 0;  ///< round-robin fairness over entity ids
   std::int64_t dropped_ = 0;
+
+  // Observability (attach_obs): null when not attached.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string obs_entity_;
 };
 
 }  // namespace arnet::wireless

@@ -38,6 +38,25 @@ sim::Time WifiCell::frame_airtime(std::int32_t bytes, double phy_bps) const {
   return m.difs + backoff + handshake + m.phy_preamble + payload + m.sifs + m.ack_duration;
 }
 
+void WifiCell::attach_obs(obs::MetricsRegistry& reg, std::string entity) {
+  metrics_ = &reg;
+  obs_entity_ = std::move(entity);
+}
+
+std::string WifiCell::entity_label(std::uint32_t id, const Entity& e) const {
+  return obs_entity_ + "/" + e.name + ":" + std::to_string(id);
+}
+
+void WifiCell::publish_obs(std::uint32_t id, const Entity& e) {
+  if (!metrics_) return;
+  std::string label = entity_label(id, e);
+  metrics_->gauge("wifi.sta_rate_bps", label).set(e.phy_bps);
+  if (sim_.now() > 0) {
+    metrics_->gauge("wifi.airtime_share", label)
+        .set(sim::to_seconds(e.airtime) / sim::to_seconds(sim_.now()));
+  }
+}
+
 void WifiCell::send(std::uint32_t from, std::uint32_t to, net::Packet p) {
   Entity& e = entities_.at(from);
   if (e.queue.size() >= cfg_.queue_packets) {
@@ -88,8 +107,12 @@ void WifiCell::try_start_transmission() {
     }
   }
 
+  winner->airtime += occupancy;
   sim_.after(occupancy, [this, winner_id, to, delivered, p = std::move(pkt)]() mutable {
     busy_ = false;
+    if (auto it = entities_.find(winner_id); it != entities_.end()) {
+      publish_obs(winner_id, it->second);
+    }
     if (delivered) finish_transmission(winner_id, to, std::move(p));
     try_start_transmission();
   });
@@ -111,6 +134,11 @@ void WifiCell::finish_transmission(std::uint32_t from, std::uint32_t to, net::Pa
   if (it == entities_.end()) return;
   it->second.delivered_bytes += p.size_bytes;
   ++it->second.delivered_packets;
+  if (metrics_) {
+    std::string label = entity_label(to, it->second);
+    metrics_->counter("wifi.delivered_bytes", label).add(p.size_bytes);
+    metrics_->counter("wifi.delivered_packets", label).add();
+  }
   if (it->second.sink) it->second.sink(std::move(p), from);
 }
 

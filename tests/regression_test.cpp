@@ -1,0 +1,153 @@
+// Regression tests pinning the three bugfixes that rode along with the
+// arnet::obs PR: the simulator's cancel-tombstone leak, CoDel's hardcoded
+// MTU / cold-start drop memory, and TCP's sub-MSS tail stall.
+#include <gtest/gtest.h>
+
+#include "arnet/net/network.hpp"
+#include "arnet/net/queue.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/tcp.hpp"
+
+namespace arnet {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+// --------------------------------------------------- Simulator::cancel leak
+
+// Cancelling a handle that already fired used to leave a tombstone in the
+// cancelled set forever (the id can never match a queued event again). Any
+// long-running scenario that races timers against completions — every RTO
+// path — grew that set without bound.
+TEST(CancelRegression, CancelAfterFireLeavesNoTombstone) {
+  sim::Simulator sim;
+  std::vector<sim::EventHandle> handles;
+  for (int i = 0; i < 100; ++i)
+    handles.push_back(sim.after(milliseconds(i), [] {}));
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // The RTO pattern: completion handler cancels its (already fired) timer.
+  for (int round = 0; round < 3; ++round)
+    for (auto h : handles) sim.cancel(h);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(CancelRegression, CancelOfPendingEventStillWorks) {
+  sim::Simulator sim;
+  int fired = 0;
+  auto keep = sim.after(milliseconds(1), [&] { ++fired; });
+  auto drop = sim.after(milliseconds(2), [&] { ++fired; });
+  sim.cancel(drop);
+  sim.cancel(drop);  // double-cancel must not tombstone twice
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+  (void)keep;
+}
+
+TEST(CancelRegression, InvalidAndNeverIssuedHandlesAreNoOps) {
+  sim::Simulator sim;
+  sim.cancel(sim::EventHandle{});        // id 0: invalid
+  sim.cancel(sim::EventHandle{999999});  // never issued
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+  sim.after(milliseconds(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 1u);
+}
+
+// ------------------------------------------------------- CoDel MTU + memory
+
+net::Packet small_packet(std::int32_t bytes) {
+  net::Packet p;
+  p.size_bytes = bytes;
+  return p;
+}
+
+// A standing queue of small frames (features, sensor batches) stays below
+// two *Ethernet* MTUs of backlog even when its sojourn time is enormous.
+// With the hardcoded 1514-byte constant CoDel exempted such queues from AQM
+// entirely; the configurable mtu_bytes restores the RFC 8289 exit condition
+// for the link's real MTU. Drive the same schedule against both configs.
+std::int64_t drive_codel(net::CoDelQueue& q) {
+  // 25 x 100 B standing at t=0: 2500 B is below 2*1514 but above 2*200.
+  for (int i = 0; i < 25; ++i) (void)q.enqueue(small_packet(100), 0);
+  // Dequeue every 50 ms from t=250 ms, topping the queue back up so the
+  // backlog (and its huge sojourn) stands throughout.
+  for (sim::Time t = milliseconds(250); t <= milliseconds(500); t += milliseconds(50)) {
+    (void)q.dequeue(t);
+    while (q.bytes() < 2500) (void)q.enqueue(small_packet(100), t);
+  }
+  return q.drops();
+}
+
+TEST(CoDelRegression, SmallFrameStandingQueueIsControlled) {
+  net::CoDelQueue::Config cfg;
+  cfg.mtu_bytes = 200;  // link MTU for a feature/sensor-frame path
+  net::CoDelQueue with_mtu(cfg);
+  EXPECT_GT(drive_codel(with_mtu), 0)
+      << "standing queue of small frames must not be exempt from AQM";
+
+  net::CoDelQueue default_mtu;  // 1514: 2.5 KB backlog is sub-2-MTU, exempt
+  EXPECT_EQ(drive_codel(default_mtu), 0);
+}
+
+// At cold start drop_next_ == 0; the raw "now - drop_next_ < interval" test
+// must not read that as "we were dropping recently" and seed the first drop
+// spell with stale control-law memory. Correct seeding is count_ = 1, which
+// places the second drop a full interval after the first.
+TEST(CoDelRegression, ColdStartSeedsControlLawFromOne) {
+  net::CoDelQueue::Config cfg;
+  cfg.mtu_bytes = 200;
+  net::CoDelQueue q(cfg);
+  for (int i = 0; i < 25; ++i) ASSERT_TRUE(q.enqueue(small_packet(100), 0));
+  // t=250: first sojourn-above observation (arms first_above = 350 ms).
+  // t=350..400: above, but not yet a full interval past first_above.
+  // t=450: enters dropping -> first drop, drop_next_ = 450 + interval/sqrt(1).
+  for (sim::Time t : {milliseconds(250), milliseconds(300), milliseconds(350),
+                      milliseconds(400)}) {
+    (void)q.dequeue(t);
+    while (q.bytes() < 2500) (void)q.enqueue(small_packet(100), t);
+  }
+  (void)q.dequeue(milliseconds(450));
+  EXPECT_EQ(q.drops(), 1);
+  while (q.bytes() < 2500) (void)q.enqueue(small_packet(100), milliseconds(450));
+  // With count_ seeded to 1 the next drop is due at 550 ms, not earlier. A
+  // stale-memory seed (count_ > 1) would shrink the gap below 100 ms.
+  (void)q.dequeue(milliseconds(500));
+  EXPECT_EQ(q.drops(), 1) << "second drop fired early: cold-start seeded count_ > 1";
+  while (q.bytes() < 2500) (void)q.enqueue(small_packet(100), milliseconds(500));
+  (void)q.dequeue(milliseconds(560));
+  EXPECT_EQ(q.drops(), 2);
+}
+
+// ------------------------------------------------------- TCP sub-MSS tail
+
+// try_send used to require a full MSS of window headroom before emitting any
+// segment, so an app-limited sub-MSS tail stalled until flight drained below
+// cwnd - MSS — one spurious extra RTT on every short transfer. The tail must
+// instead fill the remaining window immediately.
+TEST(TcpRegression, SubMssTailDoesNotStallAnExtraRtt) {
+  sim::Simulator sim;
+  net::Network net(sim, 1);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 10e6, milliseconds(10), 100);
+  transport::TcpSink sink(net, s, 80);
+  transport::TcpSource::Config cfg;
+  cfg.initial_window_segments = 1.5;  // room for one MSS + the 100 B tail
+  transport::TcpSource src(net, c, 1000, s, 80, 1, cfg);
+  src.send(1460 + 100);
+  // Both segments fit the initial window, so the whole transfer completes in
+  // ~one RTT (20 ms propagation + serialization). The pre-fix sender held
+  // the 100 B tail until the first ACK and needed a second RTT (~45 ms).
+  sim.run_until(milliseconds(30));
+  EXPECT_TRUE(src.complete());
+  EXPECT_EQ(src.acked_bytes(), 1460 + 100);
+}
+
+}  // namespace
+}  // namespace arnet

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Sanity-check arnet-bench-v1 JSON files (BENCH_*.json).
+
+Usage: check_bench_schema.py FILE [FILE...]
+
+Fails (exit 1) on malformed output so CI catches a broken bench runner
+instead of archiving garbage baselines: wrong schema id, empty benchmark
+list, non-positive wall times or rates, or disordered latency percentiles.
+"""
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    if doc.get("schema") != "arnet-bench-v1":
+        return fail(path, f"bad schema id: {doc.get('schema')!r}")
+    if not isinstance(doc.get("suite"), str) or not doc["suite"]:
+        return fail(path, "missing suite name")
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        return fail(path, "empty or missing benchmarks list")
+
+    rc = 0
+    for b in benches:
+        name = b.get("name", "<unnamed>")
+        if not isinstance(b.get("name"), str) or not b["name"]:
+            rc |= fail(path, "benchmark with missing name")
+            continue
+        if not isinstance(b.get("iterations"), int) or b["iterations"] < 1:
+            rc |= fail(path, f"{name}: iterations must be >= 1")
+        if not isinstance(b.get("wall_time_s"), (int, float)) or b["wall_time_s"] <= 0:
+            rc |= fail(path, f"{name}: wall_time_s must be > 0")
+        if not isinstance(b.get("ops_per_sec"), (int, float)) or b["ops_per_sec"] <= 0:
+            rc |= fail(path, f"{name}: ops_per_sec must be > 0")
+        if not isinstance(b.get("sim_events_per_sec"), (int, float)) or b["sim_events_per_sec"] < 0:
+            rc |= fail(path, f"{name}: sim_events_per_sec must be >= 0")
+        lat = b.get("latency_ns")
+        if not isinstance(lat, dict):
+            rc |= fail(path, f"{name}: missing latency_ns object")
+            continue
+        for k in ("mean", "p50", "p90", "p99", "min", "max"):
+            if not isinstance(lat.get(k), (int, float)):
+                rc |= fail(path, f"{name}: latency_ns.{k} missing or non-numeric")
+        if all(isinstance(lat.get(k), (int, float)) for k in ("p50", "p90", "p99")):
+            if not lat["p50"] <= lat["p90"] <= lat["p99"]:
+                rc |= fail(path, f"{name}: latency percentiles disordered "
+                                 f"(p50={lat['p50']}, p90={lat['p90']}, p99={lat['p99']})")
+    if rc == 0:
+        print(f"{path}: OK ({len(benches)} benchmarks)")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_file(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -71,8 +71,8 @@ RULES = [
 # growing it needs a reviewed justification here.
 ALLOWLIST = {
     ("sim/include/arnet/sim/simulator.hpp", "unordered-container"):
-        "cancelled-event id set: membership tests only, never iterated, "
-        "so hash order cannot reach scheduling decisions",
+        "pending/cancelled event id sets: membership tests only, never "
+        "iterated, so hash order cannot reach scheduling decisions",
 }
 
 SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
