@@ -4,11 +4,13 @@
 // transmission opportunities drag station A down to B's level.
 #include <functional>
 #include <iostream>
+#include <vector>
 
 #include "arnet/core/qoe.hpp"
 #include "arnet/core/table.hpp"
 #include "arnet/mar/offload.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/wireless/wifi.hpp"
 
@@ -17,8 +19,8 @@ using namespace arnet;
 namespace {
 
 struct CellRun {
-  double a_mbps;
-  double b_mbps;
+  double a_mbps = 0;
+  double b_mbps = 0;
 };
 
 CellRun run_cell(double phy_a, double phy_b, sim::Time dur) {
@@ -47,19 +49,30 @@ CellRun run_cell(double phy_a, double phy_b, sim::Time dur) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  runner::ExperimentRunner pool(pool_cfg);
+
   std::cout << "=== Figure 2: the 802.11 performance anomaly ===\n"
             << "Station A stays next to the AP at 54 Mb/s; station B walks out\n"
             << "through the figure's rate zones. Both stations saturate uplink.\n\n";
 
   core::TablePrinter t({"B's PHY zone", "A throughput", "B throughput", "cell total",
                         "A's loss vs solo"});
-  auto solo = run_cell(54e6, 54e6, sim::seconds(5));
-  double solo_total = solo.a_mbps + solo.b_mbps;
+  // Fan the solo reference and the four rate zones out together (index 0 is
+  // the solo cell, 1.. the zones).
+  const double zones[] = {54e6, 18e6, 6e6, 1e6};
+  const std::vector<CellRun> cells = pool.map<CellRun>(
+      1 + std::size(zones), [&zones](runner::RunContext& ctx) {
+        double phy_b = ctx.run_index == 0 ? 54e6 : zones[ctx.run_index - 1];
+        return run_cell(54e6, phy_b, sim::seconds(5));
+      });
+  double solo_total = cells[0].a_mbps + cells[0].b_mbps;
 
-  for (double phy_b : {54e6, 18e6, 6e6, 1e6}) {
-    auto r = run_cell(54e6, phy_b, sim::seconds(5));
-    t.add_row({core::fmt_mbps(phy_b, 0), core::fmt(r.a_mbps, 2) + " Mb/s",
+  for (std::size_t i = 0; i < std::size(zones); ++i) {
+    const CellRun& r = cells[i + 1];
+    t.add_row({core::fmt_mbps(zones[i], 0), core::fmt(r.a_mbps, 2) + " Mb/s",
                core::fmt(r.b_mbps, 2) + " Mb/s", core::fmt(r.a_mbps + r.b_mbps, 2) + " Mb/s",
                core::fmt((1.0 - r.a_mbps / (solo_total / 2)) * 100, 0) + " %"});
   }
@@ -73,32 +86,45 @@ int main() {
   std::cout << "\n--- What the anomaly does to a MAR session (user = station A) ---\n";
   core::TablePrinter t2({"Cell condition", "effective uplink", "median m2p",
                          "75 ms miss", "QoE"});
-  for (double phy_b : {54e6, 6e6, 1e6}) {
-    // The user's effective share, measured on the DCF cell above, drives
-    // the access-link capacity of an offloading scenario.
-    auto share = run_cell(54e6, phy_b, sim::seconds(5));
-    double uplink_bps = std::max(share.a_mbps * 1e6, 64e3);
-    sim::Simulator sim;
-    net::Network net(sim, 2);
-    auto user = net.add_node("user");
-    auto ap = net.add_node("ap");
-    auto edge = net.add_node("edge");
-    net.connect(user, ap, uplink_bps, sim::milliseconds(3), 300);
-    net.connect(ap, edge, 1e9, sim::milliseconds(2), 500);
-    net.compute_routes();
-    mar::OffloadConfig cfg;
-    cfg.strategy = mar::OffloadStrategy::kFullOffload;
-    cfg.device = mar::DeviceClass::kSmartphone;
-    mar::OffloadSession session(net, user, edge, cfg);
-    session.start();
-    sim.run_until(sim::seconds(20));
-    session.stop();
-    const auto& st = session.stats();
-    double mos = core::qoe_mos(core::qoe_inputs(st, 20.0));
-    t2.add_row({"neighbor at " + core::fmt_mbps(phy_b, 0), core::fmt_mbps(uplink_bps, 1),
-                core::fmt_ms(st.latency_ms.median()),
-                core::fmt(st.miss_rate() * 100, 1) + " %",
-                core::fmt(mos, 2) + " (" + core::qoe_grade(mos) + ")"});
+  const double neighbor_phys[] = {54e6, 6e6, 1e6};
+  struct MarRow {
+    double uplink_bps = 0;
+    double median_ms = 0;
+    double miss_pct = 0;
+    double mos = 0;
+  };
+  const std::vector<MarRow> mar_rows = pool.map<MarRow>(
+      std::size(neighbor_phys), [&neighbor_phys](runner::RunContext& ctx) {
+        // The user's effective share, measured on the DCF cell above, drives
+        // the access-link capacity of an offloading scenario.
+        double phy_b = neighbor_phys[ctx.run_index];
+        auto share = run_cell(54e6, phy_b, sim::seconds(5));
+        double uplink_bps = std::max(share.a_mbps * 1e6, 64e3);
+        sim::Simulator sim;
+        net::Network net(sim, 2);
+        auto user = net.add_node("user");
+        auto ap = net.add_node("ap");
+        auto edge = net.add_node("edge");
+        net.connect(user, ap, uplink_bps, sim::milliseconds(3), 300);
+        net.connect(ap, edge, 1e9, sim::milliseconds(2), 500);
+        net.compute_routes();
+        mar::OffloadConfig cfg;
+        cfg.strategy = mar::OffloadStrategy::kFullOffload;
+        cfg.device = mar::DeviceClass::kSmartphone;
+        mar::OffloadSession session(net, user, edge, cfg);
+        session.start();
+        sim.run_until(sim::seconds(20));
+        session.stop();
+        const auto& st = session.stats();
+        return MarRow{uplink_bps, st.latency_ms.median(), st.miss_rate() * 100,
+                      core::qoe_mos(core::qoe_inputs(st, 20.0))};
+      });
+  for (std::size_t i = 0; i < std::size(neighbor_phys); ++i) {
+    const MarRow& r = mar_rows[i];
+    t2.add_row({"neighbor at " + core::fmt_mbps(neighbor_phys[i], 0),
+                core::fmt_mbps(r.uplink_bps, 1), core::fmt_ms(r.median_ms),
+                core::fmt(r.miss_pct, 1) + " %",
+                core::fmt(r.mos, 2) + " (" + core::qoe_grade(r.mos) + ")"});
   }
   t2.print(std::cout);
   std::cout << "\nOne far-away neighbor is enough to push the MAR user's effective\n"

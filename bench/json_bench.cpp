@@ -8,6 +8,7 @@
 #include <string>
 
 #include "arnet/obs/metrics.hpp"
+#include "arnet/runner/experiment.hpp"
 
 namespace arnet::benchjson {
 
@@ -57,18 +58,30 @@ Measurement measure(const Case& c) {
 }  // namespace
 
 int run_json(const std::string& suite, const std::vector<Case>& cases,
-             const std::string& path) {
+             const std::string& path, int jobs) {
   std::ofstream os(path);
   if (!os) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return 1;
   }
+  // Each case is a self-contained simulation world, so cases fan out across
+  // the pool; results come back in input order, keeping the document layout
+  // independent of the job count.
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = jobs;
+  runner::ExperimentRunner pool(pool_cfg);
+  std::vector<Measurement> measurements = pool.map<Measurement>(
+      cases.size(), [&cases](runner::RunContext& ctx) {
+        const Case& c = cases[ctx.run_index];
+        std::fprintf(stderr, "running %s...\n", c.name.c_str());
+        return measure(c);
+      });
   os << "{\"schema\":\"arnet-bench-v1\",\"suite\":\"" << suite
      << "\",\"benchmarks\":[";
   bool first = true;
-  for (const Case& c : cases) {
-    std::fprintf(stderr, "running %s...\n", c.name.c_str());
-    Measurement m = measure(c);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const Case& c = cases[i];
+    const Measurement& m = measurements[i];
     const obs::Histogram& h = m.latency_ns;
     if (!first) os << ",";
     first = false;
@@ -94,7 +107,8 @@ int main_dispatch(int argc, char** argv, const std::string& suite,
                   const std::vector<Case>& cases) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
-      return run_json(suite, cases, argv[i + 1]);
+      return run_json(suite, cases, argv[i + 1],
+                      runner::parse_jobs_flag(argc, argv, 1));
     }
   }
   benchmark::Initialize(&argc, argv);

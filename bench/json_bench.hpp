@@ -26,14 +26,19 @@ struct Case {
 ///                   ...]}
 ///
 /// Per-iteration wall latencies feed an obs::Histogram, so the percentile
-/// semantics match the rest of the observability layer. Returns 0 on
-/// success, 1 if `path` cannot be written.
+/// semantics match the rest of the observability layer. With `jobs` > 1 the
+/// cases fan out across an ExperimentRunner pool (each case owns its whole
+/// simulation world); the document always lists them in input order, so the
+/// schema is identical either way. Parallel cases contend for cores, so use
+/// jobs = 1 (the default) when recording a baseline and > 1 for quick local
+/// smoke runs. Returns 0 on success, 1 if `path` cannot be written.
 int run_json(const std::string& suite, const std::vector<Case>& cases,
-             const std::string& path);
+             const std::string& path, int jobs = 1);
 
 /// Entry-point helper for the microbench binaries: with "--json <path>" on
-/// the command line runs `run_json` and returns; otherwise hands the full
-/// command line to google-benchmark (console output, regex filters, etc.).
+/// the command line runs `run_json` (honoring an optional "--jobs N") and
+/// returns; otherwise hands the full command line to google-benchmark
+/// (console output, regex filters, etc.).
 int main_dispatch(int argc, char** argv, const std::string& suite,
                   const std::vector<Case>& cases);
 

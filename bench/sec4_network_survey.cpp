@@ -5,9 +5,11 @@
 // reproduces the §IV-A4 Wi2Me coverage study numbers.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "arnet/core/table.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/transport/tcp.hpp"
 #include "arnet/transport/udp.hpp"
@@ -23,9 +25,9 @@ using sim::seconds;
 namespace {
 
 struct Measured {
-  double down_mbps;
-  double up_mbps;
-  double rtt_ms;
+  double down_mbps = 0;
+  double up_mbps = 0;
+  double rtt_ms = 0;
 };
 
 /// SpeedTest-style measurement over a cellular profile: several parallel
@@ -126,7 +128,7 @@ Measured measure_wifi(double phy_bps, int contenders, std::int32_t aggregate_byt
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== SIV-A: wireless technologies, advertised vs everyday ===\n\n";
   core::TablePrinter t({"Technology", "theoretical down/up", "cited measured", "simulated:",
                         "down", "up", "RTT"});
@@ -136,22 +138,41 @@ int main() {
            " Mb/s, " + core::fmt(r.measured_rtt_ms, 0) + " ms";
   };
 
-  for (const auto& row : wireless::wireless_survey()) {
-    Measured m{};
-    bool simulated = true;
-    if (row.technology == "HSPA+") {
-      m = measure_cellular(wireless::CellularProfile::hspa_plus());
-    } else if (row.technology == "LTE") {
-      m = measure_cellular(wireless::CellularProfile::lte());
-    } else if (row.technology == "5G (NGMN AR KPI)") {
-      m = measure_cellular(wireless::CellularProfile::fiveg_kpi());
-    } else if (row.technology == "802.11n") {
-      m = measure_wifi(72e6, 4, 3000);   // 1-stream n cell with neighbors
-    } else if (row.technology == "802.11ac") {
-      m = measure_wifi(433e6, 4, 12000);  // ac with A-MPDU aggregation
-    } else {
-      simulated = false;
-    }
+  // One SpeedTest-style measurement campaign per technology, each in its own
+  // simulation world — fan them across the pool, print in survey order.
+  struct SurveyMeasurement {
+    Measured m;
+    bool simulated = false;
+  };
+  const std::vector<wireless::SurveyRow> survey = wireless::wireless_survey();
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  runner::ExperimentRunner pool(pool_cfg);
+  const std::vector<SurveyMeasurement> measurements = pool.map<SurveyMeasurement>(
+      survey.size(), [&survey](runner::RunContext& ctx) {
+        const auto& row = survey[ctx.run_index];
+        SurveyMeasurement out;
+        out.simulated = true;
+        if (row.technology == "HSPA+") {
+          out.m = measure_cellular(wireless::CellularProfile::hspa_plus());
+        } else if (row.technology == "LTE") {
+          out.m = measure_cellular(wireless::CellularProfile::lte());
+        } else if (row.technology == "5G (NGMN AR KPI)") {
+          out.m = measure_cellular(wireless::CellularProfile::fiveg_kpi());
+        } else if (row.technology == "802.11n") {
+          out.m = measure_wifi(72e6, 4, 3000);   // 1-stream n cell with neighbors
+        } else if (row.technology == "802.11ac") {
+          out.m = measure_wifi(433e6, 4, 12000);  // ac with A-MPDU aggregation
+        } else {
+          out.simulated = false;
+        }
+        return out;
+      });
+
+  for (std::size_t i = 0; i < survey.size(); ++i) {
+    const auto& row = survey[i];
+    const Measured& m = measurements[i].m;
+    const bool simulated = measurements[i].simulated;
     t.add_row({row.technology,
                core::fmt(row.theoretical_down_mbps, 0) + "/" +
                    core::fmt(row.theoretical_up_mbps, 0) + " Mb/s",

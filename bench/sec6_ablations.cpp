@@ -6,11 +6,13 @@
 //   5. adaptive vs fixed strategy on a varying link.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "arnet/core/table.hpp"
 #include "arnet/mar/offload.hpp"
 #include "arnet/net/loss.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/transport/artp.hpp"
 
@@ -24,10 +26,10 @@ using sim::seconds;
 namespace {
 
 struct RunStats {
-  double median_ms;
-  double p95_ms;
-  double delivered_pct;
-  double overhead;
+  double median_ms = 0;
+  double p95_ms = 0;
+  double delivered_pct = 0;
+  double overhead = 0;
 };
 
 /// 30 Hz / 12 KB feature stream over a 6 Mb/s, 15 ms, 2 %-loss link.
@@ -80,18 +82,91 @@ RunStats run_stream(transport::ArtpSenderConfig cfg,
   return out;
 }
 
+struct StrategyStats {
+  double median_ms = 0;
+  double miss_pct = 0;
+  double uplink_mb = 0;
+};
+
+/// Sweep 5's varying-link scenario (an 8 s near/far delay square wave).
+StrategyStats run_strategy(mar::OffloadStrategy strategy) {
+  sim::Simulator sim;
+  net::Network net(sim, 9);
+  auto c = net.add_node("phone");
+  auto s = net.add_node("server");
+  auto [up, down] = net.connect(c, s, 30e6, milliseconds(6), 500);
+  for (int i = 0; i < 5; ++i) {
+    sim.at(seconds(8 * (i + 1)), [&, i, u = up, d = down] {
+      sim::Time delay = i % 2 == 0 ? milliseconds(65) : milliseconds(6);
+      u->set_delay(delay);
+      d->set_delay(delay);
+    });
+  }
+  mar::OffloadConfig cfg;
+  cfg.strategy = strategy;
+  cfg.device = mar::DeviceClass::kSmartphone;
+  mar::OffloadSession session(net, c, s, cfg);
+  session.start();
+  sim.run_until(seconds(48));
+  session.stop();
+  const auto& st = session.stats();
+  return {st.latency_ms.median(), st.miss_rate() * 100, st.uplink_bytes / 1e6};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  runner::ExperimentRunner pool(pool_cfg);
+
   std::cout << "=== ARTP design ablations (6 Mb/s, 15 ms, 2 % loss, 30 Hz stream) ===\n";
+
+  // All four run_stream sweeps are independent (each run owns its
+  // Simulator/Network), so the whole grid fans out in one batch and the
+  // tables below just slice the results. Output is identical for any --jobs.
+  struct StreamTask {
+    transport::ArtpSenderConfig cfg;
+    transport::ArtpReceiver::Config rcfg;
+  };
+  std::vector<StreamTask> grid;
+  const sim::Time paces[] = {milliseconds(1), milliseconds(5), milliseconds(20),
+                             milliseconds(50)};
+  for (auto pace : paces) {
+    StreamTask t;
+    t.cfg.pace_interval = pace;
+    grid.push_back(t);
+  }
+  const sim::Time feedbacks[] = {milliseconds(10), milliseconds(25), milliseconds(100),
+                                 milliseconds(400)};
+  for (auto fb : feedbacks) {
+    StreamTask t;
+    t.rcfg.feedback_interval = fb;
+    grid.push_back(t);
+  }
+  const std::uint32_t parities[] = {0u, 1u, 2u, 4u};
+  for (auto parity : parities) {
+    StreamTask t;
+    t.cfg.fec_parity = parity;
+    grid.push_back(t);
+  }
+  const sim::Time thresholds[] = {milliseconds(10), milliseconds(40), milliseconds(160)};
+  for (auto thresh : thresholds) {
+    StreamTask t;
+    t.cfg.shed_backlog_threshold = thresh;
+    grid.push_back(t);
+  }
+  const std::vector<RunStats> stats = pool.map<RunStats>(
+      grid.size(), [&grid](runner::RunContext& ctx) {
+        return run_stream(grid[ctx.run_index].cfg, grid[ctx.run_index].rcfg);
+      });
+  std::size_t next = 0;
 
   std::cout << "\n--- 1. Pacing granularity (SVI-H: kernel vs user-space timers) ---\n";
   {
     core::TablePrinter t({"pace interval", "median", "p95", "delivered"});
-    for (auto pace : {milliseconds(1), milliseconds(5), milliseconds(20), milliseconds(50)}) {
-      transport::ArtpSenderConfig cfg;
-      cfg.pace_interval = pace;
-      auto r = run_stream(cfg);
+    for (auto pace : paces) {
+      const RunStats& r = stats[next++];
       t.add_row({core::fmt_ms(sim::to_milliseconds(pace), 0), core::fmt_ms(r.median_ms),
                  core::fmt_ms(r.p95_ms), core::fmt(r.delivered_pct, 1) + " %"});
     }
@@ -103,10 +178,8 @@ int main() {
   std::cout << "\n--- 2. Feedback interval (congestion/NACK signal latency) ---\n";
   {
     core::TablePrinter t({"feedback every", "median", "p95", "delivered"});
-    for (auto fb : {milliseconds(10), milliseconds(25), milliseconds(100), milliseconds(400)}) {
-      transport::ArtpReceiver::Config rcfg;
-      rcfg.feedback_interval = fb;
-      auto r = run_stream(transport::ArtpSenderConfig{}, rcfg);
+    for (auto fb : feedbacks) {
+      const RunStats& r = stats[next++];
       t.add_row({core::fmt_ms(sim::to_milliseconds(fb), 0), core::fmt_ms(r.median_ms),
                  core::fmt_ms(r.p95_ms), core::fmt(r.delivered_pct, 1) + " %"});
     }
@@ -116,10 +189,8 @@ int main() {
   std::cout << "\n--- 3. FEC redundancy (parity chunks per message) ---\n";
   {
     core::TablePrinter t({"parity", "delivered complete", "p95", "wire overhead"});
-    for (std::uint32_t parity : {0u, 1u, 2u, 4u}) {
-      transport::ArtpSenderConfig cfg;
-      cfg.fec_parity = parity;
-      auto r = run_stream(cfg);
+    for (auto parity : parities) {
+      const RunStats& r = stats[next++];
       t.add_row({std::to_string(parity), core::fmt(r.delivered_pct, 1) + " %",
                  core::fmt_ms(r.p95_ms), core::fmt((r.overhead - 1.0) * 100, 1) + " %"});
     }
@@ -131,10 +202,8 @@ int main() {
   std::cout << "\n--- 4. Shed-backlog threshold (how early degradation starts) ---\n";
   {
     core::TablePrinter t({"threshold", "median", "p95", "delivered"});
-    for (auto thresh : {milliseconds(10), milliseconds(40), milliseconds(160)}) {
-      transport::ArtpSenderConfig cfg;
-      cfg.shed_backlog_threshold = thresh;
-      auto r = run_stream(cfg);
+    for (auto thresh : thresholds) {
+      const RunStats& r = stats[next++];
       t.add_row({core::fmt_ms(sim::to_milliseconds(thresh), 0), core::fmt_ms(r.median_ms),
                  core::fmt_ms(r.p95_ms), core::fmt(r.delivered_pct, 1) + " %"});
     }
@@ -146,32 +215,17 @@ int main() {
 
   std::cout << "\n--- 5. Adaptive vs fixed strategy on a varying link ---\n";
   {
-    core::TablePrinter t({"Strategy", "median m2p", "75 ms miss rate", "uplink MB"});
-    for (auto strategy : {mar::OffloadStrategy::kCloudRidAR, mar::OffloadStrategy::kGlimpse,
-                          mar::OffloadStrategy::kAdaptive}) {
-      sim::Simulator sim;
-      net::Network net(sim, 9);
-      auto c = net.add_node("phone");
-      auto s = net.add_node("server");
-      auto [up, down] = net.connect(c, s, 30e6, milliseconds(6), 500);
-      for (int i = 0; i < 5; ++i) {
-        sim.at(seconds(8 * (i + 1)), [&, i, u = up, d = down] {
-          sim::Time delay = i % 2 == 0 ? milliseconds(65) : milliseconds(6);
-          u->set_delay(delay);
-          d->set_delay(delay);
+    const mar::OffloadStrategy strategies[] = {mar::OffloadStrategy::kCloudRidAR,
+                                               mar::OffloadStrategy::kGlimpse,
+                                               mar::OffloadStrategy::kAdaptive};
+    const std::vector<StrategyStats> rows = pool.map<StrategyStats>(
+        3, [&strategies](runner::RunContext& ctx) {
+          return run_strategy(strategies[ctx.run_index]);
         });
-      }
-      mar::OffloadConfig cfg;
-      cfg.strategy = strategy;
-      cfg.device = mar::DeviceClass::kSmartphone;
-      mar::OffloadSession session(net, c, s, cfg);
-      session.start();
-      sim.run_until(seconds(48));
-      session.stop();
-      const auto& st = session.stats();
-      t.add_row({mar::to_string(strategy), core::fmt_ms(st.latency_ms.median()),
-                 core::fmt(st.miss_rate() * 100, 1) + " %",
-                 core::fmt(st.uplink_bytes / 1e6, 1)});
+    core::TablePrinter t({"Strategy", "median m2p", "75 ms miss rate", "uplink MB"});
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      t.add_row({mar::to_string(strategies[i]), core::fmt_ms(rows[i].median_ms),
+                 core::fmt(rows[i].miss_pct, 1) + " %", core::fmt(rows[i].uplink_mb, 1)});
     }
     t.print(std::cout);
     std::cout << "The adaptive runtime rides CloudRidAR while the edge is near (2.5x\n"

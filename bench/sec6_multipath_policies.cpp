@@ -6,9 +6,11 @@
 // (expensive) cellular data each behavior burns.
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "arnet/core/table.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/transport/artp.hpp"
 #include "arnet/wireless/cellular.hpp"
@@ -24,11 +26,11 @@ using sim::seconds;
 namespace {
 
 struct PolicyResult {
-  double delivery_rate;
-  double median_ms;
-  double p95_ms;
-  double cellular_mb;
-  double wifi_mb;
+  double delivery_rate = 0;
+  double median_ms = 0;
+  double p95_ms = 0;
+  double cellular_mb = 0;
+  double wifi_mb = 0;
 };
 
 PolicyResult run(transport::MultipathPolicy policy, bool single_path_baseline = false) {
@@ -114,7 +116,7 @@ PolicyResult run(transport::MultipathPolicy policy, bool single_path_baseline = 
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== SVI-D: multipath behaviors on an urban walk (300 s) ===\n"
             << "WiFi usable ~54 % of the time (Wi2Me), LTE almost always on.\n"
             << "Workload: 15 KB feature batches at 15 Hz.\n\n";
@@ -131,10 +133,20 @@ int main() {
       {"(2) WiFi preferred, 4G fills gaps", transport::MultipathPolicy::kPreferred, false},
       {"(3) WiFi + 4G aggregated", transport::MultipathPolicy::kAggregate, false},
   };
-  for (const auto& row : rows) {
-    auto r = run(row.policy, row.single);
-    t.add_row({row.name, core::fmt(r.delivery_rate * 100, 1) + " %", core::fmt_ms(r.median_ms),
-               core::fmt_ms(r.p95_ms), core::fmt(r.wifi_mb, 1), core::fmt(r.cellular_mb, 1)});
+  // Each behavior is a full 300 s walk in its own simulation world — fan the
+  // four walks across the pool; the table order stays fixed.
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  runner::ExperimentRunner pool(pool_cfg);
+  const std::vector<PolicyResult> results = pool.map<PolicyResult>(
+      std::size(rows), [&rows](runner::RunContext& ctx) {
+        return run(rows[ctx.run_index].policy, rows[ctx.run_index].single);
+      });
+  for (std::size_t i = 0; i < std::size(rows); ++i) {
+    const PolicyResult& r = results[i];
+    t.add_row({rows[i].name, core::fmt(r.delivery_rate * 100, 1) + " %",
+               core::fmt_ms(r.median_ms), core::fmt_ms(r.p95_ms), core::fmt(r.wifi_mb, 1),
+               core::fmt(r.cellular_mb, 1)});
   }
   t.print(std::cout);
 

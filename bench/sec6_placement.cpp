@@ -4,10 +4,12 @@
 // the greedy set-cover solver against the exact one, plus the §VI-E n-way
 // inter-server synchronization cost of the resulting deployments.
 #include <iostream>
+#include <vector>
 
 #include "arnet/core/table.hpp"
 #include "arnet/edge/mobility.hpp"
 #include "arnet/edge/placement.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/rng.hpp"
 
 using namespace arnet;
@@ -44,32 +46,57 @@ edge::PlacementProblem make_city(sim::Time max_rtt, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  runner::ExperimentRunner pool(pool_cfg);
+
   std::cout << "=== SVI-F: locating edge datacenters for MAR ===\n"
             << "min |C| s.t. every user's offloading RTT constraint holds.\n"
             << "16 candidate sites, 48 users (3 hotspots + background), 36 km city.\n\n";
 
   core::TablePrinter t({"RTT constraint", "greedy |C|", "exact |C|", "feasible",
                         "worst assigned RTT", "n-way sync period"});
-  for (sim::Time rtt : {milliseconds(20), milliseconds(10), sim::from_milliseconds(7.0),
-                        sim::from_milliseconds(5.5), sim::from_milliseconds(4.6)}) {
-    auto p = make_city(rtt, 7);
-    auto greedy = p.solve_greedy();
-    auto exact = p.solve_exact();
-    std::vector<edge::CandidateSite> sites;
-    for (int i = 0; i < 4; ++i) {
-      for (int j = 0; j < 4; ++j) {
-        double step = 36.0 / 5;
-        sites.push_back({{step * (i + 1), step * (j + 1)}, ""});
-      }
-    }
-    auto sync_period = edge::nway_sync_period(sites, exact.chosen_sites, p.latency_model());
-    t.add_row({core::fmt_ms(sim::to_milliseconds(rtt), 1), std::to_string(greedy.datacenters()),
-               std::to_string(exact.datacenters()), exact.feasible ? "yes" : "NO",
-               core::fmt_ms(sim::to_milliseconds(p.max_assigned_rtt(exact)), 1),
-               exact.chosen_sites.size() > 1
-                   ? core::fmt_ms(sim::to_milliseconds(sync_period), 1)
-                   : "n/a (single DC)"});
+  // Each RTT constraint is an independent placement-search instance (the
+  // exact solver dominates the cost) — fan the sweep across the pool.
+  const sim::Time rtts[] = {milliseconds(20), milliseconds(10), sim::from_milliseconds(7.0),
+                            sim::from_milliseconds(5.5), sim::from_milliseconds(4.6)};
+  struct SweepRow {
+    int greedy_dcs = 0;
+    int exact_dcs = 0;
+    bool feasible = false;
+    bool single_dc = true;
+    double worst_rtt_ms = 0;
+    double sync_period_ms = 0;
+  };
+  const std::vector<SweepRow> sweep = pool.map<SweepRow>(
+      std::size(rtts), [&rtts](runner::RunContext& ctx) {
+        auto p = make_city(rtts[ctx.run_index], 7);
+        auto greedy = p.solve_greedy();
+        auto exact = p.solve_exact();
+        std::vector<edge::CandidateSite> sites;
+        for (int i = 0; i < 4; ++i) {
+          for (int j = 0; j < 4; ++j) {
+            double step = 36.0 / 5;
+            sites.push_back({{step * (i + 1), step * (j + 1)}, ""});
+          }
+        }
+        auto sync_period = edge::nway_sync_period(sites, exact.chosen_sites, p.latency_model());
+        SweepRow row;
+        row.greedy_dcs = greedy.datacenters();
+        row.exact_dcs = exact.datacenters();
+        row.feasible = exact.feasible;
+        row.single_dc = exact.chosen_sites.size() <= 1;
+        row.worst_rtt_ms = sim::to_milliseconds(p.max_assigned_rtt(exact));
+        row.sync_period_ms = sim::to_milliseconds(sync_period);
+        return row;
+      });
+  for (std::size_t i = 0; i < std::size(rtts); ++i) {
+    const SweepRow& row = sweep[i];
+    t.add_row({core::fmt_ms(sim::to_milliseconds(rtts[i]), 1), std::to_string(row.greedy_dcs),
+               std::to_string(row.exact_dcs), row.feasible ? "yes" : "NO",
+               core::fmt_ms(row.worst_rtt_ms, 1),
+               row.single_dc ? "n/a (single DC)" : core::fmt_ms(row.sync_period_ms, 1)});
   }
   t.print(std::cout);
 
@@ -141,12 +168,24 @@ int main() {
         {"4 DCs", {0, 3, 12, 15}},
         {"all 16 DCs", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
     };
-    for (const auto& row : rows) {
-      auto r = edge::MigrationStudy::run(sites, row.chosen, 25, 3, cfg);
-      t.add_row({row.name, core::fmt_ms(r.rtt_ms.median()),
-                 core::fmt(r.out_of_constraint_fraction * 100, 1) + " %",
-                 core::fmt(r.migrations_per_user_hour, 1),
-                 core::fmt_ms(sim::to_milliseconds(r.mean_migration_downtime), 1)});
+    struct MigrationRow {
+      double median_rtt_ms = 0;
+      double out_pct = 0;
+      double migrations_per_hour = 0;
+      double downtime_ms = 0;
+    };
+    const std::vector<MigrationRow> results = pool.map<MigrationRow>(
+        std::size(rows), [&](runner::RunContext& ctx) {
+          auto r = edge::MigrationStudy::run(sites, rows[ctx.run_index].chosen, 25, 3, cfg);
+          return MigrationRow{r.rtt_ms.median(), r.out_of_constraint_fraction * 100,
+                              r.migrations_per_user_hour,
+                              sim::to_milliseconds(r.mean_migration_downtime)};
+        });
+    for (std::size_t i = 0; i < std::size(rows); ++i) {
+      t.add_row({rows[i].name, core::fmt_ms(results[i].median_rtt_ms),
+                 core::fmt(results[i].out_pct, 1) + " %",
+                 core::fmt(results[i].migrations_per_hour, 1),
+                 core::fmt_ms(results[i].downtime_ms, 1)});
     }
     t.print(std::cout);
     std::cout << "Denser edges cut RTT and dead zones but multiply session\n"

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <variant>
 #include <vector>
@@ -44,6 +45,35 @@ inline constexpr std::size_t kAppDataCount = 8;
 
 const char* to_string(AppData a);
 
+/// Fixed-capacity SACK block list: up to 3 [begin, end) byte ranges
+/// (RFC 2018 allows 3-4 next to timestamps). Inline storage on purpose —
+/// Packet is a value type that Network::send and Link::on_transmit_complete
+/// copy on every hop, and a std::vector here meant one heap allocation per
+/// copied ACK on the simulator's hottest path.
+class SackBlocks {
+ public:
+  using Block = std::pair<std::uint64_t, std::uint64_t>;
+  static constexpr std::size_t kMaxBlocks = 3;
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == kMaxBlocks; }
+  const Block& operator[](std::size_t i) const { return blocks_[i]; }
+  const Block* begin() const { return blocks_.data(); }
+  const Block* end() const { return blocks_.data() + count_; }
+
+  /// Append a block; excess blocks past the RFC cap are silently dropped
+  /// (callers report the freshest ranges first).
+  void emplace_back(std::uint64_t begin_seq, std::uint64_t end_seq) {
+    if (count_ < kMaxBlocks) blocks_[count_++] = {begin_seq, end_seq};
+  }
+  void clear() { count_ = 0; }
+
+ private:
+  std::array<Block, kMaxBlocks> blocks_{};
+  std::uint8_t count_ = 0;
+};
+
 /// TCP segment header (simplified: no window scaling).
 struct TcpHeader {
   std::uint64_t seq = 0;       ///< first payload byte offset
@@ -51,9 +81,8 @@ struct TcpHeader {
   bool is_ack = false;         ///< carries acknowledgment
   bool is_syn = false;
   bool is_fin = false;
-  /// SACK blocks: up to 3 [begin, end) ranges received above `ack`
-  /// (RFC 2018 allows 3-4 with timestamps).
-  std::vector<std::pair<std::uint64_t, std::uint64_t>> sack;
+  /// SACK blocks received above `ack`.
+  SackBlocks sack;
 };
 
 /// Retransmission request for one missing critical chunk.

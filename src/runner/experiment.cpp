@@ -1,0 +1,102 @@
+#include "arnet/runner/experiment.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace arnet::runner {
+
+std::uint64_t derive_seed(std::uint64_t root_seed, std::uint64_t run_index) {
+  // SplitMix64 (Steele/Lea/Flood): advance the state by the golden-gamma
+  // once per index, then finalize. run_index + 1 keeps run 0 from collapsing
+  // onto the raw root.
+  std::uint64_t z = root_seed + 0x9E3779B97F4A7C15ULL * (run_index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+int ExperimentRunner::hardware_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ExperimentRunner::ExperimentRunner(Config cfg)
+    : jobs_(cfg.jobs > 0 ? cfg.jobs : hardware_jobs()), root_seed_(cfg.root_seed) {}
+
+void ExperimentRunner::for_each(std::size_t runs, const RunFn& fn) {
+  if (runs == 0) return;
+
+  auto execute = [&](std::size_t index) {
+    RunContext ctx;
+    ctx.run_index = index;
+    ctx.seed = derive_seed(root_seed_, index);
+    fn(ctx);
+  };
+
+  const std::size_t workers =
+      std::min(runs, static_cast<std::size_t>(jobs_));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < runs; ++i) execute(i);
+    return;
+  }
+
+  // Dynamic work stealing over a shared index counter: runs are uneven (a
+  // placement search instance is not a WiFi cell), so static striping would
+  // leave workers idle. Determinism is unaffected — no run reads another
+  // run's state, and all aggregation happens index-ordered after the join.
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runs) return;
+      try {
+        execute(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+obs::MetricsRegistry ExperimentRunner::run_merged(std::size_t runs, const RunFn& fn) {
+  std::vector<obs::MetricsRegistry> per_run(runs);
+  for_each(runs, [&](RunContext& ctx) {
+    fn(ctx);
+    per_run[ctx.run_index] = std::move(ctx.metrics);
+  });
+  obs::MetricsRegistry merged;
+  for (const obs::MetricsRegistry& r : per_run) merged.merge_from(r);
+  return merged;
+}
+
+int parse_jobs_flag(int argc, char** argv, int fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strncmp(arg, "--jobs=", 7) == 0) {
+      value = arg + 7;
+    } else if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc) {
+      value = argv[i + 1];
+    } else {
+      continue;
+    }
+    const int n = std::atoi(value);
+    return n > 0 ? n : ExperimentRunner::hardware_jobs();
+  }
+  return fallback;
+}
+
+}  // namespace arnet::runner

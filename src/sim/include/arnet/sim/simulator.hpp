@@ -3,15 +3,15 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "arnet/sim/time.hpp"
 
 namespace arnet::sim {
 
-/// Opaque handle to a scheduled event; used to cancel timers.
+/// Opaque handle to a scheduled event; used to cancel timers. The id packs
+/// {slab slot, generation} so the engine can validate it in O(1) without any
+/// hash lookup; 0 is never issued, so a default handle is always invalid.
 struct EventHandle {
   std::uint64_t id = 0;
   bool valid() const { return id != 0; }
@@ -31,10 +31,22 @@ class SimObserver {
   virtual void on_cancel(std::uint64_t /*id*/, bool /*issued*/) {}
 };
 
+struct SimulatorTestPeer;
+
 /// Single-threaded discrete-event simulator.
 ///
 /// Events at equal times run in scheduling order (FIFO), which keeps
 /// protocol traces deterministic.
+///
+/// Engine layout (ns-3-style slab scheduler): every scheduled event lives in
+/// a slot of a slab, and a 4-ary min-heap of slot indices orders the slots
+/// by (time, seq). Handles pack {slot, generation}; freeing a slot bumps its
+/// generation, so a stale handle (already fired, already cancelled, forged)
+/// is rejected by a single compare — no id hash sets, no tombstone growth.
+/// cancel() is an O(1) slot mark; the dead heap entry is discarded when it
+/// surfaces at the front. Freed slots are recycled LIFO, so steady-state
+/// scheduling reuses warm Event records (including their Callback storage)
+/// instead of allocating.
 class Simulator {
  public:
   using Callback = std::function<void()>;
@@ -48,9 +60,9 @@ class Simulator {
   EventHandle after(Time delay, Callback cb) { return at(now_ + delay, std::move(cb)); }
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled,
-  /// or invalid handle is a true no-op: it leaves no tombstone behind, so
-  /// long-running scenarios that race timers against completions (every RTO
-  /// path does) cannot grow the cancelled set without bound.
+  /// or invalid handle is a true no-op: the handle's generation no longer
+  /// matches its slot, so no state changes and nothing can accumulate over
+  /// long scenarios that race timers against completions (every RTO path).
   void cancel(EventHandle h);
 
   /// Run until the event queue drains.
@@ -62,14 +74,13 @@ class Simulator {
   void run_for(Time delay) { run_until(now_ + delay); }
 
   std::uint64_t events_executed() const { return executed_; }
-  /// Live (scheduled, not cancelled) events. Exact: cancel() only tombstones
-  /// ids that are actually queued, so the subtraction cannot underflow.
-  std::size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  /// Live (scheduled, not cancelled) events.
+  std::size_t pending_events() const { return live_; }
 
-  /// Cancel tombstones not yet matched against a queued event. Bounded by
-  /// pending_events(); always 0 once the queue drains. SimAuditor::finish()
-  /// still audits that invariant as a backstop.
-  std::size_t cancel_backlog() const { return cancelled_.size(); }
+  /// Cancelled events whose heap entry has not yet surfaced at the front and
+  /// been discarded. Bounded by the queue size; always 0 once the queue
+  /// drains. SimAuditor::finish() still audits that invariant as a backstop.
+  std::size_t cancel_backlog() const { return heap_.size() - live_; }
 
   /// Register/unregister an execution observer (auditing & trace
   /// fingerprinting). Several may be registered; order = registration order.
@@ -79,32 +90,79 @@ class Simulator {
   }
 
  private:
+  friend struct SimulatorTestPeer;
+
   struct Event {
-    Time time;
-    std::uint64_t seq;  // tie-break: FIFO among equal-time events
-    std::uint64_t id;
+    Time time = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among equal-time events
+    std::uint32_t generation = 1;
+    enum State : std::uint8_t { kFree, kPending, kCancelled };
+    State state = kFree;
     Callback cb;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
 
-  bool pop_and_run_front();
-  bool discard_cancelled_front();
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  static std::uint64_t pack_id(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | slot;
+  }
+  static std::uint32_t slot_of(std::uint64_t id) { return static_cast<std::uint32_t>(id); }
+  static std::uint32_t generation_of(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  /// Generations skip 0 (so a packed id is never 0) and wrap; a handle can
+  /// only alias after 2^32 - 1 reuses of one slot.
+  static std::uint32_t next_generation(std::uint32_t g) { return g + 1 == 0 ? 1 : g + 1; }
+
+  /// Heap entries cache the primary ordering key (time) next to the slot
+  /// index: sift comparisons run over contiguous heap memory instead of
+  /// chasing slab slots, which is where a slab scheduler's cache misses
+  /// hide. The seq tie-break stays in the slab and is only fetched on equal
+  /// times — keeping the entry at 16 bytes, so a 4-ary node's child group
+  /// spans at most two cache lines and half the heap footprint stays hot.
+  struct HeapEntry {
+    Time time;
+    std::uint32_t slot;
+  };
+  bool entry_before(const HeapEntry& a, const HeapEntry& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    return slab_[a.slot].seq < slab_[b.slot].seq;
+  }
+
+  void heap_push(HeapEntry e);
+  void heap_pop_front();
+  /// Discard cancelled entries off the heap front (freeing their slots);
+  /// afterwards heap_[0] is the live front event. Returns false when
+  /// drained. The single pass shared by run()/run_until().
+  bool has_live_front();
+  /// Fire the known-live front event (pre: has_live_front() returned true).
+  void run_front();
+  void release_slot(std::uint32_t slot);
 
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  // Membership-only id sets (never iterated): which ids are still queued,
-  // and which queued ids were cancelled (tombstones matched lazily at pop).
-  std::unordered_set<std::uint64_t> pending_ids_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::vector<Event> slab_;
+  std::vector<HeapEntry> heap_;      // 4-ary min-heap keyed by (time, seq)
+  std::vector<std::uint32_t> free_;  // freed slots, reused LIFO
+  // The firing callback is moved here (not run in place) because it may
+  // schedule events and grow the slab under its own feet; the member is
+  // reused across fires so steady-state turnover does not allocate.
+  Callback running_cb_;
   std::vector<SimObserver*> observers_;
+};
+
+/// White-box seam for tests only: lets the slab stress test force a slot to
+/// the edge of the generation counter to cover wrap-around, and inspect how
+/// handles pack. Not part of the simulation API.
+struct SimulatorTestPeer {
+  static std::uint32_t slot_of(EventHandle h) { return Simulator::slot_of(h.id); }
+  static std::uint32_t generation_of(EventHandle h) { return Simulator::generation_of(h.id); }
+  static std::size_t slab_size(const Simulator& s) { return s.slab_.size(); }
+  static void set_slot_generation(Simulator& s, std::uint32_t slot, std::uint32_t generation) {
+    s.slab_[slot].generation = generation;
+  }
 };
 
 /// Restartable one-shot timer bound to a simulator (e.g. a TCP RTO timer).

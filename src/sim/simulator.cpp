@@ -6,62 +6,139 @@
 
 namespace arnet::sim {
 
+// 4-ary heap: shallower than binary for the same size, and the four children
+// of a node share cache lines, so the sift-down comparison fan-out is nearly
+// free. Sifts move entries hole-style (no swaps: one write per level).
+
+void Simulator::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!entry_before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::heap_pop_front() {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    if (first_child + 4 <= n) {
+      // Interior node: the four 16-byte children span at most two cache
+      // lines; unrolling keeps the min-scan branch-predictable.
+      if (entry_before(heap_[first_child + 1], heap_[best])) best = first_child + 1;
+      if (entry_before(heap_[first_child + 2], heap_[best])) best = first_child + 2;
+      if (entry_before(heap_[first_child + 3], heap_[best])) best = first_child + 3;
+    } else {
+      for (std::size_t c = first_child + 1; c < n; ++c) {
+        if (entry_before(heap_[c], heap_[best])) best = c;
+      }
+    }
+    if (!entry_before(heap_[best], last)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Event& e = slab_[slot];
+  e.state = Event::kFree;
+  e.generation = next_generation(e.generation);
+  free_.push_back(slot);
+}
+
 EventHandle Simulator::at(Time t, Callback cb) {
   if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
-  Event e{t, next_seq_++, next_id_++, std::move(cb)};
-  EventHandle h{e.id};
-  pending_ids_.insert(e.id);
-  queue_.push(std::move(e));
-  return h;
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    ARNET_ASSERT(slab_.size() < kNoSlot, "event slab exhausted (2^32 - 1 concurrent events)");
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Event& e = slab_[slot];
+  e.time = t;
+  e.seq = next_seq_++;
+  e.state = Event::kPending;
+  e.cb = std::move(cb);
+  heap_push(HeapEntry{t, slot});
+  ++live_;
+  return EventHandle{pack_id(slot, e.generation)};
 }
 
 void Simulator::cancel(EventHandle h) {
   if (!h.valid()) return;
-  for (SimObserver* o : observers_) o->on_cancel(h.id, h.id < next_id_);
-  // Tombstone only ids that are actually still queued: a cancel of an
-  // already-fired (or never-issued, or double-cancelled) handle must not
-  // leave state behind, or the set grows without bound over long runs.
-  if (pending_ids_.erase(h.id) > 0) cancelled_.insert(h.id);
+  const std::uint32_t slot = slot_of(h.id);
+  const std::uint32_t gen = generation_of(h.id);
+  // "Issued" = this id could have come out of at(): its slot exists and its
+  // generation is non-zero (0 is never issued). Fired and double-cancelled
+  // handles were issued; forged ids like EventHandle{999999} were not.
+  const bool issued = gen != 0 && slot < slab_.size();
+  for (SimObserver* o : observers_) o->on_cancel(h.id, issued);
+  if (!issued) return;
+  Event& e = slab_[slot];
+  if (e.state != Event::kPending || e.generation != gen) return;  // stale handle: no-op
+  // O(1) mark: bump the generation so every outstanding copy of this handle
+  // goes stale, and leave the dead heap entry to be discarded at the front.
+  e.state = Event::kCancelled;
+  e.generation = next_generation(e.generation);
+  e.cb = nullptr;  // drop captures now; owners may die before the entry pops
+  --live_;
 }
 
-/// Pop cancelled events off the queue front, collecting their tombstones.
-/// Returns true iff a live event remains at the front.
-bool Simulator::discard_cancelled_front() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return true;
-    cancelled_.erase(it);
-    queue_.pop();
+bool Simulator::has_live_front() {
+  while (!heap_.empty()) {
+    const std::uint32_t slot = heap_[0].slot;
+    if (slab_[slot].state == Event::kPending) return true;
+    heap_pop_front();
+    release_slot(slot);
   }
   return false;
 }
 
-bool Simulator::pop_and_run_front() {
-  if (!discard_cancelled_front()) return false;
-  // priority_queue::top() is const; the event must be moved out to run it
-  // without copying the callback state.
-  Event e = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  pending_ids_.erase(e.id);
+void Simulator::run_front() {
+  const std::uint32_t slot = heap_[0].slot;
+  heap_pop_front();
+  Event& e = slab_[slot];
+  const Time t = e.time;
+  const std::uint64_t seq = e.seq;
+  const std::uint64_t id = pack_id(slot, e.generation);
   // Survives NDEBUG: a backwards clock silently corrupts every downstream
   // trace, so it must halt release runs too.
-  ARNET_ASSERT(e.time >= now_, "event ", e.id, " (seq ", e.seq, ") fires at t=", e.time,
+  ARNET_ASSERT(t >= now_, "event ", id, " (seq ", seq, ") fires at t=", t,
                "ns but the clock is already at t=", now_, "ns");
-  for (SimObserver* o : observers_) o->on_execute(e.time, e.seq, e.id);
-  now_ = e.time;
+  // Free the slot before invoking: the callback may schedule (reusing this
+  // warm slot) or grow the slab, either of which would invalidate `e`.
+  running_cb_ = std::move(e.cb);
+  release_slot(slot);
+  --live_;
+  for (SimObserver* o : observers_) o->on_execute(t, seq, id);
+  now_ = t;
   ++executed_;
-  e.cb();
-  return true;
+  running_cb_();
 }
 
 void Simulator::run() {
-  while (pop_and_run_front()) {
+  while (has_live_front()) {
+    run_front();
   }
 }
 
 void Simulator::run_until(Time t) {
-  while (discard_cancelled_front() && queue_.top().time <= t) {
-    pop_and_run_front();
+  while (has_live_front() && heap_[0].time <= t) {
+    run_front();
   }
   if (now_ < t) now_ = t;
 }

@@ -446,7 +446,7 @@ void TcpSink::send_ack(net::NodeId to, net::Port port, net::FlowId flow) {
   h.ack = rcv_next_;
   if (cfg_.sack) {
     for (const auto& [begin, end] : ooo_) {
-      if (h.sack.size() >= 3) break;
+      if (h.sack.full()) break;
       h.sack.emplace_back(begin, end);
     }
   }

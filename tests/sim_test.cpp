@@ -235,5 +235,138 @@ TEST(Stats, RateMeterComputesMbps) {
   EXPECT_NEAR(m.average_mbps(seconds(2)), 1.5, 1e-9);
 }
 
+// ---- Slab engine stress: slot recycling and generation safety. -----------
+
+TEST(SimulatorSlab, ChurnRecyclesSlotsWithoutGrowth) {
+  // Schedule/cancel/fire far more events than the slab has slots; freed
+  // slots must recycle, so the slab stays near the peak live count instead
+  // of growing with total event count.
+  Simulator sim;
+  Rng rng(42);
+  // Deliberately keep handles to already-fired events around: cancelling a
+  // stale handle must be a no-op, and the accounting below only counts a
+  // cancel when the event had not fired yet.
+  std::vector<std::pair<EventHandle, std::size_t>> handles;
+  std::vector<bool> fired_flags;
+  std::uint64_t fired = 0, scheduled = 0, cancelled = 0;
+  constexpr int kRounds = 20'000;
+  for (int i = 0; i < kRounds; ++i) {
+    double coin = rng.uniform(0.0, 1.0);
+    if (coin < 0.5 || handles.empty()) {
+      std::size_t k = fired_flags.size();
+      fired_flags.push_back(false);
+      handles.emplace_back(sim.after(1 + static_cast<Time>(rng.uniform(0, 1000)),
+                                     [&fired, &fired_flags, k] {
+                                       ++fired;
+                                       fired_flags[k] = true;
+                                     }),
+                           k);
+      ++scheduled;
+    } else if (coin < 0.75) {
+      auto idx = static_cast<std::size_t>(rng.uniform(0, static_cast<double>(handles.size())));
+      std::swap(handles[idx], handles.back());
+      auto [h, k] = handles.back();
+      if (!fired_flags[k]) ++cancelled;  // else: stale handle, cancel is a no-op
+      sim.cancel(h);
+      handles.pop_back();
+    } else {
+      sim.run_for(static_cast<Time>(rng.uniform(0, 200)));
+    }
+  }
+  sim.run();
+  EXPECT_EQ(fired, scheduled - cancelled);
+  EXPECT_EQ(sim.events_executed(), fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+  // Peak concurrency is bounded by the number of rounds between drains; the
+  // slab must be far below the 20k total events scheduled.
+  EXPECT_LT(SimulatorTestPeer::slab_size(sim), 4096u);
+}
+
+TEST(SimulatorSlab, ChurnPreservesTimeThenFifoOrder) {
+  // Recycled slots must not disturb (time, seq) ordering: interleave fresh
+  // and recycled slots at equal and distinct times and replay the order.
+  Simulator sim;
+  std::vector<int> order;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      Time t = sim.now() + 10 + (i % 2);  // two event times, 4 events each
+      sim.at(t, [&order, round, i] { order.push_back(round * 8 + i); });
+    }
+    sim.run_for(20);
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 400u);
+  // Within each round: the four even-index (earlier-time) events in FIFO
+  // order, then the four odd-index ones.
+  for (int round = 0; round < 50; ++round) {
+    const int base = round * 8;
+    const int expect[] = {0, 2, 4, 6, 1, 3, 5, 7};
+    for (int k = 0; k < 8; ++k) {
+      EXPECT_EQ(order[static_cast<std::size_t>(base + k)], base + expect[k]);
+    }
+  }
+}
+
+TEST(SimulatorSlab, StaleHandleAfterReuseIsRejected) {
+  Simulator sim;
+  bool first_ran = false, second_ran = false;
+  auto h1 = sim.at(10, [&] { first_ran = true; });
+  sim.run();
+  EXPECT_TRUE(first_ran);
+  // The fired event's slot is free; the next schedule reuses it with a
+  // bumped generation.
+  auto h2 = sim.at(20, [&] { second_ran = true; });
+  EXPECT_EQ(SimulatorTestPeer::slot_of(h1), SimulatorTestPeer::slot_of(h2));
+  EXPECT_NE(SimulatorTestPeer::generation_of(h1), SimulatorTestPeer::generation_of(h2));
+  sim.cancel(h1);  // stale: must NOT cancel the new occupant
+  sim.run();
+  EXPECT_TRUE(second_ran);
+}
+
+TEST(SimulatorSlab, GenerationWrapSkipsZeroAndStaysValid) {
+  Simulator sim;
+  // Recycle one slot so the free list is non-empty, then force its
+  // generation to the wrap point.
+  auto h0 = sim.at(1, [] {});
+  sim.cancel(h0);
+  sim.run();
+  const std::uint32_t slot = SimulatorTestPeer::slot_of(h0);
+  SimulatorTestPeer::set_slot_generation(sim, slot, 0xFFFFFFFFu);
+
+  bool a_ran = false, b_ran = false;
+  auto ha = sim.at(10, [&] { a_ran = true; });
+  ASSERT_EQ(SimulatorTestPeer::slot_of(ha), slot);
+  EXPECT_EQ(SimulatorTestPeer::generation_of(ha), 0xFFFFFFFFu);
+  EXPECT_TRUE(ha.valid());
+  sim.run();
+  EXPECT_TRUE(a_ran);
+
+  // The release wrapped the generation; it must skip 0 (a packed id of 0 is
+  // the null handle) and the max-generation handle must now be stale.
+  auto hb = sim.at(20, [&] { b_ran = true; });
+  ASSERT_EQ(SimulatorTestPeer::slot_of(hb), slot);
+  EXPECT_EQ(SimulatorTestPeer::generation_of(hb), 1u);
+  EXPECT_TRUE(hb.valid());
+  sim.cancel(ha);  // wrapped-generation stale handle: no-op
+  sim.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+}
+
+TEST(SimulatorSlab, CancelBacklogDiscardedLazily) {
+  Simulator sim;
+  std::vector<EventHandle> hs;
+  for (int i = 0; i < 100; ++i) hs.push_back(sim.at(10 + i, [] {}));
+  for (int i = 0; i < 100; i += 2) sim.cancel(hs[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(sim.pending_events(), 50u);
+  EXPECT_EQ(sim.cancel_backlog(), 50u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+  EXPECT_EQ(sim.events_executed(), 50u);
+}
+
 }  // namespace
 }  // namespace arnet::sim

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Compare a fresh arnet-bench-v1 run against a committed baseline.
+
+Usage: compare_bench.py [--threshold PCT] BASELINE CANDIDATE [BASELINE CANDIDATE...]
+
+For each (baseline, candidate) pair, matches benchmarks by name and fails
+(exit 1) when a candidate's ops_per_sec drops more than --threshold percent
+(default 20) below the baseline. Benchmarks present only on one side are
+reported but never fatal — new benches land without a baseline, and retired
+ones linger in old baselines until they are regenerated.
+
+CI wires this between the bench run and the artifact upload, so a hot-path
+regression fails the job instead of silently becoming the next baseline.
+"""
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "arnet-bench-v1":
+        raise ValueError(f"{path}: bad schema id: {doc.get('schema')!r}")
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def compare_pair(baseline_path, candidate_path, threshold_pct):
+    try:
+        baseline = load(baseline_path)
+        candidate = load(candidate_path)
+    except (OSError, json.JSONDecodeError, ValueError, KeyError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    rc = 0
+    for name in sorted(baseline.keys() | candidate.keys()):
+        b = baseline.get(name)
+        c = candidate.get(name)
+        if b is None:
+            print(f"  NEW      {name}: no baseline entry "
+                  f"({c['ops_per_sec']:.4g} ops/s)")
+            continue
+        if c is None:
+            print(f"  MISSING  {name}: in baseline but not in candidate")
+            continue
+        base_ops = b["ops_per_sec"]
+        cand_ops = c["ops_per_sec"]
+        delta_pct = (cand_ops / base_ops - 1.0) * 100
+        if delta_pct < -threshold_pct:
+            print(f"  FAIL     {name}: {base_ops:.4g} -> {cand_ops:.4g} ops/s "
+                  f"({delta_pct:+.1f} %, limit -{threshold_pct:g} %)")
+            rc = 1
+        else:
+            print(f"  ok       {name}: {base_ops:.4g} -> {cand_ops:.4g} ops/s "
+                  f"({delta_pct:+.1f} %)")
+    return rc
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--threshold", type=float, default=20.0,
+                    help="max allowed ops_per_sec regression in percent (default 20)")
+    ap.add_argument("files", nargs="+", metavar="BASELINE CANDIDATE",
+                    help="alternating baseline/candidate file pairs")
+    args = ap.parse_args(argv[1:])
+    if len(args.files) % 2 != 0:
+        ap.error("files must come in BASELINE CANDIDATE pairs")
+
+    rc = 0
+    for i in range(0, len(args.files), 2):
+        baseline_path, candidate_path = args.files[i], args.files[i + 1]
+        print(f"{baseline_path} vs {candidate_path}:")
+        rc |= compare_pair(baseline_path, candidate_path, args.threshold)
+    if rc:
+        print("benchmark regression beyond threshold", file=sys.stderr)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -68,12 +68,10 @@ RULES = [
 ]
 
 # (path suffix, rule id) -> justification. Kept deliberately small (<= 3);
-# growing it needs a reviewed justification here.
-ALLOWLIST = {
-    ("sim/include/arnet/sim/simulator.hpp", "unordered-container"):
-        "pending/cancelled event id sets: membership tests only, never "
-        "iterated, so hash order cannot reach scheduling decisions",
-}
+# growing it needs a reviewed justification here. (The simulator's former
+# unordered id-set entry was retired when the engine moved to a slab +
+# generation-counted handles: no hash containers remain on the event path.)
+ALLOWLIST = {}
 
 SOURCE_SUFFIXES = {".hpp", ".cpp", ".h", ".cc"}
 
