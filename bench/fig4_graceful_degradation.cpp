@@ -16,7 +16,10 @@
 #include "arnet/net/network.hpp"
 #include "arnet/obs/export.hpp"
 #include "arnet/obs/registry.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
+#include "arnet/trace/export.hpp"
+#include "arnet/trace/pcap.hpp"
 #include "arnet/transport/artp.hpp"
 #include "arnet/transport/tcp.hpp"
 
@@ -36,8 +39,6 @@ constexpr double kPhase2Bps = 3e6;
 constexpr double kPhase3Bps = 0.9e6;
 constexpr sim::Time kPhaseLen = seconds(10);
 
-const char* kMetricsPath = "fig4_metrics.jsonl";
-
 std::string app_entity(AppData app) {
   return std::string("app:") + net::to_string(app);
 }
@@ -48,7 +49,7 @@ struct ArtpRun {
   std::int64_t inters_delivered = 0, inters_offered = 0;
 };
 
-ArtpRun run_artp(obs::MetricsRegistry& reg) {
+ArtpRun run_artp(obs::MetricsRegistry& reg, trace::Tracer* tracer) {
   sim::Simulator sim;
   net::Network net(sim, 4);
   auto client = net.add_node("client");
@@ -57,9 +58,11 @@ ArtpRun run_artp(obs::MetricsRegistry& reg) {
   (void)down;
   sim.at(kPhaseLen, [l = up] { l->set_rate(kPhase2Bps); });
   sim.at(2 * kPhaseLen, [l = up] { l->set_rate(kPhase3Bps); });
+  if (tracer) net.attach_trace(*tracer);
 
   transport::ArtpReceiver::Config rx_cfg;
   rx_cfg.metrics = &reg;
+  rx_cfg.tracer = tracer;
   transport::ArtpReceiver rx(net, server, 80, rx_cfg);
   std::array<sim::RateMeter, net::kAppDataCount> delivered;
   ArtpRun result;
@@ -75,6 +78,7 @@ ArtpRun run_artp(obs::MetricsRegistry& reg) {
   });
   transport::ArtpSenderConfig tx_cfg;
   tx_cfg.metrics = &reg;
+  tx_cfg.tracer = tracer;
   transport::ArtpSender tx(net, client, 1000, server, 80, 1, tx_cfg);
 
   // Application adaptation from QoS feedback (the "adjustable variables" of
@@ -179,30 +183,44 @@ double phase_mean(const sim::TimeSeries& ts, int phase) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Figure 4: TCP congestion window vs graceful degradation ===\n"
             << "Link capacity: 8 Mb/s (phase 1) -> 3 Mb/s (phase 2) -> 0.9 Mb/s\n"
             << "(phase 3), 10 s each.\n\n";
 
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  const std::string metrics_path = runner::out_path(out_dir, "fig4_metrics.jsonl");
+  const std::string trace_path = runner::parse_string_flag(argc, argv, "--trace");
+  const std::string pcap_path = runner::parse_string_flag(argc, argv, "--pcap");
+  trace::Tracer tracer;
+  trace::Tracer* tracer_ptr =
+      (!trace_path.empty() || !pcap_path.empty()) ? &tracer : nullptr;
+
   obs::MetricsRegistry reg;
-  auto artp = run_artp(reg);
+  auto artp = run_artp(reg, tracer_ptr);
   run_tcp_cwnd(reg);
 
   // Export everything, then rebuild the figure from the file alone.
   {
-    std::ofstream os(kMetricsPath);
+    std::ofstream os(metrics_path);
     obs::write_jsonl(reg, os);
   }
   obs::MetricsRegistry imported;
   {
-    std::ifstream is(kMetricsPath);
+    std::ifstream is(metrics_path);
     if (!obs::read_jsonl(is, imported)) {
-      std::cerr << "failed to re-import " << kMetricsPath << "\n";
+      std::cerr << "failed to re-import " << metrics_path << "\n";
       return 1;
     }
   }
-  std::cout << "Series exported to " << kMetricsPath
+  std::cout << "Series exported to " << metrics_path
             << " and re-imported for the table below.\n\n";
+  if (!trace_path.empty() && trace::write_perfetto_json_file(tracer, trace_path)) {
+    std::cout << "Perfetto trace of the ARTP run: " << trace_path << "\n\n";
+  }
+  if (!pcap_path.empty() && trace::write_pcapng_file(tracer, pcap_path)) {
+    std::cout << "pcap-ng capture of the ARTP run: " << pcap_path << "\n\n";
+  }
 
   auto series = [&](const std::string& name, const std::string& entity)
       -> const sim::TimeSeries& {

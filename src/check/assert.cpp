@@ -3,6 +3,8 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <utility>
 
 namespace arnet::check {
 namespace {
@@ -14,6 +16,12 @@ std::atomic<std::uint64_t> g_failures{0};
 // invariant in a per-packet path would otherwise flood stderr.
 constexpr std::uint64_t kMaxLoggedFailures = 20;
 
+// The failure hook is process-global like the policy, but hook installs
+// happen at scenario setup (single-threaded), so a plain mutex around the
+// call keeps parallel-runner failures safe without an atomic function.
+std::mutex g_hook_mu;
+FailureHook g_hook;
+
 }  // namespace
 
 FailPolicy fail_policy() noexcept { return g_policy.load(std::memory_order_relaxed); }
@@ -21,6 +29,12 @@ void set_fail_policy(FailPolicy p) noexcept { g_policy.store(p, std::memory_orde
 
 std::uint64_t failure_count() noexcept { return g_failures.load(std::memory_order_relaxed); }
 void reset_failures() noexcept { g_failures.store(0, std::memory_order_relaxed); }
+
+FailureHook set_failure_hook(FailureHook hook) {
+  std::lock_guard<std::mutex> lock(g_hook_mu);
+  std::swap(g_hook, hook);
+  return hook;
+}
 
 namespace detail {
 
@@ -30,6 +44,24 @@ void fail(const char* macro, const char* expr, const char* file, int line,
   std::string diag = std::string(macro) + " failed: (" + expr + ") at " + file + ":" +
                      std::to_string(line);
   if (!message.empty()) diag += " — " + message;
+  // Notify the failure hook (flight recorder) before policy dispatch so the
+  // dump happens even under kAbort/kThrow. A check failing *inside* the hook
+  // must not recurse into it.
+  {
+    static thread_local bool in_hook = false;
+    if (!in_hook) {
+      std::lock_guard<std::mutex> lock(g_hook_mu);
+      if (g_hook) {
+        in_hook = true;
+        try {
+          g_hook(diag);
+        } catch (...) {
+          // A diagnostic hook must never turn one failure into another.
+        }
+        in_hook = false;
+      }
+    }
+  }
   switch (fail_policy()) {
     case FailPolicy::kThrow:
       throw CheckError(diag);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -30,6 +31,14 @@ void set_fail_policy(FailPolicy p) noexcept;
 /// Total failed checks since start / last reset (all policies count).
 std::uint64_t failure_count() noexcept;
 void reset_failures() noexcept;
+
+/// Observer invoked (with the full diagnostic) when any check fails, *before*
+/// the policy dispatch runs — so it fires even when the policy aborts or
+/// throws. The trace flight recorder hooks this to dump its rings on the
+/// first failure. Re-entrant failures inside the hook are suppressed.
+/// Returns the previously installed hook so callers can chain/restore it.
+using FailureHook = std::function<void(const std::string& diagnostic)>;
+FailureHook set_failure_hook(FailureHook hook);
 
 /// RAII policy override for a scope (exception-safe restore).
 class ScopedFailPolicy {

@@ -13,6 +13,8 @@
 #include "arnet/net/network.hpp"
 #include "arnet/obs/registry.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/trace/flight.hpp"
+#include "arnet/trace/trace.hpp"
 #include "arnet/transport/artp.hpp"
 
 namespace arnet::mar {
@@ -60,6 +62,17 @@ struct OffloadConfig {
   /// under `metrics_entity`. The registry must outlive the session.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metrics_entity = "mar";
+  /// When set, every captured frame mints a fresh trace id that is stamped
+  /// on all of its uplink chunks, the server compute span and the downlink
+  /// result — so one frame's full causal chain can be extracted from the
+  /// rings (frame_breakdown). Propagated into the session's ARTP endpoints
+  /// as "<trace_entity>/..." entities. The tracer must outlive the session.
+  trace::Tracer* tracer = nullptr;
+  std::string trace_entity = "mar";
+  /// When set together with `tracer`, a deadline miss dumps the flight
+  /// recorder (cause "deadline-miss"); ARNET_CHECK failures dump via the
+  /// recorder's own failure hook regardless.
+  trace::FlightRecorder* flight = nullptr;
 };
 
 /// End-to-end per-frame statistics of one offloading run.
@@ -115,6 +128,14 @@ class OffloadSession {
     result_cb_ = std::move(cb);
   }
 
+  /// Trace context minted for `frame_id` at capture (inactive when the
+  /// session is untraced or the frame was never captured). Kept for the
+  /// session's lifetime so exemplar frames can be broken down post-run.
+  trace::TraceContext frame_trace(std::uint32_t frame_id) const {
+    auto it = frame_trace_.find(frame_id);
+    return it == frame_trace_.end() ? trace::TraceContext{} : it->second;
+  }
+
  private:
   void on_frame();
   void on_sensor_batch();
@@ -125,6 +146,8 @@ class OffloadSession {
   void on_server_message(const transport::ArtpDelivery& d);
   void on_client_result(const transport::ArtpDelivery& d);
   void finish_frame(std::uint32_t frame_id, sim::Time latency);
+  void record_trace(trace::EventKind kind, const trace::TraceContext& ctx, std::uint64_t uid,
+                    std::int64_t size, const char* reason = nullptr);
 
   net::Network& net_;
   net::NodeId client_, server_;
@@ -146,6 +169,8 @@ class OffloadSession {
   double tracking_quality_ = 1.0;
   ComputeResource* server_compute_ = nullptr;
   std::map<std::uint32_t, sim::Time> capture_time_;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
+  std::map<std::uint32_t, trace::TraceContext> frame_trace_;
   OffloadStats stats_;
   std::function<void(std::uint32_t, sim::Time)> result_cb_;
 };

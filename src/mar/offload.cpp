@@ -39,6 +39,19 @@ OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeI
                            : cfg.strategy),
       track_rng_(net.fork_rng("glimpse-tracking")) {
   cfg_.artp.header_bytes += crypto_costs(cfg_.crypto).per_packet_overhead_bytes;
+  transport::ArtpReceiver::Config server_rx_cfg, client_rx_cfg;
+  transport::ArtpSenderConfig reply_cfg;  // results: small, default transport
+  if (cfg_.tracer) {
+    trace_entity_ = cfg_.tracer->register_entity(cfg_.trace_entity);
+    cfg_.artp.tracer = cfg_.tracer;
+    cfg_.artp.trace_entity = cfg_.trace_entity + "/artp-up";
+    server_rx_cfg.tracer = cfg_.tracer;
+    server_rx_cfg.trace_entity = cfg_.trace_entity + "/artp-up-rx";
+    reply_cfg.tracer = cfg_.tracer;
+    reply_cfg.trace_entity = cfg_.trace_entity + "/artp-down";
+    client_rx_cfg.tracer = cfg_.tracer;
+    client_rx_cfg.trace_entity = cfg_.trace_entity + "/artp-down-rx";
+  }
   // Sessions may share nodes (many users offloading to one edge server), so
   // each instance claims its own block of ports and flow ids — from the
   // network, not a process-global counter, which would make the second
@@ -51,21 +64,36 @@ OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeI
   client_tx_ = std::make_unique<transport::ArtpSender>(net_, client_, client_data, server_,
                                                        server_data, /*flow=*/base, cfg_.artp,
                                                        std::move(paths));
-  server_rx_ = std::make_unique<transport::ArtpReceiver>(net_, server_, server_data);
+  server_rx_ = std::make_unique<transport::ArtpReceiver>(net_, server_, server_data,
+                                                         server_rx_cfg);
   server_rx_->set_message_callback(
       [this](const transport::ArtpDelivery& d) { on_server_message(d); });
 
-  transport::ArtpSenderConfig reply_cfg;  // results: small, default transport
   server_tx_ = std::make_unique<transport::ArtpSender>(net_, server_, server_result,
                                                        client_, client_result,
                                                        /*flow=*/static_cast<net::FlowId>(base) + 1,
                                                        reply_cfg);
-  client_rx_ = std::make_unique<transport::ArtpReceiver>(net_, client_, client_result);
+  client_rx_ = std::make_unique<transport::ArtpReceiver>(net_, client_, client_result,
+                                                         client_rx_cfg);
   client_rx_->set_message_callback(
       [this](const transport::ArtpDelivery& d) { on_client_result(d); });
 }
 
 OffloadSession::~OffloadSession() = default;
+
+void OffloadSession::record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
+                                  std::uint64_t uid, std::int64_t size, const char* reason) {
+  if (!cfg_.tracer) return;
+  trace::TraceEvent e;
+  e.time = net_.sim().now();
+  e.uid = uid;
+  e.size = size;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.kind = kind;
+  e.reason = reason;
+  cfg_.tracer->record(trace_entity_, e);
+}
 
 void OffloadSession::start() {
   running_ = true;
@@ -165,6 +193,10 @@ void OffloadSession::on_frame() {
   capture_time_[frame_id] = capture;
   ++stats_.frames;
   if (cfg_.metrics) cfg_.metrics->counter("mar.frames", cfg_.metrics_entity).add();
+  if (cfg_.tracer) {
+    frame_trace_[frame_id] = cfg_.tracer->new_trace();
+    record_trace(trace::EventKind::kFrameCapture, frame_trace_[frame_id], frame_id, 0);
+  }
 
   switch (active_strategy_) {
     case OffloadStrategy::kLocalOnly: {
@@ -232,6 +264,7 @@ void OffloadSession::on_frame() {
 void OffloadSession::offload_frame(std::uint32_t frame_id, bool as_features) {
   ArtpMessageSpec m;
   m.frame_id = frame_id;
+  m.trace = frame_trace(frame_id);
   if (as_features) {
     m.bytes = static_cast<std::int64_t>(cfg_.features_per_frame) *
               vision::kSerializedFeatureBytes;
@@ -265,13 +298,17 @@ void OffloadSession::on_server_message(const transport::ArtpDelivery& d) {
                scaled_cost(surrogate_, cfg_.costs.extract);
   }
   std::uint32_t frame_id = d.frame_id;
-  auto reply = [this, frame_id] {
+  record_trace(trace::EventKind::kComputeStart, d.trace, frame_id,
+               static_cast<std::int64_t>(compute));
+  auto reply = [this, frame_id, ctx = d.trace] {
+    record_trace(trace::EventKind::kComputeDone, ctx, frame_id, 0);
     ArtpMessageSpec r;
     r.bytes = 400;
     r.frame_id = frame_id;
     r.app = AppData::kComputeResult;
     r.tclass = TrafficClass::kCriticalData;
     r.priority = Priority::kHighest;
+    r.trace = ctx;
     server_tx_->send_message(r);
   };
   if (server_compute_) {
@@ -294,7 +331,12 @@ void OffloadSession::finish_frame(std::uint32_t frame_id, sim::Time latency) {
   capture_time_.erase(it);
   ++stats_.results;
   stats_.latency_ms.add(sim::to_milliseconds(latency));
-  if (latency > cfg_.deadline) ++stats_.deadline_misses;
+  const bool missed = latency > cfg_.deadline;
+  if (missed) ++stats_.deadline_misses;
+  record_trace(missed ? trace::EventKind::kFrameMiss : trace::EventKind::kFrameDone,
+               frame_trace(frame_id), frame_id, static_cast<std::int64_t>(latency),
+               missed ? "deadline" : nullptr);
+  if (missed && cfg_.flight) cfg_.flight->dump("deadline-miss");
   if (cfg_.metrics) {
     cfg_.metrics->histogram("mar.frame_latency_ms", cfg_.metrics_entity)
         .record(sim::to_milliseconds(latency));

@@ -12,6 +12,7 @@
 #include "arnet/sim/rng.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/trace/trace.hpp"
 
 namespace arnet::net {
 
@@ -71,12 +72,32 @@ class Link {
   /// the link.
   void attach_obs(obs::MetricsRegistry& reg, std::string entity);
 
+  /// Register this link as a trace entity under `name` and record the packet
+  /// life cycle into its ring: kEnqueue on send, kTxStart when serialization
+  /// begins (also a WireRecord for pcap export), kRx on delivery, kDrop with
+  /// the reason string wherever the packet dies. The tracer must outlive the
+  /// link. Purely observational — no simulator events, no Rng draws.
+  void attach_trace(trace::Tracer& tracer, std::string name);
+
  private:
   void start_transmission_if_idle();
   void on_transmit_complete(Packet p);
   void install_queue_hook();
+  void record_trace(trace::EventKind kind, const Packet& p, const char* reason = nullptr) {
+    if (tracer_ == nullptr) return;
+    trace::TraceEvent e;
+    e.time = sim_.now();
+    e.uid = p.uid;
+    e.size = p.size_bytes;
+    e.trace_id = p.trace.trace_id;
+    e.span_id = p.trace.span_id;
+    e.kind = kind;
+    e.reason = reason;
+    tracer_->record(trace_entity_, e);
+  }
   void notify_drop(const Packet& p, DropReason r) {
     if (metrics_) metrics_->counter(std::string("link.drop.") + to_string(r), obs_entity_).add();
+    record_trace(trace::EventKind::kDrop, p, to_string(r));
     if (drop_hook_) drop_hook_(p, r);
   }
 
@@ -100,6 +121,10 @@ class Link {
   obs::MetricsRegistry* metrics_ = nullptr;
   std::string obs_entity_;
   sim::Time busy_time_ = 0;  ///< cumulative serialization time
+
+  // Causal tracing (attach_trace): null when not attached.
+  trace::Tracer* tracer_ = nullptr;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
 };
 
 }  // namespace arnet::net

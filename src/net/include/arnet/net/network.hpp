@@ -108,6 +108,12 @@ class Network {
   using PacketTap = std::function<void(const Packet&, NodeId at, bool is_destination)>;
   void set_packet_tap(PacketTap tap) { tap_ = std::move(tap); }
 
+  /// Register every link added so far as a trace entity ("link:<name>").
+  /// Call after the topology is built; links added later are not traced.
+  void attach_trace(trace::Tracer& tracer) {
+    for (auto& link : links_) link->attach_trace(tracer, "link:" + link->name());
+  }
+
   /// Life-cycle observers (inject/deliver/drop); see NetworkObserver. Several
   /// may be registered (auditor + trace recorder); notification order is
   /// registration order. Observers must outlive the network or remove

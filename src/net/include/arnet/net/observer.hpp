@@ -5,16 +5,6 @@
 
 namespace arnet::net {
 
-/// Why a packet left the network without reaching its destination.
-enum class DropReason : std::uint8_t {
-  kQueue,       ///< queue discipline refused or AQM-dropped it
-  kLinkDown,    ///< link administratively down (queued or in flight)
-  kRandomLoss,  ///< link loss model fired
-  kUnroutable,  ///< no route to destination
-};
-
-const char* to_string(DropReason r);
-
 /// Packet life-cycle observer. The network reports the three terminal
 /// accounting events for every packet it carries:
 ///   on_inject  — the packet entered the network (uid assigned),

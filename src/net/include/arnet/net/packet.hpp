@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "arnet/sim/time.hpp"
+#include "arnet/trace/trace.hpp"
 
 namespace arnet::net {
 
@@ -44,6 +45,20 @@ enum class AppData : std::uint8_t {
 inline constexpr std::size_t kAppDataCount = 8;
 
 const char* to_string(AppData a);
+
+/// Why a packet left the network without reaching its destination. Lives
+/// next to Packet (not observer.hpp) because queues report it through their
+/// drop hooks before any observer is involved.
+enum class DropReason : std::uint8_t {
+  kQueue,       ///< tail/limit drop: the queue was full on enqueue
+  kAqm,         ///< AQM control law (CoDel) dropped it to signal congestion
+  kShed,        ///< priority shedding evicted it to protect higher classes
+  kLinkDown,    ///< link administratively down (queued or in flight)
+  kRandomLoss,  ///< link loss model fired
+  kUnroutable,  ///< no route to destination
+};
+
+const char* to_string(DropReason r);
 
 /// Fixed-capacity SACK block list: up to 3 [begin, end) byte ranges
 /// (RFC 2018 allows 3-4 next to timestamps). Inline storage on purpose —
@@ -139,6 +154,11 @@ struct Packet {
 
   sim::Time created_at = 0;
   sim::Time enqueued_at = 0;  ///< set by queues for sojourn-time AQM
+
+  /// Causal trace identity (zero = untraced). Stamped by the transport when
+  /// the packet is built and carried through every hop, so link/queue/radio
+  /// events join the per-frame timeline.
+  trace::TraceContext trace;
 
   TransportHeader header;
 };

@@ -16,9 +16,10 @@ namespace arnet::net {
 /// the uplink queue policy strongly shapes MAR latency).
 class Queue {
  public:
-  /// Invoked with every packet the discipline discards (tail drop or AQM),
-  /// at the moment it is discarded. Installed by Link for drop accounting.
-  using DropHook = std::function<void(const Packet&)>;
+  /// Invoked with every packet the discipline discards, at the moment it is
+  /// discarded, along with *why* (tail drop vs. AQM control law vs. priority
+  /// shedding). Installed by Link for drop accounting.
+  using DropHook = std::function<void(const Packet&, DropReason)>;
 
   virtual ~Queue() = default;
 
@@ -44,10 +45,10 @@ class Queue {
   /// already reported the packet).
   void count_drop() { ++drops_; }
 
-  /// Count a drop and report the dying packet to the hook.
-  void drop(const Packet& p) {
+  /// Count a drop and report the dying packet (and cause) to the hook.
+  void drop(const Packet& p, DropReason reason) {
     ++drops_;
-    if (drop_hook_) drop_hook_(p);
+    if (drop_hook_) drop_hook_(p, reason);
   }
 
  private:

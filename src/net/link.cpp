@@ -3,7 +3,41 @@
 #include <algorithm>
 #include <utility>
 
+#include "arnet/trace/profiler.hpp"
+
 namespace arnet::net {
+namespace {
+
+/// Snapshot a packet at serialization start for pcap synthesis.
+trace::WireRecord make_wire(const Packet& p, sim::Time now) {
+  trace::WireRecord w;
+  w.time = now;
+  w.uid = p.uid;
+  w.src = p.src;
+  w.dst = p.dst;
+  w.src_port = p.src_port;
+  w.dst_port = p.dst_port;
+  w.size_bytes = p.size_bytes;
+  w.tclass = static_cast<std::uint8_t>(p.tclass);
+  w.priority = static_cast<std::uint8_t>(p.priority);
+  w.app = to_string(p.app);
+  w.trace_id = p.trace.trace_id;
+  if (const auto* artp = std::get_if<ArtpHeader>(&p.header)) {
+    w.proto = 2;
+    w.artp_kind = static_cast<std::uint8_t>(artp->kind);
+    w.msg_id = artp->msg_id;
+    w.chunk = artp->chunk;
+    w.chunk_count = artp->chunk_count;
+    w.frame_id = artp->frame_id;
+  } else if (const auto* tcp = std::get_if<TcpHeader>(&p.header)) {
+    w.proto = 1;
+    w.seq = tcp->seq;
+    w.ack = tcp->ack;
+  }
+  return w;
+}
+
+}  // namespace
 
 Link::Link(sim::Simulator& sim, sim::Rng rng, Config cfg)
     : sim_(sim), rng_(std::move(rng)), cfg_(std::move(cfg)) {
@@ -20,17 +54,24 @@ void Link::attach_obs(obs::MetricsRegistry& reg, std::string entity) {
   install_queue_hook();
 }
 
+void Link::attach_trace(trace::Tracer& tracer, std::string name) {
+  tracer_ = &tracer;
+  trace_entity_ = tracer.register_entity(std::move(name));
+  install_queue_hook();
+}
+
 void Link::set_drop_hook(DropHook hook) {
   drop_hook_ = std::move(hook);
   install_queue_hook();
 }
 
 void Link::install_queue_hook() {
-  // Route queue discards through notify_drop so both the observer hook and
-  // the "link.drop.queue" counter see them.
+  // Route queue discards through notify_drop so the observer hook, the
+  // "link.drop.<reason>" counter and the trace ring all see them with the
+  // discipline's own reason (tail drop vs. AQM vs. shedding).
   queue_->set_drop_hook(
-      (drop_hook_ || metrics_)
-          ? [this](const Packet& p) { notify_drop(p, DropReason::kQueue); }
+      (drop_hook_ || metrics_ || tracer_ != nullptr)
+          ? [this](const Packet& p, DropReason r) { notify_drop(p, r); }
           : Queue::DropHook{});
 }
 
@@ -40,6 +81,7 @@ void Link::send(Packet p) {
     notify_drop(p, DropReason::kLinkDown);
     return;
   }
+  record_trace(trace::EventKind::kEnqueue, p);
   if (!queue_->enqueue(std::move(p), sim_.now())) return;  // tail drop
   start_transmission_if_idle();
 }
@@ -62,9 +104,12 @@ void Link::set_up(bool up) {
 
 void Link::start_transmission_if_idle() {
   if (transmitting_ || !up_) return;
+  trace::ProfScope prof(tracer_, "Link::tx");
   auto p = queue_->dequeue(sim_.now());
   if (!p) return;
   transmitting_ = true;
+  record_trace(trace::EventKind::kTxStart, *p);
+  if (tracer_ != nullptr) tracer_->record_wire(make_wire(*p, sim_.now()));
   queueing_delay_ms_.add(sim::to_milliseconds(sim_.now() - p->enqueued_at));
   sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
   if (metrics_) {
@@ -107,6 +152,7 @@ void Link::on_transmit_complete(Packet p) {
     }
     delivered_bytes_ += pkt.size_bytes;
     ++delivered_packets_;
+    record_trace(trace::EventKind::kRx, pkt);
     if (metrics_) {
       metrics_->counter("link.delivered_bytes", obs_entity_).add(pkt.size_bytes);
       metrics_->counter("link.delivered_packets", obs_entity_).add();

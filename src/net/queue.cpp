@@ -8,7 +8,7 @@ namespace arnet::net {
 
 bool DropTailQueue::enqueue(Packet p, sim::Time now) {
   if (q_.size() >= capacity_) {
-    drop(p);
+    drop(p, DropReason::kQueue);
     return false;
   }
   p.enqueued_at = now;
@@ -31,7 +31,7 @@ CoDelQueue::CoDelQueue() : CoDelQueue(Config{}) {}
 
 bool CoDelQueue::enqueue(Packet p, sim::Time now) {
   if (q_.size() >= cfg_.capacity_packets) {
-    drop(p);
+    drop(p, DropReason::kQueue);
     return false;
   }
   p.enqueued_at = now;
@@ -74,7 +74,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
     } else if (now >= drop_next_) {
       // Drop and re-dequeue, tightening the control interval.
       while (p && now >= drop_next_ && dropping_) {
-        drop(*p);
+        drop(*p, DropReason::kAqm);
         ++count_;
         p = pop_front();
         if (!p) {
@@ -91,7 +91,7 @@ std::optional<Packet> CoDelQueue::dequeue(sim::Time now) {
     }
   } else if (above && (recently_dropping(now) || now - first_above_time_ >= cfg_.interval)) {
     // Enter dropping state.
-    drop(*p);
+    drop(*p, DropReason::kAqm);
     ++count_;
     p = pop_front();
     dropping_ = true;
@@ -193,7 +193,7 @@ std::optional<Packet> FqCoDelQueue::dequeue(sim::Time now) {
 bool ClassfulPriorityQueue::enqueue(Packet p, sim::Time now) {
   auto band = static_cast<std::size_t>(p.priority);
   if (bands_[band].size() >= capacity_) {
-    drop(p);
+    drop(p, DropReason::kQueue);
     return false;
   }
   p.enqueued_at = now;
@@ -235,7 +235,7 @@ bool WeightedFairQueue::enqueue(Packet p, sim::Time now) {
   std::size_t cls = std::min(classify_(p), classes_.size() - 1);
   Class& c = classes_[cls];
   if (c.q.size() >= c.cfg.capacity_packets) {
-    drop(p);
+    drop(p, DropReason::kQueue);
     return false;
   }
   p.enqueued_at = now;
@@ -282,7 +282,7 @@ std::size_t ClassfulPriorityQueue::shed_at_or_below(Priority p) {
   for (std::size_t i = static_cast<std::size_t>(p); i < 4; ++i) {
     for (const auto& pkt : bands_[i]) {
       bytes_ -= pkt.size_bytes;
-      drop(pkt);
+      drop(pkt, DropReason::kShed);
     }
     shed += bands_[i].size();
     bands_[i].clear();

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <filesystem>
 #include <mutex>
 #include <thread>
 
@@ -97,6 +98,25 @@ int parse_jobs_flag(int argc, char** argv, int fallback) {
     return n > 0 ? n : ExperimentRunner::hardware_jobs();
   }
   return fallback;
+}
+
+std::string parse_string_flag(int argc, char** argv, const char* name, std::string fallback) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') return arg + len + 1;
+    if (std::strcmp(arg, name) == 0 && i + 1 < argc) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::string parse_out_dir(int argc, char** argv) {
+  return parse_string_flag(argc, argv, "--out-dir", "bench-out");
+}
+
+std::string out_path(const std::string& dir, const std::string& file) {
+  std::filesystem::create_directories(dir);
+  return dir + "/" + file;
 }
 
 }  // namespace arnet::runner

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "arnet/obs/registry.hpp"
@@ -78,5 +79,18 @@ class ExperimentRunner {
 /// Parse a `--jobs N` / `--jobs=N` flag (shared by the experiment binaries);
 /// returns `fallback` when absent. N = 0 means one job per hardware thread.
 int parse_jobs_flag(int argc, char** argv, int fallback = 1);
+
+/// Parse a generic `--name value` / `--name=value` string flag; returns
+/// `fallback` when absent. `name` includes the leading dashes ("--trace").
+std::string parse_string_flag(int argc, char** argv, const char* name,
+                              std::string fallback = "");
+
+/// The shared `--out-dir` convention: where experiment binaries place their
+/// artifacts (metrics JSONL, traces, pcaps). Defaults to "bench-out" so bare
+/// runs never litter the CWD; CI uploads the whole directory.
+std::string parse_out_dir(int argc, char** argv);
+
+/// Join `dir` and `file`, creating `dir` (and parents) on first use.
+std::string out_path(const std::string& dir, const std::string& file);
 
 }  // namespace arnet::runner

@@ -1,0 +1,24 @@
+#include "arnet/trace/flight.hpp"
+
+#include <utility>
+
+#include "arnet/trace/export.hpp"
+
+namespace arnet::trace {
+
+FlightRecorder::FlightRecorder(const Tracer& tracer, std::string path)
+    : tracer_(tracer), path_(std::move(path)) {
+  prev_hook_ = check::set_failure_hook(
+      [this](const std::string& diag) { dump("check-failure: " + diag); });
+}
+
+FlightRecorder::~FlightRecorder() { check::set_failure_hook(std::move(prev_hook_)); }
+
+void FlightRecorder::dump(const std::string& cause) {
+  if (dumped_) return;
+  // Latch only on a successful write: dumped() must mean "a file exists",
+  // and a transient open failure must not eat the one incident dump.
+  dumped_ = write_flight_jsonl_file(tracer_, path_, cause);
+}
+
+}  // namespace arnet::trace

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arnet/sim/time.hpp"
+#include "arnet/trace/trace.hpp"
+
+namespace arnet::trace {
+
+/// Chrome/Perfetto trace-event JSON (load in ui.perfetto.dev or
+/// chrome://tracing). Entities map to threads of one process; the pairing
+/// rules in EventKind's doc comment synthesize duration spans ("queued",
+/// "flight", "compute", "frame"), everything else exports as an instant.
+/// Timestamps are microseconds (Perfetto convention) from sim time zero.
+void write_perfetto_json(const Tracer& tracer, std::ostream& os);
+bool write_perfetto_json_file(const Tracer& tracer, const std::string& path);
+
+/// Flight-recorder JSONL, schema "arnet-trace-v1": a header line describing
+/// the cause and every ring's accounting, one line per surviving event
+/// (merged, time-ordered), and an "end" line with the total written.
+void write_flight_jsonl(const Tracer& tracer, std::ostream& os, const std::string& cause);
+bool write_flight_jsonl_file(const Tracer& tracer, const std::string& path,
+                             const std::string& cause);
+
+/// Per-stage latency decomposition of one traced MAR frame, reconstructed
+/// from the event timeline. Stages tile the frame span exactly:
+/// queue + uplink + compute + downlink == done - capture.
+struct FrameBreakdown {
+  bool valid = false;   ///< all five anchor events were found in the rings
+  bool missed = false;  ///< frame closed with kFrameMiss
+  std::uint64_t frame_id = 0;
+  sim::Time capture = 0;       ///< kFrameCapture on the device
+  sim::Time first_tx = 0;      ///< first kTxStart/kTx under the trace
+  sim::Time uplink_done = 0;   ///< first kDeliver (server got the frame)
+  sim::Time compute_done = 0;  ///< kComputeDone on the server
+  sim::Time done = 0;          ///< kFrameDone / kFrameMiss on the device
+
+  sim::Time queue_ns() const { return first_tx - capture; }
+  sim::Time uplink_ns() const { return uplink_done - first_tx; }
+  sim::Time compute_ns() const { return compute_done - uplink_done; }
+  sim::Time downlink_ns() const { return done - compute_done; }
+  sim::Time total_ns() const { return done - capture; }
+};
+
+FrameBreakdown frame_breakdown(const Tracer& tracer, std::uint32_t trace_id);
+
+namespace detail {
+/// Create the directory part of `path` if it is missing, so exporters and
+/// the flight recorder can dump into a not-yet-created artifact directory
+/// (a crash dump must not be lost to a missing bench-out/). Returns false
+/// only when the directory cannot be created.
+bool ensure_parent_dir(const std::string& path);
+}  // namespace detail
+
+}  // namespace arnet::trace

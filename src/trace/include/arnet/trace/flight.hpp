@@ -1,0 +1,45 @@
+#pragma once
+
+#include <string>
+
+#include "arnet/check/assert.hpp"
+#include "arnet/trace/trace.hpp"
+
+namespace arnet::trace {
+
+/// Crash flight recorder: binds a Tracer to an output path and dumps the
+/// surviving ring contents as "arnet-trace-v1" JSONL when something goes
+/// wrong. Two triggers:
+///
+///  - any ARNET_CHECK/ARNET_ASSERT failure — the recorder installs a
+///    check::set_failure_hook for its lifetime (restoring the previous hook
+///    on destruction), so the dump lands *before* the policy aborts/throws;
+///  - an explicit dump(cause) call from a component that detects a domain
+///    failure (OffloadSession calls it on a missed frame deadline when
+///    configured to).
+///
+/// Only the first trigger writes (one timeline per incident); `dumped()`
+/// tells the driver whether a file exists. Install at most one recorder per
+/// process at a time — the hook slot is global, like the fail policy.
+class FlightRecorder {
+ public:
+  FlightRecorder(const Tracer& tracer, std::string path);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Dump now with an explicit cause. No-op after the first dump.
+  void dump(const std::string& cause);
+
+  bool dumped() const { return dumped_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  const Tracer& tracer_;
+  std::string path_;
+  bool dumped_ = false;
+  check::FailureHook prev_hook_;  ///< restored on destruction
+};
+
+}  // namespace arnet::trace

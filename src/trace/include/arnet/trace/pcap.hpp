@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "arnet/trace/trace.hpp"
+
+namespace arnet::trace {
+
+/// Write the tracer's wire-record ring as a pcap-ng capture (SHB + one
+/// Ethernet IDB with nanosecond timestamps + one EPB per record), openable in
+/// Wireshark/tshark. Framing is synthesized — Ethernet II / IPv4 / UDP with
+/// node-derived MACs (02:00:00:00:00:NN) and 10.0.0.0/24 addresses — and the
+/// UDP payload begins with a 32-byte ARTP pseudo-header described by the
+/// dissector comment embedded in the section header. Each packet also
+/// carries an opt_comment summarizing its transport fields
+/// ("ARTP data msg=5 chunk=0/3 frame=42 trace=7").
+void write_pcapng(const Tracer& tracer, std::ostream& os);
+bool write_pcapng_file(const Tracer& tracer, const std::string& path);
+
+}  // namespace arnet::trace

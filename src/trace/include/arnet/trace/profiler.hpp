@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arnet/sim/simulator.hpp"
+#include "arnet/trace/trace.hpp"
+
+namespace arnet::trace {
+
+/// Per-callback-site profiler over a single run. Two attributions:
+///
+///  - *simulated* time: the sim-clock advance since the previous profiled
+///    top-level callback is charged to the site that runs next — i.e. a
+///    site's sim_ns answers "how much of the simulated timeline elapsed
+///    waiting for this kind of work to fire".
+///  - *wall* time: measured with an injected clock (total and self, where
+///    self excludes nested profiled scopes). The clock is a std::function
+///    supplied by the *driver* (bench/test code), never taken from the
+///    ambient environment — src/ stays free of wall-clock calls so the
+///    determinism lint and the fingerprint contract hold. With no clock
+///    injected the wall columns read zero and enter/exit cost two integer
+///    adds.
+///
+/// Attach via Tracer::set_profiler; instrumented components open a ProfScope
+/// which is a no-op (two pointer tests) whenever no profiler is attached.
+class SimProfiler {
+ public:
+  /// Monotonic nanosecond counter supplied by the driver; may be null.
+  using WallClock = std::function<std::int64_t()>;
+
+  explicit SimProfiler(sim::Simulator& sim, WallClock wall = nullptr)
+      : sim_(sim), wall_(std::move(wall)), last_sim_(sim.now()) {}
+
+  SimProfiler(const SimProfiler&) = delete;
+  SimProfiler& operator=(const SimProfiler&) = delete;
+
+  /// Intern a site by name (content, not address — deterministic ids).
+  std::size_t site_id(const char* name);
+
+  void enter(std::size_t site);
+  void exit(std::size_t site);
+
+  struct SiteStats {
+    std::string name;
+    std::uint64_t calls = 0;
+    std::int64_t sim_ns = 0;        ///< sim-clock advance charged to the site
+    std::int64_t wall_total_ns = 0; ///< wall time inside the scope (incl. children)
+    std::int64_t wall_self_ns = 0;  ///< wall time minus nested profiled scopes
+  };
+
+  /// Self-time table, sorted most-expensive first (wall self, then sim time,
+  /// then name — fully deterministic even with a null clock).
+  std::vector<SiteStats> table() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  struct Frame {
+    std::size_t site;
+    std::int64_t wall_enter;
+    std::int64_t child_wall;
+  };
+
+  sim::Simulator& sim_;
+  WallClock wall_;
+  sim::Time last_sim_;
+  std::map<std::string, std::size_t> ids_;
+  std::vector<SiteStats> sites_;
+  std::vector<Frame> stack_;
+};
+
+/// RAII scope marker for an instrumented callback site. Cheap when inactive:
+/// construction tests two pointers and does nothing else.
+class ProfScope {
+ public:
+  ProfScope(const Tracer* tracer, const char* site) {
+    if (tracer != nullptr && tracer->profiler() != nullptr) {
+      prof_ = tracer->profiler();
+      site_ = prof_->site_id(site);
+      prof_->enter(site_);
+    }
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+  ~ProfScope() {
+    if (prof_ != nullptr) prof_->exit(site_);
+  }
+
+ private:
+  SimProfiler* prof_ = nullptr;
+  std::size_t site_ = 0;
+};
+
+}  // namespace arnet::trace

@@ -1,0 +1,214 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::trace {
+
+class SimProfiler;
+
+/// Causal identity carried by a packet / message / frame through the stack.
+/// `trace_id` names the causal chain (one per MAR frame in the offload
+/// pipeline); `span_id` is a monotonically increasing sub-identifier minted
+/// whenever a new hop of work starts under the same trace. A zero trace_id
+/// means "untraced": every recording site must treat that as a no-op tag,
+/// never as trace 0.
+struct TraceContext {
+  std::uint32_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  bool active() const { return trace_id != 0; }
+};
+
+/// Typed span/point events. Pairing rules (used by the Perfetto exporter to
+/// synthesize duration spans; everything else exports as an instant):
+///   kEnqueue      opens a "queued" span, closed by kDequeue/kTxStart/kDrop
+///   kTxStart      opens a "flight" span, closed by kRx/kDrop
+///   kComputeStart opens a "compute" span, closed by kComputeDone
+///   kFrameCapture opens a "frame" span, closed by kFrameDone/kFrameMiss
+enum class EventKind : std::uint8_t {
+  kFrameCapture,  ///< MAR frame captured on the device (uid = frame id)
+  kEnqueue,       ///< entered a queue / staging buffer
+  kDequeue,       ///< left a queue without hitting the wire yet
+  kTxStart,       ///< serialization onto the wire began
+  kRx,            ///< arrived at the far end of a hop
+  kDeliver,       ///< message-level delivery to the application
+  kTx,            ///< transport emitted a chunk/segment (instant)
+  kAck,           ///< acknowledgment / feedback processed
+  kRetx,          ///< retransmission of previously sent data
+  kFecRepair,     ///< chunk(s) rebuilt from parity
+  kShed,          ///< transport discarded staged data (graceful degradation)
+  kDrop,          ///< packet died in the network (reason attached)
+  kComputeStart,  ///< vision/compute stage began
+  kComputeDone,   ///< vision/compute stage finished
+  kFrameDone,     ///< frame result available on the device
+  kFrameMiss,     ///< frame result arrived but missed its deadline
+};
+
+const char* to_string(EventKind k);
+
+using EntityId = std::uint32_t;
+inline constexpr EntityId kNoEntity = 0xFFFFFFFFu;
+
+/// One recorded event. Fixed-size POD so a ring slot never allocates;
+/// `reason` points at a static string literal (drop reason, shed cause) or is
+/// null — exporters print its *content*, so output stays deterministic.
+struct TraceEvent {
+  sim::Time time = 0;
+  std::uint64_t uid = 0;       ///< packet uid, message id, or frame id
+  std::int64_t size = 0;       ///< bytes (or kind-specific magnitude)
+  std::uint32_t trace_id = 0;
+  std::uint32_t span_id = 0;
+  EntityId entity = kNoEntity; ///< filled by Tracer::record
+  EventKind kind = EventKind::kEnqueue;
+  const char* reason = nullptr;
+};
+
+/// Everything the pcap-ng synthesizer needs about one wire emission, captured
+/// by the link at serialization start. Plain fields only (no net:: types) so
+/// the trace layer stays below arnet_net in the dependency order.
+struct WireRecord {
+  sim::Time time = 0;
+  std::uint64_t uid = 0;
+  std::uint32_t src = 0, dst = 0;
+  std::uint16_t src_port = 0, dst_port = 0;
+  std::int32_t size_bytes = 0;
+  std::uint8_t tclass = 0, priority = 0;
+  const char* app = nullptr;    ///< application payload type name
+  std::uint32_t trace_id = 0;
+  /// Transport framing: 0 = none/udp, 1 = tcp, 2 = artp.
+  std::uint8_t proto = 0;
+  // ARTP fields (proto == 2): kind 0 data / 1 parity / 2 feedback.
+  std::uint8_t artp_kind = 0;
+  std::uint64_t msg_id = 0;
+  std::uint32_t chunk = 0, chunk_count = 0, frame_id = 0;
+  // TCP fields (proto == 1).
+  std::uint64_t seq = 0, ack = 0;
+};
+
+/// Fixed-capacity overwrite-oldest ring. O(1) memory regardless of run
+/// length: the last `capacity` records survive, and `overflowed()` accounts
+/// for everything evicted so exporters can say "N older events lost" instead
+/// of silently truncating.
+template <typename T>
+class Ring {
+ public:
+  explicit Ring(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+    slots_.reserve(capacity_);
+  }
+
+  void push(const T& v) {
+    if (slots_.size() < capacity_) {
+      slots_.push_back(v);
+    } else {
+      slots_[head_] = v;
+      head_ = (head_ + 1) % capacity_;
+      ++overflowed_;
+    }
+    ++recorded_;
+  }
+
+  std::size_t size() const { return slots_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t overflowed() const { return overflowed_; }
+
+  /// Visit oldest -> newest.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      f(slots_[(head_ + i) % slots_.size()]);
+    }
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< oldest slot once full
+  std::uint64_t recorded_ = 0;
+  std::uint64_t overflowed_ = 0;
+  std::vector<T> slots_;
+};
+
+using EventRing = Ring<TraceEvent>;
+using WireRing = Ring<WireRecord>;
+
+/// Per-run causal tracing hub. Entities (links, transports, sessions, cells)
+/// register once and record typed events into their own ring; packets carry a
+/// TraceContext so events across entities join into per-frame timelines.
+///
+/// Determinism contract: recording never schedules simulator events, never
+/// touches an Rng, and never branches simulation logic — a run with a Tracer
+/// attached is bit-identical (same trace fingerprint) to one without. All
+/// state is owned by the run that created it, so the runner thread-pool
+/// fan-out needs no locks: one Tracer per run, like one Simulator per run.
+class Tracer {
+ public:
+  struct Config {
+    std::size_t ring_capacity = 1024;   ///< events retained per entity
+    std::size_t wire_capacity = 8192;   ///< wire records retained (pcap)
+  };
+
+  Tracer() : Tracer(Config{}) {}
+  explicit Tracer(Config cfg) : cfg_(cfg), wire_(cfg.wire_capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Register a recording entity; ids are assigned in registration order
+  /// (deterministic given deterministic construction order). Names need not
+  /// be unique (e.g. MPTCP subflows built from one config template).
+  EntityId register_entity(std::string name) {
+    auto id = static_cast<EntityId>(entities_.size());
+    entities_.push_back(Entity{std::move(name), EventRing(cfg_.ring_capacity)});
+    return id;
+  }
+
+  std::size_t entity_count() const { return entities_.size(); }
+  const std::string& entity_name(EntityId id) const { return entities_.at(id).name; }
+  const EventRing& ring(EntityId id) const { return entities_.at(id).ring; }
+  const WireRing& wire() const { return wire_; }
+
+  /// Mint a fresh trace id (one per MAR frame). Never returns 0.
+  TraceContext new_trace() { return TraceContext{++last_trace_id_, ++last_span_id_}; }
+
+  /// Mint a child span under an existing context.
+  TraceContext child_span(TraceContext parent) {
+    return TraceContext{parent.trace_id, ++last_span_id_};
+  }
+
+  void record(EntityId entity, TraceEvent e) {
+    e.entity = entity;
+    entities_.at(entity).ring.push(e);
+  }
+
+  void record_wire(const WireRecord& w) { wire_.push(w); }
+
+  /// All surviving events of every ring, merged and sorted by (time, entity,
+  /// ring order). Exporters consume this.
+  std::vector<TraceEvent> collect() const;
+
+  std::uint64_t total_recorded() const;
+  std::uint64_t total_overflowed() const;
+
+  /// Optional profiler piggybacked on the tracer so instrumented components
+  /// need a single attachment point (see ProfScope in profiler.hpp).
+  void set_profiler(SimProfiler* p) { profiler_ = p; }
+  SimProfiler* profiler() const { return profiler_; }
+
+ private:
+  struct Entity {
+    std::string name;
+    EventRing ring;
+  };
+
+  Config cfg_;
+  std::vector<Entity> entities_;
+  WireRing wire_;
+  std::uint32_t last_trace_id_ = 0;
+  std::uint32_t last_span_id_ = 0;
+  SimProfiler* profiler_ = nullptr;
+};
+
+}  // namespace arnet::trace

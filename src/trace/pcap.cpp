@@ -1,0 +1,226 @@
+#include "arnet/trace/pcap.hpp"
+
+#include "arnet/trace/export.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <vector>
+
+namespace arnet::trace {
+namespace {
+
+// pcap-ng block builder. Block bodies are little-endian (we write the SHB
+// byte-order magic accordingly); the synthesized Ethernet/IP/UDP bytes inside
+// an EPB are network byte order as on a real wire.
+class Buf {
+ public:
+  void u8(std::uint8_t v) { b_.push_back(v); }
+  void u16le(std::uint16_t v) { u8(v & 0xFF); u8(v >> 8); }
+  void u32le(std::uint32_t v) { u16le(v & 0xFFFF); u16le(v >> 16); }
+  void u16be(std::uint16_t v) { u8(v >> 8); u8(v & 0xFF); }
+  void u32be(std::uint32_t v) { u16be(v >> 16); u16be(v & 0xFFFF); }
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const std::uint8_t*>(p);
+    b_.insert(b_.end(), c, c + n);
+  }
+  void pad4() { while (b_.size() % 4 != 0) u8(0); }
+
+  /// Append a pcap-ng option: code, length, value, pad to 4.
+  void option(std::uint16_t code, const void* p, std::size_t n) {
+    u16le(code);
+    u16le(static_cast<std::uint16_t>(n));
+    bytes(p, n);
+    pad4();
+  }
+  void comment(const std::string& s) { option(1, s.data(), s.size()); }
+  void end_options() { u16le(0); u16le(0); }
+
+  std::size_t size() const { return b_.size(); }
+  const std::uint8_t* data() const { return b_.data(); }
+  std::uint8_t* data() { return b_.data(); }
+
+ private:
+  std::vector<std::uint8_t> b_;
+};
+
+/// Emit one block: type, total length, body, trailing total length.
+void write_block(std::ostream& os, std::uint32_t type, const Buf& body) {
+  Buf head;
+  std::uint32_t total = static_cast<std::uint32_t>(12 + body.size());
+  head.u32le(type);
+  head.u32le(total);
+  os.write(reinterpret_cast<const char*>(head.data()), static_cast<std::streamsize>(head.size()));
+  os.write(reinterpret_cast<const char*>(body.data()), static_cast<std::streamsize>(body.size()));
+  Buf tail;
+  tail.u32le(total);
+  os.write(reinterpret_cast<const char*>(tail.data()), static_cast<std::streamsize>(tail.size()));
+}
+
+std::uint16_t ipv4_checksum(const std::uint8_t* hdr, std::size_t len) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += (static_cast<std::uint32_t>(hdr[i]) << 8) | hdr[i + 1];
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+const char* proto_name(const WireRecord& w) {
+  if (w.proto == 2) {
+    switch (w.artp_kind) {
+      case 0: return "ARTP data";
+      case 1: return "ARTP parity";
+      default: return "ARTP feedback";
+    }
+  }
+  if (w.proto == 1) return "TCP-sim";
+  return "UDP-sim";
+}
+
+}  // namespace
+
+void write_pcapng(const Tracer& tracer, std::ostream& os) {
+  // Section Header Block.
+  {
+    Buf b;
+    b.u32le(0x1A2B3C4D);  // byte-order magic: we are little-endian
+    b.u16le(1);           // major
+    b.u16le(0);           // minor
+    b.u32le(0xFFFFFFFF);  // section length unknown
+    b.u32le(0xFFFFFFFF);
+    b.comment(
+        "arnet simulated capture (arnet-trace-v1). ARTP dissector: UDP payload "
+        "starts with a 32-byte pseudo-header, all fields big-endian: "
+        "magic 'ARTP' (4) | kind u8 0=data 1=parity 2=feedback | tclass u8 | "
+        "priority u8 | pad u8 | msg_id u64 | chunk u32 | chunk_count u32 | "
+        "frame_id u32 | trace_id u32. TCP-sim packets use magic 'ATCP' | pad u32 "
+        "| seq u64 | ack u64 | trace_id u32. Remaining payload is padding "
+        "standing in for the simulated bytes.");
+    b.end_options();
+    write_block(os, 0x0A0D0D0A, b);
+  }
+  // Interface Description Block: Ethernet, nanosecond timestamps.
+  {
+    Buf b;
+    b.u16le(1);  // LINKTYPE_ETHERNET
+    b.u16le(0);  // reserved
+    b.u32le(0);  // snaplen: unlimited
+    const char ifname[] = "arnet0";
+    b.option(2, ifname, sizeof(ifname) - 1);  // if_name
+    std::uint8_t tsresol = 9;                 // 10^-9 s
+    b.option(9, &tsresol, 1);                 // if_tsresol
+    b.end_options();
+    write_block(os, 0x00000001, b);
+  }
+
+  tracer.wire().for_each([&](const WireRecord& w) {
+    // Synthesize the frame: Ethernet II + IPv4 + UDP + pseudo-header payload.
+    Buf frame;
+    auto mac = [&frame](std::uint32_t node) {
+      const std::uint8_t m[6] = {0x02, 0, 0, 0,
+                                 static_cast<std::uint8_t>(node >> 8),
+                                 static_cast<std::uint8_t>(node & 0xFF)};
+      frame.bytes(m, 6);
+    };
+    mac(w.dst);
+    mac(w.src);
+    frame.u16be(0x0800);  // IPv4
+
+    // Real payload bytes are capped in the capture; original length reports
+    // the true simulated size.
+    std::int64_t sim_payload = std::max<std::int64_t>(w.size_bytes, 32);
+    std::uint16_t captured_payload =
+        static_cast<std::uint16_t>(std::min<std::int64_t>(sim_payload, 96));
+    std::uint16_t ip_len_orig = static_cast<std::uint16_t>(
+        std::min<std::int64_t>(20 + 8 + sim_payload, 0xFFFF));
+
+    std::size_t ip_off = frame.size();
+    frame.u8(0x45);  // version 4, IHL 5
+    frame.u8(w.tclass << 2);  // DSCP from traffic class
+    frame.u16be(ip_len_orig);
+    frame.u16be(static_cast<std::uint16_t>(w.uid & 0xFFFF));  // identification
+    frame.u16be(0x4000);                                      // DF
+    frame.u8(64);                                             // TTL
+    frame.u8(17);                                             // UDP
+    frame.u16be(0);                                           // checksum (below)
+    auto ip_addr = [&frame](std::uint32_t node) {
+      frame.u8(10); frame.u8(0);
+      frame.u8(static_cast<std::uint8_t>(node >> 8));
+      frame.u8(static_cast<std::uint8_t>((node & 0xFF) + 1));
+    };
+    ip_addr(w.src);
+    ip_addr(w.dst);
+    std::uint16_t csum = ipv4_checksum(frame.data() + ip_off, 20);
+    frame.data()[ip_off + 10] = static_cast<std::uint8_t>(csum >> 8);
+    frame.data()[ip_off + 11] = static_cast<std::uint8_t>(csum & 0xFF);
+
+    frame.u16be(w.src_port);
+    frame.u16be(w.dst_port);
+    frame.u16be(static_cast<std::uint16_t>(8 + captured_payload));
+    frame.u16be(0);  // UDP checksum not computed
+
+    // Pseudo-header payload (32 bytes), then padding up to captured_payload.
+    std::size_t payload_start = frame.size();
+    if (w.proto == 1) {
+      frame.bytes("ATCP", 4);
+      frame.u32be(0);
+      frame.u32be(static_cast<std::uint32_t>(w.seq >> 32));
+      frame.u32be(static_cast<std::uint32_t>(w.seq & 0xFFFFFFFF));
+      frame.u32be(static_cast<std::uint32_t>(w.ack >> 32));
+      frame.u32be(static_cast<std::uint32_t>(w.ack & 0xFFFFFFFF));
+      frame.u32be(w.trace_id);
+      frame.u32be(0);
+    } else {
+      frame.bytes("ARTP", 4);
+      frame.u8(w.artp_kind);
+      frame.u8(w.tclass);
+      frame.u8(w.priority);
+      frame.u8(0);
+      frame.u32be(static_cast<std::uint32_t>(w.msg_id >> 32));
+      frame.u32be(static_cast<std::uint32_t>(w.msg_id & 0xFFFFFFFF));
+      frame.u32be(w.chunk);
+      frame.u32be(w.chunk_count);
+      frame.u32be(w.frame_id);
+      frame.u32be(w.trace_id);
+    }
+    while (frame.size() - payload_start < captured_payload) frame.u8(0xAB);
+
+    std::uint32_t captured_len = static_cast<std::uint32_t>(frame.size());
+    std::uint32_t original_len = 14u + 20u + 8u + static_cast<std::uint32_t>(sim_payload);
+
+    Buf b;
+    b.u32le(0);  // interface id
+    std::uint64_t ts = static_cast<std::uint64_t>(w.time);
+    b.u32le(static_cast<std::uint32_t>(ts >> 32));
+    b.u32le(static_cast<std::uint32_t>(ts & 0xFFFFFFFF));
+    b.u32le(captured_len);
+    b.u32le(original_len);
+    b.bytes(frame.data(), frame.size());
+    b.pad4();
+
+    std::string comment = proto_name(w);
+    if (w.proto == 2) {
+      comment += " msg=" + std::to_string(w.msg_id) + " chunk=" + std::to_string(w.chunk) + "/" +
+                 std::to_string(w.chunk_count) + " frame=" + std::to_string(w.frame_id);
+    } else if (w.proto == 1) {
+      comment += " seq=" + std::to_string(w.seq) + " ack=" + std::to_string(w.ack);
+    }
+    if (w.app != nullptr) comment += std::string(" app=") + w.app;
+    comment += " trace=" + std::to_string(w.trace_id);
+    b.comment(comment);
+    b.end_options();
+    write_block(os, 0x00000006, b);
+  });
+}
+
+bool write_pcapng_file(const Tracer& tracer, const std::string& path) {
+  if (!detail::ensure_parent_dir(path)) return false;
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  write_pcapng(tracer, os);
+  return static_cast<bool>(os);
+}
+
+}  // namespace arnet::trace

@@ -1,0 +1,68 @@
+#include "arnet/trace/profiler.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+namespace arnet::trace {
+
+std::size_t SimProfiler::site_id(const char* name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  std::size_t id = sites_.size();
+  sites_.push_back(SiteStats{name, 0, 0, 0, 0});
+  ids_.emplace(name, id);
+  return id;
+}
+
+void SimProfiler::enter(std::size_t site) {
+  SiteStats& s = sites_[site];
+  ++s.calls;
+  if (stack_.empty()) {
+    // Top-level callback: charge the sim-clock advance since the previous
+    // top-level site to this one.
+    s.sim_ns += sim_.now() - last_sim_;
+    last_sim_ = sim_.now();
+  }
+  std::int64_t w = wall_ ? wall_() : 0;
+  stack_.push_back(Frame{site, w, 0});
+}
+
+void SimProfiler::exit(std::size_t site) {
+  // Scopes are RAII so exits mismatching enters indicate a caller bug; keep
+  // the profiler robust rather than asserting inside instrumentation.
+  if (stack_.empty() || stack_.back().site != site) return;
+  Frame f = stack_.back();
+  stack_.pop_back();
+  std::int64_t dur = (wall_ ? wall_() : 0) - f.wall_enter;
+  SiteStats& s = sites_[site];
+  s.wall_total_ns += dur;
+  s.wall_self_ns += dur - f.child_wall;
+  if (!stack_.empty()) stack_.back().child_wall += dur;
+}
+
+std::vector<SimProfiler::SiteStats> SimProfiler::table() const {
+  std::vector<SiteStats> out = sites_;
+  std::sort(out.begin(), out.end(), [](const SiteStats& a, const SiteStats& b) {
+    if (a.wall_self_ns != b.wall_self_ns) return a.wall_self_ns > b.wall_self_ns;
+    if (a.sim_ns != b.sim_ns) return a.sim_ns > b.sim_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+void SimProfiler::print(std::ostream& os) const {
+  auto rows = table();
+  os << "--- sim-time profile (per callback site) ---\n";
+  os << std::left << std::setw(36) << "site" << std::right << std::setw(10) << "calls"
+     << std::setw(14) << "sim ms" << std::setw(14) << "wall ms" << std::setw(14) << "self ms"
+     << "\n";
+  for (const SiteStats& s : rows) {
+    if (s.calls == 0) continue;
+    os << std::left << std::setw(36) << s.name << std::right << std::setw(10) << s.calls
+       << std::setw(14) << std::fixed << std::setprecision(3) << s.sim_ns / 1e6 << std::setw(14)
+       << s.wall_total_ns / 1e6 << std::setw(14) << s.wall_self_ns / 1e6 << "\n";
+  }
+}
+
+}  // namespace arnet::trace

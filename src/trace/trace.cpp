@@ -1,0 +1,58 @@
+#include "arnet/trace/trace.hpp"
+
+#include <algorithm>
+
+namespace arnet::trace {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kFrameCapture: return "frame-capture";
+    case EventKind::kEnqueue: return "enqueue";
+    case EventKind::kDequeue: return "dequeue";
+    case EventKind::kTxStart: return "tx-start";
+    case EventKind::kRx: return "rx";
+    case EventKind::kDeliver: return "deliver";
+    case EventKind::kTx: return "tx";
+    case EventKind::kAck: return "ack";
+    case EventKind::kRetx: return "retx";
+    case EventKind::kFecRepair: return "fec-repair";
+    case EventKind::kShed: return "shed";
+    case EventKind::kDrop: return "drop";
+    case EventKind::kComputeStart: return "compute-start";
+    case EventKind::kComputeDone: return "compute-done";
+    case EventKind::kFrameDone: return "frame-done";
+    case EventKind::kFrameMiss: return "frame-miss";
+  }
+  return "?";
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::vector<TraceEvent> out;
+  out.reserve(total_recorded() > 0 ? static_cast<std::size_t>(
+                  std::min<std::uint64_t>(total_recorded(), entities_.size() * cfg_.ring_capacity))
+                                   : 0);
+  for (const Entity& e : entities_) {
+    e.ring.for_each([&](const TraceEvent& ev) { out.push_back(ev); });
+  }
+  // Rings are individually time-ordered; the merge key adds (entity, span) so
+  // equal-time events across entities land in a stable, deterministic order.
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.entity < b.entity;
+  });
+  return out;
+}
+
+std::uint64_t Tracer::total_recorded() const {
+  std::uint64_t n = 0;
+  for (const Entity& e : entities_) n += e.ring.recorded();
+  return n;
+}
+
+std::uint64_t Tracer::total_overflowed() const {
+  std::uint64_t n = 0;
+  for (const Entity& e : entities_) n += e.ring.overflowed();
+  return n;
+}
+
+}  // namespace arnet::trace

@@ -1,6 +1,7 @@
 #include "arnet/transport/artp.hpp"
 
 #include "arnet/check/assert.hpp"
+#include "arnet/trace/profiler.hpp"
 
 #include <algorithm>
 #include <cassert>
@@ -42,8 +43,23 @@ ArtpSender::ArtpSender(net::Network& net, net::NodeId local, net::Port local_por
     p.id = id++;
     paths_.push_back(std::move(p));
   }
+  if (cfg_.tracer) trace_entity_ = cfg_.tracer->register_entity(cfg_.trace_entity);
   net_.node(local_).bind(local_port_, [this](Packet&& p) { on_packet(std::move(p)); });
   pace_timer_.arm(cfg_.pace_interval);
+}
+
+void ArtpSender::record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
+                              std::uint64_t uid, std::int64_t size, const char* reason) {
+  if (!cfg_.tracer) return;
+  trace::TraceEvent e;
+  e.time = net_.sim().now();
+  e.uid = uid;
+  e.size = size;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.kind = kind;
+  e.reason = reason;
+  cfg_.tracer->record(trace_entity_, e);
 }
 
 ArtpSender::~ArtpSender() { net_.node(local_).unbind(local_port_); }
@@ -93,10 +109,13 @@ std::uint64_t ArtpSender::send_message(const ArtpMessageSpec& spec) {
     c.sub_priority = spec.sub_priority;
     c.submitted_at = net_.sim().now();
     c.stale_after = stale;
+    c.trace = spec.trace;
     if (critical_record) critical_record->chunks.push_back(c);
     backlog_bytes_ += c.payload;
     staged.push_back(std::move(c));
   }
+
+  record_trace(trace::EventKind::kEnqueue, spec.trace, id, spec.bytes);
 
   // Insert the whole message before the first queued message of strictly
   // lower importance (greater sub_priority), never splitting a message:
@@ -223,6 +242,8 @@ void ArtpSender::update_congestion_level() {
 
 void ArtpSender::shed_front_message(std::deque<Chunk>& q) {
   std::uint64_t msg = q.front().msg_id;
+  record_trace(trace::EventKind::kShed, q.front().trace, msg, 0,
+               congestion_level_ >= 2 ? "congestion" : "stale");
   while (!q.empty() && q.front().msg_id == msg) {
     backlog_bytes_ -= q.front().payload;
     shed_bytes_ += q.front().payload;
@@ -269,6 +290,7 @@ void ArtpSender::check_critical_tail() {
 }
 
 void ArtpSender::pace_tick() {
+  trace::ProfScope prof(cfg_.tracer, "ArtpSender::pace_tick");
   sim::Time now = net_.sim().now();
   check_critical_tail();
   double dt = sim::to_seconds(cfg_.pace_interval);
@@ -385,6 +407,10 @@ void ArtpSender::transmit(const Chunk& c, Path& path) {
   h.sent_at = net_.sim().now();
   h.msg_submitted_at = c.submitted_at;
   p.header = h;
+  p.trace = c.trace;
+
+  record_trace(c.retransmission ? trace::EventKind::kRetx : trace::EventKind::kTx, c.trace,
+               c.msg_id, p.size_bytes);
 
   path.budget_bytes -= p.size_bytes;
   path.sent_bytes += p.size_bytes;
@@ -433,6 +459,8 @@ void ArtpSender::transmit(const Chunk& c, Path& path) {
       fh.sent_at = net_.sim().now();
       fh.msg_submitted_at = c.submitted_at;
       fp.header = fh;
+      fp.trace = c.trace;
+      record_trace(trace::EventKind::kTx, c.trace, c.msg_id, fp.size_bytes, "fec-parity");
       path.budget_bytes -= fp.size_bytes;
       path.sent_bytes += fp.size_bytes;
       sent_bytes_ += fp.size_bytes;
@@ -455,6 +483,8 @@ void ArtpSender::on_packet(Packet&& p) {
 
 void ArtpSender::on_feedback(const ArtpHeader& h) {
   if (h.path_id >= paths_.size()) return;
+  record_trace(trace::EventKind::kAck, trace::TraceContext{}, h.fb_highest_seen,
+               static_cast<std::int64_t>(h.fb_nacks.size()));
   Path& path = paths_[h.path_id];
   path.last_owd = h.fb_owd;
   path.min_owd = std::min(path.min_owd, h.fb_min_owd);
@@ -496,11 +526,26 @@ ArtpReceiver::ArtpReceiver(net::Network& net, net::NodeId local, net::Port local
       local_port_(local_port),
       cfg_(cfg),
       feedback_timer_(net.sim(), [this] { feedback_tick(); }) {
+  if (cfg_.tracer) trace_entity_ = cfg_.tracer->register_entity(cfg_.trace_entity);
   net_.node(local_).bind(local_port_, [this](Packet&& p) { on_packet(std::move(p)); });
   feedback_timer_.arm(cfg_.feedback_interval);
 }
 
 ArtpReceiver::~ArtpReceiver() { net_.node(local_).unbind(local_port_); }
+
+void ArtpReceiver::record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
+                                std::uint64_t uid, std::int64_t size, const char* reason) {
+  if (!cfg_.tracer) return;
+  trace::TraceEvent e;
+  e.time = net_.sim().now();
+  e.uid = uid;
+  e.size = size;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.kind = kind;
+  e.reason = reason;
+  cfg_.tracer->record(trace_entity_, e);
+}
 
 void ArtpReceiver::on_packet(Packet&& p) {
   const auto* h = std::get_if<ArtpHeader>(&p.header);
@@ -548,6 +593,7 @@ void ArtpReceiver::on_packet(Packet&& p) {
     m.submitted_at = h->msg_submitted_at;
     m.first_arrival = now;
   }
+  if (!m.trace.active() && p.trace.active()) m.trace = p.trace;
   if (m.delivered) return;  // duplicate of an already-delivered message
 
   if (h->kind == ArtpHeader::Kind::kData) {
@@ -567,6 +613,7 @@ void ArtpReceiver::on_packet(Packet&& p) {
     m.have_count = m.chunk_count;
     m.fec_recovered = true;
     fec_recoveries_ += recovered;
+    record_trace(trace::EventKind::kFecRepair, m.trace, h->msg_id, recovered);
   }
 
   try_deliver(h->msg_id);
@@ -591,6 +638,7 @@ void ArtpReceiver::try_deliver(std::uint64_t msg_id) {
   d.complete = true;
   d.fec_recovered = m.fec_recovered;
   d.completeness = 1.0;
+  d.trace = m.trace;
 
   // The (delivered) entry is retained until expiry as a tombstone so that
   // late duplicates (multipath duplication, spurious retransmits) cannot
@@ -614,6 +662,8 @@ void ArtpReceiver::try_deliver(std::uint64_t msg_id) {
 }
 
 void ArtpReceiver::note_delivery(const ArtpDelivery& d) {
+  record_trace(trace::EventKind::kDeliver, d.trace, d.msg_id, d.bytes,
+               d.fec_recovered ? "fec-recovered" : nullptr);
   if (!cfg_.metrics) return;
   cfg_.metrics->counter("artp.delivered_messages", cfg_.metrics_entity).add();
   cfg_.metrics
@@ -621,6 +671,13 @@ void ArtpReceiver::note_delivery(const ArtpDelivery& d) {
                 cfg_.metrics_entity + "/app:" + net::to_string(d.app))
       .add(d.bytes);
   cfg_.metrics->histogram("artp.msg_latency_ms", cfg_.metrics_entity)
+      .record(sim::to_milliseconds(d.latency()));
+  // Per-band end-to-end delay: lets per-priority latency be compared against
+  // the per-band bytes the sender publishes (and against trace timelines).
+  cfg_.metrics
+      ->histogram("artp.band_delay_ms",
+                  cfg_.metrics_entity + "/band:" +
+                      std::to_string(static_cast<int>(d.priority)))
       .record(sim::to_milliseconds(d.latency()));
 }
 
@@ -661,6 +718,8 @@ void ArtpReceiver::expire_stale(sim::Time now) {
       d.completed_at = now;
       d.complete = false;
       d.completeness = m.chunk_count ? static_cast<double>(m.have_count) / m.chunk_count : 0.0;
+      d.trace = m.trace;
+      record_trace(trace::EventKind::kDeliver, m.trace, it->first, m.bytes, "expired");
       ++expired_messages_;
       it = pending_.erase(it);
       if (message_cb_) message_cb_(d);
@@ -671,6 +730,7 @@ void ArtpReceiver::expire_stale(sim::Time now) {
 }
 
 void ArtpReceiver::feedback_tick() {
+  trace::ProfScope prof(cfg_.tracer, "ArtpReceiver::feedback_tick");
   sim::Time now = net_.sim().now();
   expire_stale(now);
   if (peer_) {

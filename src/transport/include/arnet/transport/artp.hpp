@@ -15,6 +15,7 @@
 #include "arnet/obs/registry.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/trace/trace.hpp"
 #include "arnet/transport/congestion.hpp"
 
 namespace arnet::transport {
@@ -45,6 +46,9 @@ struct ArtpMessageSpec {
   /// Drop-eligible chunks older than this are shed instead of sent
   /// (0 = class default; kNever for non-droppable priorities).
   sim::Time stale_after = 0;
+  /// Causal trace identity; stamped onto every packet of the message so the
+  /// per-frame timeline crosses the transport/net boundary. Zero = untraced.
+  trace::TraceContext trace;
 };
 
 /// Delivery record handed to the receiver's message callback.
@@ -60,6 +64,8 @@ struct ArtpDelivery {
   bool complete = true;        ///< all chunks arrived (possibly via FEC)
   bool fec_recovered = false;  ///< at least one chunk rebuilt from parity
   double completeness = 1.0;   ///< fraction of chunks received (expired msgs)
+  /// Trace context of the sender's message (from the first packet seen).
+  trace::TraceContext trace;
 
   sim::Time latency() const { return completed_at - submitted_at; }
 };
@@ -100,6 +106,10 @@ struct ArtpSenderConfig {
   /// the sender.
   obs::MetricsRegistry* metrics = nullptr;
   std::string metrics_entity = "artp";
+  /// When set, the sender registers `trace_entity` and records message
+  /// enqueue/tx/retx/shed/ack events into its ring. Must outlive the sender.
+  trace::Tracer* tracer = nullptr;
+  std::string trace_entity = "artp-tx";
 };
 
 /// One transmission path of a (possibly multipath) ARTP connection.
@@ -166,6 +176,7 @@ class ArtpSender {
     sim::Time submitted_at = 0;
     sim::Time stale_after = 0;
     bool retransmission = false;
+    trace::TraceContext trace;
   };
 
   struct Path {
@@ -195,6 +206,8 @@ class ArtpSender {
   /// Drop the band-front chunk and every following chunk of the same message
   /// (a message missing chunks is useless to the application).
   void shed_front_message(std::deque<Chunk>& q);
+  void record_trace(trace::EventKind kind, const trace::TraceContext& ctx, std::uint64_t uid,
+                    std::int64_t size, const char* reason = nullptr);
 
   net::Network& net_;
   net::NodeId local_, remote_;
@@ -227,6 +240,7 @@ class ArtpSender {
   std::int64_t retransmitted_chunks_ = 0;
   std::array<sim::RateMeter, net::kAppDataCount> app_meters_;
   std::function<void(const ArtpQosReport&)> qos_cb_;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
 };
 
 /// ARTP receiver: reassembles messages, recovers FEC-protected chunks,
@@ -245,6 +259,10 @@ class ArtpReceiver {
     /// histogram under `metrics_entity`.
     obs::MetricsRegistry* metrics = nullptr;
     std::string metrics_entity = "artp-rx";
+    /// When set, the receiver registers `trace_entity` and records message
+    /// deliver/FEC-repair events into its ring. Must outlive the receiver.
+    trace::Tracer* tracer = nullptr;
+    std::string trace_entity = "artp-rx";
   };
 
   ArtpReceiver(net::Network& net, net::NodeId local, net::Port local_port);
@@ -289,6 +307,7 @@ class ArtpReceiver {
     std::uint32_t parity_seen = 0;
     bool fec_recovered = false;
     bool delivered = false;
+    trace::TraceContext trace;  ///< from the first packet of the message
   };
 
   void on_packet(net::Packet&& p);
@@ -299,6 +318,8 @@ class ArtpReceiver {
   void flush_critical_in_order();
   void feedback_tick();
   void expire_stale(sim::Time now);
+  void record_trace(trace::EventKind kind, const trace::TraceContext& ctx, std::uint64_t uid,
+                    std::int64_t size, const char* reason = nullptr);
 
   net::Network& net_;
   net::NodeId local_;
@@ -324,6 +345,7 @@ class ArtpReceiver {
   std::int64_t expired_messages_ = 0;
   sim::RateMeter goodput_;
   std::function<void(const ArtpDelivery&)> message_cb_;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
 };
 
 }  // namespace arnet::transport

@@ -10,6 +10,7 @@
 #include "arnet/obs/registry.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/trace/trace.hpp"
 
 namespace arnet::transport {
 
@@ -63,6 +64,14 @@ class TcpSource {
     /// must outlive the source.
     obs::MetricsRegistry* metrics = nullptr;
     std::string metrics_entity = "tcp";
+    /// When set, the source registers `trace_entity` and records kTx/kRetx/
+    /// kAck span events plus a per-connection TraceContext stamped on every
+    /// segment (so the causal chain survives the net layer). If `trace_ctx`
+    /// is inactive a fresh trace id is minted at construction. MPTCP subflows
+    /// inherit this via the subflow config template.
+    trace::Tracer* tracer = nullptr;
+    std::string trace_entity = "tcp";
+    trace::TraceContext trace_ctx;
   };
 
   TcpSource(net::Network& net, net::NodeId local, net::Port local_port, net::NodeId remote,
@@ -108,6 +117,8 @@ class TcpSource {
   void update_rtt(sim::Time sample);
   void arm_rto();
   void trace();
+  void record_trace(trace::EventKind kind, std::uint64_t uid, std::int64_t size,
+                    const char* reason = nullptr);
   std::int64_t flight_size() const {
     return static_cast<std::int64_t>(next_seq_ - highest_ack_);
   }
@@ -156,6 +167,9 @@ class TcpSource {
   sim::Time vegas_base_rtt_ = sim::kNever;
   sim::Time vegas_min_rtt_epoch_ = sim::kNever;  ///< min sample this RTT
   std::uint64_t vegas_next_tick_seq_ = 0;        ///< ends the current RTT epoch
+
+  trace::EntityId trace_entity_ = trace::kNoEntity;
+  trace::TraceContext trace_ctx_;
 
   int timeouts_ = 0;
   int fast_retransmits_ = 0;

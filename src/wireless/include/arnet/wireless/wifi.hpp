@@ -12,6 +12,7 @@
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
 #include "arnet/sim/time.hpp"
+#include "arnet/trace/trace.hpp"
 
 namespace arnet::wireless {
 
@@ -87,6 +88,13 @@ class WifiCell {
   /// delivered bytes/packets counters. The registry must outlive the cell.
   void attach_obs(obs::MetricsRegistry& reg, std::string entity);
 
+  /// Record span events for every frame crossing the cell: kEnqueue on
+  /// send(), kTxStart when the frame wins contention, kRx on delivery, and
+  /// kDrop with a distinct reason for each discard path ("queue-full",
+  /// "retry-limit", "relay-queue-full"). Drops also surface as
+  /// "wifi.drop.<reason>" counters when attach_obs is active.
+  void attach_trace(trace::Tracer& tracer, std::string name);
+
  private:
   struct Entity {
     std::string name;
@@ -100,6 +108,8 @@ class WifiCell {
 
   void try_start_transmission();
   void finish_transmission(std::uint32_t from, std::uint32_t to, net::Packet p);
+  void record_trace(trace::EventKind kind, const net::Packet& p, const char* reason = nullptr);
+  void drop_frame(const net::Packet& p, const char* reason);
   std::string entity_label(std::uint32_t id, const Entity& e) const;
   void publish_obs(std::uint32_t id, const Entity& e);
 
@@ -115,6 +125,10 @@ class WifiCell {
   // Observability (attach_obs): null when not attached.
   obs::MetricsRegistry* metrics_ = nullptr;
   std::string obs_entity_;
+
+  // Tracing (attach_trace): null when not attached.
+  trace::Tracer* tracer_ = nullptr;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
 };
 
 }  // namespace arnet::wireless

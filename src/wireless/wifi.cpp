@@ -43,6 +43,32 @@ void WifiCell::attach_obs(obs::MetricsRegistry& reg, std::string entity) {
   obs_entity_ = std::move(entity);
 }
 
+void WifiCell::attach_trace(trace::Tracer& tracer, std::string name) {
+  tracer_ = &tracer;
+  trace_entity_ = tracer.register_entity(std::move(name));
+}
+
+void WifiCell::record_trace(trace::EventKind kind, const net::Packet& p, const char* reason) {
+  if (tracer_ == nullptr) return;
+  trace::TraceEvent e;
+  e.time = sim_.now();
+  e.uid = p.uid;
+  e.size = p.size_bytes;
+  e.trace_id = p.trace.trace_id;
+  e.span_id = p.trace.span_id;
+  e.kind = kind;
+  e.reason = reason;
+  tracer_->record(trace_entity_, e);
+}
+
+void WifiCell::drop_frame(const net::Packet& p, const char* reason) {
+  ++dropped_;
+  record_trace(trace::EventKind::kDrop, p, reason);
+  if (metrics_) {
+    metrics_->counter(std::string("wifi.drop.") + reason, obs_entity_).add();
+  }
+}
+
 std::string WifiCell::entity_label(std::uint32_t id, const Entity& e) const {
   return obs_entity_ + "/" + e.name + ":" + std::to_string(id);
 }
@@ -60,9 +86,10 @@ void WifiCell::publish_obs(std::uint32_t id, const Entity& e) {
 void WifiCell::send(std::uint32_t from, std::uint32_t to, net::Packet p) {
   Entity& e = entities_.at(from);
   if (e.queue.size() >= cfg_.queue_packets) {
-    ++dropped_;
+    drop_frame(p, "queue-full");
     return;
   }
+  record_trace(trace::EventKind::kEnqueue, p);
   e.queue.emplace_back(to, std::move(p));
   try_start_transmission();
 }
@@ -90,6 +117,7 @@ void WifiCell::try_start_transmission() {
   busy_ = true;
   auto [to, pkt] = std::move(winner->queue.front());
   winner->queue.pop_front();
+  record_trace(trace::EventKind::kTxStart, pkt);
 
   // Occupancy = airtime of the frame at the sender's PHY rate, plus full
   // retries on corruption (up to the retry limit).
@@ -103,7 +131,7 @@ void WifiCell::try_start_transmission() {
     }
     if (attempts >= cfg_.mac.retry_limit && rng_.bernoulli(cfg_.frame_loss)) {
       delivered = false;
-      ++dropped_;
+      drop_frame(pkt, "retry-limit");
     }
   }
 
@@ -124,7 +152,7 @@ void WifiCell::finish_transmission(std::uint32_t from, std::uint32_t to, net::Pa
   if (from != kApId && to != kApId) {
     Entity& ap = entities_.at(kApId);
     if (ap.queue.size() >= cfg_.queue_packets) {
-      ++dropped_;
+      drop_frame(p, "relay-queue-full");
       return;
     }
     ap.queue.emplace_back(to, std::move(p));
@@ -132,6 +160,7 @@ void WifiCell::finish_transmission(std::uint32_t from, std::uint32_t to, net::Pa
   }
   auto it = entities_.find(to);
   if (it == entities_.end()) return;
+  record_trace(trace::EventKind::kRx, p);
   it->second.delivered_bytes += p.size_bytes;
   ++it->second.delivered_packets;
   if (metrics_) {

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Sanity-check arnet trace artifacts (Perfetto JSON, flight JSONL, pcap-ng).
+
+Usage: check_trace_schema.py FILE [FILE...]
+
+Dispatches on extension:
+  .json    Chrome/Perfetto trace-event file: a traceEvents list whose events
+           carry valid phases (X duration / i instant / M metadata), numeric
+           microsecond timestamps, and the arnet-trace-v1 schema tag in
+           otherData.
+  .jsonl   Flight-recorder dump: a header line (schema, cause, ring
+           accounting), event lines, and a final end line whose count matches
+           the events written.
+  .pcapng  pcap-ng capture: SHB magic, 4-byte-aligned blocks whose trailing
+           length echoes the leading one, exactly one interface, and at least
+           one Enhanced Packet Block.
+
+Fails (exit 1) on the first structural problem per file so CI catches a
+broken exporter instead of archiving garbage artifacts. stdlib only.
+"""
+import json
+import struct
+import sys
+
+VALID_PHASES = {"X", "i", "M"}
+SCHEMA = "arnet-trace-v1"
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_perfetto(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "empty or missing traceEvents list")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != SCHEMA:
+        return fail(path, f"otherData.schema != {SCHEMA!r}")
+
+    phases = {p: 0 for p in VALID_PHASES}
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in VALID_PHASES:
+            return fail(path, f"traceEvents[{i}]: unexpected phase {ph!r}")
+        phases[ph] += 1
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            return fail(path, f"traceEvents[{i}]: missing name")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            return fail(path, f"traceEvents[{i}]: bad ts {ts!r}")
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                return fail(path, f"traceEvents[{i}]: duration event with bad dur {dur!r}")
+    if phases["M"] == 0:
+        return fail(path, "no entity metadata (M) events")
+    print(f"{path}: OK ({len(events)} events: "
+          f"{phases['X']} spans, {phases['i']} instants, {phases['M']} metadata)")
+    return 0
+
+
+def check_flight(path):
+    try:
+        with open(path) as f:
+            lines = [l for l in (line.strip() for line in f) if l]
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    if len(lines) < 2:
+        return fail(path, "needs at least a header and an end line")
+
+    try:
+        docs = [json.loads(l) for l in lines]
+    except json.JSONDecodeError as e:
+        return fail(path, f"invalid JSONL: {e}")
+
+    header, body, end = docs[0], docs[1:-1], docs[-1]
+    if header.get("kind") != "header":
+        return fail(path, f"first line kind {header.get('kind')!r}, expected 'header'")
+    if header.get("schema") != SCHEMA:
+        return fail(path, f"header schema != {SCHEMA!r}")
+    if not isinstance(header.get("cause"), str) or not header["cause"]:
+        return fail(path, "header missing cause")
+    if end.get("kind") != "end":
+        return fail(path, f"last line kind {end.get('kind')!r}, expected 'end'")
+
+    events = 0
+    for i, e in enumerate(body):
+        if e.get("kind") != "event":
+            return fail(path, f"line {i + 2}: kind {e.get('kind')!r}, expected 'event'")
+        if not isinstance(e.get("t_ns"), int):
+            return fail(path, f"line {i + 2}: missing integer t_ns")
+        events += 1
+    if end.get("events") != events:
+        return fail(path, f"end line says {end.get('events')} events, file has {events}")
+    print(f"{path}: OK (cause {header['cause']!r}, {events} events)")
+    return 0
+
+
+SHB_TYPE = 0x0A0D0D0A
+BYTE_ORDER_MAGIC = 0x1A2B3C4D
+IDB_TYPE = 1
+EPB_TYPE = 6
+
+
+def check_pcapng(path):
+    try:
+        with open(path, "rb") as f:
+            buf = f.read()
+    except OSError as e:
+        return fail(path, f"unreadable: {e}")
+    if len(buf) < 28:
+        return fail(path, "too short for a section header block")
+
+    u32 = lambda off: struct.unpack_from("<I", buf, off)[0]
+    if u32(0) != SHB_TYPE:
+        return fail(path, f"bad SHB type 0x{u32(0):08X}")
+    if u32(8) != BYTE_ORDER_MAGIC:
+        return fail(path, f"bad byte-order magic 0x{u32(8):08X}")
+
+    off, counts = 0, {SHB_TYPE: 0, IDB_TYPE: 0, EPB_TYPE: 0}
+    while off < len(buf):
+        if off + 12 > len(buf):
+            return fail(path, f"truncated block header at offset {off}")
+        btype, blen = u32(off), u32(off + 4)
+        if blen % 4 != 0 or blen < 12:
+            return fail(path, f"block at {off}: bad length {blen}")
+        if off + blen > len(buf):
+            return fail(path, f"block at {off}: length {blen} overruns file")
+        if u32(off + blen - 4) != blen:
+            return fail(path, f"block at {off}: trailing length mismatch")
+        counts[btype] = counts.get(btype, 0) + 1
+        off += blen
+
+    if counts[SHB_TYPE] != 1:
+        return fail(path, f"expected exactly one SHB, found {counts[SHB_TYPE]}")
+    if counts[IDB_TYPE] != 1:
+        return fail(path, f"expected exactly one interface block, found {counts[IDB_TYPE]}")
+    if counts[EPB_TYPE] == 0:
+        return fail(path, "no Enhanced Packet Blocks (empty capture)")
+    print(f"{path}: OK ({counts[EPB_TYPE]} packets)")
+    return 0
+
+
+def check_file(path):
+    if path.endswith(".jsonl"):
+        return check_flight(path)
+    if path.endswith(".json"):
+        return check_perfetto(path)
+    if path.endswith(".pcapng") or path.endswith(".pcap"):
+        return check_pcapng(path)
+    return fail(path, "unknown artifact extension (.json/.jsonl/.pcapng)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_file(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
