@@ -14,6 +14,7 @@
 #include "arnet/core/table.hpp"
 #include "arnet/mar/device.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/transport/artp.hpp"
 #include "arnet/wireless/cellular.hpp"
@@ -178,7 +179,9 @@ SetupResult run_setup(char which) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "fig5_distributed_offloading_report.txt"));
   std::cout << "=== Figure 5: distributing computation among resources ===\n"
             << "Smart glasses offload latency-critical ops (2 KB @ 30 Hz) and heavy\n"
             << "ops (20 KB @ 10 Hz); per-setup median end-to-end op latency\n"

@@ -9,6 +9,7 @@
 #include <memory>
 #include <vector>
 
+#include "arnet/fleet/scenario.hpp"
 #include "arnet/net/network.hpp"
 #include "arnet/net/queue.hpp"
 #include "arnet/sim/simulator.hpp"
@@ -137,6 +138,19 @@ std::int64_t run_artp_session() {
   return static_cast<std::int64_t>(sim.events_executed());
 }
 
+std::int64_t run_fleet_session_churn() {
+  // Wall-clock cost of 5 simulated seconds of a churn-heavy serving fleet:
+  // ~100 short sessions arrive, stream batched frames, and retire.
+  fleet::CellConfig cell;
+  cell.name = "churn";
+  cell.offered_users = 40;
+  cell.mean_lifetime_s = 2.0;
+  cell.duration = sim::seconds(5);
+  fleet::CellResult r = fleet::run_capacity_cell(cell, 1);
+  benchmark::DoNotOptimize(r.results);
+  return r.sim_events;
+}
+
 std::int64_t run_wifi_cell_saturated() {
   // Wall-clock cost of 1 simulated second of a saturated 4-station cell.
   sim::Simulator sim;
@@ -211,6 +225,11 @@ void BM_WifiCellSaturated(benchmark::State& state) {
 }
 BENCHMARK(BM_WifiCellSaturated);
 
+void BM_FleetSessionChurn(benchmark::State& state) {
+  for (auto _ : state) run_fleet_session_churn();
+}
+BENCHMARK(BM_FleetSessionChurn);
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +244,7 @@ int main(int argc, char** argv) {
       {"TcpBulkTransferSimulated", run_tcp_bulk_transfer},
       {"ArtpSessionSimulated", run_artp_session},
       {"WifiCellSaturated", run_wifi_cell_saturated},
+      {"FleetSessionChurn", run_fleet_session_churn},
   };
   return arnet::benchjson::main_dispatch(argc, argv, "micro_transport", cases);
 }

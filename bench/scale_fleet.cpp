@@ -1,0 +1,223 @@
+// Multi-user capacity sweep over the fleet serving layer: offered sessions
+// vs motion-to-photon p99, per balancer policy, batched vs unbatched
+// execution, and autoscaling on/off. This is the experiment behind the
+// paper's "how many MAR users can one edge deployment actually carry"
+// question (§IV scale concerns, §VI-F provisioning).
+//
+// Each cell is an independent simulation world fanned across an
+// ExperimentRunner pool (`--jobs N`), with per-cell seeds derived from the
+// root seed by run index — output is byte-identical for any job count.
+// Artifacts land under --out-dir (default bench-out/):
+//   scale_fleet_metrics.jsonl   merged arnet-obs-v1 registry (all cells)
+//   BENCH_scale_fleet.json      arnet-bench-v1 summary, sim-derived values
+//
+// The summary deliberately reports *simulated* time as wall_time_s and
+// completed frames as iterations: the numbers are properties of the model,
+// not of the host machine, which is what keeps serial and parallel runs
+// byte-identical and the file diffable across CI runs.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arnet/core/table.hpp"
+#include "arnet/fleet/scenario.hpp"
+#include "arnet/obs/export.hpp"
+#include "arnet/runner/experiment.hpp"
+
+using namespace arnet;
+
+namespace {
+
+struct CellKnobs {
+  fleet::BalancerPolicy policy = fleet::BalancerPolicy::kLeastOutstanding;
+  bool batched = true;
+  bool autoscale = false;
+  bool admit = false;
+};
+
+std::string mode_name(const CellKnobs& k) {
+  return std::string(to_string(k.policy)) + "/batch=" + (k.batched ? "on" : "off") +
+         "/as=" + (k.autoscale ? "on" : "off") + "/adm=" + (k.admit ? "on" : "off");
+}
+
+fleet::CellConfig make_cell(double users, const CellKnobs& k, sim::Time duration) {
+  fleet::CellConfig c;
+  std::ostringstream os;
+  os << "u" << std::setw(3) << std::setfill('0') << static_cast<int>(users) << "/"
+     << mode_name(k);
+  c.name = os.str();
+  c.offered_users = users;
+  c.policy = k.policy;
+  c.batched = k.batched;
+  c.autoscale = k.autoscale;
+  c.admit = k.admit;
+  c.duration = duration;
+  return c;
+}
+
+// Each mechanism gets its own cells. The capacity/policy/batching curves run
+// open loop (admission off) so the knee measures the serving path; admission
+// and autoscaling are then shown against that same offered load.
+std::vector<fleet::CellConfig> build_cells(bool smoke) {
+  std::vector<fleet::CellConfig> cells;
+  using P = fleet::BalancerPolicy;
+  if (smoke) {
+    // CI-sized: one nominal cell plus the ~200-user overload point per
+    // mechanism, 2 servers, short horizon.
+    const sim::Time d = sim::seconds(10);
+    cells.push_back(make_cell(50, {P::kLeastOutstanding, true, false, false}, d));
+    cells.push_back(make_cell(200, {P::kLeastOutstanding, true, false, false}, d));
+    cells.push_back(make_cell(200, {P::kLeastOutstanding, false, false, false}, d));
+    cells.push_back(make_cell(200, {P::kLeastOutstanding, true, true, false}, d));
+    cells.push_back(make_cell(200, {P::kLeastOutstanding, true, false, true}, d));
+    return cells;
+  }
+  const double levels[] = {25, 50, 75, 100, 125, 150, 175, 200};
+  const sim::Time d = sim::seconds(30);
+  for (P policy : {P::kRoundRobin, P::kLeastOutstanding, P::kLatencyEwma}) {
+    for (double u : levels) cells.push_back(make_cell(u, {policy, true, false, false}, d));
+  }
+  // Batching ablation: same curve without batch formation.
+  for (double u : levels) {
+    cells.push_back(make_cell(u, {P::kLeastOutstanding, false, false, false}, d));
+  }
+  // Autoscaler: overload levels where extra servers should absorb the knee.
+  for (double u : {100.0, 150.0, 200.0}) {
+    cells.push_back(make_cell(u, {P::kLeastOutstanding, true, true, false}, d));
+  }
+  // Admission control: same overload levels, fixed fleet; rejects/downgrades
+  // should bound the served p99 near the budget instead of letting it run away.
+  for (double u : {100.0, 150.0, 200.0}) {
+    cells.push_back(make_cell(u, {P::kLeastOutstanding, true, false, true}, d));
+  }
+  return cells;
+}
+
+void json_num(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << v;
+  os << tmp.str();
+}
+
+/// arnet-bench-v1 emitter fed from simulation results instead of host
+/// timers (see header comment; json_bench.hpp documents the schema).
+bool write_summary(const std::string& path, const std::vector<fleet::CellResult>& results) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\"schema\": \"arnet-bench-v1\", \"suite\": \"scale_fleet\", \"benchmarks\": [";
+  bool first = true;
+  for (const fleet::CellResult& r : results) {
+    if (!first) os << ",";
+    first = false;
+    const double sim_s = r.sim_seconds > 0 ? r.sim_seconds : 1.0;
+    os << "\n  {\"name\": \"" << obs::json_escape(r.name) << "\", \"iterations\": "
+       << r.results << ", \"wall_time_s\": ";
+    json_num(os, sim_s);
+    os << ", \"ops_per_sec\": ";
+    json_num(os, r.served_fps);
+    os << ", \"sim_events\": " << r.sim_events << ", \"sim_events_per_sec\": ";
+    json_num(os, static_cast<double>(r.sim_events) / sim_s);
+    os << ", \"latency_ns\": {\"mean\": ";
+    json_num(os, r.mean_ms * 1e6);
+    os << ", \"p50\": ";
+    json_num(os, r.p50_ms * 1e6);
+    os << ", \"p90\": ";
+    json_num(os, r.p90_ms * 1e6);
+    os << ", \"p99\": ";
+    json_num(os, r.p99_ms * 1e6);
+    os << ", \"min\": ";
+    json_num(os, r.min_ms * 1e6);
+    os << ", \"max\": ";
+    json_num(os, r.max_ms * 1e6);
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = runner::parse_string_flag(argc, argv, "--smoke", "no") != "no";
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  const std::string seed_str = runner::parse_string_flag(argc, argv, "--seed", "1");
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  pool_cfg.root_seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+  runner::ExperimentRunner pool(pool_cfg);
+
+  const std::vector<fleet::CellConfig> cells = build_cells(smoke);
+  std::cout << "=== fleet capacity sweep: users vs m2p latency ===\n"
+            << cells.size() << " cells, " << pool.jobs() << " jobs, root seed "
+            << pool.root_seed() << (smoke ? " (smoke)" : "") << "\n\n";
+
+  // One world per cell; results and registries are indexed by run, so the
+  // merge below is in cell order no matter how workers interleave.
+  std::vector<fleet::CellResult> results(cells.size());
+  std::vector<obs::MetricsRegistry> regs(cells.size());
+  pool.for_each(cells.size(), [&](runner::RunContext& ctx) {
+    results[ctx.run_index] =
+        fleet::run_capacity_cell(cells[ctx.run_index], ctx.seed, &regs[ctx.run_index]);
+  });
+
+  core::TablePrinter t({"cell", "admit", "downgrade", "reject", "frames", "p50",
+                        "p99", "miss %", "served fps", "servers"});
+  for (const fleet::CellResult& r : results) {
+    t.add_row({r.name, std::to_string(r.admitted), std::to_string(r.downgraded),
+               std::to_string(r.rejected), std::to_string(r.results),
+               core::fmt_ms(r.p50_ms, 1), core::fmt_ms(r.p99_ms, 1),
+               core::fmt(r.miss_rate * 100, 1), core::fmt(r.served_fps, 0),
+               std::to_string(r.servers_final)});
+  }
+  t.print(std::cout);
+
+  // Capacity knee per serving mode: the largest offered level whose p99 still
+  // meets the 75 ms motion-to-photon budget.
+  std::cout << "\ncapacity at p99 <= 75 ms:\n";
+  std::string mode;
+  double knee = 0, served = 0;
+  auto flush = [&] {
+    if (!mode.empty()) {
+      std::cout << "  " << mode << ": " << core::fmt(knee, 0) << " users ("
+                << core::fmt(served, 0) << " fps served)\n";
+    }
+  };
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    std::string m = mode_name(
+        {cells[i].policy, cells[i].batched, cells[i].autoscale, cells[i].admit});
+    if (m != mode) {
+      flush();
+      mode = m;
+      knee = served = 0;
+    }
+    if (results[i].p99_ms <= 75.0 && cells[i].offered_users > knee) {
+      knee = cells[i].offered_users;
+      served = results[i].served_fps;
+    }
+  }
+  flush();
+
+  obs::MetricsRegistry merged;
+  for (const obs::MetricsRegistry& r : regs) merged.merge_from(r);
+  const std::string metrics_path = runner::out_path(out_dir, "scale_fleet_metrics.jsonl");
+  {
+    std::ofstream mf(metrics_path);
+    if (!mf) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    obs::write_jsonl(merged, mf);
+  }
+  const std::string summary_path = runner::out_path(out_dir, "BENCH_scale_fleet.json");
+  if (!write_summary(summary_path, results)) {
+    std::cerr << "cannot write " << summary_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << metrics_path << "\nwrote " << summary_path << "\n";
+  return 0;
+}

@@ -119,6 +119,8 @@ int main(int argc, char** argv) {
   runner::ExperimentRunner::Config pool_cfg;
   pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
   runner::ExperimentRunner pool(pool_cfg);
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "sec6_ablations_report.txt"));
 
   std::cout << "=== ARTP design ablations (6 Mb/s, 15 ms, 2 % loss, 30 Hz stream) ===\n";
 

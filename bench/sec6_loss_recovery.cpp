@@ -9,6 +9,7 @@
 #include "arnet/core/table.hpp"
 #include "arnet/net/loss.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/transport/artp.hpp"
 
@@ -135,7 +136,9 @@ Outcome run(Strategy strategy, sim::Time one_way, double loss) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "sec6_loss_recovery_report.txt"));
   std::cout << "=== SVI-C: loss recovery under the 75 ms budget (30 FPS, 2 % loss) ===\n"
             << "Fraction of frames complete within 75 ms, by path RTT and strategy.\n\n";
 

@@ -117,6 +117,8 @@ PolicyResult run(transport::MultipathPolicy policy, bool single_path_baseline = 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "sec6_multipath_policies_report.txt"));
   std::cout << "=== SVI-D: multipath behaviors on an urban walk (300 s) ===\n"
             << "WiFi usable ~54 % of the time (Wi2Me), LTE almost always on.\n"
             << "Workload: 15 KB feature batches at 15 Hz.\n\n";

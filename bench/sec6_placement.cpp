@@ -50,6 +50,8 @@ int main(int argc, char** argv) {
   runner::ExperimentRunner::Config pool_cfg;
   pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
   runner::ExperimentRunner pool(pool_cfg);
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "sec6_placement_report.txt"));
 
   std::cout << "=== SVI-F: locating edge datacenters for MAR ===\n"
             << "min |C| s.t. every user's offloading RTT constraint holds.\n"

@@ -9,13 +9,16 @@
 #include "arnet/mar/offload.hpp"
 #include "arnet/mar/security.hpp"
 #include "arnet/net/network.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/vision/pipeline.hpp"
 #include "arnet/vision/privacy.hpp"
 
 using namespace arnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "sec6_privacy_report.txt"));
   std::cout << "=== SVI-G: privacy-preserving offloading ===\n\n"
             << "--- What each privacy level does to recognition (50 sightings) ---\n";
   {

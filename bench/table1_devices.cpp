@@ -7,10 +7,13 @@
 #include "arnet/core/table.hpp"
 #include "arnet/mar/cost_model.hpp"
 #include "arnet/mar/device.hpp"
+#include "arnet/runner/experiment.hpp"
 
 using namespace arnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "table1_devices_report.txt"));
   std::cout << "=== Table I: devices participating in a MAR ecosystem ===\n";
   core::TablePrinter t({"Platform", "Computing power", "Storage", "Battery life",
                         "Network access", "Portability"});

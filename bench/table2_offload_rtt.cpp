@@ -11,11 +11,14 @@
 #include "arnet/core/scenarios.hpp"
 #include "arnet/core/table.hpp"
 #include "arnet/mar/offload.hpp"
+#include "arnet/runner/experiment.hpp"
 #include "arnet/trace/export.hpp"
 
 using namespace arnet;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  runner::ReportTee tee(runner::out_path(out_dir, "table2_offload_rtt_report.txt"));
   std::cout << "=== Table II: CloudRidAR link RTT across deployments ===\n";
   core::TablePrinter t({"Platform/Connection", "paper RTT", "measured RTT (median)",
                         "p95", "loss"});

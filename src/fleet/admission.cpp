@@ -1,0 +1,56 @@
+#include "arnet/fleet/admission.hpp"
+
+#include <algorithm>
+
+namespace arnet::fleet {
+
+const char* to_string(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmit:
+      return "admit";
+    case AdmissionDecision::kDowngrade:
+      return "downgrade";
+    case AdmissionDecision::kReject:
+      return "reject";
+  }
+  return "?";
+}
+
+double AdmissionController::projected_p99_ms() const {
+  if (latencies_.empty()) return 0.0;
+  // Exact quantile over a copy; the window is small (hundreds), and exact
+  // values keep the admission log bit-stable across platforms.
+  std::vector<double> xs = latencies_;
+  auto idx = static_cast<std::size_t>(0.99 * static_cast<double>(xs.size() - 1));
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx), xs.end());
+  return xs[idx];
+}
+
+AdmissionDecision AdmissionController::decide(sim::Time now, std::uint64_t session) {
+  if (!cfg_.enabled) return AdmissionDecision::kAdmit;
+  const double p99 = projected_p99_ms();
+  const double deadline_ms = sim::to_milliseconds(cfg_.deadline);
+  AdmissionDecision d = AdmissionDecision::kAdmit;
+  if (latencies_.size() >= cfg_.min_samples) {
+    if (overloaded_) {
+      // Hysteresis: stay tripped until p99 clears the lower water mark.
+      if (p99 < deadline_ms * cfg_.readmit_factor) {
+        overloaded_ = false;
+      } else {
+        d = AdmissionDecision::kReject;
+      }
+    }
+    if (!overloaded_) {
+      if (p99 > deadline_ms * cfg_.reject_factor) {
+        overloaded_ = true;
+        d = AdmissionDecision::kReject;
+      } else if (cfg_.allow_downgrade && p99 > deadline_ms * cfg_.downgrade_factor) {
+        d = AdmissionDecision::kDowngrade;
+      }
+    }
+  }
+  log_.push_back(AdmissionLogEntry{now, session, d, p99});
+  return d;
+}
+
+}  // namespace arnet::fleet

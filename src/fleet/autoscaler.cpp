@@ -1,0 +1,34 @@
+#include "arnet/fleet/autoscaler.hpp"
+
+namespace arnet::fleet {
+
+ScaleAction Autoscaler::evaluate(sim::Time now, double utilization,
+                                 std::size_t active_servers) {
+  if (!cfg_.enabled) return ScaleAction::kNone;
+  if (utilization >= cfg_.scale_out_util) {
+    ++above_streak_;
+    below_streak_ = 0;
+  } else if (utilization <= cfg_.scale_in_util) {
+    ++below_streak_;
+    above_streak_ = 0;
+  } else {
+    above_streak_ = below_streak_ = 0;
+  }
+  const bool cooled = !acted_once_ || now - last_action_ >= cfg_.cooldown;
+  if (!cooled) return ScaleAction::kNone;
+  if (above_streak_ >= cfg_.sustain_ticks && active_servers < cfg_.max_servers) {
+    above_streak_ = 0;
+    acted_once_ = true;
+    last_action_ = now;
+    return ScaleAction::kOut;
+  }
+  if (below_streak_ >= cfg_.sustain_ticks && active_servers > cfg_.min_servers) {
+    below_streak_ = 0;
+    acted_once_ = true;
+    last_action_ = now;
+    return ScaleAction::kIn;
+  }
+  return ScaleAction::kNone;
+}
+
+}  // namespace arnet::fleet

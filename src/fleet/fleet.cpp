@@ -1,0 +1,247 @@
+#include "arnet/fleet/fleet.hpp"
+
+#include <algorithm>
+
+#include "arnet/check/assert.hpp"
+
+namespace arnet::fleet {
+
+Fleet::Fleet(sim::Simulator& sim, FleetConfig cfg)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      population_(sim, cfg_.population, cfg_.seed),
+      admission_(cfg_.admission),
+      balancer_(cfg_.policy),
+      autoscaler_(cfg_.autoscaler) {
+  ARNET_CHECK(cfg_.initial_servers >= 1, "fleet needs at least one server");
+  if (cfg_.tracer) trace_entity_ = cfg_.tracer->register_entity(cfg_.entity);
+  for (std::size_t i = 0; i < cfg_.initial_servers; ++i) add_server();
+  active_ = cfg_.initial_servers;
+  population_.set_session_callback([this](const SessionSpec& s) { on_arrival(s); });
+}
+
+const AppProfile& Fleet::app_of(const Session& s) const {
+  return cfg_.population.app_mix.at(static_cast<std::size_t>(s.spec.app)).app;
+}
+
+edge::GeoPoint Fleet::site_pos(std::size_t server_index) const {
+  if (!cfg_.sites.empty()) return cfg_.sites[server_index % cfg_.sites.size()].pos;
+  // Default deployment: a 2x2 grid inside the population area, cycled.
+  const double a = cfg_.population.area_km;
+  const std::size_t cell = server_index % 4;
+  return {a * (0.25 + 0.5 * static_cast<double>(cell % 2)),
+          a * (0.25 + 0.5 * static_cast<double>(cell / 2))};
+}
+
+std::vector<EdgeServer*> Fleet::active_set() {
+  std::vector<EdgeServer*> out;
+  out.reserve(active_);
+  for (std::size_t i = 0; i < active_; ++i) out.push_back(servers_[i].get());
+  return out;
+}
+
+void Fleet::add_server() {
+  EdgeServerConfig scfg;
+  scfg.profile = cfg_.server_profile;
+  scfg.batch = cfg_.batch;
+  scfg.metrics = cfg_.metrics;
+  scfg.tracer = cfg_.tracer;
+  scfg.entity = cfg_.entity + "/server:" + std::to_string(servers_.size());
+  servers_.push_back(std::make_unique<EdgeServer>(sim_, scfg));
+  busy_snapshot_.push_back(0);
+}
+
+void Fleet::record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
+                         std::uint64_t uid, std::int64_t size, const char* reason) {
+  if (!cfg_.tracer) return;
+  trace::TraceEvent e;
+  e.time = sim_.now();
+  e.uid = uid;
+  e.size = size;
+  e.trace_id = ctx.trace_id;
+  e.span_id = ctx.span_id;
+  e.kind = kind;
+  e.reason = reason;
+  cfg_.tracer->record(trace_entity_, e);
+}
+
+void Fleet::publish_gauges() {
+  if (!cfg_.metrics) return;
+  cfg_.metrics->gauge("fleet.active_sessions", cfg_.entity)
+      .set(static_cast<double>(sessions_.size()));
+  cfg_.metrics->gauge("fleet.active_servers", cfg_.entity)
+      .set(static_cast<double>(active_));
+}
+
+void Fleet::start() {
+  running_ = true;
+  population_.start();
+  if (cfg_.autoscaler.enabled) {
+    sim_.after(cfg_.autoscaler.tick, [this] { autoscale_tick(); });
+  }
+}
+
+void Fleet::stop() {
+  running_ = false;
+  population_.stop();
+}
+
+void Fleet::on_arrival(const SessionSpec& spec) {
+  if (!running_) return;
+  ++stats_.arrivals;
+  if (cfg_.metrics) cfg_.metrics->counter("fleet.arrivals", cfg_.entity).add();
+  const AdmissionDecision d = admission_.decide(sim_.now(), spec.id);
+  record_trace(trace::EventKind::kAdmit, trace::TraceContext{}, spec.id, 0, to_string(d));
+  if (cfg_.metrics) {
+    cfg_.metrics
+        ->counter(d == AdmissionDecision::kReject
+                      ? "fleet.rejected"
+                      : (d == AdmissionDecision::kDowngrade ? "fleet.downgraded"
+                                                            : "fleet.admitted"),
+                  cfg_.entity)
+        .add();
+  }
+  if (d == AdmissionDecision::kReject) {
+    ++stats_.rejected;
+    return;
+  }
+  Session s;
+  s.spec = spec;
+  s.degraded = d == AdmissionDecision::kDowngrade;
+  s.ends = spec.arrival + spec.lifetime;
+  s.fps = app_of(s).fps * (s.degraded ? cfg_.downgrade_fps_factor : 1.0);
+  if (s.degraded) {
+    ++stats_.downgraded;
+  } else {
+    ++stats_.admitted;
+  }
+  const std::uint64_t sid = spec.id;
+  sessions_.emplace(sid, std::move(s));
+  publish_gauges();
+  sim_.at(sessions_.at(sid).ends, [this, sid] { retire(sid); });
+  capture_frame(sid);
+}
+
+void Fleet::retire(std::uint64_t sid) {
+  sessions_.erase(sid);
+  publish_gauges();
+}
+
+void Fleet::capture_frame(std::uint64_t sid) {
+  if (!running_) return;
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) return;
+  Session& s = it->second;
+  const AppProfile& app = app_of(s);
+  const sim::Time t0 = sim_.now();
+  const std::uint64_t frame_uid = next_frame_uid_++;
+  ++stats_.frames;
+  if (cfg_.metrics) cfg_.metrics->counter("fleet.frames", cfg_.entity).add();
+  trace::TraceContext ctx;
+  if (cfg_.tracer) {
+    ctx = cfg_.tracer->new_trace();
+    record_trace(trace::EventKind::kFrameCapture, ctx, frame_uid, app.request_bytes);
+  }
+
+  // Anycast decision at the client: the balancer picks the serving edge
+  // before the uplink leaves the device, so the uplink delay is toward the
+  // chosen site.
+  const std::size_t pick = balancer_.pick(active_set());
+  EdgeServer* srv = servers_[pick].get();
+  const sim::Time rtt = cfg_.latency.rtt(s.spec.pos, site_pos(pick));
+  const sim::Time device_stage =
+      mar::scaled_cost(mar::device_profile(s.spec.device), app.device_cost);
+  const sim::Time uplink =
+      rtt / 2 + sim::transmission_delay(app.request_bytes, cfg_.access_rate_bps);
+  const sim::Time downlink =
+      rtt / 2 + sim::transmission_delay(app.result_bytes, cfg_.access_rate_bps);
+  const sim::Time deadline = app.deadline;
+  // Snapshot what finish_frame needs: the session may retire while this
+  // frame is still in flight, and late results must still be accounted.
+  const Session snapshot = s;
+
+  sim_.after(device_stage + uplink, [this, srv, frame_uid, snapshot, t0, deadline,
+                                     downlink, ctx, work = app.server_cost] {
+    ComputeRequest req;
+    req.uid = frame_uid;
+    req.session = snapshot.spec.id;
+    req.frame = snapshot.next_frame;
+    req.work = work;
+    req.trace = ctx;
+    req.done = [this, frame_uid, snapshot, t0, deadline, downlink, ctx] {
+      sim_.after(downlink, [this, frame_uid, snapshot, t0, deadline, ctx] {
+        finish_frame(frame_uid, snapshot, t0, deadline, ctx);
+      });
+    };
+    srv->submit(std::move(req));
+  });
+
+  ++s.next_frame;
+  sim_.after(sim::from_seconds(1.0 / s.fps), [this, sid] { capture_frame(sid); });
+}
+
+void Fleet::finish_frame(std::uint64_t frame_uid, const Session& snapshot, sim::Time t0,
+                         sim::Time deadline, trace::TraceContext ctx) {
+  const sim::Time latency = sim_.now() - t0;
+  const double ms = sim::to_milliseconds(latency);
+  ++stats_.results;
+  stats_.latency_ms.add(ms);
+  admission_.observe_latency_ms(ms);
+  const bool missed = latency > deadline;
+  if (missed) ++stats_.deadline_misses;
+  record_trace(missed ? trace::EventKind::kFrameMiss : trace::EventKind::kFrameDone, ctx,
+               frame_uid, static_cast<std::int64_t>(latency),
+               missed ? "deadline" : nullptr);
+  if (cfg_.metrics) {
+    const std::string cls_entity =
+        cfg_.entity + "/class:" + mar::device_profile(snapshot.spec.device).name;
+    cfg_.metrics->histogram("fleet.m2p_ms", cls_entity).record(ms);
+    cfg_.metrics->histogram("fleet.m2p_ms", cfg_.entity).record(ms);
+    cfg_.metrics
+        ->counter(missed ? "fleet.deadline_miss" : "fleet.deadline_hit", cfg_.entity)
+        .add();
+  }
+}
+
+void Fleet::autoscale_tick() {
+  if (!running_) return;
+  // Windowed mean lane utilization across the active set.
+  sim::Time busy_delta = 0;
+  int lanes = 0;
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    const sim::Time busy = servers_[i]->busy_time();
+    if (i < active_) {
+      busy_delta += busy - busy_snapshot_[i];
+      lanes += std::max(1, servers_[i]->config().batch.executors);
+    }
+    busy_snapshot_[i] = busy;
+  }
+  const double window_s = sim::to_seconds(cfg_.autoscaler.tick) * lanes;
+  const double util = window_s > 0 ? sim::to_seconds(busy_delta) / window_s : 0.0;
+
+  const ScaleAction action = autoscaler_.evaluate(sim_.now(), util, active_);
+  if (action == ScaleAction::kOut) {
+    if (active_ < servers_.size()) {
+      ++active_;  // reactivate a drained server
+    } else {
+      add_server();
+      ++active_;
+    }
+    if (cfg_.metrics) cfg_.metrics->counter("fleet.scale_out", cfg_.entity).add();
+    autoscaler_.applied(sim_.now(), action, util, active_);
+    publish_gauges();
+  } else if (action == ScaleAction::kIn) {
+    // Deactivate the highest-index server: it stops receiving dispatches
+    // and drains whatever it still holds.
+    --active_;
+    if (cfg_.metrics) cfg_.metrics->counter("fleet.scale_in", cfg_.entity).add();
+    autoscaler_.applied(sim_.now(), action, util, active_);
+    publish_gauges();
+  }
+  if (cfg_.metrics) {
+    cfg_.metrics->gauge("fleet.utilization", cfg_.entity).set(util);
+  }
+  sim_.after(cfg_.autoscaler.tick, [this] { autoscale_tick(); });
+}
+
+}  // namespace arnet::fleet

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::fleet {
+
+enum class AdmissionDecision {
+  kAdmit,      ///< full-quality session
+  kDowngrade,  ///< admitted at reduced frame rate (graceful degradation)
+  kReject,     ///< turned away
+};
+
+const char* to_string(AdmissionDecision d);
+
+struct AdmissionConfig {
+  /// Off = open loop: every session is admitted full-quality and nothing is
+  /// logged. The capacity sweeps disable admission so the measured knee is a
+  /// property of the serving path, not of the control loop reacting to it.
+  bool enabled = true;
+  sim::Time deadline = sim::milliseconds(75);  ///< the motion-to-photon budget
+  /// Trip into the overloaded state (reject everything new) when the
+  /// projected p99 exceeds deadline * reject_factor...
+  double reject_factor = 1.0;
+  /// ...and only leave it once p99 has fallen below deadline * readmit_factor.
+  /// The gap between the two is the hysteresis band that stops admission
+  /// from flapping while p99 oscillates around the budget.
+  double readmit_factor = 0.80;
+  /// Below the reject line but above deadline * downgrade_factor, new
+  /// sessions are admitted degraded instead of full-quality.
+  double downgrade_factor = 0.90;
+  bool allow_downgrade = true;
+  /// Recent completed-frame latencies considered by the projection.
+  std::size_t window = 256;
+  /// Admit unconditionally until this many samples exist (cold start).
+  std::size_t min_samples = 32;
+};
+
+/// Per-decision log entry; the determinism tests compare these across runs.
+struct AdmissionLogEntry {
+  sim::Time time = 0;
+  std::uint64_t session = 0;
+  AdmissionDecision decision = AdmissionDecision::kAdmit;
+  double projected_p99_ms = 0.0;
+};
+
+/// Windowed-p99 admission control with hysteresis. The projection is the
+/// p99 over the last `window` completed frame latencies — the live signal of
+/// what the serving path currently delivers; a new session is only turned
+/// away (or degraded) when that projection says its frames would blow the
+/// deadline too. Purely reactive and deterministic: no randomness, state
+/// advances only through observe()/decide().
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionConfig cfg) : cfg_(cfg) {
+    latencies_.reserve(cfg_.window);
+  }
+
+  /// Feed one completed frame's end-to-end latency.
+  void observe_latency_ms(double ms) {
+    if (latencies_.size() < cfg_.window) {
+      latencies_.push_back(ms);
+    } else {
+      latencies_[next_slot_] = ms;
+      next_slot_ = (next_slot_ + 1) % cfg_.window;
+    }
+  }
+
+  AdmissionDecision decide(sim::Time now, std::uint64_t session);
+
+  /// p99 over the current window (0 until any sample exists).
+  double projected_p99_ms() const;
+
+  bool overloaded() const { return overloaded_; }
+  const std::vector<AdmissionLogEntry>& log() const { return log_; }
+
+ private:
+  AdmissionConfig cfg_;
+  std::vector<double> latencies_;  ///< ring of recent latencies
+  std::size_t next_slot_ = 0;
+  bool overloaded_ = false;
+  std::vector<AdmissionLogEntry> log_;
+};
+
+}  // namespace arnet::fleet

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arnet/edge/placement.hpp"
+#include "arnet/fleet/admission.hpp"
+#include "arnet/fleet/autoscaler.hpp"
+#include "arnet/fleet/balancer.hpp"
+#include "arnet/fleet/population.hpp"
+#include "arnet/fleet/server.hpp"
+#include "arnet/obs/registry.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/trace/trace.hpp"
+
+namespace arnet::fleet {
+
+struct FleetConfig {
+  std::uint64_t seed = 1;
+  PopulationConfig population;
+  /// Edge deployment: servers are anchored to `sites` (cycled when more
+  /// servers than sites; a deterministic in-area grid when empty), and
+  /// user<->server network delay follows the edge::placement latency model.
+  std::vector<edge::CandidateSite> sites;
+  edge::LatencyModel latency;
+  std::size_t initial_servers = 2;
+  mar::DeviceClass server_profile = mar::DeviceClass::kDesktop;
+  BatchConfig batch;
+  BalancerPolicy policy = BalancerPolicy::kLeastOutstanding;
+  AdmissionConfig admission;
+  AutoscalerConfig autoscaler;
+  /// Access-network throughput for per-frame payload serialization (uplink
+  /// request and downlink result both ride it).
+  double access_rate_bps = 25e6;
+  /// Downgraded sessions run at fps * this factor.
+  double downgrade_fps_factor = 0.5;
+  /// Observability (optional; must outlive the fleet). Metric entities are
+  /// "<entity>", "<entity>/server:N" and "<entity>/class:<device>".
+  obs::MetricsRegistry* metrics = nullptr;
+  trace::Tracer* tracer = nullptr;
+  std::string entity = "fleet";
+};
+
+struct FleetStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;    ///< full quality
+  std::uint64_t downgraded = 0;  ///< admitted degraded
+  std::uint64_t rejected = 0;
+  std::int64_t frames = 0;   ///< captured by admitted sessions
+  std::int64_t results = 0;  ///< completed round trips
+  std::int64_t deadline_misses = 0;
+  sim::Samples latency_ms;  ///< motion-to-photon, all classes
+
+  double miss_rate() const {
+    return results ? static_cast<double>(deadline_misses) / static_cast<double>(results)
+                   : 0.0;
+  }
+};
+
+/// The multi-user edge serving layer: a seeded population arrives, admission
+/// decides, a balancer spreads admitted sessions' frames over the active
+/// edge servers, batched compute queues serve them, and an optional
+/// autoscaler grows/shrinks the active set. Everything runs on one
+/// sim::Simulator and is bit-deterministic in (config, seed).
+///
+/// The frame path is modeled at frame granularity (not packet granularity):
+/// device stage -> uplink (site RTT/2 + serialization) -> batched server
+/// queue -> downlink -> result. That keeps a 200-user sweep tractable while
+/// reusing the calibrated Table I device costs and the §VI-F edge latency
+/// model; packet-level effects are covered by the single-session stacks.
+class Fleet {
+ public:
+  Fleet(sim::Simulator& sim, FleetConfig cfg);
+
+  Fleet(const Fleet&) = delete;
+  Fleet& operator=(const Fleet&) = delete;
+
+  void start();
+  void stop();
+
+  const FleetStats& stats() const { return stats_; }
+  std::uint64_t active_sessions() const { return sessions_.size(); }
+  std::size_t active_servers() const { return active_; }
+  std::size_t total_servers() const { return servers_.size(); }
+  EdgeServer& server(std::size_t i) { return *servers_.at(i); }
+  const AdmissionController& admission() const { return admission_; }
+  const Autoscaler& autoscaler() const { return autoscaler_; }
+  const PopulationModel& population() const { return population_; }
+
+ private:
+  struct Session {
+    SessionSpec spec;
+    bool degraded = false;
+    sim::Time ends = 0;
+    double fps = 30.0;
+    std::uint32_t next_frame = 0;
+  };
+
+  const AppProfile& app_of(const Session& s) const;
+  edge::GeoPoint site_pos(std::size_t server_index) const;
+  std::vector<EdgeServer*> active_set();
+  void add_server();
+  void on_arrival(const SessionSpec& spec);
+  void retire(std::uint64_t sid);
+  void capture_frame(std::uint64_t sid);
+  void finish_frame(std::uint64_t frame_uid, const Session& snapshot, sim::Time t0,
+                    sim::Time deadline, trace::TraceContext ctx);
+  void autoscale_tick();
+  void record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
+                    std::uint64_t uid, std::int64_t size, const char* reason = nullptr);
+  void publish_gauges();
+
+  sim::Simulator& sim_;
+  FleetConfig cfg_;
+  PopulationModel population_;
+  AdmissionController admission_;
+  LoadBalancer balancer_;
+  Autoscaler autoscaler_;
+  std::vector<std::unique_ptr<EdgeServer>> servers_;
+  std::size_t active_ = 0;  ///< servers_[0..active_) form the active set
+  std::vector<sim::Time> busy_snapshot_;  ///< per-server busy at last tick
+  std::map<std::uint64_t, Session> sessions_;
+  bool running_ = false;
+  std::uint64_t next_frame_uid_ = 0;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
+  FleetStats stats_;
+};
+
+}  // namespace arnet::fleet

@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "arnet/edge/placement.hpp"
+#include "arnet/mar/device.hpp"
+#include "arnet/sim/rng.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::fleet {
+
+/// Session arrival process shape.
+enum class ArrivalProcess {
+  kPoisson,  ///< homogeneous (modulated only by the diurnal profile)
+  kMmpp,     ///< 2-state Markov-modulated Poisson: calm / burst
+};
+
+const char* to_string(ArrivalProcess p);
+
+/// One entry of the device-class mix (Table I classes with relative weights).
+struct DeviceMixEntry {
+  mar::DeviceClass cls = mar::DeviceClass::kSmartphone;
+  double weight = 1.0;
+};
+
+/// An application a session runs: per-frame request/result sizes, frame
+/// rate, the motion-to-photon budget, and the reference (desktop) costs of
+/// the device-side and server-side stages. Devices scale the device stage by
+/// their Table I compute_scale; servers scale the server stage.
+struct AppProfile {
+  std::string name = "cloudridar";
+  double fps = 30.0;
+  std::int64_t request_bytes = 400 * 36;  ///< uploaded per frame (features)
+  std::int64_t result_bytes = 400;        ///< returned per frame
+  sim::Time deadline = sim::milliseconds(75);
+  /// Reference (desktop-class) cost of the on-device stage. Kept light — a
+  /// CloudridAR-style assist pipeline only extracts/encodes locally — so even
+  /// a 40x-slower smart-glasses client (Table I) stays inside the deadline
+  /// when the edge is unloaded.
+  sim::Time device_cost = sim::milliseconds(1);
+  sim::Time server_cost = sim::milliseconds(3);  ///< recognize, reference
+};
+
+struct AppMixEntry {
+  AppProfile app;
+  double weight = 1.0;
+};
+
+/// One generated user session: everything about it is decided at mint time
+/// from a per-session random stream, so a session's identity never depends
+/// on what the rest of the population did.
+struct SessionSpec {
+  std::uint64_t id = 0;
+  sim::Time arrival = 0;
+  sim::Time lifetime = 0;
+  mar::DeviceClass device = mar::DeviceClass::kSmartphone;
+  int app = 0;  ///< index into PopulationConfig::app_mix
+  edge::GeoPoint pos;
+};
+
+struct PopulationConfig {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  /// Mean session arrivals per second at diurnal multiplier 1.0 (calm state).
+  double base_arrivals_per_s = 5.0;
+  /// MMPP burst state: intensity multiplier and mean dwell times.
+  double burst_multiplier = 3.0;
+  double burst_dwell_mean_s = 10.0;
+  double calm_dwell_mean_s = 30.0;
+  /// Piecewise diurnal intensity multipliers cycled over `diurnal_period`
+  /// (a day compressed to simulation scale). {1.0} = flat.
+  std::vector<double> diurnal = {1.0};
+  sim::Time diurnal_period = sim::seconds(60);
+  double mean_lifetime_s = 20.0;
+  std::vector<DeviceMixEntry> device_mix = {
+      {mar::DeviceClass::kSmartphone, 0.55},
+      {mar::DeviceClass::kTablet, 0.25},
+      {mar::DeviceClass::kSmartGlasses, 0.20},
+  };
+  std::vector<AppMixEntry> app_mix = {{AppProfile{}, 1.0}};
+  /// Users are placed uniformly in the [0, area_km]^2 square.
+  double area_km = 4.0;
+  /// Stop generating after this many sessions (0 = unbounded).
+  std::uint64_t max_sessions = 0;
+};
+
+/// Seeded session generator. Determinism contract: the arrival point
+/// process (including MMPP state flips and diurnal thinning) consumes one
+/// dedicated stream derived from (seed, 0); each session's attributes come
+/// from its own stream derived from (seed, id + 1) via runner::derive_seed.
+/// Two runs with the same seed therefore mint bit-identical populations,
+/// and session k's device/app/position/lifetime are independent of how many
+/// sessions arrived before it.
+class PopulationModel {
+ public:
+  PopulationModel(sim::Simulator& sim, PopulationConfig cfg, std::uint64_t seed);
+
+  /// Invoked at each session's arrival time, in arrival order.
+  void set_session_callback(std::function<void(const SessionSpec&)> cb) {
+    cb_ = std::move(cb);
+  }
+
+  void start();
+  void stop() { running_ = false; }
+
+  std::uint64_t generated() const { return next_id_; }
+
+  /// Diurnal intensity multiplier at simulated time `t` (exposed for tests).
+  double diurnal_multiplier(sim::Time t) const;
+
+  /// Instantaneous arrival rate (1/s) including diurnal and MMPP state.
+  double rate_at(sim::Time t) const;
+
+  /// Mint the attributes of session `id` as they would arrive at `now`
+  /// (exposed so tests can assert arrival-order independence).
+  SessionSpec make_session(std::uint64_t id, sim::Time now) const;
+
+ private:
+  void schedule_next();
+
+  sim::Simulator& sim_;
+  PopulationConfig cfg_;
+  std::uint64_t seed_;
+  sim::Rng arrivals_;  ///< interarrival + thinning + MMPP dwell draws
+  std::uint64_t next_id_ = 0;
+  bool running_ = false;
+  bool burst_ = false;
+  sim::Time state_until_ = 0;  ///< next MMPP state flip
+  double peak_rate_ = 0.0;     ///< thinning envelope
+  std::function<void(const SessionSpec&)> cb_;
+};
+
+}  // namespace arnet::fleet

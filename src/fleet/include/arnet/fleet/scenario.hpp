@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arnet/fleet/fleet.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet::fleet {
+
+/// One cell of the capacity sweep: an offered load level against one
+/// serving configuration. Shared by bench/scale_fleet and tests/fleet_test
+/// so the --jobs fingerprint test exercises exactly what the bench runs.
+struct CellConfig {
+  std::string name;
+  /// Target steady-state concurrent sessions; Little's law sets the arrival
+  /// rate as offered_users / mean_lifetime_s.
+  double offered_users = 50.0;
+  BalancerPolicy policy = BalancerPolicy::kLeastOutstanding;
+  bool batched = true;
+  bool autoscale = false;
+  /// Admission control. Off for the open-loop capacity curves (the knee must
+  /// measure the serving path, not the control loop); on for the cells that
+  /// demonstrate overload protection.
+  bool admit = false;
+  std::size_t servers = 2;
+  /// 30 s horizon with 10 s mean lifetimes reaches ~95% of the steady-state
+  /// concurrency (M/M/inf ramp: 1 - e^{-t/lifetime}) and gives admission
+  /// control several session generations to settle on its equilibrium.
+  sim::Time duration = sim::seconds(30);
+  double mean_lifetime_s = 10.0;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+};
+
+struct CellResult {
+  std::string name;
+  std::uint64_t arrivals = 0, admitted = 0, downgraded = 0, rejected = 0;
+  std::int64_t frames = 0, results = 0, misses = 0;
+  double mean_ms = 0.0, min_ms = 0.0, max_ms = 0.0;
+  double p50_ms = 0.0, p90_ms = 0.0, p99_ms = 0.0, miss_rate = 0.0;
+  double served_fps = 0.0;  ///< completed frames per simulated second
+  std::size_t servers_final = 0;
+  std::int64_t sim_events = 0;
+  double sim_seconds = 0.0;
+};
+
+/// The FleetConfig a cell resolves to (exposed so tests can perturb it).
+FleetConfig cell_fleet_config(const CellConfig& cell, std::uint64_t seed);
+
+/// Build a fresh world, run the cell, and summarize. When `metrics` is
+/// given, fleet instruments publish under entities prefixed with the cell
+/// name and a per-cell summary is published as "cell.*" gauges — everything
+/// a capacity-curve plot needs straight from the obs JSONL. All outputs are
+/// pure functions of (cell, seed).
+CellResult run_capacity_cell(const CellConfig& cell, std::uint64_t seed,
+                             obs::MetricsRegistry* metrics = nullptr,
+                             trace::Tracer* tracer = nullptr);
+
+}  // namespace arnet::fleet

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "arnet/mar/device.hpp"
+#include "arnet/obs/registry.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/trace/trace.hpp"
+
+namespace arnet::fleet {
+
+/// How batched execution forms and costs its batches. The service-time
+/// curve is the inference-serving shape: the first item pays full cost, each
+/// extra item only its marginal fraction, so per-item time falls sub-linearly
+/// with occupancy:
+///
+///   service(items) = setup + w_max + marginal * (sum(w) - w_max)
+///
+/// where w are the items' single-item reference costs. `marginal` = 1 makes
+/// batching a pure FIFO aggregate (no speedup); `enabled` = false degrades
+/// to one-request batches (the unbatched ablation).
+struct BatchConfig {
+  bool enabled = true;
+  int max_batch = 8;
+  /// A partial batch executes at most this long after its oldest request
+  /// queued — the classic size-or-timeout formation rule.
+  sim::Time timeout = sim::milliseconds(4);
+  sim::Time setup = sim::milliseconds(1);  ///< fixed per-batch cost, reference
+  double marginal = 0.35;                  ///< cost fraction of each extra item
+  /// Parallel batch lanes (GPU streams / worker replicas) per server.
+  int executors = 2;
+};
+
+/// One unit of server work: a frame's server-side stage.
+struct ComputeRequest {
+  std::uint64_t uid = 0;      ///< unique request id (trace uid)
+  std::uint64_t session = 0;
+  std::uint32_t frame = 0;
+  sim::Time work = 0;         ///< single-item reference cost (pre device-scale)
+  trace::TraceContext trace;
+  std::function<void()> done;
+};
+
+struct EdgeServerConfig {
+  mar::DeviceClass profile = mar::DeviceClass::kDesktop;
+  BatchConfig batch;
+  /// Observability (both optional; registry/tracer must outlive the server).
+  obs::MetricsRegistry* metrics = nullptr;
+  trace::Tracer* tracer = nullptr;
+  std::string entity = "fleet/server:0";
+};
+
+/// A batched compute queue in front of `executors` parallel lanes — the
+/// multi-tenant replacement for the single-tenant mar::ComputeModel path.
+/// Requests queue FIFO; batches form on max-size or oldest-request timeout;
+/// every request of a batch completes when the batch does. Deterministic:
+/// formation depends only on arrival order and simulated time.
+class EdgeServer {
+ public:
+  EdgeServer(sim::Simulator& sim, EdgeServerConfig cfg);
+
+  EdgeServer(const EdgeServer&) = delete;
+  EdgeServer& operator=(const EdgeServer&) = delete;
+
+  void submit(ComputeRequest req);
+
+  /// Queued + executing requests (the balancer's "outstanding frames").
+  int outstanding() const { return static_cast<int>(queue_.size()) + executing_; }
+  int queue_depth() const { return static_cast<int>(queue_.size()); }
+
+  /// EWMA of request sojourn time (queue wait + service), for the
+  /// latency-aware balancer. 0 until the first completion.
+  double sojourn_ewma_ms() const { return sojourn_ewma_ms_; }
+
+  /// Cumulative lane-busy time; windowed utilization is a delta of this over
+  /// `executors * window` (the autoscaler's signal).
+  sim::Time busy_time() const { return busy_; }
+  /// Mean utilization over [0, now].
+  double utilization() const;
+
+  std::int64_t requests() const { return requests_; }
+  std::int64_t batches() const { return batches_; }
+  bool idle() const { return queue_.empty() && executing_ == 0; }
+
+  const EdgeServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Queued {
+    ComputeRequest req;
+    sim::Time enqueued = 0;
+  };
+
+  void try_dispatch();
+  void run_batch(std::vector<Queued> batch);
+  void record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
+                    std::uint64_t uid, std::int64_t size);
+  void publish_depth();
+
+  sim::Simulator& sim_;
+  EdgeServerConfig cfg_;
+  const mar::DeviceProfile& profile_;
+  std::deque<Queued> queue_;
+  int free_lanes_;
+  int executing_ = 0;  ///< requests currently inside a running batch
+  sim::EventHandle timeout_timer_;
+  std::uint64_t next_batch_id_ = 0;
+  std::int64_t requests_ = 0;
+  std::int64_t batches_ = 0;
+  sim::Time busy_ = 0;
+  double sojourn_ewma_ms_ = 0.0;
+  trace::EntityId trace_entity_ = trace::kNoEntity;
+};
+
+}  // namespace arnet::fleet

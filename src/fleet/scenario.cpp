@@ -1,0 +1,71 @@
+#include "arnet/fleet/scenario.hpp"
+
+#include <algorithm>
+
+namespace arnet::fleet {
+
+FleetConfig cell_fleet_config(const CellConfig& cell, std::uint64_t seed) {
+  FleetConfig cfg;
+  cfg.seed = seed;
+  cfg.entity = cell.name;
+  cfg.population.process = cell.process;
+  cfg.population.mean_lifetime_s = cell.mean_lifetime_s;
+  cfg.population.base_arrivals_per_s =
+      cell.offered_users / std::max(1e-9, cell.mean_lifetime_s);
+  cfg.initial_servers = cell.servers;
+  cfg.policy = cell.policy;
+  cfg.batch.enabled = cell.batched;
+  cfg.admission.enabled = cell.admit;
+  cfg.autoscaler.enabled = cell.autoscale;
+  cfg.autoscaler.min_servers = cell.servers;
+  cfg.autoscaler.max_servers = cell.servers + 4;
+  return cfg;
+}
+
+CellResult run_capacity_cell(const CellConfig& cell, std::uint64_t seed,
+                             obs::MetricsRegistry* metrics, trace::Tracer* tracer) {
+  sim::Simulator sim;
+  FleetConfig cfg = cell_fleet_config(cell, seed);
+  cfg.metrics = metrics;
+  cfg.tracer = tracer;
+  Fleet fleet(sim, cfg);
+  fleet.start();
+  sim.run_until(cell.duration);
+  fleet.stop();
+
+  const FleetStats& st = fleet.stats();
+  CellResult r;
+  r.name = cell.name;
+  r.arrivals = st.arrivals;
+  r.admitted = st.admitted;
+  r.downgraded = st.downgraded;
+  r.rejected = st.rejected;
+  r.frames = st.frames;
+  r.results = st.results;
+  r.misses = st.deadline_misses;
+  r.mean_ms = st.latency_ms.mean();
+  r.min_ms = st.latency_ms.min();
+  r.max_ms = st.latency_ms.max();
+  r.p50_ms = st.latency_ms.median();
+  r.p90_ms = st.latency_ms.percentile(0.90);
+  r.p99_ms = st.latency_ms.percentile(0.99);
+  r.miss_rate = st.miss_rate();
+  r.sim_seconds = sim::to_seconds(cell.duration);
+  r.served_fps = r.sim_seconds > 0 ? static_cast<double>(st.results) / r.sim_seconds : 0.0;
+  r.servers_final = fleet.active_servers();
+  r.sim_events = static_cast<std::int64_t>(sim.events_executed());
+
+  if (metrics) {
+    metrics->gauge("cell.offered_users", cell.name).set(cell.offered_users);
+    metrics->gauge("cell.p50_ms", cell.name).set(r.p50_ms);
+    metrics->gauge("cell.p99_ms", cell.name).set(r.p99_ms);
+    metrics->gauge("cell.miss_rate", cell.name).set(r.miss_rate);
+    metrics->gauge("cell.served_fps", cell.name).set(r.served_fps);
+    metrics->gauge("cell.rejected", cell.name).set(static_cast<double>(r.rejected));
+    metrics->gauge("cell.servers_final", cell.name)
+        .set(static_cast<double>(r.servers_final));
+  }
+  return r;
+}
+
+}  // namespace arnet::fleet

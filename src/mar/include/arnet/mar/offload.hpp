@@ -160,6 +160,7 @@ class OffloadSession {
   std::unique_ptr<transport::ArtpSender> server_tx_;    ///< server -> client
   std::unique_ptr<transport::ArtpReceiver> client_rx_;
 
+  net::Port port_base_ = 0;  ///< 4-port block, released on teardown
   bool running_ = false;
   OffloadStrategy active_strategy_;
   int strategy_switches_ = 0;

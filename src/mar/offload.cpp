@@ -58,6 +58,7 @@ OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeI
   // same-seed run of a scenario bind different ports and break
   // trace-fingerprint determinism (caught by check::DeterminismHarness).
   const net::Port base = net.allocate_port_block(4);
+  port_base_ = base;
   const net::Port client_data = base, server_data = static_cast<net::Port>(base + 1),
                   server_result = static_cast<net::Port>(base + 2),
                   client_result = static_cast<net::Port>(base + 3);
@@ -79,7 +80,17 @@ OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeI
       [this](const transport::ArtpDelivery& d) { on_client_result(d); });
 }
 
-OffloadSession::~OffloadSession() = default;
+OffloadSession::~OffloadSession() {
+  // Tear the ARTP endpoints down first (their destructors unbind the ports),
+  // then hand the block back so session churn — thousands of users arriving
+  // and leaving on one long-lived network — recycles the same few ports
+  // instead of marching through the 16-bit space.
+  client_rx_.reset();
+  server_tx_.reset();
+  server_rx_.reset();
+  client_tx_.reset();
+  net_.release_port_block(port_base_, 4);
+}
 
 void OffloadSession::record_trace(trace::EventKind kind, const trace::TraceContext& ctx,
                                   std::uint64_t uid, std::int64_t size, const char* reason) {

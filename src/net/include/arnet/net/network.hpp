@@ -97,10 +97,29 @@ class Network {
   /// Claim a contiguous block of ephemeral ports. Per-network, not
   /// process-global: a scenario rebuilt from the same seed binds identical
   /// ports, so its traces fingerprint identically (determinism harness).
+  ///
+  /// Released blocks are recycled LIFO per block size before the bump
+  /// allocator advances, so long-lived networks that churn sessions (the
+  /// fleet serving layer admits and retires thousands) never exhaust the
+  /// 16-bit port space. LIFO reuse is a deterministic function of the
+  /// allocate/release sequence, which is itself seed-determined.
   Port allocate_port_block(Port count) {
+    auto it = free_port_blocks_.find(count);
+    if (it != free_port_blocks_.end() && !it->second.empty()) {
+      Port base = it->second.back();
+      it->second.pop_back();
+      return base;
+    }
     Port base = next_port_;
     next_port_ = static_cast<Port>(next_port_ + count);
     return base;
+  }
+
+  /// Return a block claimed by `allocate_port_block` for reuse. Callers must
+  /// have unbound every handler in the block first (transport destructors
+  /// do), or a later claimant would receive a port with a stale handler.
+  void release_port_block(Port base, Port count) {
+    free_port_blocks_[count].push_back(base);
   }
 
   /// Observation tap invoked for every packet arriving at any node (both
@@ -134,6 +153,8 @@ class Network {
   sim::Rng rng_;
   std::uint64_t next_uid_ = 1;
   Port next_port_ = 5000;  ///< ephemeral range start
+  // count -> LIFO stack of released block bases (deterministic reuse order).
+  std::map<Port, std::vector<Port>> free_port_blocks_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
   // adjacency[a][b] -> first link a->b

@@ -5,7 +5,10 @@
 #include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <mutex>
+#include <streambuf>
 #include <thread>
 
 namespace arnet::runner {
@@ -118,5 +121,62 @@ std::string out_path(const std::string& dir, const std::string& file) {
   std::filesystem::create_directories(dir);
   return dir + "/" + file;
 }
+
+namespace {
+
+/// streambuf that forwards every byte to two underlying buffers. Only the
+/// console buffer's errors are reported upward: losing the report copy must
+/// never turn a successful experiment run into a failed one.
+class TeeBuf : public std::streambuf {
+ public:
+  TeeBuf(std::streambuf* console, std::streambuf* copy)
+      : console_(console), copy_(copy) {}
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) return traits_type::not_eof(ch);
+    copy_->sputc(static_cast<char>(ch));
+    return console_->sputc(static_cast<char>(ch));
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    copy_->sputn(s, n);
+    return console_->sputn(s, n);
+  }
+
+  int sync() override {
+    copy_->pubsync();
+    return console_->pubsync();
+  }
+
+ private:
+  std::streambuf* console_;
+  std::streambuf* copy_;
+};
+
+}  // namespace
+
+struct ReportTee::Impl {
+  std::ofstream file;
+  std::unique_ptr<TeeBuf> tee;
+  std::streambuf* saved = nullptr;
+};
+
+ReportTee::ReportTee(const std::string& path) : impl_(std::make_unique<Impl>()) {
+  impl_->file.open(path);
+  if (!impl_->file.is_open()) return;
+  impl_->saved = std::cout.rdbuf();
+  impl_->tee = std::make_unique<TeeBuf>(impl_->saved, impl_->file.rdbuf());
+  std::cout.rdbuf(impl_->tee.get());
+}
+
+ReportTee::~ReportTee() {
+  if (impl_->saved) {
+    std::cout.flush();
+    std::cout.rdbuf(impl_->saved);
+  }
+}
+
+bool ReportTee::active() const { return impl_->saved != nullptr; }
 
 }  // namespace arnet::runner

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -92,5 +93,27 @@ std::string parse_out_dir(int argc, char** argv);
 
 /// Join `dir` and `file`, creating `dir` (and parents) on first use.
 std::string out_path(const std::string& dir, const std::string& file);
+
+/// Mirrors everything written to std::cout into a file for this object's
+/// lifetime, then restores the original stream. The experiment binaries whose
+/// product is the rendered report itself (paper tables/figures) use this so
+/// the report lands under --out-dir next to the JSONL/trace artifacts and CI
+/// can archive one directory. A failed open is non-fatal: output still goes
+/// to the console, report() just returns false.
+class ReportTee {
+ public:
+  explicit ReportTee(const std::string& path);
+  ~ReportTee();
+
+  ReportTee(const ReportTee&) = delete;
+  ReportTee& operator=(const ReportTee&) = delete;
+
+  /// True when the report file is open and receiving a copy.
+  bool active() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace arnet::runner

@@ -55,6 +55,7 @@ const char* opens_span(EventKind k) {
     case EventKind::kTxStart: return "flight";
     case EventKind::kComputeStart: return "compute";
     case EventKind::kFrameCapture: return "frame";
+    case EventKind::kBatchStart: return "batch";
     default: return nullptr;
   }
 }
@@ -63,9 +64,11 @@ const char* opens_span(EventKind k) {
 const char* closes_span(EventKind k) {
   switch (k) {
     case EventKind::kDequeue:
-    case EventKind::kTxStart: return "queued";
+    case EventKind::kTxStart:
+    case EventKind::kDispatch: return "queued";
     case EventKind::kRx: return "flight";
     case EventKind::kComputeDone: return "compute";
+    case EventKind::kBatchDone: return "batch";
     case EventKind::kFrameDone:
     case EventKind::kFrameMiss: return "frame";
     default: return nullptr;

@@ -25,9 +25,11 @@ struct TraceContext {
 /// Typed span/point events. Pairing rules (used by the Perfetto exporter to
 /// synthesize duration spans; everything else exports as an instant):
 ///   kEnqueue      opens a "queued" span, closed by kDequeue/kTxStart/kDrop
+///                 (or by kDispatch in the fleet serving layer)
 ///   kTxStart      opens a "flight" span, closed by kRx/kDrop
 ///   kComputeStart opens a "compute" span, closed by kComputeDone
 ///   kFrameCapture opens a "frame" span, closed by kFrameDone/kFrameMiss
+///   kBatchStart   opens a "batch" span, closed by kBatchDone
 enum class EventKind : std::uint8_t {
   kFrameCapture,  ///< MAR frame captured on the device (uid = frame id)
   kEnqueue,       ///< entered a queue / staging buffer
@@ -45,6 +47,14 @@ enum class EventKind : std::uint8_t {
   kComputeDone,   ///< vision/compute stage finished
   kFrameDone,     ///< frame result available on the device
   kFrameMiss,     ///< frame result arrived but missed its deadline
+  // Fleet serving layer (src/fleet): multi-user admission and batched
+  // execution. `reason` on kAdmit carries the decision ("admit"/
+  // "downgrade"/"reject"); kBatchStart/kBatchDone bracket one batch
+  // execution (uid = batch id, size = batch occupancy).
+  kAdmit,         ///< admission decision for a new session (instant)
+  kDispatch,      ///< request left the service queue into a forming batch
+  kBatchStart,    ///< batch execution began on a server lane
+  kBatchDone,     ///< batch execution finished; results release
 };
 
 const char* to_string(EventKind k);

@@ -22,6 +22,10 @@ const char* to_string(EventKind k) {
     case EventKind::kComputeDone: return "compute-done";
     case EventKind::kFrameDone: return "frame-done";
     case EventKind::kFrameMiss: return "frame-miss";
+    case EventKind::kAdmit: return "admit";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kBatchStart: return "batch-start";
+    case EventKind::kBatchDone: return "batch-done";
   }
   return "?";
 }

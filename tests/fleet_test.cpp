@@ -1,0 +1,393 @@
+// Tests of the arnet::fleet multi-user serving layer: population arrival
+// determinism, batch formation edge cases, admission hysteresis, balancer
+// tie-breaking, autoscaler cooldown, and bit-equality of the scale_fleet
+// capacity cells between serial and parallel sweeps.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arnet/fleet/admission.hpp"
+#include "arnet/fleet/autoscaler.hpp"
+#include "arnet/fleet/balancer.hpp"
+#include "arnet/fleet/fleet.hpp"
+#include "arnet/fleet/population.hpp"
+#include "arnet/fleet/scenario.hpp"
+#include "arnet/fleet/server.hpp"
+#include "arnet/obs/export.hpp"
+#include "arnet/runner/experiment.hpp"
+#include "arnet/sim/simulator.hpp"
+
+namespace arnet {
+namespace {
+
+using sim::milliseconds;
+using sim::seconds;
+
+// ----------------------------------------------------------- population
+
+TEST(Population, SameSeedMintsIdenticalSessions) {
+  sim::Simulator sim_a, sim_b;
+  fleet::PopulationConfig cfg;
+  cfg.base_arrivals_per_s = 10.0;
+  fleet::PopulationModel a(sim_a, cfg, 42), b(sim_b, cfg, 42);
+
+  std::vector<fleet::SessionSpec> got_a, got_b;
+  a.set_session_callback([&](const fleet::SessionSpec& s) { got_a.push_back(s); });
+  b.set_session_callback([&](const fleet::SessionSpec& s) { got_b.push_back(s); });
+  a.start();
+  b.start();
+  sim_a.run_until(seconds(10));
+  sim_b.run_until(seconds(10));
+
+  ASSERT_GT(got_a.size(), 50u);
+  ASSERT_EQ(got_a.size(), got_b.size());
+  for (std::size_t i = 0; i < got_a.size(); ++i) {
+    EXPECT_EQ(got_a[i].id, got_b[i].id);
+    EXPECT_EQ(got_a[i].arrival, got_b[i].arrival);
+    EXPECT_EQ(got_a[i].lifetime, got_b[i].lifetime);
+    EXPECT_EQ(got_a[i].device, got_b[i].device);
+    EXPECT_EQ(got_a[i].app, got_b[i].app);
+    EXPECT_EQ(got_a[i].pos.x_km, got_b[i].pos.x_km);
+    EXPECT_EQ(got_a[i].pos.y_km, got_b[i].pos.y_km);
+  }
+}
+
+TEST(Population, SessionAttributesIndependentOfArrivalHistory) {
+  // Session k's identity comes from derive_seed(seed, k + 1), never from how
+  // many draws the arrival process consumed before it.
+  sim::Simulator sim;
+  fleet::PopulationConfig calm, bursty;
+  calm.base_arrivals_per_s = 1.0;
+  bursty = calm;
+  bursty.process = fleet::ArrivalProcess::kMmpp;
+  bursty.burst_multiplier = 5.0;
+  fleet::PopulationModel a(sim, calm, 7), b(sim, bursty, 7);
+  for (std::uint64_t id : {0ull, 5ull, 99ull}) {
+    const fleet::SessionSpec sa = a.make_session(id, seconds(3));
+    const fleet::SessionSpec sb = b.make_session(id, seconds(8));
+    EXPECT_EQ(sa.device, sb.device);
+    EXPECT_EQ(sa.lifetime, sb.lifetime);
+    EXPECT_EQ(sa.pos.x_km, sb.pos.x_km);
+  }
+}
+
+TEST(Population, DiurnalProfileModulatesRate) {
+  sim::Simulator sim;
+  fleet::PopulationConfig cfg;
+  cfg.base_arrivals_per_s = 10.0;
+  cfg.diurnal = {0.5, 2.0};
+  cfg.diurnal_period = seconds(10);
+  fleet::PopulationModel p(sim, cfg, 1);
+  EXPECT_DOUBLE_EQ(p.diurnal_multiplier(seconds(2)), 0.5);
+  EXPECT_DOUBLE_EQ(p.diurnal_multiplier(seconds(7)), 2.0);
+  EXPECT_DOUBLE_EQ(p.diurnal_multiplier(seconds(12)), 0.5);  // wraps
+  EXPECT_DOUBLE_EQ(p.rate_at(seconds(2)), 5.0);
+  EXPECT_DOUBLE_EQ(p.rate_at(seconds(7)), 20.0);
+}
+
+// ---------------------------------------------------------- batch formation
+
+struct ServerFixture {
+  sim::Simulator sim;
+  obs::MetricsRegistry reg;
+  std::vector<sim::Time> done_at;
+
+  fleet::ComputeRequest request(std::uint64_t uid, sim::Time work = milliseconds(3)) {
+    fleet::ComputeRequest r;
+    r.uid = uid;
+    r.work = work;
+    r.done = [this] { done_at.push_back(sim.now()); };
+    return r;
+  }
+};
+
+TEST(EdgeServer, PartialBatchExecutesOnTimeout) {
+  ServerFixture f;
+  fleet::EdgeServerConfig cfg;
+  cfg.batch.max_batch = 8;
+  cfg.batch.timeout = milliseconds(4);
+  cfg.batch.setup = milliseconds(1);
+  cfg.batch.marginal = 0.5;
+  fleet::EdgeServer srv(f.sim, cfg);
+
+  // 3 requests at t=0: far below max_batch, so only the timeout can fire the
+  // batch. service = setup + w_max + marginal * (sum - w_max) = 1 + 3 + 3 = 7.
+  for (int i = 0; i < 3; ++i) srv.submit(f.request(static_cast<std::uint64_t>(i)));
+  f.sim.run();
+  ASSERT_EQ(f.done_at.size(), 3u);
+  EXPECT_EQ(srv.batches(), 1);
+  for (sim::Time t : f.done_at) EXPECT_EQ(t, milliseconds(4) + milliseconds(7));
+}
+
+TEST(EdgeServer, BatchCapsAtMaxSize) {
+  ServerFixture f;
+  fleet::EdgeServerConfig cfg;
+  cfg.batch.max_batch = 8;
+  cfg.batch.executors = 1;
+  cfg.metrics = &f.reg;
+  fleet::EdgeServer srv(f.sim, cfg);
+
+  // 20 requests at t=0 on one lane: batches of 8, 8, then the 4-tail.
+  for (int i = 0; i < 20; ++i) srv.submit(f.request(static_cast<std::uint64_t>(i)));
+  f.sim.run();
+  EXPECT_EQ(srv.requests(), 20);
+  EXPECT_EQ(srv.batches(), 3);
+  const obs::Histogram& h = f.reg.histogram("fleet.batch_size", cfg.entity);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.max(), 8.0);
+  EXPECT_EQ(h.min(), 4.0);
+}
+
+TEST(EdgeServer, UnbatchedModeServesOneAtATime) {
+  ServerFixture f;
+  fleet::EdgeServerConfig cfg;
+  cfg.batch.enabled = false;
+  cfg.batch.executors = 1;
+  fleet::EdgeServer srv(f.sim, cfg);
+  for (int i = 0; i < 4; ++i) srv.submit(f.request(static_cast<std::uint64_t>(i)));
+  f.sim.run();
+  EXPECT_EQ(srv.batches(), 4);
+  ASSERT_EQ(f.done_at.size(), 4u);
+  // Strictly sequential completions: each waits for the previous batch.
+  for (std::size_t i = 1; i < f.done_at.size(); ++i) {
+    EXPECT_GT(f.done_at[i], f.done_at[i - 1]);
+  }
+}
+
+TEST(EdgeServer, BatchingBeatsSerialServiceUnderBacklog) {
+  // The whole point of batching: the same backlog drains faster.
+  ServerFixture batched, serial;
+  fleet::EdgeServerConfig on, off;
+  on.batch.executors = off.batch.executors = 1;
+  off.batch.enabled = false;
+  fleet::EdgeServer a(batched.sim, on), b(serial.sim, off);
+  for (int i = 0; i < 32; ++i) {
+    a.submit(batched.request(static_cast<std::uint64_t>(i)));
+    b.submit(serial.request(static_cast<std::uint64_t>(i)));
+  }
+  batched.sim.run();
+  serial.sim.run();
+  EXPECT_LT(batched.sim.now(), serial.sim.now());
+}
+
+// ---------------------------------------------------------------- admission
+
+TEST(Admission, HysteresisDoesNotFlap) {
+  fleet::AdmissionConfig cfg;
+  cfg.min_samples = 8;
+  cfg.window = 32;
+  cfg.allow_downgrade = false;
+  fleet::AdmissionController ac(cfg);
+
+  // Saturate the window with over-budget latencies: trips to overloaded.
+  for (int i = 0; i < 32; ++i) ac.observe_latency_ms(90.0);
+  EXPECT_EQ(ac.decide(seconds(1), 1), fleet::AdmissionDecision::kReject);
+  EXPECT_TRUE(ac.overloaded());
+
+  // p99 drifts down into the hysteresis band [60, 75): still rejecting —
+  // a controller without the band would flap admit/reject here.
+  for (int i = 0; i < 32; ++i) {
+    ac.observe_latency_ms(70.0);
+    EXPECT_EQ(ac.decide(seconds(2) + milliseconds(i), 100 + static_cast<std::uint64_t>(i)),
+              fleet::AdmissionDecision::kReject);
+  }
+  EXPECT_TRUE(ac.overloaded());
+
+  // Only clearing the lower water mark (75 * 0.8 = 60) readmits.
+  for (int i = 0; i < 32; ++i) ac.observe_latency_ms(40.0);
+  EXPECT_EQ(ac.decide(seconds(3), 200), fleet::AdmissionDecision::kAdmit);
+  EXPECT_FALSE(ac.overloaded());
+
+  // Exactly one reject->admit transition in the whole log.
+  int transitions = 0;
+  const auto& log = ac.log();
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    if (log[i].decision != log[i - 1].decision) ++transitions;
+  }
+  EXPECT_EQ(transitions, 1);
+}
+
+TEST(Admission, DowngradeBandSitsBelowRejectLine) {
+  fleet::AdmissionConfig cfg;
+  cfg.min_samples = 8;
+  cfg.window = 16;
+  fleet::AdmissionController ac(cfg);
+  // p99 ~ 70 ms: above downgrade_factor * 75 = 67.5, below 75.
+  for (int i = 0; i < 16; ++i) ac.observe_latency_ms(70.0);
+  EXPECT_EQ(ac.decide(seconds(1), 1), fleet::AdmissionDecision::kDowngrade);
+  EXPECT_FALSE(ac.overloaded());
+}
+
+TEST(Admission, DisabledAdmitsEverythingSilently) {
+  fleet::AdmissionConfig cfg;
+  cfg.enabled = false;
+  fleet::AdmissionController ac(cfg);
+  for (int i = 0; i < 64; ++i) ac.observe_latency_ms(500.0);
+  EXPECT_EQ(ac.decide(seconds(1), 1), fleet::AdmissionDecision::kAdmit);
+  EXPECT_TRUE(ac.log().empty());
+}
+
+// ----------------------------------------------------------------- balancer
+
+TEST(Balancer, TiesBreakTowardLowestIndex) {
+  sim::Simulator sim;
+  fleet::EdgeServerConfig cfg;
+  fleet::EdgeServer s0(sim, cfg), s1(sim, cfg), s2(sim, cfg);
+  std::vector<fleet::EdgeServer*> servers = {&s0, &s1, &s2};
+
+  fleet::LoadBalancer least(fleet::BalancerPolicy::kLeastOutstanding);
+  fleet::LoadBalancer ewma(fleet::BalancerPolicy::kLatencyEwma);
+  // All idle, all EWMAs zero: deterministic lowest index, repeatedly.
+  EXPECT_EQ(least.pick(servers), 0u);
+  EXPECT_EQ(least.pick(servers), 0u);
+  EXPECT_EQ(ewma.pick(servers), 0u);
+
+  // Load server 0: least-outstanding moves to the next-lowest tied index.
+  fleet::ComputeRequest r;
+  r.work = milliseconds(3);
+  r.done = [] {};
+  s0.submit(std::move(r));
+  EXPECT_EQ(least.pick(servers), 1u);
+}
+
+TEST(Balancer, RoundRobinCyclesInOrder) {
+  sim::Simulator sim;
+  fleet::EdgeServerConfig cfg;
+  fleet::EdgeServer s0(sim, cfg), s1(sim, cfg), s2(sim, cfg);
+  std::vector<fleet::EdgeServer*> servers = {&s0, &s1, &s2};
+  fleet::LoadBalancer rr(fleet::BalancerPolicy::kRoundRobin);
+  EXPECT_EQ(rr.pick(servers), 0u);
+  EXPECT_EQ(rr.pick(servers), 1u);
+  EXPECT_EQ(rr.pick(servers), 2u);
+  EXPECT_EQ(rr.pick(servers), 0u);
+}
+
+// --------------------------------------------------------------- autoscaler
+
+TEST(Autoscaler, SustainAndCooldownGateActions) {
+  fleet::AutoscalerConfig cfg;
+  cfg.enabled = true;
+  cfg.min_servers = 1;
+  cfg.max_servers = 4;
+  cfg.sustain_ticks = 3;
+  cfg.cooldown = seconds(1);
+  fleet::Autoscaler as(cfg);
+
+  // Two hot ticks: not sustained yet.
+  EXPECT_EQ(as.evaluate(milliseconds(250), 0.9, 2), fleet::ScaleAction::kNone);
+  EXPECT_EQ(as.evaluate(milliseconds(500), 0.9, 2), fleet::ScaleAction::kNone);
+  // Third consecutive hot tick: scale out.
+  EXPECT_EQ(as.evaluate(milliseconds(750), 0.9, 2), fleet::ScaleAction::kOut);
+  // Still hot, but inside the cooldown window: held back.
+  EXPECT_EQ(as.evaluate(milliseconds(1000), 0.9, 3), fleet::ScaleAction::kNone);
+  EXPECT_EQ(as.evaluate(milliseconds(1250), 0.9, 3), fleet::ScaleAction::kNone);
+  EXPECT_EQ(as.evaluate(milliseconds(1500), 0.9, 3), fleet::ScaleAction::kNone);
+  // Cooldown elapsed and the streak is sustained again: next action.
+  EXPECT_EQ(as.evaluate(milliseconds(1800), 0.9, 3), fleet::ScaleAction::kOut);
+}
+
+TEST(Autoscaler, RespectsServerBounds) {
+  fleet::AutoscalerConfig cfg;
+  cfg.enabled = true;
+  cfg.min_servers = 2;
+  cfg.max_servers = 3;
+  cfg.sustain_ticks = 1;
+  cfg.cooldown = 0;
+  fleet::Autoscaler as(cfg);
+  EXPECT_EQ(as.evaluate(milliseconds(250), 0.9, 3), fleet::ScaleAction::kNone);  // at max
+  EXPECT_EQ(as.evaluate(milliseconds(500), 0.1, 2), fleet::ScaleAction::kNone);  // at min
+  EXPECT_EQ(as.evaluate(milliseconds(750), 0.1, 3), fleet::ScaleAction::kIn);
+}
+
+// -------------------------------------------------- end-to-end determinism
+
+TEST(FleetDeterminism, SameSeedSameAdmissionLogAndStats) {
+  auto run = [](std::vector<fleet::AdmissionLogEntry>* log) {
+    sim::Simulator sim;
+    fleet::FleetConfig cfg;
+    cfg.seed = 11;
+    cfg.population.base_arrivals_per_s = 12.0;
+    cfg.population.mean_lifetime_s = 5.0;
+    cfg.population.process = fleet::ArrivalProcess::kMmpp;
+    fleet::Fleet fl(sim, cfg);
+    fl.start();
+    sim.run_until(seconds(12));
+    fl.stop();
+    *log = fl.admission().log();
+    return fl.stats();
+  };
+  std::vector<fleet::AdmissionLogEntry> log_a, log_b;
+  const fleet::FleetStats a = run(&log_a);
+  const fleet::FleetStats b = run(&log_b);
+
+  EXPECT_GT(a.arrivals, 50u);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  for (std::size_t i = 0; i < log_a.size(); ++i) {
+    EXPECT_EQ(log_a[i].time, log_b[i].time);
+    EXPECT_EQ(log_a[i].session, log_b[i].session);
+    EXPECT_EQ(log_a[i].decision, log_b[i].decision);
+    EXPECT_DOUBLE_EQ(log_a[i].projected_p99_ms, log_b[i].projected_p99_ms);
+  }
+}
+
+TEST(FleetDeterminism, SerialAndParallelSweepsAreByteIdentical) {
+  // Exactly the bench's structure: per-cell registries, merged in run-index
+  // order, exported as arnet-obs-v1 — the merged JSONL must not depend on
+  // the worker count.
+  std::vector<fleet::CellConfig> cells;
+  for (double users : {30.0, 60.0, 90.0}) {
+    fleet::CellConfig c;
+    c.name = "cell" + std::to_string(static_cast<int>(users));
+    c.offered_users = users;
+    c.duration = seconds(4);
+    c.mean_lifetime_s = 3.0;
+    c.admit = true;
+    cells.push_back(c);
+  }
+  auto sweep = [&cells](int jobs) {
+    runner::ExperimentRunner::Config pc;
+    pc.jobs = jobs;
+    pc.root_seed = 5;
+    runner::ExperimentRunner pool(pc);
+    std::vector<obs::MetricsRegistry> regs(cells.size());
+    pool.for_each(cells.size(), [&](runner::RunContext& ctx) {
+      fleet::run_capacity_cell(cells[ctx.run_index], ctx.seed, &regs[ctx.run_index]);
+    });
+    obs::MetricsRegistry merged;
+    for (const obs::MetricsRegistry& r : regs) merged.merge_from(r);
+    std::ostringstream os;
+    obs::write_jsonl(merged, os);
+    return os.str();
+  };
+  const std::string serial = sweep(1);
+  const std::string parallel = sweep(8);
+  EXPECT_GT(serial.size(), 1000u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(Fleet, AutoscalerAddsServersUnderOverload) {
+  sim::Simulator sim;
+  fleet::FleetConfig cfg;
+  cfg.seed = 3;
+  cfg.population.base_arrivals_per_s = 15.0;
+  cfg.population.mean_lifetime_s = 10.0;
+  cfg.initial_servers = 1;
+  cfg.admission.enabled = false;
+  cfg.autoscaler.enabled = true;
+  cfg.autoscaler.min_servers = 1;
+  cfg.autoscaler.max_servers = 6;
+  fleet::Fleet fl(sim, cfg);
+  fl.start();
+  sim.run_until(seconds(15));
+  fl.stop();
+  EXPECT_GT(fl.active_servers(), 1u);
+  EXPECT_FALSE(fl.autoscaler().events().empty());
+}
+
+}  // namespace
+}  // namespace arnet

@@ -3,6 +3,7 @@
 // MTU / cold-start drop memory, and TCP's sub-MSS tail stall.
 #include <gtest/gtest.h>
 
+#include "arnet/mar/offload.hpp"
 #include "arnet/net/network.hpp"
 #include "arnet/net/queue.hpp"
 #include "arnet/sim/simulator.hpp"
@@ -147,6 +148,68 @@ TEST(TcpRegression, SubMssTailDoesNotStallAnExtraRtt) {
   sim.run_until(milliseconds(30));
   EXPECT_TRUE(src.complete());
   EXPECT_EQ(src.acked_bytes(), 1460 + 100);
+}
+
+// ----------------------------------------------------- port-block recycling
+
+// The per-Network port allocator used to be a pure bump allocator: every
+// OffloadSession claimed a 4-port block that was never returned, so a
+// multi-user scenario churning sessions marched next_port_ toward the
+// uint16 ceiling and wrapped into in-use ports after ~15k sessions. Blocks
+// must be recycled on session teardown, LIFO, so churn neither exhausts the
+// space nor shifts the ports (and thus the packet fingerprints) of the
+// sessions that come after.
+TEST(PortChurnRegression, TenThousandSessionsRecycleOneBlock) {
+  sim::Simulator sim;
+  net::Network net(sim, 1);
+  const net::Port first = net.allocate_port_block(4);
+  net.release_port_block(first, 4);
+  for (int i = 0; i < 10'000; ++i) {
+    const net::Port base = net.allocate_port_block(4);
+    ASSERT_EQ(base, first) << "allocator stopped recycling at churn " << i;
+    net.release_port_block(base, 4);
+  }
+  // Distinct block sizes recycle independently (exact-size match only).
+  const net::Port pair_block = net.allocate_port_block(2);
+  EXPECT_NE(pair_block, first);
+  net.release_port_block(pair_block, 2);
+  EXPECT_EQ(net.allocate_port_block(4), first);
+}
+
+TEST(PortChurnRegression, SessionChurnKeepsFingerprintsStable) {
+  // End-to-end shape of the leak: sessions constructed and destroyed through
+  // mar::OffloadSession must hand their 4-port blocks back, so heavy churn
+  // neither marches the allocator (port drift changes every later session's
+  // wire fingerprint) nor exhausts the uint16 port space.
+  sim::Simulator sim;
+  net::Network net(sim, 9);
+  auto client = net.add_node("client");
+  auto server = net.add_node("edge");
+  net.connect(client, server, 30e6, milliseconds(8), 500);
+
+  const net::Port probe = net.allocate_port_block(4);
+  net.release_port_block(probe, 4);
+
+  // 10k construct/destroy cycles; a bump-only allocator would march
+  // next_port_ by 40k ports here (and wrap into bound ports at ~15k
+  // sessions), leaving every post-churn session on shifted ports.
+  for (int i = 0; i < 10'000; ++i) {
+    mar::OffloadSession session(net, client, server, mar::OffloadConfig{});
+  }
+
+  const net::Port after = net.allocate_port_block(4);
+  EXPECT_EQ(after, probe) << "OffloadSession teardown is not releasing its ports";
+  net.release_port_block(after, 4);
+
+  // The network still serves a real session normally after the churn.
+  mar::OffloadConfig cfg;
+  cfg.strategy = mar::OffloadStrategy::kCloudRidAR;
+  mar::OffloadSession session(net, client, server, cfg);
+  session.start();
+  sim.run_until(sim.now() + seconds(2));
+  session.stop();
+  EXPECT_GT(session.stats().results, 30);
+  EXPECT_LT(session.stats().latency_ms.median(), 100.0);
 }
 
 }  // namespace

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Sanity-check the scale_fleet capacity-sweep artifacts.
+
+Usage: check_fleet_schema.py METRICS_JSONL SUMMARY_JSON
+
+Validates the pair a scale_fleet run writes under --out-dir:
+
+  scale_fleet_metrics.jsonl   arnet-obs-v1 lines; per-cell "cell.*" gauges
+                              plus the fleet.* instruments underneath them
+  BENCH_scale_fleet.json      arnet-bench-v1 summary, one entry per cell
+
+and the internal consistency between the two: every summary benchmark has a
+cell.* gauge family, percentiles are ordered, rates are positive, and each
+cell carries the fleet counters the sweep is supposed to publish. Fails
+(exit 1) on the first structural problem so CI archives only coherent
+artifacts.
+"""
+import json
+import sys
+
+OBS_KINDS = {"counter", "gauge", "histogram", "series"}
+CELL_GAUGES = ("cell.offered_users", "cell.p50_ms", "cell.p99_ms",
+               "cell.miss_rate", "cell.served_fps", "cell.rejected",
+               "cell.servers_final")
+
+
+def fail(msg):
+    print(f"check_fleet_schema: {msg}", file=sys.stderr)
+    return 1
+
+
+def load_metrics(path):
+    """Returns {(name, entity): line-dict} for the JSONL file."""
+    out = {}
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {e}")
+            kind = obj.get("kind")
+            if kind not in OBS_KINDS:
+                raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
+            name, entity = obj.get("name"), obj.get("entity")
+            if not name or entity is None:
+                raise ValueError(f"{path}:{lineno}: missing name/entity")
+            out[(name, entity)] = obj
+    return out
+
+
+def check(metrics_path, summary_path):
+    try:
+        metrics = load_metrics(metrics_path)
+    except (OSError, ValueError) as e:
+        return fail(str(e))
+    if not metrics:
+        return fail(f"{metrics_path}: no metric lines")
+
+    try:
+        with open(summary_path) as f:
+            summary = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"{summary_path}: unreadable or invalid JSON: {e}")
+    if summary.get("schema") != "arnet-bench-v1":
+        return fail(f"{summary_path}: bad schema id: {summary.get('schema')!r}")
+    if summary.get("suite") != "scale_fleet":
+        return fail(f"{summary_path}: unexpected suite: {summary.get('suite')!r}")
+    benches = summary.get("benchmarks")
+    if not isinstance(benches, list) or not benches:
+        return fail(f"{summary_path}: empty or missing benchmarks list")
+
+    cells = [b.get("name") for b in benches]
+    if len(set(cells)) != len(cells):
+        return fail(f"{summary_path}: duplicate cell names")
+
+    for b in benches:
+        cell = b.get("name")
+        if not cell:
+            return fail(f"{summary_path}: benchmark with no name")
+        lat = b.get("latency_ns")
+        if not isinstance(lat, dict):
+            return fail(f"{cell}: missing latency_ns")
+        for k in ("mean", "p50", "p90", "p99", "min", "max"):
+            if not isinstance(lat.get(k), (int, float)):
+                return fail(f"{cell}: latency_ns.{k} missing")
+        if not lat["min"] <= lat["p50"] <= lat["p90"] <= lat["p99"] <= lat["max"]:
+            return fail(f"{cell}: latency percentiles disordered")
+        if not b.get("wall_time_s", 0) > 0 or not b.get("ops_per_sec", 0) > 0:
+            return fail(f"{cell}: non-positive wall_time_s/ops_per_sec")
+
+        # Every summary cell must have its gauge family in the JSONL — the
+        # two artifacts describe the same run.
+        for g in CELL_GAUGES:
+            line = metrics.get((g, cell))
+            if line is None:
+                return fail(f"{cell}: gauge {g} missing from {metrics_path}")
+        p50 = metrics[("cell.p50_ms", cell)]["value"]
+        p99 = metrics[("cell.p99_ms", cell)]["value"]
+        if p50 > p99:
+            return fail(f"{cell}: cell.p50_ms {p50} > cell.p99_ms {p99}")
+        if metrics[("cell.offered_users", cell)]["value"] <= 0:
+            return fail(f"{cell}: cell.offered_users must be positive")
+        miss = metrics[("cell.miss_rate", cell)]["value"]
+        if not 0.0 <= miss <= 1.0:
+            return fail(f"{cell}: cell.miss_rate {miss} outside [0, 1]")
+
+        # The fleet instruments the cell's world publishes under the cell
+        # entity: arrival/frame counters and the latency histogram.
+        for name in ("fleet.arrivals", "fleet.frames"):
+            if (name, cell) not in metrics:
+                return fail(f"{cell}: counter {name} missing from {metrics_path}")
+        hist = metrics.get(("fleet.m2p_ms", cell))
+        if hist is None or hist["kind"] != "histogram":
+            return fail(f"{cell}: fleet.m2p_ms histogram missing")
+        if hist.get("count", 0) < 1:
+            return fail(f"{cell}: fleet.m2p_ms histogram is empty")
+
+    # Per-server instruments exist for at least one server of some cell.
+    if not any(n == "fleet.requests" and "/server:" in e for n, e in metrics):
+        return fail(f"{metrics_path}: no per-server fleet.requests counters")
+
+    print(f"{metrics_path}: OK ({len(metrics)} instruments)")
+    print(f"{summary_path}: OK ({len(benches)} cells)")
+    return 0
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return check(argv[1], argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
