@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
       double inliers = 0;
       const int kSightings = 50;
       for (int i = 0; i < kSightings; ++i) {
-        sim::Rng mrng(static_cast<std::uint64_t>(300 + i));
+        const std::uint64_t frame_seed = static_cast<std::uint64_t>(300 + i);
+        sim::Rng mrng(frame_seed);
         vision::Image frame =
             vision::warp_image(refs[static_cast<std::size_t>(i % 3)],
                                vision::random_camera_motion(mrng, 0.5));

@@ -1,0 +1,42 @@
+# Hash-seed canary gate (ctest: determinism_hash_canary).
+#
+# Runs the fingerprint probe under two adversarially different
+# ARNET_HASH_SEED values (plus the default) and fails unless every run
+# exits 0 with byte-identical stdout. check::PerturbedHash folds the seed
+# into bucket placement, so any unordered-container iteration order leaking
+# into the trace fingerprint or the probe's printed table diverges here
+# instead of on a future libstdc++ upgrade.
+#
+# Usage: cmake -DPROBE=<path-to-fingerprint_probe> -P hash_canary.cmake
+
+if(NOT PROBE)
+  message(FATAL_ERROR "hash_canary: pass -DPROBE=<fingerprint_probe binary>")
+endif()
+
+set(_seeds "default" "0x9E3779B97F4A7C15" "1")
+set(_ref "")
+foreach(_seed IN LISTS _seeds)
+  if(_seed STREQUAL "default")
+    execute_process(COMMAND "${PROBE}"
+                    OUTPUT_VARIABLE _out RESULT_VARIABLE _rc
+                    ERROR_VARIABLE _err)
+  else()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E env "ARNET_HASH_SEED=${_seed}"
+                            "${PROBE}"
+                    OUTPUT_VARIABLE _out RESULT_VARIABLE _rc
+                    ERROR_VARIABLE _err)
+  endif()
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR "hash_canary: probe failed (seed=${_seed}, rc=${_rc})\n${_err}")
+  endif()
+  if(_ref STREQUAL "")
+    set(_ref "${_out}")
+    set(_ref_seed "${_seed}")
+  elseif(NOT _out STREQUAL _ref)
+    message(FATAL_ERROR
+      "hash_canary: output depends on the hash seed — an unordered container "
+      "iteration order is leaking into an exported value.\n"
+      "--- seed=${_ref_seed} ---\n${_ref}\n--- seed=${_seed} ---\n${_out}")
+  endif()
+endforeach()
+message(STATUS "hash_canary: byte-identical across ${_seeds}")

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace arnet::check {
+
+/// Hash-seed canary: the runtime half of the arnet-analyze
+/// `unordered-iteration` rule.
+///
+/// Iterating an unordered container on an export/fingerprint/merge path is
+/// only a latent bug until the bucket order actually changes — which libstdc++
+/// never does on its own, so the bug ships. The canary forces the issue:
+/// `PerturbedHash` folds a process-wide seed (env `ARNET_HASH_SEED`, or
+/// `set_hash_seed()` in tests) into every hash, so two runs under different
+/// seeds visit buckets in different orders. The `determinism_hash_canary`
+/// ctest gate runs the fingerprint probe twice under different seeds and
+/// fails if any emitted byte differs.
+///
+/// Reading the seed is a single relaxed load after the one-time env parse;
+/// with the default seed 0 `perturbed_mix` still permutes (SplitMix64
+/// finalizer), so hashing behaviour does not special-case "canary off".
+
+/// Current canary seed: `ARNET_HASH_SEED` parsed once (base 0: decimal,
+/// 0x..., 0...), else 0. `set_hash_seed` overrides it afterwards.
+std::uint64_t hash_seed() noexcept;
+
+/// Test seam: override the seed for the rest of the process (or until the
+/// next call). Takes effect for hashes computed after the store; rehash or
+/// rebuild containers that must observe the change.
+void set_hash_seed(std::uint64_t seed) noexcept;
+
+/// SplitMix64 finalizer over `v ^ hash_seed()` — the mixing step
+/// PerturbedHash applies on top of std::hash.
+std::uint64_t perturbed_mix(std::uint64_t v) noexcept;
+
+/// Drop-in Hasher for repo unordered containers on non-exported paths.
+/// Using it makes the container's bucket order a function of the canary
+/// seed, so CI's two-seed probe run turns any order-dependent consumer into
+/// a hard failure instead of a latent one.
+template <typename T>
+struct PerturbedHash {
+  std::size_t operator()(const T& v) const {
+    return static_cast<std::size_t>(
+        perturbed_mix(static_cast<std::uint64_t>(std::hash<T>{}(v))));
+  }
+};
+
+}  // namespace arnet::check

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace arnet::check {
+
+/// Runtime complement to the arnet-analyze `rng-discipline` static rule:
+/// while the static pass proves every stream is *constructed* from a seed
+/// with provenance, the auditor watches the streams *live* and flags the two
+/// hazards a lexer cannot see:
+///
+///  - seed collision: two streams registered with the same seed value emit
+///    identical draw sequences — correlated "randomness" that silently
+///    biases a sweep (the usual cause is a forgotten derive_seed index);
+///  - cross-thread draw: a stream constructed on one thread drawn from
+///    another. Under the ExperimentRunner contract (DESIGN.md §8) every run
+///    owns its world, so a cross-thread draw means shared mutable sim state
+///    — the exact class of bug the --jobs byte-identity tests exist for.
+///
+/// Activation is scoped and explicit (ScopedRngAudit); when no auditor is
+/// active a Rng carries stream id 0 and the draw path costs one predicted
+/// branch. Streams register automatically from the sim::Rng constructor and
+/// fork(); label_stream() attaches a human-readable derivation path that
+/// findings echo back.
+class RngAuditor {
+ public:
+  enum class Violation { kSeedCollision, kCrossThreadDraw };
+
+  struct Finding {
+    Violation kind;
+    std::uint32_t stream;   // offending stream id
+    std::uint32_t other;    // colliding stream for kSeedCollision, else 0
+    std::string detail;     // human-readable diagnostic with both paths
+  };
+
+  RngAuditor() = default;
+  ~RngAuditor();
+  RngAuditor(const RngAuditor&) = delete;
+  RngAuditor& operator=(const RngAuditor&) = delete;
+
+  // --- hooks called by sim::Rng through the activation seam -------------
+  /// New root stream; returns its id (> 0).
+  std::uint32_t on_register(std::uint64_t seed);
+  /// `child` was forked from `parent` under `label`; rewrites the child's
+  /// derivation path to "<parent-path>/<label>".
+  void on_fork(std::uint32_t parent, std::uint32_t child, std::string_view label);
+  /// A draw from stream `id` on the calling thread.
+  void on_draw(std::uint32_t id);
+
+  // --- instrumentation-side API -----------------------------------------
+  /// Name a stream at its creation site ("population.arrivals"); findings
+  /// and paths() echo the label so a collision names both derivations.
+  void label_stream(std::uint32_t id, std::string_view label);
+
+  std::size_t streams() const;
+  std::uint64_t draws(std::uint32_t id) const;
+  std::string path(std::uint32_t id) const;
+  std::vector<Finding> findings() const;
+  bool clean() const;
+
+ private:
+  struct Stream {
+    std::uint64_t seed = 0;
+    std::string path;
+    std::thread::id owner;
+    std::uint64_t draws = 0;
+    bool cross_thread_reported = false;
+  };
+
+  Stream* stream_(std::uint32_t id);  // mu_ held; nullptr for bad id
+
+  mutable std::mutex mu_;
+  std::vector<Stream> streams_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> first_by_seed_;  // sorted
+  std::vector<Finding> findings_;
+};
+
+/// The process-global activation seam sim::Rng consults. Null when auditing
+/// is off (the default). Install/remove with ScopedRngAudit.
+RngAuditor* active_rng_auditor() noexcept;
+
+/// RAII activation: installs `auditor` as the process-active one, restores
+/// the previous (normally null) on destruction. Activate around one scenario
+/// run — the harness's run-twice pattern intentionally reuses seeds across
+/// runs, which a single auditor spanning both would report as collisions.
+class ScopedRngAudit {
+ public:
+  explicit ScopedRngAudit(RngAuditor& auditor);
+  ~ScopedRngAudit();
+  ScopedRngAudit(const ScopedRngAudit&) = delete;
+  ScopedRngAudit& operator=(const ScopedRngAudit&) = delete;
+
+ private:
+  RngAuditor* prev_;
+};
+
+}  // namespace arnet::check

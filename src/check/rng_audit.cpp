@@ -1,0 +1,134 @@
+#include "arnet/check/rng_audit.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+namespace arnet::check {
+namespace {
+
+// Registered singleton (tools/arnet_analyze/rules.py): the activation seam
+// the static pass whitelists by name.
+std::atomic<RngAuditor*> g_auditor{nullptr};
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+}  // namespace
+
+RngAuditor::~RngAuditor() {
+  // A dangling active pointer would be a use-after-free on the next Rng
+  // construction; clear it defensively even though ScopedRngAudit already
+  // restores the previous auditor in well-formed code.
+  RngAuditor* self = this;
+  g_auditor.compare_exchange_strong(self, nullptr,
+                                    std::memory_order_acq_rel);
+}
+
+std::uint32_t RngAuditor::on_register(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto id = static_cast<std::uint32_t>(streams_.size() + 1);
+  Stream s;
+  s.seed = seed;
+  s.path = "rng#" + std::to_string(id);
+  s.owner = std::this_thread::get_id();
+  streams_.push_back(std::move(s));
+
+  const auto key = std::make_pair(seed, id);
+  auto it = std::lower_bound(first_by_seed_.begin(), first_by_seed_.end(),
+                             std::make_pair(seed, std::uint32_t{0}));
+  if (it != first_by_seed_.end() && it->first == seed) {
+    Finding f;
+    f.kind = Violation::kSeedCollision;
+    f.stream = id;
+    f.other = it->second;
+    f.detail = "seed collision: " + streams_[id - 1].path + " reuses seed " +
+               hex64(seed) + " of " + streams_[it->second - 1].path;
+    findings_.push_back(std::move(f));
+  } else {
+    first_by_seed_.insert(it, key);
+  }
+  return id;
+}
+
+void RngAuditor::on_fork(std::uint32_t parent, std::uint32_t child,
+                         std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream* p = stream_(parent);
+  Stream* c = stream_(child);
+  if (p == nullptr || c == nullptr) return;
+  c->path = p->path + "/" + std::string(label);
+}
+
+void RngAuditor::on_draw(std::uint32_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream* s = stream_(id);
+  if (s == nullptr) return;
+  ++s->draws;
+  if (!s->cross_thread_reported && std::this_thread::get_id() != s->owner) {
+    s->cross_thread_reported = true;
+    Finding f;
+    f.kind = Violation::kCrossThreadDraw;
+    f.stream = id;
+    f.other = 0;
+    f.detail = "cross-thread draw: " + s->path +
+               " was created on another thread (draw #" +
+               std::to_string(s->draws) + ")";
+    findings_.push_back(std::move(f));
+  }
+}
+
+void RngAuditor::label_stream(std::uint32_t id, std::string_view label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stream* s = stream_(id);
+  if (s == nullptr) return;
+  s->path = std::string(label);
+}
+
+std::size_t RngAuditor::streams() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return streams_.size();
+}
+
+std::uint64_t RngAuditor::draws(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > streams_.size()) return 0;
+  return streams_[id - 1].draws;
+}
+
+std::string RngAuditor::path(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (id == 0 || id > streams_.size()) return {};
+  return streams_[id - 1].path;
+}
+
+std::vector<RngAuditor::Finding> RngAuditor::findings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_;
+}
+
+bool RngAuditor::clean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return findings_.empty();
+}
+
+RngAuditor::Stream* RngAuditor::stream_(std::uint32_t id) {
+  if (id == 0 || id > streams_.size()) return nullptr;
+  return &streams_[id - 1];
+}
+
+RngAuditor* active_rng_auditor() noexcept {
+  return g_auditor.load(std::memory_order_acquire);
+}
+
+ScopedRngAudit::ScopedRngAudit(RngAuditor& auditor)
+    : prev_(g_auditor.exchange(&auditor, std::memory_order_acq_rel)) {}
+
+ScopedRngAudit::~ScopedRngAudit() {
+  g_auditor.store(prev_, std::memory_order_release);
+}
+
+}  // namespace arnet::check

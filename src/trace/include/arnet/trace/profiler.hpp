@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "arnet/sim/simulator.hpp"

@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "arnet/net/link.hpp"

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <tuple>
 
 #include "arnet/net/network.hpp"
 #include "arnet/net/packet.hpp"

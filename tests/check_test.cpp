@@ -1,13 +1,19 @@
 // Correctness-tooling tests: ARNET_ASSERT/ARNET_CHECK policies, the
-// simulator event-order auditor, packet-conservation auditing, and the
-// same-seed determinism harness.
+// simulator event-order auditor, packet-conservation auditing, the
+// same-seed determinism harness, the RNG stream auditor, and the
+// hash-seed canary.
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
 
 #include "arnet/check/assert.hpp"
 #include "arnet/check/conservation.hpp"
 #include "arnet/check/determinism.hpp"
+#include "arnet/check/hash_canary.hpp"
+#include "arnet/check/rng_audit.hpp"
 #include "arnet/check/sim_audit.hpp"
 #include "arnet/mar/offload.hpp"
 #include "arnet/net/loss.hpp"
@@ -287,6 +293,143 @@ TEST(DeterminismTest, DivergenceIsDetected) {
   };
   EXPECT_THROW(check::DeterminismHarness::verify(nondeterministic, 1), check::CheckError);
   check::reset_failures();
+}
+
+// ---------------------------------------------------------------- rng audit
+
+TEST(RngAuditTest, CleanRunRegistersForksAndStaysQuiet) {
+  check::RngAuditor audit;
+  {
+    check::ScopedRngAudit scope(audit);
+    sim::Rng root(/*seed=*/42);
+    audit.label_stream(root.audit_stream(), "root");
+    sim::Rng arrivals = root.fork("arrivals");
+    sim::Rng motion = root.fork("motion");
+    for (int i = 0; i < 16; ++i) {
+      (void)arrivals.exponential(1.0);
+      (void)motion.normal(0.0, 1.0);
+    }
+    EXPECT_EQ(audit.streams(), 3u);
+    EXPECT_EQ(audit.path(arrivals.audit_stream()), "root/arrivals");
+    EXPECT_EQ(audit.path(motion.audit_stream()), "root/motion");
+    // Each fork drew once from the root to derive the child seed.
+    EXPECT_EQ(audit.draws(root.audit_stream()), 2u);
+    EXPECT_EQ(audit.draws(arrivals.audit_stream()), 16u);
+  }
+  EXPECT_TRUE(audit.clean()) << audit.findings().front().detail;
+}
+
+TEST(RngAuditTest, SeedCollisionIsDetected) {
+  check::RngAuditor audit;
+  check::ScopedRngAudit scope(audit);
+  sim::Rng a(/*seed=*/7);
+  audit.label_stream(a.audit_stream(), "network.loss");
+  sim::Rng b(/*seed=*/7);  // forgot derive_seed(root, index)
+  audit.label_stream(b.audit_stream(), "population.arrivals");
+  const auto findings = audit.findings();
+  ASSERT_EQ(findings.size(), 1u);
+  const auto& f = findings.front();
+  EXPECT_EQ(f.kind, check::RngAuditor::Violation::kSeedCollision);
+  EXPECT_EQ(f.stream, b.audit_stream());
+  EXPECT_EQ(f.other, a.audit_stream());
+  EXPECT_NE(f.detail.find("network.loss"), std::string::npos) << f.detail;
+}
+
+TEST(RngAuditTest, CrossThreadDrawIsDetected) {
+  check::RngAuditor audit;
+  check::ScopedRngAudit scope(audit);
+  sim::Rng rng(/*seed=*/9);
+  audit.label_stream(rng.audit_stream(), "shared.rng");
+  (void)rng.uniform();  // same-thread draw: fine
+  EXPECT_TRUE(audit.clean());
+  std::thread worker([&] { (void)rng.uniform(); });
+  worker.join();
+  const auto findings = audit.findings();
+  ASSERT_EQ(findings.size(), 1u);
+  const auto& f = findings.front();
+  EXPECT_EQ(f.kind, check::RngAuditor::Violation::kCrossThreadDraw);
+  EXPECT_NE(f.detail.find("shared.rng"), std::string::npos) << f.detail;
+  // Reported once per stream, not once per draw.
+  std::thread again([&] { (void)rng.uniform(); });
+  again.join();
+  EXPECT_EQ(audit.findings().size(), 1u);
+}
+
+TEST(RngAuditTest, InactiveAuditingIsUntrackedAndHarmless) {
+  sim::Rng rng(/*seed=*/5);
+  EXPECT_EQ(rng.audit_stream(), 0u);
+  (void)rng.uniform();
+  (void)rng.fork("child").next_u64();
+  // Activating later does not retroactively track existing streams.
+  check::RngAuditor audit;
+  check::ScopedRngAudit scope(audit);
+  (void)rng.uniform();
+  EXPECT_EQ(audit.streams(), 0u);
+  EXPECT_TRUE(audit.clean());
+}
+
+TEST(RngAuditTest, AuditedScenarioStaysDeterministic) {
+  // The auditor must observe, never perturb: the audited fingerprint has to
+  // match the unaudited one bit for bit.
+  auto plain = check::DeterminismHarness::run_twice(offload_scenario, /*seed=*/3);
+  auto audited_scenario = [](std::uint64_t seed, check::TraceRecorder& trace) {
+    check::RngAuditor audit;
+    check::ScopedRngAudit scope(audit);
+    offload_scenario(seed, trace);
+    EXPECT_TRUE(audit.clean());
+    EXPECT_GT(audit.streams(), 0u);
+  };
+  auto audited = check::DeterminismHarness::run_twice(audited_scenario, /*seed=*/3);
+  ASSERT_TRUE(plain.deterministic());
+  ASSERT_TRUE(audited.deterministic());
+  EXPECT_EQ(plain.fingerprint_first, audited.fingerprint_first);
+  EXPECT_EQ(plain.records_first, audited.records_first);
+}
+
+// --------------------------------------------------------------- hash canary
+
+TEST(HashCanaryTest, PerturbedMixDependsOnSeed) {
+  check::set_hash_seed(0);
+  const std::uint64_t at0 = check::perturbed_mix(1234);
+  check::set_hash_seed(0x5eedULL);
+  const std::uint64_t at5eed = check::perturbed_mix(1234);
+  EXPECT_NE(at0, at5eed);
+  EXPECT_EQ(check::hash_seed(), 0x5eedULL);
+  check::set_hash_seed(0);
+  EXPECT_EQ(check::perturbed_mix(1234), at0);
+}
+
+TEST(HashCanaryTest, SortedFoldIsSeedInvariantButBucketOrderIsNot) {
+  auto populate = [] {
+    std::unordered_map<std::string, int, check::PerturbedHash<std::string>> m;
+    m.reserve(64);
+    for (int i = 0; i < 40; ++i) m["key" + std::to_string(i)] = i;
+    return m;
+  };
+  auto bucket_order_sig = [](const auto& m) {
+    std::uint64_t h = 14695981039346656037ULL;
+    for (const auto& [k, v] : m) {  // NOLINT-arnet(unordered-container): probing bucket order is this test's purpose
+      for (char c : k) { h ^= static_cast<unsigned char>(c); h *= 1099511628211ULL; }
+      h ^= static_cast<std::uint64_t>(v);
+    }
+    return h;
+  };
+  auto sorted_sum = [](const auto& m) {
+    long sum = 0;
+    for (const auto& [k, v] : m) sum += v;  // NOLINT-arnet(unordered-container): order-insensitive sum
+    return sum;
+  };
+  check::set_hash_seed(1);
+  auto m1 = populate();
+  check::set_hash_seed(2);
+  auto m2 = populate();
+  // The order-insensitive view agrees; the bucket order does not (the whole
+  // point of the canary — latent order dependence becomes a visible diff).
+  EXPECT_EQ(sorted_sum(m1), sorted_sum(m2));
+  EXPECT_NE(bucket_order_sig(m1), bucket_order_sig(m2))
+      << "perturbed seeds should shuffle bucket order; widen the key set if "
+         "this ever collides";
+  check::set_hash_seed(0);
 }
 
 TEST(DeterminismTest, AuditorsComposeWithHarness) {

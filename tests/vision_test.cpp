@@ -337,7 +337,8 @@ TEST_P(PipelineMotionSweep, RecognitionSurvivesMotion) {
   ObjectDatabase db;
   Image ref = render_scene(rng, SceneParams{});
   db.add_object("target", ref);
-  sim::Rng mrng(static_cast<std::uint64_t>(magnitude * 1000) + 3);
+  const std::uint64_t motion_seed = static_cast<std::uint64_t>(magnitude * 1000) + 3;
+  sim::Rng mrng(motion_seed);
   Mat3 motion = random_camera_motion(mrng, magnitude);
   Image frame = warp_image(ref, motion);
   RecognitionPipeline pipe;

@@ -1,0 +1,26 @@
+"""arnet-analyze: determinism- and concurrency-aware static analysis for arnet.
+
+Every figure and table this repo reproduces comes out of a discrete-event
+simulator whose runs must be byte-identical between serial and `--jobs N`
+execution. The invariants that make that possible (seeded `derive_seed` RNG
+streams, no wall-clock or address-dependent behavior in src/, ordered
+containers on fingerprint paths, side-effect-free ARNET_ASSERTs) are enforced
+at runtime by the determinism harness — this package enforces them *before*
+the code compiles.
+
+Layout:
+  lexer.py    — C++ lexer: comments/strings/raw-strings stripped, tokens with
+                file:line, scope classification (namespace/class/function)
+  rules.py    — rule registry; each rule walks the token stream of one file
+  suppress.py — `// NOLINT-arnet(rule): reason` handling (reason required)
+  baseline.py — committed-findings baseline for incremental adoption
+  report.py   — `arnet-analyze-v1` JSON findings report
+  cli.py      — entry point (also reachable as `python3 tools/arnet_analyze`)
+
+Exit codes: 0 clean, 1 findings (or stale baseline/suppressions), 2 usage.
+"""
+
+__version__ = "1.0"
+
+SCHEMA_ID = "arnet-analyze-v1"
+BASELINE_SCHEMA_ID = "arnet-analyze-baseline-v1"

@@ -1,0 +1,17 @@
+"""Entry point: `python3 tools/arnet_analyze [args...]`.
+
+Running the package as a *directory* puts the package dir itself on
+sys.path[0]; bootstrap the parent so relative imports resolve either way.
+"""
+
+import os
+import sys
+
+if __package__ in (None, ""):
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from arnet_analyze.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

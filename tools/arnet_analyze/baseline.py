@@ -1,0 +1,62 @@
+"""Committed-findings baseline for incremental adoption.
+
+A baseline entry identifies a finding by (file, rule, whitespace-normalized
+snippet) plus a count, so line-number drift never invalidates it but any
+change to the offending code does. Matching consumes entries; a leftover
+entry is *stale* and fails the run — the baseline may only shrink silently,
+never rot. The repo's contract (ISSUE 6) is that the baseline stays empty
+for `src/`: new src findings must be fixed or NOLINT-suppressed with a
+justification, not baselined.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+
+from . import BASELINE_SCHEMA_ID
+from .rules import Finding
+
+
+@dataclass
+class Baseline:
+    entries: Counter = field(default_factory=Counter)  # key-tuple -> count
+    consumed: Counter = field(default_factory=Counter)
+
+    def try_consume(self, finding: Finding) -> bool:
+        key = finding.key()
+        if self.consumed[key] < self.entries.get(key, 0):
+            self.consumed[key] += 1
+            return True
+        return False
+
+    def stale(self) -> list[tuple[tuple[str, str, str], int]]:
+        out = []
+        for key, n in sorted(self.entries.items()):
+            unused = n - self.consumed[key]
+            if unused > 0:
+                out.append((key, unused))
+        return out
+
+
+def load(path) -> Baseline:
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != BASELINE_SCHEMA_ID:
+        raise ValueError(f"{path}: bad baseline schema id: {doc.get('schema')!r}")
+    b = Baseline()
+    for e in doc.get("entries", []):
+        key = (e["file"], e["rule"], e["snippet"])
+        b.entries[key] += int(e.get("count", 1))
+    return b
+
+
+def dump(findings: list[Finding]) -> str:
+    counts = Counter(f.key() for f in findings)
+    entries = [
+        {"file": file, "rule": rule, "snippet": snippet, "count": n}
+        for (file, rule, snippet), n in sorted(counts.items())
+    ]
+    doc = {"schema": BASELINE_SCHEMA_ID, "entries": entries}
+    return json.dumps(doc, indent=2) + "\n"

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Golden test for arnet-analyze, run under ctest as `arnet_analyze_fixtures`.
+
+Three parts:
+  1. Golden findings: analyzing fixtures/{src,bench,tests} must reproduce
+     fixtures/golden_findings.json exactly (every seeded violation detected,
+     nothing else). Regenerate after an intentional rule change with:
+       python3 tools/arnet_analyze --root tools/arnet_analyze/fixtures \
+           src bench tests --json tools/arnet_analyze/fixtures/golden_findings.json
+  2. Baseline round-trip: --write-baseline over a violating fixture, then a
+     re-run with that baseline, must come back clean (exit 0).
+  3. Stale-baseline: an entry matching nothing must fail the run (exit 1).
+
+Exit 0 on success, 1 on any mismatch.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stderr, redirect_stdout
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.dirname(_HERE))
+
+from arnet_analyze.cli import main as analyze_main  # noqa: E402
+
+FIXTURES = os.path.join(_HERE, "fixtures")
+GOLDEN = os.path.join(FIXTURES, "golden_findings.json")
+
+
+def run(argv: list[str]) -> tuple[int, str]:
+    buf = io.StringIO()
+    with redirect_stdout(buf), redirect_stderr(buf):
+        rc = analyze_main(argv)
+    return rc, buf.getvalue()
+
+
+def fail(msg: str) -> int:
+    print(f"fixture_test: FAIL — {msg}", file=sys.stderr)
+    return 1
+
+
+def test_golden(tmp: str) -> int:
+    out = os.path.join(tmp, "findings.json")
+    rc, text = run(["--root", FIXTURES, "src", "bench", "tests",
+                    "--json", out])
+    if rc != 1:
+        return fail(f"fixture scan should exit 1 (violations seeded), got {rc}:\n{text}")
+    with open(out, encoding="utf-8") as f:
+        got = json.load(f)
+    with open(GOLDEN, encoding="utf-8") as f:
+        want = json.load(f)
+    if got != want:
+        gf = {(x["file"], x["line"], x["rule"]) for x in got["findings"]}
+        wf = {(x["file"], x["line"], x["rule"]) for x in want["findings"]}
+        missing = sorted(wf - gf)
+        extra = sorted(gf - wf)
+        return fail("golden mismatch"
+                    + (f"\n  missing: {missing}" if missing else "")
+                    + (f"\n  extra:   {extra}" if extra else "")
+                    + ("\n  (finding sets equal; metadata differs — diff the"
+                       " JSON files)" if not missing and not extra else ""))
+    print(f"fixture_test: golden OK ({len(got['findings'])} findings, "
+          f"{len(got['rules'])} rules)")
+    return 0
+
+
+def test_baseline_roundtrip(tmp: str) -> int:
+    base = os.path.join(tmp, "base.json")
+    # bad_globals.cpp has 3 real findings and no suppression-hygiene ones.
+    target = "src/demo/bad_globals.cpp"
+    rc, text = run(["--root", FIXTURES, target, "--write-baseline", base])
+    if rc != 0:
+        return fail(f"--write-baseline should exit 0, got {rc}:\n{text}")
+    with open(base, encoding="utf-8") as f:
+        n = len(json.load(f)["entries"])
+    if n != 3:
+        return fail(f"expected 3 baseline entries for {target}, got {n}")
+    rc, text = run(["--root", FIXTURES, target, "--baseline", base])
+    if rc != 0:
+        return fail(f"baselined re-run should be clean, got {rc}:\n{text}")
+    print("fixture_test: baseline round-trip OK")
+    return 0
+
+
+def test_stale_baseline(tmp: str) -> int:
+    base = os.path.join(tmp, "stale.json")
+    with open(base, "w", encoding="utf-8") as f:
+        json.dump({"schema": "arnet-analyze-baseline-v1",
+                   "entries": [{"file": "tests/ok_test.cpp",
+                                "rule": "wall-clock",
+                                "snippet": "long gone();",
+                                "count": 1}]}, f)
+    rc, text = run(["--root", FIXTURES, "tests", "--baseline", base])
+    if rc != 1 or "stale baseline entry" not in text:
+        return fail(f"stale baseline entry must fail the run, got {rc}:\n{text}")
+    print("fixture_test: stale-baseline detection OK")
+    return 0
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="arnet-analyze-fixture.") as tmp:
+        for test in (test_golden, test_baseline_roundtrip, test_stale_baseline):
+            rc = test(tmp)
+            if rc:
+                return rc
+    print("fixture_test: all OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

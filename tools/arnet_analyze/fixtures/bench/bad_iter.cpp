@@ -1,0 +1,23 @@
+// Fixture: bench-scope rules. Unordered containers are legal here (bench
+// harness code is off the fingerprint path) — but *iterating* one feeds
+// hash-order into whatever artifact the loop builds.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace demo_bench {
+
+void report() {
+  std::unordered_map<std::string, double> by_name;  // ok in bench: no iteration yet
+  by_name["a"] = 1.0;
+  for (const auto& kv : by_name) {  // VIOLATION unordered-container
+    std::printf("%s %f\n", kv.first.c_str(), kv.second);
+  }
+  auto it = by_name.begin();  // VIOLATION unordered-container
+  (void)it;
+}
+
+// Wall-clock is NOT flagged in bench scope: the harness measures real time.
+long stamp();
+
+}  // namespace demo_bench

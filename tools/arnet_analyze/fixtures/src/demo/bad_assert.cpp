@@ -1,0 +1,28 @@
+// Fixture: side-effecting ARNET_ASSERT conditions (the macro compiles out
+// under ARNET_DISABLE_ASSERTS) and the suppression grammar.
+#include <deque>
+#include <vector>
+
+#define ARNET_ASSERT(cond, ...) ((void)(cond))
+#define ARNET_CHECK(cond, ...) ((void)(cond))
+
+namespace demo {
+
+int drain(std::deque<int>& q, std::vector<int>& log, int budget) {
+  int seen = 0;
+  ARNET_ASSERT(++seen <= budget, "budget exceeded");  // VIOLATION assert-side-effect
+  ARNET_ASSERT(!q.empty(), "queue underflow");        // ok: pure observation
+  ARNET_ASSERT((seen = budget) > 0, "oops");          // VIOLATION assert-side-effect
+  log.push_back(seen);
+  // ARNET_CHECK is always-on; a side effect there is legal (if ugly).
+  ARNET_CHECK(log.size() > 0, "log empty");
+  // Justified suppression: accounted as used, not a finding.
+  ARNET_ASSERT(q.front() == log.back() && seen++ >= 0, "x");  // NOLINT-arnet(assert-side-effect): fixture exercises a justified suppression
+  // VIOLATION bad-suppression: no justification after the colon.
+  ARNET_ASSERT(--seen >= 0, "y");  // NOLINT-arnet(assert-side-effect):
+  // VIOLATION stale-suppression: suppresses a rule that never fires here.
+  int clean = budget;  // NOLINT-arnet(wall-clock): nothing on this line reads a clock
+  return seen + clean;
+}
+
+}  // namespace demo

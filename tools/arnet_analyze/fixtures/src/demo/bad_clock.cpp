@@ -1,0 +1,36 @@
+// Fixture: wall-clock and ambient-randomness violations in src-scope code.
+// Every line marked VIOLATION must appear in golden_findings.json; the rest
+// must not be flagged (they probe the lexer's comment/string stripping).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace demo {
+
+// "std::random_device in a comment is fine"; so is this string:
+const char* kDoc = "std::chrono::steady_clock::now() and rand() and time(NULL)";
+
+double sample_wall_time() {
+  auto t0 = std::chrono::steady_clock::now();  // VIOLATION wall-clock
+  auto t1 = std::chrono::system_clock::now();  // VIOLATION wall-clock
+  (void)t1;
+  long stamp = time(NULL);  // VIOLATION wall-clock
+  return static_cast<double>(stamp) + t0.time_since_epoch().count();
+}
+
+int ambient_draw() {
+  int a = rand();       // VIOLATION ambient-randomness
+  srand(42);            // VIOLATION ambient-randomness
+  return a;
+}
+
+// A member function named rand() is still flagged only when called freely;
+// method calls through an object are not.
+struct HasRand {
+  int rand_count = 0;
+  int do_rand() { return rand_count; }
+};
+
+int not_ambient(HasRand& h) { return h.do_rand(); }
+
+}  // namespace demo

@@ -1,0 +1,33 @@
+// Fixture: unordered-container (blanket ban in src/) and pointer-order
+// (address-dependent ordering/hashing) violations.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace demo {
+
+struct Session {
+  std::uint64_t id = 0;
+};
+
+// VIOLATION unordered-container: hash-ordered container in src/.
+std::unordered_map<std::string, int> tally_by_name();
+
+// VIOLATION pointer-order: comparator sorts by ASLR'd address.
+using SessionsByPtr = std::map<Session*, int>;
+
+// VIOLATION pointer-order: set of pointers, same hazard.
+std::set<const Session*> live_sessions();
+
+// VIOLATION pointer-order: hashing an address.
+std::size_t session_hash(Session* s) { return std::hash<Session*>{}(s); }
+
+// ok: value types keyed on a stable id; pointer *values* are fine.
+std::map<std::uint64_t, Session*> sessions_by_id();
+std::vector<Session*> session_list();
+
+}  // namespace demo

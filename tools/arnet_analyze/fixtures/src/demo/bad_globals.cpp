@@ -1,0 +1,31 @@
+// Fixture: mutable namespace-scope state outside the registered singletons.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace demo {
+
+int g_run_count = 0;  // VIOLATION global-mutable-state
+
+namespace {
+std::string g_last_error;                       // VIOLATION global-mutable-state
+std::atomic<std::uint64_t> g_ticket{7};         // VIOLATION global-mutable-state
+constexpr int kTableSize = 64;                  // ok: constexpr
+const char* const kName = "demo";               // ok: const
+}  // namespace
+
+// ok: function declarations and definitions are not state.
+int bump();
+int bump() {
+  static int local_cache = 0;  // ok: function-local static is out of scope here
+  return ++local_cache + g_run_count;
+}
+
+// ok: types and aliases are not state.
+struct Config {
+  int retries = 3;
+};
+using ConfigList = std::vector<Config>;
+
+}  // namespace demo

@@ -1,0 +1,35 @@
+// Fixture: rng-discipline violations — RNG streams with no seed provenance.
+#include <cstdint>
+#include <random>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+ private:
+  std::mt19937_64 engine_;
+};
+}  // namespace sim
+
+namespace demo {
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t idx);
+
+void disciplined(std::uint64_t seed) {
+  sim::Rng a(seed);                    // ok: named seed parameter
+  sim::Rng b(derive_seed(seed, 1));    // ok: derive_seed
+  sim::Rng c(12345);                   // ok: literal seed
+  std::mt19937 d(static_cast<unsigned>(seed));  // ok: seed provenance
+  (void)a; (void)b; (void)c; (void)d;
+}
+
+void undisciplined(int run_count, std::uint64_t ticket) {
+  sim::Rng a(static_cast<std::uint64_t>(run_count));  // VIOLATION rng-discipline
+  sim::Rng b(ticket * 31 + 7);                        // VIOLATION rng-discipline
+  std::mt19937 gen;                                   // VIOLATION rng-discipline (default-seeded)
+  std::mt19937_64 wide(ticket);                       // VIOLATION rng-discipline
+  (void)a; (void)b; (void)gen; (void)wide;
+}
+
+}  // namespace demo

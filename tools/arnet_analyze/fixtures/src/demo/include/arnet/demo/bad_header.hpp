@@ -1,0 +1,16 @@
+// Fixture: public-header include hygiene. Missing `#pragma once` and two
+// std symbols used with no providing include in the closure.
+// (VIOLATION missing-include x3)
+#include <cstdint>
+
+#include "arnet/demo/good_header.hpp"
+
+namespace demo {
+
+struct Batch {
+  std::vector<std::uint64_t> ids;      // VIOLATION: <vector> not included
+  std::string label;                   // ok: good_header.hpp brings <string>
+  std::function<void()> on_done;       // VIOLATION: <functional> not included
+};
+
+}  // namespace demo

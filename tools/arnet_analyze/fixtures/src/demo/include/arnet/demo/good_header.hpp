@@ -1,0 +1,15 @@
+#pragma once
+
+// Fixture: a clean public header; also feeds <string> into the include
+// closure of bad_header.hpp.
+#include <cstdint>
+#include <string>
+
+namespace demo {
+
+struct Tag {
+  std::string name;
+  std::uint32_t id = 0;
+};
+
+}  // namespace demo

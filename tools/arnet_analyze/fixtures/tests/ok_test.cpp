@@ -1,0 +1,15 @@
+// Fixture: a clean test file — literal seeds, ordered containers, pure
+// assertions. Must produce zero findings.
+#include <cstdint>
+#include <map>
+#include <random>
+
+namespace demo_test {
+
+void deterministic_case() {
+  std::mt19937_64 engine(42);  // ok: literal seed
+  std::map<std::uint64_t, int> hits;
+  hits[engine()] += 1;
+}
+
+}  // namespace demo_test

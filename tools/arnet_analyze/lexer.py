@@ -1,0 +1,349 @@
+"""C++ lexer for arnet-analyze.
+
+Good enough C++ lexing for static rules, stdlib-only: strips // and /* */
+comments, blanks the contents of string/char literals (keeping the quotes so
+rules can still see "a string was here"), handles raw string literals
+R"delim(...)delim", and emits a token stream where every token carries its
+1-based line number. Comment text is kept per-line so the suppression layer
+can find `NOLINT-arnet(...)` annotations.
+
+On top of the raw stream, `lex()` classifies every brace scope as
+namespace / class / enum / function / initializer so rules can distinguish
+"mutable state at namespace scope" from a function-local or a class member.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+# Longest-first so the matcher never splits `<<=` into `<<` `=`.
+MULTI_PUNCT = [
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=",
+]
+
+IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+IDENT_CONT = IDENT_START | set("0123456789")
+DIGITS = set("0123456789")
+
+
+@dataclass
+class Token:
+    text: str
+    line: int
+    kind: str  # "ident" | "number" | "string" | "char" | "punct"
+
+    def __repr__(self) -> str:  # compact for debugging fixtures
+        return f"{self.text}@{self.line}"
+
+
+@dataclass
+class LexedFile:
+    path: str                       # root-relative posix path
+    tokens: list[Token] = field(default_factory=list)
+    comments: dict[int, str] = field(default_factory=dict)  # line -> text
+    lines: list[str] = field(default_factory=list)          # raw source lines
+    # Parallel to tokens: the scope-kind stack depth context. scope_of[i] is a
+    # tuple of scope kinds ("namespace", "class", "enum", "function", "init",
+    # "block") enclosing token i, outermost first. File scope is ().
+    scopes: list[tuple[str, ...]] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+
+def _strip(text: str) -> tuple[str, dict[int, str]]:
+    """Blank comments and literal contents, preserving line structure.
+
+    Returns (stripped_text, comments_by_line). String/char literals keep
+    their delimiting quotes; raw strings are reduced to an empty "".
+    """
+    out: list[str] = []
+    comments: dict[int, list[str]] = {}
+    i, n = 0, len(text)
+    line = 1
+
+    def note_comment(ch: str) -> None:
+        comments.setdefault(line, []).append(ch)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            for ch in text[i:j]:
+                note_comment(ch)
+            out.append(" " * (j - i))
+            i = j
+            continue
+        if c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            for ch in text[i:j]:
+                if ch == "\n":
+                    out.append("\n")
+                    line += 1
+                else:
+                    note_comment(ch)
+                    out.append(" ")
+            i = j
+            continue
+        if c == "R" and nxt == '"':
+            # Raw string literal R"delim( ... )delim"
+            k = text.find("(", i + 2)
+            if k != -1 and k - (i + 2) <= 16:
+                delim = text[i + 2:k]
+                end = text.find(")" + delim + '"', k + 1)
+                if end != -1:
+                    stop = end + len(delim) + 2
+                    out.append('""')
+                    for ch in text[i + 2:stop]:
+                        if ch == "\n":
+                            out.append("\n")
+                            line += 1
+                    i = stop
+                    continue
+        if c == '"' or (c == "'" and _is_char_literal(text, i)):
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n:
+                c2 = text[i]
+                if c2 == "\\":
+                    out.append("  ")
+                    i += 2
+                    continue
+                if c2 == quote:
+                    out.append(quote)
+                    i += 1
+                    break
+                if c2 == "\n":  # unterminated; keep line structure
+                    out.append("\n")
+                    line += 1
+                    i += 1
+                    break
+                out.append(" ")
+                i += 1
+            continue
+        if c == "\n":
+            line += 1
+        out.append(c)
+        i += 1
+    return "".join(out), {ln: "".join(chs) for ln, chs in comments.items()}
+
+
+def _is_char_literal(text: str, i: int) -> bool:
+    """Distinguish 'x' char literals from digit separators (1'000'000)."""
+    if i > 0 and text[i - 1] in IDENT_CONT:
+        return False
+    return True
+
+
+def _tokenize(stripped: str) -> list[Token]:
+    tokens: list[Token] = []
+    i, n = 0, len(stripped)
+    line = 1
+    while i < n:
+        c = stripped[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c == "#":  # preprocessor directive: consume to end of line (minus
+            # continuations) as one token so rules can see #include lines.
+            j = i
+            while j < n and stripped[j] != "\n":
+                if stripped[j] == "\\" and j + 1 < n and stripped[j + 1] == "\n":
+                    j += 2
+                    line += 1
+                    continue
+                j += 1
+            tokens.append(Token(stripped[i:j].rstrip(), line, "punct"))
+            i = j
+            continue
+        if c in IDENT_START:
+            j = i
+            while j < n and stripped[j] in IDENT_CONT:
+                j += 1
+            tokens.append(Token(stripped[i:j], line, "ident"))
+            i = j
+            continue
+        if c in DIGITS or (c == "." and i + 1 < n and stripped[i + 1] in DIGITS):
+            j = i
+            while j < n:
+                ch = stripped[j]
+                if ch in IDENT_CONT or ch in ".'":
+                    j += 1
+                elif ch in "+-" and j > i and stripped[j - 1] in "eEpP":
+                    j += 1  # exponent sign: 1e+9, 0x1p-3
+                else:
+                    break
+            tokens.append(Token(stripped[i:j], line, "number"))
+            i = j
+            continue
+        if c == '"':
+            j = stripped.find('"', i + 1)
+            j = n if j == -1 else j + 1
+            tokens.append(Token('""', line, "string"))
+            i = j
+            continue
+        if c == "'":
+            j = stripped.find("'", i + 1)
+            j = n if j == -1 else j + 1
+            tokens.append(Token("''", line, "char"))
+            i = j
+            continue
+        matched = False
+        for p in MULTI_PUNCT:
+            if stripped.startswith(p, i):
+                tokens.append(Token(p, line, "punct"))
+                i += len(p)
+                matched = True
+                break
+        if not matched:
+            tokens.append(Token(c, line, "punct"))
+            i += 1
+    return tokens
+
+
+_SCOPE_INTRO_KEYWORDS = {"class": "class", "struct": "class", "union": "class",
+                         "enum": "enum"}
+
+
+def _classify_scopes(tokens: list[Token]) -> list[tuple[str, ...]]:
+    """For each token, the stack of enclosing brace-scope kinds.
+
+    Classification looks backwards from each `{`:
+      - `namespace [name] {`                       -> namespace
+      - `class/struct/union/enum ... {`            -> class/enum (skips
+        base-clause and attribute noise; stops at `;`/`}`/`{`)
+      - `) {`, `) const/noexcept/override... {`,
+        `else/do/try {`, `-> type {`               -> function
+      - `= {`, `{` after ident/`(`/`,`/`return`    -> init (braced initializer)
+      - anything else                              -> block
+    """
+    scopes: list[tuple[str, ...]] = []
+    stack: list[str] = []
+    for idx, tok in enumerate(tokens):
+        if tok.text == "{" and tok.kind == "punct":
+            kind = _scope_kind(tokens, idx)
+            scopes.append(tuple(stack))
+            stack.append(kind)
+            continue
+        if tok.text == "}" and tok.kind == "punct":
+            if stack:
+                stack.pop()
+            scopes.append(tuple(stack))
+            continue
+        scopes.append(tuple(stack))
+    return scopes
+
+
+_FUNCTIONISH_TAIL = {"const", "noexcept", "override", "final", "mutable",
+                     "volatile", "&", "&&", "try"}
+
+
+def _scope_kind(tokens: list[Token], brace_idx: int) -> str:
+    j = brace_idx - 1
+    # Skip function-tail qualifiers and trailing-return-type tokens.
+    depth_angle = 0
+    hops = 0
+    while j >= 0 and hops < 64:
+        t = tokens[j].text
+        if t in (";", "}", "{"):
+            break
+        if t in _FUNCTIONISH_TAIL or depth_angle > 0:
+            if t == ">":
+                depth_angle += 1
+            elif t == "<":
+                depth_angle -= 1
+            j -= 1
+            hops += 1
+            continue
+        break
+    if j < 0:
+        return "block"
+    t = tokens[j].text
+    if t == ")":
+        return "function"
+    if t in ("else", "do", "try"):
+        return "function"
+    if t == "=" or t == "," or t == "(" or t == "return":
+        return "init"
+    # Walk back over identifiers/`::`/template args to a scope keyword.
+    k = j
+    depth = 0
+    while k >= 0:
+        tk = tokens[k].text
+        if tk in (";", "}", "{", ")"):
+            break
+        if tk == ">":
+            depth += 1
+        elif tk == "<":
+            depth = max(0, depth - 1)
+        elif depth == 0:
+            if tk == "namespace":
+                return "namespace"
+            if tk in _SCOPE_INTRO_KEYWORDS:
+                return _SCOPE_INTRO_KEYWORDS[tk]
+        k -= 1
+        if j - k > 128:
+            break
+    return "block"
+
+
+def lex(path: str, text: str) -> LexedFile:
+    stripped, comments = _strip(text)
+    tokens = _tokenize(stripped)
+    lf = LexedFile(path=path, tokens=tokens, comments=comments,
+                   lines=text.splitlines())
+    lf.scopes = _classify_scopes(tokens)
+    return lf
+
+
+def qualified_name(tokens: list[Token], i: int) -> tuple[str, int]:
+    """Join the `a::b::c` qualified-name run starting at token i.
+
+    Returns (joined_text, index_past_run)."""
+    parts: list[str] = []
+    j = i
+    while j < len(tokens):
+        t = tokens[j]
+        if t.kind == "ident" or t.text == "::":
+            parts.append(t.text)
+            j += 1
+        else:
+            break
+    return "".join(parts), j
+
+
+def balanced_span(tokens: list[Token], open_idx: int,
+                  open_ch: str = "(", close_ch: str = ")") -> Optional[int]:
+    """Index of the matching close token for tokens[open_idx], or None.
+
+    For angle brackets a `>>` token counts as two closes (the lexer emits
+    the shift operator as one token, but in `map<string, set<int>>` it
+    closes two template argument lists)."""
+    depth = 0
+    for j in range(open_idx, len(tokens)):
+        t = tokens[j].text
+        if t == open_ch:
+            depth += 1
+        elif t == close_ch:
+            depth -= 1
+            if depth == 0:
+                return j
+        elif close_ch == ">" and t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return j
+    return None

@@ -1,0 +1,736 @@
+"""Rule registry for arnet-analyze.
+
+Each rule walks the token stream of one lexed file and yields Findings.
+Rules are deliberately repo-specific: they encode the determinism contract
+that makes `--jobs N` runs byte-identical to serial runs (DESIGN.md §8) and
+the release-build semantics of the check macros (DESIGN.md §6).
+
+Path scoping: determinism rules apply to `src/` (the simulation stack);
+hygiene rules extend to `bench/` and `tests/`. Bench harness code measures
+wall time by design (json_bench), so the wall-clock rule does not gate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from .lexer import LexedFile, Token, balanced_span
+
+
+@dataclass(frozen=True)
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+    snippet: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers drift, code content does not."""
+        return (self.file, self.rule, " ".join(self.snippet.split()))
+
+
+class Context:
+    """Cross-file facts a rule may need (repo header graph for include
+    hygiene). Lazily built; stdlib only."""
+
+    def __init__(self, root):
+        self.root = root
+        self._header_map: Optional[dict[str, object]] = None
+        self._include_cache: dict[str, tuple[set[str], set[str]]] = {}
+
+    def header_map(self) -> dict[str, object]:
+        """Map 'arnet/mod/x.hpp' -> absolute Path for every public header."""
+        if self._header_map is None:
+            m = {}
+            for p in sorted((self.root / "src").glob("*/include/arnet/*/*.hpp")):
+                m[p.relative_to(p.parents[2]).as_posix()] = p
+            self._header_map = m
+        return self._header_map
+
+    def direct_includes(self, rel_arnet: str) -> tuple[set[str], set[str]]:
+        """(std_includes, arnet_includes) of one repo header."""
+        if rel_arnet in self._include_cache:
+            return self._include_cache[rel_arnet]
+        std: set[str] = set()
+        arnet: set[str] = set()
+        path = self.header_map().get(rel_arnet)
+        if path is not None:
+            std, arnet = parse_includes(path.read_text(encoding="utf-8",
+                                                       errors="replace"))
+        self._include_cache[rel_arnet] = (std, arnet)
+        return std, arnet
+
+    def closure_std_includes(self, std: set[str], arnet: set[str]) -> set[str]:
+        """All std headers visible through the arnet include closure."""
+        seen_std = set(std)
+        seen_arnet: set[str] = set()
+        work = list(arnet)
+        while work:
+            h = work.pop()
+            if h in seen_arnet:
+                continue
+            seen_arnet.add(h)
+            s, a = self.direct_includes(h)
+            seen_std |= s
+            work.extend(a - seen_arnet)
+        return seen_std
+
+
+def parse_includes(text: str) -> tuple[set[str], set[str]]:
+    std: set[str] = set()
+    arnet: set[str] = set()
+    for line in text.splitlines():
+        ls = line.strip()
+        if not ls.startswith("#include"):
+            continue
+        rest = ls[len("#include"):].strip()
+        if rest.startswith("<") and rest.endswith(">"):
+            std.add(rest[1:-1])
+        elif rest.startswith('"') and rest.endswith('"'):
+            inner = rest[1:-1]
+            if inner.startswith("arnet/"):
+                arnet.add(inner)
+    return std, arnet
+
+
+class Rule:
+    id: str = ""
+    description: str = ""
+
+    def applies(self, path: str) -> bool:
+        raise NotImplementedError
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def _finding(self, lexed: LexedFile, line: int, message: str) -> Finding:
+        return Finding(file=lexed.path, line=line, rule=self.id,
+                       message=message, snippet=lexed.line_text(line).strip())
+
+
+def _prev_text(tokens: list[Token], i: int) -> str:
+    return tokens[i - 1].text if i > 0 else ""
+
+
+def _next_text(tokens: list[Token], i: int) -> str:
+    return tokens[i + 1].text if i + 1 < len(tokens) else ""
+
+
+# --------------------------------------------------------------- wall-clock
+
+class WallClockRule(Rule):
+    id = "wall-clock"
+    description = ("Wall-clock reads in sim-path code: simulated time must "
+                   "come from sim::Simulator::now(); real time enters only "
+                   "through the SimProfiler clock-injection seam.")
+
+    CLOCK_TYPES = {"system_clock", "steady_clock", "high_resolution_clock"}
+    CLOCK_CALLS = {"gettimeofday", "clock_gettime", "getrusage", "ftime",
+                   "timespec_get"}
+    # The profiler takes an injected WallClockFn precisely so the rest of
+    # src/ never names a clock; the seam itself may document the types.
+    SEAM = ("src/trace/include/arnet/trace/profiler.hpp",
+            "src/trace/profiler.cpp")
+
+    def applies(self, path: str) -> bool:
+        return path.startswith("src/") and path not in self.SEAM
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident":
+                continue
+            if t.text in self.CLOCK_TYPES:
+                yield self._finding(
+                    lexed, t.line,
+                    f"std::chrono::{t.text} in sim-path code; use "
+                    "sim::Simulator::now() (real time enters only via the "
+                    "SimProfiler injection seam)")
+            elif t.text in self.CLOCK_CALLS and _next_text(toks, i) == "(":
+                yield self._finding(
+                    lexed, t.line,
+                    f"{t.text}() reads the wall clock; use "
+                    "sim::Simulator::now()")
+            elif (t.text == "time" and _next_text(toks, i) == "("
+                  and _prev_text(toks, i) not in (".", "->", "::")):
+                close = balanced_span(toks, i + 1)
+                if close is not None and close == i + 3 \
+                        and toks[i + 2].text in ("NULL", "nullptr", "0"):
+                    yield self._finding(
+                        lexed, t.line,
+                        "time(NULL) reads the wall clock; use "
+                        "sim::Simulator::now()")
+
+
+# ------------------------------------------------------- ambient-randomness
+
+class AmbientRandomnessRule(Rule):
+    id = "ambient-randomness"
+    description = ("Unseeded randomness (std::random_device, rand(), "
+                   "srand(), *rand48): all randomness must flow from a "
+                   "seeded sim::Rng stream or derive_seed.")
+
+    CALLS = {"rand", "srand", "drand48", "lrand48", "mrand48", "srand48",
+             "random", "srandom", "getentropy"}
+
+    def applies(self, path: str) -> bool:
+        return path.startswith(("src/", "bench/", "tests/", "examples/"))
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident":
+                continue
+            if t.text == "random_device":
+                yield self._finding(
+                    lexed, t.line,
+                    "std::random_device is nondeterministic; seed a "
+                    "sim::Rng from derive_seed instead")
+            elif (t.text in self.CALLS and _next_text(toks, i) == "("
+                  and _prev_text(toks, i) not in (".", "->", "::")):
+                yield self._finding(
+                    lexed, t.line,
+                    f"{t.text}() draws from ambient process state; route "
+                    "through a seeded sim::Rng stream")
+
+
+# ---------------------------------------------------------- rng-discipline
+
+class RngDisciplineRule(Rule):
+    id = "rng-discipline"
+    description = ("Every Rng / std::mt19937 construction must be fed from "
+                   "derive_seed, a fork, or a named seed parameter so each "
+                   "stream's derivation path is auditable.")
+
+    ENGINES = {"mt19937", "mt19937_64", "minstd_rand", "minstd_rand0",
+               "default_random_engine", "ranlux24", "ranlux48", "knuth_b"}
+    # Idents that mark a seed expression as disciplined. Substring match,
+    # case-insensitive: `seed`, `root_seed`, `kSeed`, `derive_seed`,
+    # `engine_()`, `next_u64()`, a parent `rng`, a fork.
+    OK_MARKERS = ("seed", "fork", "engine", "next_u64", "rng", "hash")
+
+    def applies(self, path: str) -> bool:
+        return path.startswith(("src/", "bench/", "tests/", "examples/"))
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or (t.text != "Rng" and
+                                     t.text not in self.ENGINES):
+                continue
+            if _next_text(toks, i) == "::":  # Rng::something, not a build
+                continue
+            j = i + 1
+            var_name = None
+            if j < len(toks) and toks[j].kind == "ident":
+                var_name = toks[j].text
+                j += 1
+            if j >= len(toks):
+                continue
+            opener = toks[j].text
+            if opener == ";" and var_name is not None:
+                # `std::mt19937 gen;` default-seeds the engine: every such
+                # stream is identical, a guaranteed seed collision. Class
+                # members are seeded in the ctor init list; skip those.
+                scope = lexed.scopes[i] if i < len(lexed.scopes) else ()
+                if t.text in self.ENGINES and (not scope or
+                                               scope[-1] != "class"):
+                    yield self._finding(
+                        lexed, t.line,
+                        f"default-constructed {t.text} uses the fixed "
+                        "default seed (all such streams collide); feed it "
+                        "from derive_seed or a named seed")
+                continue
+            if opener not in ("(", "{"):
+                continue
+            close = balanced_span(toks, j, opener,
+                                  ")" if opener == "(" else "}")
+            if close is None:
+                continue
+            args = toks[j + 1:close]
+            if not args:
+                continue
+            if self._args_declare_params(args):
+                continue  # function/ctor declaration, not a construction
+            if self._args_disciplined(args):
+                continue
+            yield self._finding(
+                lexed, t.line,
+                f"{t.text} constructed from an expression with no seed "
+                "provenance; feed it derive_seed(...), a fork, or a "
+                "parameter named *seed*")
+
+    @staticmethod
+    def _args_declare_params(args: list[Token]) -> bool:
+        # `Rng fork(std::string_view label)`-style parameter lists have two
+        # consecutive identifiers (type then name) or cv/ref qualifiers.
+        for k in range(len(args) - 1):
+            if args[k].kind == "ident" and args[k + 1].kind == "ident":
+                return True
+            if args[k].text in ("const", "&", "&&") and \
+                    args[k + 1].kind == "ident":
+                return True
+        return False
+
+    def _args_disciplined(self, args: list[Token]) -> bool:
+        if all(a.kind in ("number", "punct") for a in args):
+            return True  # literal seed: deterministic by construction
+        for a in args:
+            if a.kind == "ident":
+                low = a.text.lower()
+                if any(m in low for m in self.OK_MARKERS):
+                    return True
+        return False
+
+
+# ------------------------------------------------------ unordered-container
+
+class UnorderedContainerRule(Rule):
+    id = "unordered-container"
+    description = ("Hash-ordered containers: banned outright in src/ "
+                   "(iteration order is not reproducible); in bench/tests "
+                   "only iteration over one is flagged.")
+
+    UNORDERED = {"unordered_map", "unordered_multimap", "unordered_set",
+                 "unordered_multiset"}
+
+    def applies(self, path: str) -> bool:
+        return path.startswith(("src/", "bench/", "tests/", "examples/"))
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        strict = lexed.path.startswith("src/")
+        unordered_vars: set[str] = set()
+        for i, t in enumerate(toks):
+            if t.kind == "ident" and t.text in self.UNORDERED:
+                if strict:
+                    yield self._finding(
+                        lexed, t.line,
+                        f"std::{t.text} in src/: iteration order depends on "
+                        "hash seeding and allocation history; use "
+                        "std::map/std::set or sort before iterating")
+                # Record declared variable names for the iteration check.
+                j = i + 1
+                if j < len(toks) and toks[j].text == "<":
+                    close = balanced_span(toks, j, "<", ">")
+                    if close is not None:
+                        j = close + 1
+                if j < len(toks) and toks[j].kind == "ident":
+                    unordered_vars.add(toks[j].text)
+        if strict:
+            return
+        # Range-for or explicit .begin() iteration over an unordered var.
+        for i, t in enumerate(toks):
+            if t.kind == "ident" and t.text in unordered_vars:
+                nxt = _next_text(toks, i)
+                prev = _prev_text(toks, i)
+                if prev == ":" and self._in_range_for(toks, i):
+                    yield self._finding(
+                        lexed, t.line,
+                        f"iterating unordered container `{t.text}`: order "
+                        "is nondeterministic; sort keys first if the loop "
+                        "feeds any artifact")
+                elif nxt in (".",) and i + 2 < len(toks) and \
+                        toks[i + 2].text in ("begin", "cbegin"):
+                    yield self._finding(
+                        lexed, t.line,
+                        f"iterator sweep over unordered container "
+                        f"`{t.text}`: order is nondeterministic")
+
+    @staticmethod
+    def _in_range_for(toks: list[Token], i: int) -> bool:
+        # `for ( decl : var )` — scan back for `for` within a few tokens of
+        # the opening paren.
+        depth = 0
+        for k in range(i - 1, max(-1, i - 40), -1):
+            t = toks[k].text
+            if t == ")":
+                depth += 1
+            elif t == "(":
+                if depth == 0:
+                    return k > 0 and toks[k - 1].text == "for"
+                depth -= 1
+        return False
+
+
+# ------------------------------------------------------------ pointer-order
+
+class PointerOrderRule(Rule):
+    id = "pointer-order"
+    description = ("Pointer-keyed ordered containers or std::hash over a "
+                   "pointer: ordering/hashing follows ASLR'd addresses; key "
+                   "on a stable id instead.")
+
+    def applies(self, path: str) -> bool:
+        return path.startswith(("src/", "bench/", "tests/", "examples/"))
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        keyed_first = {"map", "multimap", "unordered_map", "unordered_multimap"}
+        keyed_whole = {"set", "multiset", "unordered_set", "unordered_multiset",
+                       "hash", "less", "greater"}
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or _next_text(toks, i) != "<":
+                continue
+            if t.text not in keyed_first and t.text not in keyed_whole:
+                continue
+            if _prev_text(toks, i) != "::":  # only std:: / qualified forms
+                continue
+            close = balanced_span(toks, i + 1, "<", ">")
+            if close is None:
+                continue
+            inner = toks[i + 2:close]
+            key_toks = inner
+            if t.text in keyed_first:
+                key_toks = self._first_arg(inner)
+            if self._has_top_level_ptr(key_toks):
+                what = ("key type" if t.text in keyed_first else
+                        "element/argument type")
+                yield self._finding(
+                    lexed, t.line,
+                    f"std::{t.text} with a pointer {what}: comparison/hash "
+                    "order follows ASLR'd addresses and changes every run; "
+                    "key on a stable id")
+
+    @staticmethod
+    def _first_arg(inner: list[Token]) -> list[Token]:
+        depth = 0
+        for k, t in enumerate(inner):
+            if t.text in ("<", "(", "["):
+                depth += 1
+            elif t.text in (">", ")", "]"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                return inner[:k]
+        return inner
+
+    @staticmethod
+    def _has_top_level_ptr(key_toks: list[Token]) -> bool:
+        depth = 0
+        for t in key_toks:
+            if t.text in ("<", "(", "["):
+                depth += 1
+            elif t.text in (">", ")", "]"):
+                depth -= 1
+            elif t.text == "*" and depth == 0:
+                return True
+        return False
+
+
+# -------------------------------------------------------- assert-side-effect
+
+class AssertSideEffectRule(Rule):
+    id = "assert-side-effect"
+    description = ("Side-effecting expression inside ARNET_ASSERT: the "
+                   "macro compiles out under ARNET_DISABLE_ASSERTS "
+                   "(microbenchmark builds), so the side effect silently "
+                   "disappears with it.")
+
+    MUTATING_PUNCT = {"++", "--", "=", "+=", "-=", "*=", "/=", "%=", "&=",
+                      "|=", "^=", "<<=", ">>="}
+    MUTATING_CALLS = {"insert", "erase", "push_back", "pop_back", "pop_front",
+                      "push_front", "emplace", "emplace_back", "emplace_front",
+                      "clear", "reset", "release", "store", "exchange",
+                      "fetch_add", "fetch_sub", "advance", "pop", "push",
+                      "send", "schedule", "cancel", "next_u64", "uniform",
+                      "uniform_int", "bernoulli", "exponential", "normal",
+                      "fork", "next", "tick", "step", "consume"}
+
+    def applies(self, path: str) -> bool:
+        return path.startswith(("src/", "bench/", "tests/", "examples/"))
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.text != "ARNET_ASSERT":
+                continue
+            if _next_text(toks, i) != "(":
+                continue
+            close = balanced_span(toks, i + 1)
+            if close is None:
+                continue
+            cond = self._condition(toks[i + 2:close])
+            why = self._side_effect(cond)
+            if why:
+                yield self._finding(
+                    lexed, t.line,
+                    f"ARNET_ASSERT condition {why}; the expression vanishes "
+                    "under ARNET_DISABLE_ASSERTS — hoist the side effect "
+                    "out of the macro (ARNET_CHECK is always-on if the "
+                    "effect is intended)")
+
+    @staticmethod
+    def _condition(inner: list[Token]) -> list[Token]:
+        depth = 0
+        for k, t in enumerate(inner):
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+            elif t.text == "," and depth == 0:
+                return inner[:k]
+        return inner
+
+    def _side_effect(self, cond: list[Token]) -> Optional[str]:
+        for k, t in enumerate(cond):
+            if t.kind == "punct" and t.text in self.MUTATING_PUNCT:
+                return f"contains mutation `{t.text}`"
+            if (t.kind == "ident" and t.text in self.MUTATING_CALLS
+                    and k > 0 and cond[k - 1].text in (".", "->")
+                    and k + 1 < len(cond) and cond[k + 1].text == "("):
+                return f"calls mutating `{t.text}()`"
+        return None
+
+
+# ---------------------------------------------------- global-mutable-state
+
+class GlobalMutableStateRule(Rule):
+    id = "global-mutable-state"
+    description = ("Mutable namespace-scope state outside the registered "
+                   "singletons: process-global state leaks across "
+                   "ExperimentRunner workers and across same-seed runs.")
+
+    # The blessed process-global singletons. Every entry carries a reviewed
+    # justification; a stale entry (matching nothing) fails the run so the
+    # registry cannot rot — the same posture as the retired lint's allowlist.
+    REGISTERED_SINGLETONS: dict[tuple[str, str], str] = {
+        ("src/check/assert.cpp", "g_policy"):
+            "process-wide check FailPolicy; atomic, set at scenario setup",
+        ("src/check/assert.cpp", "g_failures"):
+            "monotonic failure counter; atomic",
+        ("src/check/assert.cpp", "g_hook_mu"):
+            "mutex guarding the failure hook",
+        ("src/check/assert.cpp", "g_hook"):
+            "failure hook installed single-threaded at setup (DESIGN.md §6)",
+        ("src/check/rng_audit.cpp", "g_auditor"):
+            "RNG auditor activation seam; atomic pointer, test-scoped",
+        ("src/check/hash_canary.cpp", "g_hash_seed"):
+            "hash-canary perturbation seed; atomic, set once from env",
+        ("src/check/hash_canary.cpp", "g_hash_seed_once"):
+            "std::once_flag for the single getenv read",
+    }
+
+    # "inline" is deliberately absent: an inline namespace-scope variable in
+    # a header is exactly the mutable-global hazard this rule exists for.
+    SKIP_LEAD = {"using", "typedef", "extern", "template", "friend",
+                 "static_assert", "namespace", "concept", "enum", "class",
+                 "struct", "union", "return"}
+
+    def applies(self, path: str) -> bool:
+        return path.startswith("src/")
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        toks = lexed.tokens
+        scopes = lexed.scopes
+        used_singletons: set[tuple[str, str]] = set()
+        stmt_start = 0
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if not all(s == "namespace" for s in scopes[i]):
+                i += 1
+                stmt_start = i
+                continue
+            if t.text == ";" and t.kind == "punct":
+                stmt = toks[stmt_start:i]
+                f = self._check_statement(lexed, stmt, used_singletons)
+                if f is not None:
+                    yield f
+                stmt_start = i + 1
+            elif t.text == "{" and t.kind == "punct":
+                # Distinguish a scope-opening brace (namespace/class/function
+                # body — ends the statement) from a brace *initializer* of a
+                # namespace-scope variable (`std::atomic<X> g{...};` — part
+                # of the statement).
+                pushed = (scopes[i + 1][-1]
+                          if i + 1 < n and len(scopes[i + 1]) > len(scopes[i])
+                          else "block")
+                if pushed in ("init", "block"):
+                    close = balanced_span(toks, i, "{", "}")
+                    if close is not None:
+                        i = close  # keep accumulating the same statement
+                    else:
+                        stmt_start = i + 1
+                else:
+                    stmt_start = i + 1
+            elif t.text == "}" and t.kind == "punct":
+                stmt_start = i + 1
+            i += 1
+        for key, _just in self.REGISTERED_SINGLETONS.items():
+            if key[0] == lexed.path and key not in used_singletons:
+                yield Finding(
+                    file=lexed.path, line=1, rule=self.id,
+                    message=(f"stale singleton-registry entry "
+                             f"`{key[1]}`: it matches no namespace-scope "
+                             "variable in this file; remove it from "
+                             "REGISTERED_SINGLETONS"),
+                    snippet=key[1])
+
+    def _check_statement(self, lexed: LexedFile, stmt: list[Token],
+                         used: set[tuple[str, str]]) -> Optional[Finding]:
+        if not stmt:
+            return None
+        texts = [t.text for t in stmt]
+        if stmt[0].text.startswith("#"):
+            return None
+        if any(x in self.SKIP_LEAD for x in texts[:3]):
+            return None
+        if "constexpr" in texts or "consteval" in texts or "constinit" in texts:
+            return None
+        if "const" in texts:
+            return None  # accepts the rare const-pointer-to-mutable; fine
+        if "operator" in texts:
+            return None
+        # A top-level `(` before any `=`/`{` means a function declaration.
+        depth = 0
+        for t in stmt:
+            if t.text in ("{", "["):
+                depth += 1
+            elif t.text in ("}", "]"):
+                depth -= 1
+            elif depth == 0 and t.text == "=":
+                break
+            elif depth == 0 and t.text == "(":
+                return None
+        # Variable name: last ident before `;`, `=`, or `{`.
+        name = None
+        for t in stmt:
+            if t.text in ("=", "{"):
+                break
+            if t.kind == "ident":
+                name = t.text
+        if name is None:
+            return None
+        key = (lexed.path, name)
+        if key in self.REGISTERED_SINGLETONS:
+            used.add(key)
+            return None
+        return self._finding(
+            lexed, stmt[0].line,
+            f"mutable namespace-scope state `{name}`: process-global state "
+            "leaks across ExperimentRunner workers and same-seed runs; make "
+            "it const/constexpr, scope it to the scenario, or register it "
+            "as a reviewed singleton in GlobalMutableStateRule")
+
+
+# -------------------------------------------------------- missing-include
+
+class MissingIncludeRule(Rule):
+    id = "missing-include"
+    description = ("Public-header include hygiene: every std:: symbol a "
+                   "src/*/include header uses must be provided by a header "
+                   "it (or its arnet include closure) includes directly.")
+
+    # std::<symbol> -> acceptable providing headers. Curated to symbols with
+    # unambiguous homes; `size_t` accepts the two headers the repo uses.
+    PROVIDERS: dict[str, tuple[str, ...]] = {
+        "vector": ("vector",), "string": ("string",),
+        "string_view": ("string_view",), "map": ("map",),
+        "multimap": ("map",), "set": ("set",), "multiset": ("set",),
+        "array": ("array",), "deque": ("deque",), "list": ("list",),
+        "queue": ("queue",), "priority_queue": ("queue",),
+        "optional": ("optional",), "nullopt": ("optional",),
+        "variant": ("variant",), "tuple": ("tuple",),
+        "function": ("functional",), "reference_wrapper": ("functional",),
+        "unique_ptr": ("memory",), "shared_ptr": ("memory",),
+        "weak_ptr": ("memory",), "make_unique": ("memory",),
+        "make_shared": ("memory",), "atomic": ("atomic",),
+        "mutex": ("mutex",), "lock_guard": ("mutex",),
+        "scoped_lock": ("mutex",), "unique_lock": ("mutex",),
+        "call_once": ("mutex",), "once_flag": ("mutex",),
+        "condition_variable": ("condition_variable",),
+        "thread": ("thread",), "this_thread": ("thread",),
+        "chrono": ("chrono",), "pair": ("utility", "map"),
+        "make_pair": ("utility",), "move": ("utility",),
+        "forward": ("utility",), "exchange": ("utility",),
+        "sort": ("algorithm",), "stable_sort": ("algorithm",),
+        "lower_bound": ("algorithm",), "upper_bound": ("algorithm",),
+        "nth_element": ("algorithm",), "max_element": ("algorithm",),
+        "min_element": ("algorithm",), "min": ("algorithm",),
+        "max": ("algorithm",), "clamp": ("algorithm",),
+        "find_if": ("algorithm",), "remove_if": ("algorithm",),
+        "accumulate": ("numeric",), "iota": ("numeric",),
+        "numeric_limits": ("limits",),
+        "uint8_t": ("cstdint",), "uint16_t": ("cstdint",),
+        "uint32_t": ("cstdint",), "uint64_t": ("cstdint",),
+        "int8_t": ("cstdint",), "int16_t": ("cstdint",),
+        "int32_t": ("cstdint",), "int64_t": ("cstdint",),
+        "size_t": ("cstddef", "cstdint"),
+        "ptrdiff_t": ("cstddef",), "byte": ("cstddef",),
+        "ostringstream": ("sstream",), "istringstream": ("sstream",),
+        "stringstream": ("sstream",),
+        "ofstream": ("fstream",), "ifstream": ("fstream",),
+        "fstream": ("fstream",),
+        "ostream": ("ostream", "iostream", "sstream", "fstream", "iosfwd"),
+        "istream": ("istream", "iostream", "sstream", "fstream", "iosfwd"),
+        "cout": ("iostream",), "cerr": ("iostream",),
+        "runtime_error": ("stdexcept",), "logic_error": ("stdexcept",),
+        "invalid_argument": ("stdexcept",), "out_of_range": ("stdexcept",),
+        "to_string": ("string",),
+        "mt19937": ("random",), "mt19937_64": ("random",),
+        "uniform_real_distribution": ("random",),
+        "uniform_int_distribution": ("random",),
+        "bernoulli_distribution": ("random",),
+        "exponential_distribution": ("random",),
+        "normal_distribution": ("random",),
+        "poisson_distribution": ("random",),
+        "initializer_list": ("initializer_list",),
+        "bitset": ("bitset",), "span": ("span",),
+    }
+
+    def applies(self, path: str) -> bool:
+        return path.startswith("src/") and "/include/arnet/" in path \
+            and path.endswith(".hpp")
+
+    def check(self, lexed: LexedFile, ctx: Context) -> Iterable[Finding]:
+        has_pragma = any(
+            t.text.startswith("#") and "pragma" in t.text and "once" in t.text
+            for t in lexed.tokens)
+        if not has_pragma:
+            yield self._finding(lexed, 1,
+                                "public header lacks `#pragma once`")
+        std, arnet = parse_includes("\n".join(lexed.lines))
+        visible = ctx.closure_std_includes(std, arnet)
+        toks = lexed.tokens
+        reported: set[str] = set()
+        for i, t in enumerate(toks):
+            if t.kind != "ident" or t.text != "std":
+                continue
+            if _next_text(toks, i) != "::" or i + 2 >= len(toks):
+                continue
+            sym = toks[i + 2].text
+            if sym in reported or sym not in self.PROVIDERS:
+                continue
+            if not any(p in visible for p in self.PROVIDERS[sym]):
+                reported.add(sym)
+                want = self.PROVIDERS[sym][0]
+                yield self._finding(
+                    lexed, t.line,
+                    f"uses std::{sym} but neither this header nor its arnet "
+                    f"include closure includes <{want}>")
+
+
+ALL_RULES: list[Rule] = [
+    WallClockRule(), AmbientRandomnessRule(), RngDisciplineRule(),
+    UnorderedContainerRule(), PointerOrderRule(), AssertSideEffectRule(),
+    GlobalMutableStateRule(), MissingIncludeRule(),
+]
+
+# Meta-rules raised by the driver, not by a Rule subclass.
+META_RULES: dict[str, str] = {
+    "bad-suppression": ("NOLINT-arnet annotation without the required "
+                        "`: justification` (or naming no rules)."),
+    "stale-suppression": ("NOLINT-arnet annotation that suppressed nothing; "
+                          "remove it so dead suppressions cannot rot."),
+}
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    cat = [{"id": r.id, "description": " ".join(r.description.split())}
+           for r in ALL_RULES]
+    cat.extend({"id": k, "description": " ".join(v.split())}
+               for k, v in sorted(META_RULES.items()))
+    return cat

@@ -1,0 +1,87 @@
+"""`NOLINT-arnet` suppression handling.
+
+Grammar (inside any comment):
+
+    // NOLINT-arnet(rule[,rule...]): justification
+    // NOLINTNEXTLINE-arnet(rule[,rule...]): justification
+
+A suppression *must* carry a non-empty justification after the colon; one
+without it does not suppress anything and instead raises a `bad-suppression`
+finding (which itself cannot be suppressed). A suppression that matches no
+finding raises `stale-suppression` so dead annotations cannot rot in place —
+same posture as the retired lint_determinism allowlist.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .lexer import LexedFile
+
+_PATTERN = re.compile(
+    r"(?P<next>NOLINTNEXTLINE-arnet|NOLINT-arnet)"
+    r"\(\s*(?P<rules>[a-z0-9_,\s-]*)\s*\)"
+    r"(?P<colon>\s*:\s*(?P<reason>.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    file: str
+    comment_line: int   # line the annotation sits on
+    target_line: int    # line whose findings it suppresses
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+@dataclass
+class SuppressionSet:
+    suppressions: list[Suppression] = field(default_factory=list)
+    malformed: list[tuple[str, int, str]] = field(default_factory=list)  # file, line, why
+
+    def try_suppress(self, file: str, line: int, rule: str) -> bool:
+        for s in self.suppressions:
+            if s.file == file and s.target_line == line and rule in s.rules:
+                s.used = True
+                return True
+        return False
+
+    def stale(self) -> list[Suppression]:
+        return [s for s in self.suppressions if not s.used]
+
+
+def collect(lexed: LexedFile) -> SuppressionSet:
+    out = SuppressionSet()
+    for line, text in sorted(lexed.comments.items()):
+        for m in _PATTERN.finditer(text):
+            rules = tuple(r.strip() for r in m.group("rules").split(",") if r.strip())
+            reason = (m.group("reason") or "").strip()
+            if not rules:
+                out.malformed.append(
+                    (lexed.path, line, "suppression names no rules"))
+                continue
+            if not reason:
+                out.malformed.append(
+                    (lexed.path, line,
+                     "suppression lacks a justification (`: reason` is required)"))
+                continue
+            target = line + 1 if m.group("next").startswith("NOLINTNEXTLINE") else line
+            out.suppressions.append(Suppression(
+                file=lexed.path, comment_line=line, target_line=target,
+                rules=rules, reason=reason))
+        # Catch the annotation spelled without parentheses at all.
+        if "NOLINT-arnet" in text and not _PATTERN.search(text):
+            out.malformed.append(
+                (lexed.path, line,
+                 "malformed NOLINT-arnet (expected `NOLINT-arnet(rule): reason`)"))
+    return out
+
+
+def merge(sets: list[SuppressionSet]) -> SuppressionSet:
+    merged = SuppressionSet()
+    for s in sets:
+        merged.suppressions.extend(s.suppressions)
+        merged.malformed.extend(s.malformed)
+    return merged

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Sanity-check arnet-analyze-v1 findings reports.
+
+Usage: check_analyze_schema.py FILE [FILE...]
+
+Fails (exit 1) on a structurally broken report so CI archives findings, not
+garbage: wrong schema id, empty rule catalog, findings whose rule id is not
+in the catalog, non-positive line numbers, or a summary that disagrees with
+the findings list. Same posture as check_bench_schema.py.
+"""
+import json
+import sys
+from collections import Counter
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or invalid JSON: {e}")
+
+    rc = 0
+    if doc.get("schema") != "arnet-analyze-v1":
+        return fail(path, f"bad schema id: {doc.get('schema')!r}")
+    if doc.get("tool") != "arnet-analyze":
+        rc |= fail(path, f"bad tool name: {doc.get('tool')!r}")
+    if not isinstance(doc.get("files_scanned"), int) or doc["files_scanned"] < 1:
+        rc |= fail(path, "files_scanned must be a positive integer")
+    rules = doc.get("rules")
+    if not isinstance(rules, list) or not rules:
+        return fail(path, "empty or missing rule catalog")
+    rule_ids = set()
+    for r in rules:
+        if not isinstance(r.get("id"), str) or not r["id"]:
+            rc |= fail(path, "rule with missing id")
+            continue
+        if not isinstance(r.get("description"), str) or not r["description"]:
+            rc |= fail(path, f"rule {r['id']}: missing description")
+        rule_ids.add(r["id"])
+
+    findings = doc.get("findings")
+    if not isinstance(findings, list):
+        return fail(path, "findings must be a list (empty when clean)")
+    for f in findings:
+        where = f.get("file", "<nofile>")
+        if not isinstance(f.get("file"), str) or not f["file"]:
+            rc |= fail(path, "finding with missing file")
+        if not isinstance(f.get("line"), int) or f["line"] < 1:
+            rc |= fail(path, f"{where}: finding line must be >= 1")
+        if f.get("rule") not in rule_ids:
+            rc |= fail(path, f"{where}: finding rule {f.get('rule')!r} "
+                             "not in the rule catalog")
+        if not isinstance(f.get("message"), str) or not f["message"]:
+            rc |= fail(path, f"{where}: finding with empty message")
+
+    for k in ("baselined", "suppressions_used"):
+        if not isinstance(doc.get(k), int) or doc[k] < 0:
+            rc |= fail(path, f"{k} must be a non-negative integer")
+
+    summary = doc.get("summary")
+    if not isinstance(summary, dict):
+        rc |= fail(path, "missing summary object")
+    else:
+        want = Counter(f.get("rule") for f in findings)
+        if dict(want) != summary:
+            rc |= fail(path, f"summary {summary} disagrees with findings "
+                             f"{dict(want)}")
+    if rc == 0:
+        print(f"{path}: OK ({len(findings)} findings, {len(rule_ids)} rules, "
+              f"{doc['files_scanned']} files scanned)")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check_file(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
