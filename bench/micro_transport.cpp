@@ -115,6 +115,26 @@ std::int64_t run_tcp_bulk_transfer() {
   return static_cast<std::int64_t>(sim.events_executed());
 }
 
+std::int64_t run_bbr_steady_state() {
+  // Wall-clock cost of 10 simulated seconds of a greedy BBR flow riding a
+  // 20 Mb/s bottleneck: exercises the bw/min-RTT filters, the ProbeBW gain
+  // cycle, and at least one ProbeRTT episode per run.
+  sim::Simulator sim;
+  net::Network net(sim, 1);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 20e6, sim::milliseconds(20), 100);
+  transport::TcpSink sink(net, s, 80);
+  transport::TcpSource::Config cfg;
+  cfg.flavor = transport::TcpFlavor::kBbr;
+  cfg.sack = true;
+  transport::TcpSource src(net, c, 1000, s, 80, 1, cfg);
+  src.send_forever();
+  sim.run_until(sim::seconds(10));
+  benchmark::DoNotOptimize(sink.received_bytes());
+  return static_cast<std::int64_t>(sim.events_executed());
+}
+
 std::int64_t run_artp_session() {
   // Wall-clock cost of simulating 10 s of a 30 Hz ARTP feature stream.
   sim::Simulator sim;
@@ -215,6 +235,11 @@ void BM_TcpBulkTransferSimulated(benchmark::State& state) {
 }
 BENCHMARK(BM_TcpBulkTransferSimulated);
 
+void BM_BbrSteadyStateSimulated(benchmark::State& state) {
+  for (auto _ : state) run_bbr_steady_state();
+}
+BENCHMARK(BM_BbrSteadyStateSimulated);
+
 void BM_ArtpSessionSimulated(benchmark::State& state) {
   for (auto _ : state) run_artp_session();
 }
@@ -242,6 +267,7 @@ int main(int argc, char** argv) {
       {"ClassfulPriorityQueue", run_classful_priority_queue},
       {"JitterBufferPushPop", run_jitter_buffer_push_pop},
       {"TcpBulkTransferSimulated", run_tcp_bulk_transfer},
+      {"BbrSteadyState", run_bbr_steady_state},
       {"ArtpSessionSimulated", run_artp_session},
       {"WifiCellSaturated", run_wifi_cell_saturated},
       {"FleetSessionChurn", run_fleet_session_churn},

@@ -1,0 +1,165 @@
+// Transport shootout: ARTP vs TCP (Reno/CUBIC/BBR) vs a paced QUIC-lite
+// stack, each carrying a 30 fps AR camera-frame uplink across WiFi, everyday
+// LTE, and 5G NR (with mmWave blockage bursts). Scored the way an AR app
+// experiences transport quality: what fraction of frames arrive whole before
+// their deadline, how late the tail is, and what goodput survives (paper §V
+// "TCP is the wrong tool", §VI ARTP; arvr-sim methodology for the
+// on-time/late/incomplete split).
+//
+// Each cell is an independent simulation world fanned across an
+// ExperimentRunner pool (`--jobs N`), with per-cell seeds derived from the
+// root seed by run index — output is byte-identical for any job count.
+// Artifacts land under --out-dir (default bench-out/):
+//   sec_transport_shootout_report.txt   this console report
+//   BENCH_sec_transport_shootout.json   arnet-bench-v1 summary, sim-derived
+//
+// As in scale_fleet, the summary reports *simulated* time as wall_time_s and
+// frames as iterations: the numbers are properties of the model, not of the
+// host machine, which keeps serial and parallel runs byte-identical and the
+// file diffable across CI runs.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arnet/core/shootout.hpp"
+#include "arnet/core/table.hpp"
+#include "arnet/obs/export.hpp"
+#include "arnet/runner/experiment.hpp"
+
+using namespace arnet;
+
+namespace {
+
+std::vector<core::ShootoutCellConfig> build_cells(bool smoke) {
+  std::vector<core::ShootoutCellConfig> cells;
+  const sim::Time d = smoke ? sim::seconds(6) : sim::seconds(20);
+  for (core::ShootoutNetwork n : {core::ShootoutNetwork::kWifi, core::ShootoutNetwork::kLte,
+                                  core::ShootoutNetwork::kNr5g}) {
+    for (core::ShootoutTransport t :
+         {core::ShootoutTransport::kArtp, core::ShootoutTransport::kReno,
+          core::ShootoutTransport::kCubic, core::ShootoutTransport::kBbr,
+          core::ShootoutTransport::kQuicLite}) {
+      core::ShootoutCellConfig c;
+      c.transport = t;
+      c.network = n;
+      c.duration = d;
+      cells.push_back(c);
+    }
+  }
+  return cells;
+}
+
+void json_num(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << v;
+  os << tmp.str();
+}
+
+/// arnet-bench-v1 emitter fed from simulation results instead of host timers
+/// (json_bench.hpp documents the schema).
+bool write_summary(const std::string& path,
+                   const std::vector<core::ShootoutCellResult>& results) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\"schema\": \"arnet-bench-v1\", \"suite\": \"sec_transport_shootout\", "
+        "\"benchmarks\": [";
+  bool first = true;
+  for (const core::ShootoutCellResult& r : results) {
+    if (!first) os << ",";
+    first = false;
+    const double sim_s = r.sim_seconds > 0 ? r.sim_seconds : 1.0;
+    os << "\n  {\"name\": \"" << obs::json_escape(r.name)
+       << "\", \"iterations\": " << r.frames_sent << ", \"wall_time_s\": ";
+    json_num(os, sim_s);
+    os << ", \"ops_per_sec\": ";
+    json_num(os, static_cast<double>(r.frames_sent) / sim_s);
+    os << ", \"sim_events\": " << r.sim_events << ", \"sim_events_per_sec\": ";
+    json_num(os, static_cast<double>(r.sim_events) / sim_s);
+    os << ", \"frames_on_time\": " << r.frames_on_time
+       << ", \"frames_late\": " << r.frames_late
+       << ", \"frames_incomplete\": " << r.frames_incomplete << ", \"hit_ratio\": ";
+    json_num(os, r.hit_ratio);
+    os << ", \"goodput_mbps\": ";
+    json_num(os, r.goodput_mbps);
+    os << ", \"latency_ns\": {\"mean\": ";
+    json_num(os, r.mean_ms * 1e6);
+    os << ", \"p50\": ";
+    json_num(os, r.p50_ms * 1e6);
+    os << ", \"p90\": ";
+    json_num(os, r.p90_ms * 1e6);
+    os << ", \"p99\": ";
+    json_num(os, r.p99_ms * 1e6);
+    os << ", \"min\": ";
+    json_num(os, r.min_ms * 1e6);
+    os << ", \"max\": ";
+    json_num(os, r.max_ms * 1e6);
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = runner::parse_string_flag(argc, argv, "--smoke", "no") != "no";
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  const std::string seed_str = runner::parse_string_flag(argc, argv, "--seed", "1");
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  pool_cfg.root_seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+  runner::ExperimentRunner pool(pool_cfg);
+  runner::ReportTee tee(runner::out_path(out_dir, "sec_transport_shootout_report.txt"));
+
+  const std::vector<core::ShootoutCellConfig> cells = build_cells(smoke);
+  std::cout << "=== transport shootout: frame deadlines over WiFi / LTE / 5G NR ===\n"
+            << cells.size() << " cells, " << pool.jobs() << " jobs, root seed "
+            << pool.root_seed() << (smoke ? " (smoke)" : "") << "\n\n";
+
+  std::vector<core::ShootoutCellResult> results(cells.size());
+  pool.for_each(cells.size(), [&](runner::RunContext& ctx) {
+    results[ctx.run_index] = core::run_shootout_cell(cells[ctx.run_index], ctx.seed);
+  });
+
+  core::TablePrinter t({"cell", "frames", "on-time", "late", "incomp", "hit %", "p50",
+                        "p99", "max", "goodput Mb/s"});
+  for (const core::ShootoutCellResult& r : results) {
+    t.add_row({r.name, std::to_string(r.frames_sent), std::to_string(r.frames_on_time),
+               std::to_string(r.frames_late), std::to_string(r.frames_incomplete),
+               core::fmt(r.hit_ratio * 100, 1), core::fmt_ms(r.p50_ms, 1),
+               core::fmt_ms(r.p99_ms, 1), core::fmt_ms(r.max_ms, 1),
+               core::fmt(r.goodput_mbps, 2)});
+  }
+  t.print(std::cout);
+
+  // Per-network winner by deadline-hit ratio — the number an AR session
+  // scheduler would pick its transport by.
+  std::cout << "\nbest transport per network (by deadline-hit ratio):\n";
+  for (core::ShootoutNetwork n : {core::ShootoutNetwork::kWifi, core::ShootoutNetwork::kLte,
+                                  core::ShootoutNetwork::kNr5g}) {
+    const core::ShootoutCellResult* best = nullptr;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (cells[i].network != n) continue;
+      if (!best || results[i].hit_ratio > best->hit_ratio) best = &results[i];
+    }
+    if (best) {
+      std::cout << "  " << to_string(n) << ": " << best->name << " ("
+                << core::fmt(best->hit_ratio * 100, 1) << "% on time, p99 "
+                << core::fmt_ms(best->p99_ms, 1) << ")\n";
+    }
+  }
+
+  const std::string summary_path =
+      runner::out_path(out_dir, "BENCH_sec_transport_shootout.json");
+  if (!write_summary(summary_path, results)) {
+    std::cerr << "cannot write " << summary_path << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << summary_path << "\n";
+  return 0;
+}

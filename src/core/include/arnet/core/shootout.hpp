@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::core {
+
+/// Transport under test in the shootout: the paper's ARTP proposal against
+/// the TCP loss-based baselines (Reno/CUBIC), the model-based BBR, and a
+/// congestion-blind paced-UDP QUIC-lite stack.
+enum class ShootoutTransport {
+  kArtp,
+  kReno,
+  kCubic,
+  kBbr,
+  kQuicLite,
+};
+
+/// Access network the AR uplink crosses (paper §IV-A technologies).
+enum class ShootoutNetwork {
+  kWifi,  ///< shared DCF cell with backlogged contender stations
+  kLte,   ///< everyday LTE (fading + jitter + spikes)
+  kNr5g,  ///< 5G NR: very fast but volatile, with mmWave blockage bursts
+};
+
+const char* to_string(ShootoutTransport t);
+const char* to_string(ShootoutNetwork n);
+
+/// One cell of the transport shootout grid: a single AR client uploading
+/// camera frames at `fps` over one access network, scored frame-by-frame
+/// against a delivery deadline (the arvr-sim methodology: every frame ends
+/// up exactly one of on-time, late, or incomplete).
+struct ShootoutCellConfig {
+  ShootoutTransport transport = ShootoutTransport::kArtp;
+  ShootoutNetwork network = ShootoutNetwork::kWifi;
+  double fps = 30.0;
+  std::int64_t frame_bytes = 30000;  ///< ~30 KB compressed camera frame
+  sim::Time deadline = sim::milliseconds(50);
+  sim::Time duration = sim::seconds(20);
+  int wifi_contenders = 2;  ///< backlogged stations sharing the WiFi cell
+
+  std::string name() const;
+};
+
+/// Per-cell outcome. `frames_incomplete` counts every submitted frame that
+/// never fully arrived (shed, expired, or still in flight at the end), so
+/// on_time + late + incomplete == sent.
+struct ShootoutCellResult {
+  std::string name;
+  std::int64_t frames_sent = 0;
+  std::int64_t frames_on_time = 0;
+  std::int64_t frames_late = 0;
+  std::int64_t frames_incomplete = 0;
+  double hit_ratio = 0.0;  ///< on_time / sent
+  double mean_ms = 0.0;    ///< completed-frame delivery latency
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double min_ms = 0.0;
+  double max_ms = 0.0;
+  /// Application bytes delivered per second of simulated time, in Mb/s
+  /// (completed frames for ARTP/QUIC-lite, stream bytes for TCP).
+  double goodput_mbps = 0.0;
+  double sim_seconds = 0.0;
+  std::int64_t sim_events = 0;
+};
+
+/// Builds the cell's topology + transport, runs it for `cfg.duration` (plus a
+/// short drain so in-flight frames classify), and scores every frame.
+/// Deterministic per (cfg, seed): equal inputs give byte-equal results.
+ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_t seed);
+
+}  // namespace arnet::core

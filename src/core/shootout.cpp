@@ -1,0 +1,300 @@
+#include "arnet/core/shootout.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "arnet/net/link.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/sim/stats.hpp"
+#include "arnet/transport/artp.hpp"
+#include "arnet/transport/quic_lite.hpp"
+#include "arnet/transport/tcp.hpp"
+#include "arnet/transport/udp.hpp"
+#include "arnet/wireless/cellular.hpp"
+#include "arnet/wireless/wifi_bridge.hpp"
+
+namespace arnet::core {
+
+const char* to_string(ShootoutTransport t) {
+  switch (t) {
+    case ShootoutTransport::kArtp: return "ARTP";
+    case ShootoutTransport::kReno: return "Reno";
+    case ShootoutTransport::kCubic: return "CUBIC";
+    case ShootoutTransport::kBbr: return "BBR";
+    case ShootoutTransport::kQuicLite: return "QUIC-lite";
+  }
+  return "?";
+}
+
+const char* to_string(ShootoutNetwork n) {
+  switch (n) {
+    case ShootoutNetwork::kWifi: return "WiFi";
+    case ShootoutNetwork::kLte: return "LTE";
+    case ShootoutNetwork::kNr5g: return "5G-NR";
+  }
+  return "?";
+}
+
+std::string ShootoutCellConfig::name() const {
+  return std::string(to_string(transport)) + "/" + to_string(network);
+}
+
+namespace {
+
+constexpr net::Port kArClientPort = 5000;
+constexpr net::Port kArServerPort = 6000;
+constexpr net::FlowId kArFlow = 1;
+
+/// Frame-level scoreboard shared by all five transports: completion events
+/// flow in here, and whatever never completes is incomplete by subtraction.
+struct FrameScore {
+  std::int64_t sent = 0;
+  std::int64_t on_time = 0;
+  std::int64_t late = 0;
+  std::int64_t delivered_app_bytes = 0;
+  sim::Samples latency_ms;
+
+  void complete(sim::Time latency, sim::Time deadline, std::int64_t bytes) {
+    if (latency <= deadline) {
+      ++on_time;
+    } else {
+      ++late;
+    }
+    latency_ms.add(sim::to_milliseconds(latency));
+    delivered_app_bytes += bytes;
+  }
+};
+
+/// Everything that must stay alive while the cell runs.
+struct CellPlant {
+  std::unique_ptr<wireless::WifiSharedMedium> medium;
+  std::vector<std::unique_ptr<wireless::CellularModulator>> modulators;
+  std::vector<std::unique_ptr<transport::UdpEndpoint>> sinks;
+  std::vector<std::unique_ptr<transport::CbrSource>> contenders;
+  net::Link* uplink = nullptr;  ///< client->server (informational)
+};
+
+/// Builds the access network between client and server for the chosen leg.
+void build_network(const ShootoutCellConfig& cfg, net::Network& net, net::NodeId client,
+                   net::NodeId server, std::uint64_t seed, CellPlant& plant) {
+  switch (cfg.network) {
+    case ShootoutNetwork::kWifi: {
+      // One DCF cell: the AR client plus `wifi_contenders` backlogged
+      // stations share the medium; the AP->client downlink (ACKs, feedback)
+      // is modeled contention-free.
+      net::Link::Config up;
+      up.rate_bps = 30e6;
+      up.delay = sim::milliseconds(2);
+      up.queue_packets = 200;
+      up.name = "wifi-up";
+      net::Link::Config down;
+      down.rate_bps = 54e6;
+      down.delay = sim::milliseconds(2);
+      down.queue_packets = 200;
+      down.name = "wifi-down";
+      auto [ul, dl] = net.connect(client, server, std::move(up), std::move(down));
+      plant.uplink = ul;
+      plant.medium = std::make_unique<wireless::WifiSharedMedium>(net.sim());
+      plant.medium->attach(*ul, 54e6, "ar-client");
+      for (int i = 0; i < cfg.wifi_contenders; ++i) {
+        net::NodeId sta = net.add_node("sta-" + std::to_string(i));
+        net::Link::Config sup;
+        sup.rate_bps = 30e6;
+        sup.delay = sim::milliseconds(2);
+        sup.queue_packets = 100;
+        sup.name = "sta-up-" + std::to_string(i);
+        net::Link::Config sdown;
+        sdown.rate_bps = 54e6;
+        sdown.delay = sim::milliseconds(2);
+        sdown.name = "sta-down-" + std::to_string(i);
+        auto [cul, cdl] = net.connect(sta, server, std::move(sup), std::move(sdown));
+        (void)cdl;
+        plant.medium->attach(*cul, 54e6, "sta-" + std::to_string(i));
+        net::Port sink_port = static_cast<net::Port>(6100 + i);
+        plant.sinks.push_back(
+            std::make_unique<transport::UdpEndpoint>(net, server, sink_port));
+        transport::CbrSource::Config cc;
+        cc.rate_bps = 40e6;  // well above any fair share: permanently backlogged
+        cc.flow = static_cast<net::FlowId>(10 + i);
+        plant.contenders.push_back(std::make_unique<transport::CbrSource>(
+            net, sta, static_cast<net::Port>(5100 + i), server, sink_port, cc));
+      }
+      plant.medium->start();
+      for (auto& c : plant.contenders) c->start();
+      break;
+    }
+    case ShootoutNetwork::kLte:
+    case ShootoutNetwork::kNr5g: {
+      wireless::CellularProfile profile = cfg.network == ShootoutNetwork::kLte
+                                              ? wireless::CellularProfile::lte()
+                                              : wireless::CellularProfile::nr_5g();
+      auto att = wireless::attach_cellular(net, client, server, profile, seed ^ 0xCE11);
+      plant.uplink = att.uplink;
+      att.modulator->start();
+      plant.modulators.push_back(std::move(att.modulator));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_t seed) {
+  sim::Simulator sim;
+  net::Network net(sim, seed);
+  net::NodeId client = net.add_node("ar-client");
+  net::NodeId server = net.add_node("edge-server");
+
+  CellPlant plant;
+  build_network(cfg, net, client, server, seed, plant);
+
+  FrameScore score;
+
+  // Transport plumbing. Exactly one of these sets of endpoints is live; the
+  // submit closure hides which one.
+  std::unique_ptr<transport::ArtpSender> artp_tx;
+  std::unique_ptr<transport::ArtpReceiver> artp_rx;
+  std::unique_ptr<transport::TcpSource> tcp_tx;
+  std::unique_ptr<transport::TcpSink> tcp_rx;
+  std::unique_ptr<transport::QuicLiteSender> quic_tx;
+  std::unique_ptr<transport::QuicLiteReceiver> quic_rx;
+  std::function<void()> submit_frame;
+
+  // TCP frames are byte ranges of one stream: frame i is complete when the
+  // sink's cumulative byte count crosses boundary (i+1)*frame_bytes.
+  struct TcpFrame {
+    std::int64_t boundary = 0;
+    sim::Time submitted_at = 0;
+  };
+  std::deque<TcpFrame> tcp_frames;
+  std::int64_t tcp_submitted_bytes = 0;
+
+  switch (cfg.transport) {
+    case ShootoutTransport::kArtp: {
+      transport::ArtpSenderConfig scfg;
+      // Provision the delay-gradient controller at the media's nominal rate
+      // (frame_bytes x fps), the way real-time stacks seed their start
+      // bitrate from the encoder target. The controller default of 1 Mb/s
+      // with +200 kb/s per epoch never catches a 7.2 Mb/s frame source:
+      // the staging backlog blows past the 250 ms staleness bound within
+      // four frames and from then on every message is shed before a single
+      // chunk reaches the wire — zero deliveries, complete or otherwise.
+      transport::DelayGradientController::Config dg;
+      dg.initial_rate_bps = static_cast<double>(cfg.frame_bytes) * 8.0 * cfg.fps;
+      std::vector<transport::ArtpPathConfig> paths(1);
+      paths[0].controller = std::make_unique<transport::DelayGradientController>(dg);
+      artp_tx = std::make_unique<transport::ArtpSender>(net, client, kArClientPort, server,
+                                                        kArServerPort, kArFlow, scfg,
+                                                        std::move(paths));
+      artp_rx = std::make_unique<transport::ArtpReceiver>(net, server, kArServerPort);
+      artp_rx->set_message_callback([&](const transport::ArtpDelivery& d) {
+        // Incomplete (expired) deliveries stay in the incomplete bucket.
+        if (d.complete) score.complete(d.latency(), cfg.deadline, cfg.frame_bytes);
+      });
+      submit_frame = [&] {
+        transport::ArtpMessageSpec spec;
+        spec.bytes = cfg.frame_bytes;
+        spec.tclass = net::TrafficClass::kBestEffortLossRecovery;
+        spec.priority = net::Priority::kMediumNoDelay;
+        spec.app = net::AppData::kVideoReferenceFrame;
+        // kMediumNoDelay is a droppable band, whose default stale-after
+        // (60 ms) is shorter than one 30 KB frame's serialization at the
+        // delay-gradient controller's initial 1 Mb/s — every frame would be
+        // shed mid-flight before the rate ramps. Keep frames eligible until
+        // the receiver's own 250 ms expiry would reclassify them anyway.
+        spec.stale_after = sim::milliseconds(250);
+        spec.frame_id = static_cast<std::uint32_t>(score.sent);
+        artp_tx->send_message(spec);
+      };
+      break;
+    }
+    case ShootoutTransport::kReno:
+    case ShootoutTransport::kCubic:
+    case ShootoutTransport::kBbr: {
+      transport::TcpSource::Config tc;
+      tc.flavor = cfg.transport == ShootoutTransport::kReno    ? transport::TcpFlavor::kReno
+                  : cfg.transport == ShootoutTransport::kCubic ? transport::TcpFlavor::kCubic
+                                                               : transport::TcpFlavor::kBbr;
+      tc.sack = true;
+      tcp_rx = std::make_unique<transport::TcpSink>(net, server, kArServerPort);
+      tcp_tx = std::make_unique<transport::TcpSource>(net, client, kArClientPort, server,
+                                                      kArServerPort, kArFlow, tc);
+      submit_frame = [&] {
+        tcp_submitted_bytes += cfg.frame_bytes;
+        tcp_frames.push_back({tcp_submitted_bytes, sim.now()});
+        tcp_tx->send(cfg.frame_bytes);
+      };
+      break;
+    }
+    case ShootoutTransport::kQuicLite: {
+      transport::QuicLiteSender::Config qs;
+      quic_tx = std::make_unique<transport::QuicLiteSender>(net, client, kArClientPort, server,
+                                                            kArServerPort, kArFlow, qs);
+      transport::QuicLiteReceiver::Config qr;
+      qr.deadline = cfg.deadline;
+      quic_rx = std::make_unique<transport::QuicLiteReceiver>(net, server, kArServerPort, qr);
+      quic_rx->set_frame_callback([&](const transport::QuicFrameResult& r) {
+        if (r.complete) score.complete(r.latency(), cfg.deadline, cfg.frame_bytes);
+      });
+      submit_frame = [&] { quic_tx->send_frame(cfg.frame_bytes); };
+      break;
+    }
+  }
+
+  // Frame clock: frame i is submitted at the absolute instant i/fps, so a
+  // cell of duration D carries exactly floor(D*fps) frames. (A relative
+  // `after(1/fps)` chain accumulates integer-ns truncation — 90 ticks of
+  // 33'333'333 ns land 30 ns short of 3 s and a 91st frame sneaks in.)
+  std::function<void()> frame_tick = [&] {
+    submit_frame();
+    ++score.sent;
+    const sim::Time next =
+        sim::from_seconds(static_cast<double>(score.sent) / std::max(1e-9, cfg.fps));
+    if (next < cfg.duration) sim.at(next, frame_tick);
+  };
+  frame_tick();
+
+  // TCP completion poll: the sink has no frame notion, so watch its byte
+  // counter on a 1 ms clock (quantizes latency upward by <=1 ms, identically
+  // for all three TCP flavors).
+  std::function<void()> tcp_poll = [&] {
+    while (!tcp_frames.empty() && tcp_rx->received_bytes() >= tcp_frames.front().boundary) {
+      score.complete(sim.now() - tcp_frames.front().submitted_at, cfg.deadline,
+                     cfg.frame_bytes);
+      tcp_frames.pop_front();
+    }
+    sim.after(sim::milliseconds(1), tcp_poll);
+  };
+  if (tcp_rx) tcp_poll();
+
+  // Drain grace so frames in flight at the cutoff get to classify (matches
+  // the receivers' 250 ms expiry sweeps).
+  sim.run_until(cfg.duration + sim::milliseconds(300));
+
+  ShootoutCellResult r;
+  r.name = cfg.name();
+  r.frames_sent = score.sent;
+  r.frames_on_time = score.on_time;
+  r.frames_late = score.late;
+  r.frames_incomplete = score.sent - score.on_time - score.late;
+  r.hit_ratio = score.sent > 0 ? static_cast<double>(score.on_time) / score.sent : 0.0;
+  r.mean_ms = score.latency_ms.mean();
+  r.p50_ms = score.latency_ms.median();
+  r.p90_ms = score.latency_ms.percentile(0.90);
+  r.p99_ms = score.latency_ms.percentile(0.99);
+  r.min_ms = score.latency_ms.min();
+  r.max_ms = score.latency_ms.max();
+  r.sim_seconds = sim::to_seconds(cfg.duration);
+  std::int64_t app_bytes =
+      tcp_rx ? tcp_rx->received_bytes() : score.delivered_app_bytes;
+  r.goodput_mbps = r.sim_seconds > 0 ? app_bytes * 8.0 / 1e6 / r.sim_seconds : 0.0;
+  r.sim_events = static_cast<std::int64_t>(sim.events_executed());
+  return r;
+}
+
+}  // namespace arnet::core

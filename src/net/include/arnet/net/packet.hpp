@@ -137,7 +137,20 @@ struct UdpHeader {
   std::uint64_t seq = 0;
 };
 
-using TransportHeader = std::variant<std::monostate, TcpHeader, ArtpHeader, UdpHeader>;
+/// QUIC-lite fragment header: one paced UDP datagram of an application frame
+/// (arvr-sim's VrHeader — frameId/pktId/pktCount/sendTs — plus the frame
+/// submission timestamp so the receiver can do deadline accounting).
+struct QuicHeader {
+  std::uint32_t frame_id = 0;
+  std::uint32_t frag = 0;        ///< fragment index within the frame
+  std::uint32_t frag_count = 1;  ///< fragments in the frame
+  std::uint64_t wire_seq = 0;    ///< per-connection send sequence
+  sim::Time sent_at = 0;             ///< wire timestamp of this fragment
+  sim::Time frame_submitted_at = 0;  ///< when the app handed over the frame
+};
+
+using TransportHeader =
+    std::variant<std::monostate, TcpHeader, ArtpHeader, UdpHeader, QuicHeader>;
 
 /// A simulated packet. Value type: links and queues move/copy it freely.
 struct Packet {

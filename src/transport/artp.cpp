@@ -41,6 +41,7 @@ ArtpSender::ArtpSender(net::Network& net, net::NodeId local, net::Port local_por
     if (!pc.controller) pc.controller = std::make_unique<DelayGradientController>();
     p.cfg = std::move(pc);
     p.id = id++;
+    p.min_owd.set_window(cfg_.min_owd_window);
     paths_.push_back(std::move(p));
   }
   if (cfg_.tracer) trace_entity_ = cfg_.tracer->register_entity(cfg_.trace_entity);
@@ -487,7 +488,7 @@ void ArtpSender::on_feedback(const ArtpHeader& h) {
                static_cast<std::int64_t>(h.fb_nacks.size()));
   Path& path = paths_[h.path_id];
   path.last_owd = h.fb_owd;
-  path.min_owd = std::min(path.min_owd, h.fb_min_owd);
+  path.min_owd.update(h.fb_min_owd, net_.sim().now());
   path.saw_feedback = true;
 
   CcFeedback fb;
@@ -553,7 +554,9 @@ void ArtpReceiver::on_packet(Packet&& p) {
   sim::Time now = net_.sim().now();
   peer_ = {p.src, p.src_port, p.flow};
 
-  PathState& ps = path_state_[h->path_id];
+  auto [ps_it, ps_new] = path_state_.try_emplace(h->path_id);
+  PathState& ps = ps_it->second;
+  if (ps_new) ps.min_owd.set_window(cfg_.min_owd_window);
   ps.active = true;
   // `highest_seq` is the next expected per-path wire sequence; any jump
   // counts the skipped packets as losses (paths are FIFO in simulation).
@@ -564,7 +567,7 @@ void ArtpReceiver::on_packet(Packet&& p) {
   ++ps.received_in_epoch;
   ps.bytes_in_epoch += p.size_bytes;
   ps.last_owd = now - h->sent_at;
-  ps.min_owd = std::min(ps.min_owd, ps.last_owd);
+  ps.min_owd.update(ps.last_owd, now);
   goodput_.on_bytes(p.size_bytes);
 
   // Critical-sequence gap tracking: any arrival of cseq X reveals every
@@ -771,7 +774,8 @@ void ArtpReceiver::feedback_tick() {
       h.kind = ArtpHeader::Kind::kFeedback;
       h.path_id = path_id;
       h.fb_owd = ps.last_owd;
-      h.fb_min_owd = ps.min_owd == sim::kNever ? ps.last_owd : ps.min_owd;
+      ps.min_owd.expire(now);
+      h.fb_min_owd = ps.min_owd.get_or(ps.last_owd);
       std::int64_t expected = ps.received_in_epoch + ps.lost_in_epoch;
       h.fb_loss_fraction =
           expected > 0 ? static_cast<double>(ps.lost_in_epoch) / static_cast<double>(expected)

@@ -18,6 +18,7 @@
 #include "arnet/sim/stats.hpp"
 #include "arnet/trace/trace.hpp"
 #include "arnet/transport/congestion.hpp"
+#include "arnet/transport/windowed_filter.hpp"
 
 namespace arnet::transport {
 
@@ -98,6 +99,10 @@ struct ArtpSenderConfig {
   /// critical message has been on the wire for this long, re-stage it
   /// (NACK-driven recovery handles everything except a fully lost tail).
   sim::Time critical_rto = sim::milliseconds(200);
+  /// Window of the per-path min-OWD estimate mirrored from receiver feedback.
+  /// Windowed (not all-time) so a base-delay increase — handover, reroute —
+  /// ages out instead of reading as a permanent standing queue.
+  sim::Time min_owd_window = sim::seconds(10);
   MultipathPolicy policy = MultipathPolicy::kSingle;
   bool duplicate_critical_on_two_paths = false;
   /// When set, the sender publishes per-band "artp.sent_bytes" counters
@@ -186,7 +191,8 @@ class ArtpSender {
     double budget_bytes = 0.0;
     std::uint64_t next_path_seq = 0;
     sim::Time last_owd = 0;
-    sim::Time min_owd = sim::kNever;
+    /// Trailing-window minimum of the receiver's fb_min_owd reports.
+    WindowedMinTime min_owd;
     std::int64_t sent_bytes = 0;
     bool saw_feedback = false;
   };
@@ -254,6 +260,11 @@ class ArtpReceiver {
     std::int32_t feedback_bytes = 60;
     /// Incomplete non-critical messages are reported (incomplete) after this.
     sim::Time expiry = sim::milliseconds(250);
+    /// Window of the per-path min-OWD estimate that anchors the delay-
+    /// gradient feedback. Must be windowed: an all-time minimum turns any
+    /// later base-delay increase into a phantom standing queue that pins the
+    /// sender's controller at its floor rate (see windowed_filter.hpp).
+    sim::Time min_owd_window = sim::seconds(10);
     /// When set, the receiver publishes "artp.delivered_messages", per-app
     /// goodput counters ("artp.goodput_bytes" under
     /// "<metrics_entity>/app:<name>"), and an "artp.msg_latency_ms"
@@ -289,7 +300,8 @@ class ArtpReceiver {
     std::int64_t lost_in_epoch = 0;
     std::int64_t bytes_in_epoch = 0;
     sim::Time last_owd = 0;
-    sim::Time min_owd = sim::kNever;
+    /// Trailing-window minimum of observed one-way delays on this path.
+    WindowedMinTime min_owd;
     bool active = false;
   };
 

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
@@ -12,6 +13,7 @@
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
 #include "arnet/trace/trace.hpp"
+#include "arnet/transport/windowed_filter.hpp"
 
 namespace arnet::transport {
 
@@ -21,9 +23,23 @@ enum class TcpFlavor {
   kNewReno,  ///< + partial-ACK hole retransmission during recovery
   kCubic,    ///< NewReno loss handling + CUBIC window growth (RFC 8312)
   kVegas,    ///< delay-based: backs off on rising RTT (paper ref [65])
+  kBbr,      ///< model-based: cwnd from measured bottleneck bw x min RTT
 };
 
 const char* to_string(TcpFlavor f);
+
+/// BBR (v1) state machine phases. The window-driven approximation here keeps
+/// BBR's defining property — cwnd follows a bandwidth/min-RTT *model*, not a
+/// loss signal — while staying inside TcpSource's ack-clocked machinery
+/// (there is no pacer; gains act on the window directly).
+enum class BbrState {
+  kStartup,   ///< exponential bw probing (gain 2.885) until the pipe fills
+  kDrain,     ///< bleed the startup queue back down to one BDP
+  kProbeBw,   ///< steady state: 8-phase gain cycle 1.25/0.75/1x6
+  kProbeRtt,  ///< periodic cwnd floor to re-measure the true min RTT
+};
+
+const char* to_string(BbrState s);
 
 /// Bulk-data TCP sender (ns-style "agent"): full slow start, AIMD congestion
 /// avoidance, fast retransmit/recovery, Jacobson/Karn RTO with exponential
@@ -97,6 +113,10 @@ class TcpSource {
   void set_ca_growth_scale(double s) { cfg_.ca_growth_scale = s; }
   double ssthresh_bytes() const { return ssthresh_; }
   sim::Time srtt() const { return srtt_; }
+  /// BBR model observables (meaningful only for TcpFlavor::kBbr).
+  BbrState bbr_state() const { return bbr_state_; }
+  double bbr_bandwidth_bps() const { return bbr_bw_filter_.get_or(0.0); }
+  sim::Time bbr_min_rtt() const { return bbr_min_rtt_.get_or(0); }
   int timeouts() const { return timeouts_; }
   int fast_retransmits() const { return fast_retransmits_; }
   const sim::TimeSeries& cwnd_trace() const { return cwnd_trace_; }
@@ -108,6 +128,8 @@ class TcpSource {
   void on_packet(net::Packet&& p);
   void on_ack(std::uint64_t ack);
   void on_rto();
+  void on_tlp();
+  void arm_tlp();
   void grow_window(std::int64_t newly_acked);
   void on_loss_window_reduction();
   void vegas_rtt_tick();
@@ -123,6 +145,26 @@ class TcpSource {
   std::int64_t flight_size() const {
     return static_cast<std::int64_t>(next_seq_ - highest_ack_);
   }
+  /// What the cwnd send gate compares against. Non-SACK loss-based flavors
+  /// use raw flight plus recovery window inflation (the classic NewReno
+  /// dance). SACK flavors and BBR use the RFC 6675 pipe: everything above
+  /// the highest SACKed byte is in flight, everything below it is either
+  /// SACKed (delivered) or lost (gone from the network), and retransmissions
+  /// still out add back in. Gating on raw flight instead stalls new data a
+  /// full RTT per hole — and for BBR the recovery rounds then crater the
+  /// delivery-rate samples its model feeds on.
+  std::int64_t send_gate_inflight() const {
+    if (cfg_.flavor != TcpFlavor::kBbr && !cfg_.sack) return flight_size();
+    std::int64_t pipe = flight_size();
+    if (!sacked_.empty()) {
+      std::uint64_t highest_sacked = std::prev(sacked_.end())->second;
+      if (highest_sacked > highest_ack_) {
+        pipe = static_cast<std::int64_t>(next_seq_ - highest_sacked);
+      }
+    }
+    return pipe + recovery_rtx_inflight_;
+  }
+  bool sack_pipe_repair();
   std::int32_t segment_payload(std::uint64_t seq) const;
 
   net::Network& net_;
@@ -131,6 +173,8 @@ class TcpSource {
   net::FlowId flow_;
   Config cfg_;
   sim::Timer rto_timer_;
+  sim::Timer tlp_timer_;  ///< RFC 8985-style tail-loss probe (SACK flows only)
+  bool tlp_fired_ = false;  ///< one probe per flight; reset on cum-ACK advance
 
   // Stream state (byte offsets).
   std::uint64_t next_seq_ = 0;      ///< next new byte to send
@@ -150,7 +194,17 @@ class TcpSource {
 
   // SACK scoreboard: byte ranges the receiver holds above highest_ack_.
   std::map<std::uint64_t, std::uint64_t> sacked_;  ///< begin -> end
+  /// Bytes known to have reached the receiver: cumulative-ack advances plus
+  /// newly SACKed ranges, counted on arrival. This is what BBR's per-round
+  /// delivery-rate samples quotient — the cumulative ack alone stalls at
+  /// holes and under-measures during recovery.
+  std::uint64_t delivered_bytes_ = 0;
   std::uint64_t sack_retransmit_cursor_ = 0;       ///< next hole to repair
+  sim::Time sack_bottom_rtx_at_ = 0;  ///< last retransmit of the lowest hole
+  /// Retransmitted bytes believed still in the network (drained as the
+  /// cumulative ACK advances over them); the `+ retransmissions` term of the
+  /// RFC 6675 pipe estimate.
+  std::int64_t recovery_rtx_inflight_ = 0;
   void integrate_sack(const net::TcpHeader& h);
   bool retransmit_next_sack_hole();
 
@@ -163,6 +217,39 @@ class TcpSource {
   double cubic_wmax_ = 0.0;       ///< bytes
   sim::Time cubic_epoch_ = -1;    ///< start of the current growth epoch
   double cubic_k_ = 0.0;          ///< seconds to return to wmax
+  /// Last congestion-avoidance ACK; gaps longer than the RTO are quiescent
+  /// periods the cubic clock must not run across (RFC 8312 §5.8).
+  sim::Time cubic_last_progress_ = -1;
+
+  // BBR state: cwnd is recomputed from the bw/min-RTT model on every
+  // delivery (bbr_sample); the filters are the shared WindowedFilter
+  // infrastructure also used by ARTP's min-OWD estimate.
+  void bbr_sample(std::uint64_t ack);
+  void bbr_update_model(sim::Time now, bool round_start);
+  void bbr_set_cwnd();
+  BbrState bbr_state_ = BbrState::kStartup;
+  WindowedMaxDouble bbr_bw_filter_{10};    ///< bps, keyed by round count
+  WindowedMinTime bbr_min_rtt_{sim::seconds(10)};
+  sim::Time bbr_min_rtt_stamp_ = sim::kNever;  ///< last strict min improvement
+  std::uint64_t bbr_round_count_ = 0;
+  std::uint64_t bbr_round_end_seq_ = 0;    ///< ack crossing this ends a round
+  /// Per-packet delivery-rate sampling state (draft-cheng delivery-rate
+  /// style): each first-transmission records the delivered counter at send;
+  /// when the packet is cumulatively acked, the bytes delivered across its
+  /// flight over the flight duration form one bandwidth sample.
+  struct BbrPktSample {
+    std::uint64_t end_seq = 0;
+    sim::Time sent_at = 0;
+    std::uint64_t delivered_at_send = 0;
+    bool loss_limited = false;  ///< sent during recovery: rate not credible
+  };
+  std::deque<BbrPktSample> bbr_pkt_samples_;
+  double bbr_full_bw_ = 0.0;               ///< startup growth reference
+  int bbr_full_bw_rounds_ = 0;
+  bool bbr_filled_pipe_ = false;
+  int bbr_cycle_index_ = 0;                ///< probe-BW gain-cycle phase
+  sim::Time bbr_cycle_stamp_ = 0;
+  sim::Time bbr_probe_rtt_done_ = sim::kNever;
 
   // Vegas state: expected vs actual throughput once per RTT.
   sim::Time vegas_base_rtt_ = sim::kNever;
@@ -212,6 +299,7 @@ class TcpSink {
 
   std::uint64_t rcv_next_ = 0;
   std::map<std::uint64_t, std::uint64_t> ooo_;  ///< seq -> end (out of order)
+  std::uint64_t last_ooo_begin_ = 0;  ///< freshest out-of-order block (RFC 2018)
   std::int64_t received_bytes_ = 0;
   int unacked_segments_ = 0;
   // Return address learned from the first segment (single-peer sink).

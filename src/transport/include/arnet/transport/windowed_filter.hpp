@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "arnet/sim/time.hpp"
+
+namespace arnet::transport {
+
+/// Windowed extremum filter over a monotone clock (Kathleen Nichols' design,
+/// as used by BBR): tracks the best value seen in the trailing `window` of an
+/// int64 axis — simulation time for min-OWD / min-RTT estimators, round count
+/// for BBR's bandwidth filter.
+///
+/// Implementation: a monotone deque of (axis, value) entries. `update` evicts
+/// entries the new sample dominates from the back and expired entries from
+/// the front, so the front is always the in-window extremum. Amortized O(1)
+/// per sample; memory bounded by the number of strictly-improving samples in
+/// one window.
+///
+/// This replaces the all-time `min_owd` latches that used to live in ARTP
+/// path state: an all-time minimum never forgets, so a route change that
+/// *raises* the base delay looks like a permanent standing queue and pins a
+/// delay-gradient controller at its floor rate. A windowed minimum converges
+/// to the new base within one window.
+template <typename V, typename Better>
+class WindowedFilter {
+ public:
+  /// `window` is in axis units (nanoseconds when the axis is sim::Time).
+  explicit WindowedFilter(std::int64_t window) : window_(window) {}
+
+  void update(V value, std::int64_t now) {
+    while (!entries_.empty() && !Better{}(entries_.back().value, value)) {
+      entries_.pop_back();
+    }
+    entries_.push_back({now, value});
+    expire(now);
+  }
+
+  /// Drop entries older than the window without adding a sample (call before
+  /// reading if samples may be sparse relative to the window).
+  void expire(std::int64_t now) {
+    while (!entries_.empty() && entries_.front().at < now - window_) {
+      entries_.pop_front();
+    }
+  }
+
+  bool empty() const { return entries_.empty(); }
+
+  /// Best value within the window; callers must check empty() first (or use
+  /// get_or).
+  V get() const { return entries_.front().value; }
+
+  V get_or(V fallback) const { return entries_.empty() ? fallback : entries_.front().value; }
+
+  /// Axis position of the current extremum (e.g. when the min-RTT was seen;
+  /// BBR's ProbeRTT trigger is "no new minimum for 10 s").
+  std::int64_t best_at() const { return entries_.front().at; }
+
+  std::int64_t window() const { return window_; }
+  void set_window(std::int64_t w) { window_ = w; }
+
+  void reset() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::int64_t at;
+    V value;
+  };
+
+  std::int64_t window_;
+  std::deque<Entry> entries_;
+};
+
+/// Trailing-window minimum keyed on sim::Time (min-OWD, min-RTT estimators).
+class WindowedMinTime {
+ public:
+  explicit WindowedMinTime(sim::Time window = sim::seconds(10)) : filter_(window) {}
+
+  void update(sim::Time value, sim::Time now) { filter_.update(value, now); }
+  void expire(sim::Time now) { filter_.expire(now); }
+  bool empty() const { return filter_.empty(); }
+  sim::Time get_or(sim::Time fallback) const { return filter_.get_or(fallback); }
+  sim::Time best_at() const { return filter_.best_at(); }
+  void set_window(sim::Time w) { filter_.set_window(w); }
+  void reset() { filter_.reset(); }
+
+ private:
+  struct Less {
+    bool operator()(sim::Time a, sim::Time b) const { return a < b; }
+  };
+  WindowedFilter<sim::Time, Less> filter_;
+};
+
+/// Trailing-window maximum keyed on an abstract round counter (BBR's
+/// delivery-rate filter: "max bandwidth over the last ~10 rounds").
+class WindowedMaxDouble {
+ public:
+  explicit WindowedMaxDouble(std::int64_t window_rounds = 10) : filter_(window_rounds) {}
+
+  void update(double value, std::int64_t round) { filter_.update(value, round); }
+  bool empty() const { return filter_.empty(); }
+  double get_or(double fallback) const { return filter_.get_or(fallback); }
+  void reset() { filter_.reset(); }
+
+ private:
+  struct Greater {
+    bool operator()(double a, double b) const { return a > b; }
+  };
+  WindowedFilter<double, Greater> filter_;
+};
+
+}  // namespace arnet::transport

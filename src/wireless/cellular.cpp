@@ -61,6 +61,21 @@ CellularProfile CellularProfile::fiveg_kpi() {
   return p;
 }
 
+CellularProfile CellularProfile::nr_5g() {
+  CellularProfile p;
+  p.name = "5G NR";
+  p.mean_down_bps = 600.0e6;
+  p.mean_up_bps = 120.0e6;
+  p.rate_sigma = 0.35;  // beamforming makes the rate process jumpy
+  p.base_one_way_delay = sim::milliseconds(4);
+  p.delay_jitter = sim::from_milliseconds(1.5);
+  p.spike_extra_delay = sim::milliseconds(15);
+  p.spike_probability = 0.008;
+  p.uplink_queue_packets = 500;
+  p.blockage.enabled = true;
+  return p;
+}
+
 CellularModulator::CellularModulator(sim::Simulator& sim, sim::Rng rng, net::Link& uplink,
                                      net::Link& downlink, Config cfg)
     : sim_(sim),
@@ -70,11 +85,32 @@ CellularModulator::CellularModulator(sim::Simulator& sim, sim::Rng rng, net::Lin
       cfg_(cfg),
       down_bps_(cfg.profile.mean_down_bps),
       up_bps_(cfg.profile.mean_up_bps),
-      delay_(cfg.profile.base_one_way_delay) {}
+      delay_(cfg.profile.base_one_way_delay) {
+  if (cfg_.profile.blockage.enabled) blockage_rng_ = rng_.fork("nr-blockage");
+}
 
 void CellularModulator::start() {
   running_ = true;
+  if (blockage_rng_) {
+    // Arm the first clear->blocked transition; subsequent toggles rearm
+    // themselves at exact (not tick-quantized) times.
+    sim::Time first = sim::from_seconds(
+        blockage_rng_->exponential(cfg_.profile.blockage.mean_clear_s));
+    sim_.after(first, [this] { toggle_blockage(); });
+  }
   tick();
+}
+
+void CellularModulator::toggle_blockage() {
+  if (!running_) return;
+  const NrBlockage& b = cfg_.profile.blockage;
+  blocked_ = !blocked_;
+  if (blocked_) ++blockage_bursts_;
+  blockage_log_.push_back(sim_.now());
+  apply();
+  double hold_s = blocked_ ? blockage_rng_->exponential(b.mean_blocked_s)
+                           : blockage_rng_->exponential(b.mean_clear_s);
+  sim_.after(sim::from_seconds(hold_s), [this] { toggle_blockage(); });
 }
 
 void CellularModulator::tick() {
@@ -99,12 +135,19 @@ void CellularModulator::tick() {
     delay_ += pr.spike_extra_delay;
   }
 
-  uplink_.set_rate(up_bps_);
-  uplink_.set_delay(delay_);
-  downlink_.set_rate(down_bps_);
-  downlink_.set_delay(delay_);
+  apply();
 
   sim_.after(cfg_.update_interval, [this] { tick(); });
+}
+
+void CellularModulator::apply() {
+  const NrBlockage& b = cfg_.profile.blockage;
+  double rate_mult = blocked_ ? b.rate_factor : 1.0;
+  sim::Time extra = blocked_ ? b.extra_delay : 0;
+  uplink_.set_rate(std::max(32e3, up_bps_ * rate_mult));
+  uplink_.set_delay(delay_ + extra);
+  downlink_.set_rate(std::max(32e3, down_bps_ * rate_mult));
+  downlink_.set_delay(delay_ + extra);
 }
 
 CellularAttachment attach_cellular(net::Network& net, net::NodeId client, net::NodeId tower,

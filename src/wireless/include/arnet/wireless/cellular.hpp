@@ -1,6 +1,8 @@
 #pragma once
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "arnet/net/link.hpp"
 #include "arnet/net/network.hpp"
@@ -8,6 +10,21 @@
 #include "arnet/sim/simulator.hpp"
 
 namespace arnet::wireless {
+
+/// mmWave blockage process for 5G NR: a two-state (clear/blocked) renewal
+/// process with exponential holding times. While blocked, link capacity
+/// collapses to `rate_factor` of the fading-process value and the one-way
+/// delay gains `extra_delay` (beam re-acquisition / fallback). The schedule
+/// is drawn from a dedicated forked substream of the modulator's rng, so the
+/// same seed always produces the same burst schedule and profiles without
+/// blockage draw exactly what they drew before this existed.
+struct NrBlockage {
+  bool enabled = false;
+  double mean_clear_s = 4.0;     ///< mean time between bursts
+  double mean_blocked_s = 0.25;  ///< mean burst duration
+  double rate_factor = 0.05;     ///< capacity multiplier while blocked
+  sim::Time extra_delay = sim::milliseconds(20);
+};
 
 /// Stochastic access-network profile: everyday (not theoretical) behavior of
 /// a radio technology, calibrated to the measurements the paper cites
@@ -24,6 +41,8 @@ struct CellularProfile {
   sim::Time spike_extra_delay;    ///< occasional latency spike magnitude
   double spike_probability;       ///< per-update chance of a spike
   std::size_t uplink_queue_packets;  ///< oversized on real cellular uplinks
+  /// mmWave blockage bursts (5G NR only; disabled for the other profiles).
+  NrBlockage blockage;
 
   /// HSPA+ as measured: ~0.7-3.5 Mb/s down, ~1.5 Mb/s up, 110-130 ms RTT,
   /// spikes to 800 ms (Xu et al. Singapore study).
@@ -34,6 +53,11 @@ struct CellularProfile {
   static CellularProfile lte_theoretical();
   /// 5G per the NGMN white paper AR KPIs: 300/50 Mb/s, 10 ms end-to-end.
   static CellularProfile fiveg_kpi();
+  /// 5G NR as deployed: very high but volatile rate, low base latency, and
+  /// seeded mmWave blockage bursts that briefly collapse the link — the
+  /// regime where BBR/QUIC-style transports behave qualitatively differently
+  /// from loss-based TCP (PAPERS.md: "Evaluating Transport Protocols on 5G").
+  static CellularProfile nr_5g();
 };
 
 /// Attaches to an uplink/downlink Link pair and modulates their rate and
@@ -56,11 +80,24 @@ class CellularModulator {
   double current_up_bps() const { return up_bps_; }
   sim::Time current_one_way_delay() const { return delay_; }
 
+  /// Blockage observables (meaningful when profile.blockage.enabled).
+  bool blockage_active() const { return blocked_; }
+  std::int64_t blockage_bursts() const { return blockage_bursts_; }
+  /// Toggle times, alternating enter/leave; the determinism contract is that
+  /// equal seeds produce byte-equal schedules.
+  const std::vector<sim::Time>& blockage_log() const { return blockage_log_; }
+
  private:
   void tick();
+  void toggle_blockage();
+  void apply();
 
   sim::Simulator& sim_;
   sim::Rng rng_;
+  /// Dedicated substream for the blockage schedule (forked only when the
+  /// profile enables blockage, so legacy profiles' draw sequences — and thus
+  /// their fingerprints — are unchanged).
+  std::optional<sim::Rng> blockage_rng_;
   net::Link& uplink_;
   net::Link& downlink_;
   Config cfg_;
@@ -68,6 +105,9 @@ class CellularModulator {
   double down_bps_ = 0;
   double up_bps_ = 0;
   sim::Time delay_ = 0;
+  bool blocked_ = false;
+  std::int64_t blockage_bursts_ = 0;
+  std::vector<sim::Time> blockage_log_;
 };
 
 /// Builds a client<->core duplex pair shaped like `profile` inside `net`,

@@ -3,10 +3,13 @@
 // MTU / cold-start drop memory, and TCP's sub-MSS tail stall.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "arnet/mar/offload.hpp"
 #include "arnet/net/network.hpp"
 #include "arnet/net/queue.hpp"
 #include "arnet/sim/simulator.hpp"
+#include "arnet/transport/artp.hpp"
 #include "arnet/transport/tcp.hpp"
 
 namespace arnet {
@@ -210,6 +213,91 @@ TEST(PortChurnRegression, SessionChurnKeepsFingerprintsStable) {
   session.stop();
   EXPECT_GT(session.stats().results, 30);
   EXPECT_LT(session.stats().latency_ms.median(), 100.0);
+}
+
+// ------------------------------------------- ARTP all-time min-OWD latch
+
+// The receiver's per-path min_owd used to be an all-time minimum. After any
+// base-delay increase (handover, reroute), every later sample read as an
+// 80 ms standing queue, so the delay-gradient controller multiplicatively
+// collapsed to its 64 kb/s floor and stayed there forever. The windowed
+// filter ages the stale minimum out, and the controller recovers.
+TEST(ArtpMinOwdRegression, RecoversFromBaseDelayStep) {
+  sim::Simulator sim;
+  net::Network net(sim, 11);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  auto [up, down] = net.connect(c, s, 8e6, milliseconds(30), 300);
+
+  transport::ArtpReceiver rx(net, s, 80);
+  transport::ArtpSenderConfig cfg;
+  transport::ArtpSender tx(net, c, 1000, s, 80, 1, cfg);
+  // 30 Hz x 8 KB = ~1.9 Mb/s of never-dropped traffic keeps feedback flowing
+  // even while the controller sits at its floor.
+  for (int i = 0; i < 35 * 30; ++i) {
+    sim.at(sim::from_seconds(i / 30.0), [&tx] {
+      transport::ArtpMessageSpec m;
+      m.bytes = 8000;
+      m.tclass = net::TrafficClass::kFullBestEffort;
+      m.priority = net::Priority::kMediumNoDrop;
+      tx.send_message(m);
+    });
+  }
+
+  sim.run_until(seconds(10));
+  const double before = tx.allowed_rate_bps();
+  EXPECT_GT(before, 1.5e6);
+
+  // Permanent +80 ms base-delay step on both directions at t=10 s.
+  up->set_delay(milliseconds(110));
+  down->set_delay(milliseconds(110));
+  sim.run_until(seconds(35));
+
+  // Pre-fix: pinned at the 64 kb/s floor 25 s after the step. Post-fix the
+  // 10 s window ages the stale minimum out and AIMD climbs back.
+  EXPECT_GT(tx.allowed_rate_bps(), 1.0e6)
+      << "delay-gradient controller still pinned at its floor after a base-RTT step";
+}
+
+// --------------------------------------------- CUBIC idle-epoch regression
+
+// W_cubic(t) is a function of congestion-epoch time, not wall time
+// (RFC 8312 §5.8). Pre-fix, an app-limited gap ran the cubic clock, so the
+// first ACK after a long idle landed far up the curve and the window grew at
+// the full per-ACK clamp — a sustained slow-start-like burst far past wmax.
+TEST(CubicIdleRegression, EpochFreezesAcrossQuiescentGap) {
+  sim::Simulator sim;
+  net::Network net(sim, 12);
+  auto c = net.add_node("c");
+  auto s = net.add_node("s");
+  net.connect(c, s, 10e6, milliseconds(20), 100);
+
+  transport::TcpSink sink(net, s, 80);
+  transport::TcpSource::Config cfg;
+  cfg.flavor = transport::TcpFlavor::kCubic;
+  transport::TcpSource src(net, c, 1000, s, 80, 1, cfg);
+
+  // Phase 1: reach congestion avoidance, then go idle (~8 s of silence).
+  src.send(2'000'000);
+  sim.run_until(seconds(10));
+  ASSERT_TRUE(src.complete());
+  const double cwnd_before = src.cwnd_bytes();
+
+  // Phase 2: resume and watch the window over the first 400 ms. With the
+  // epoch frozen, growth continues from where it paused; with the clock
+  // running, t ~ 9 s puts the cubic target hundreds of MSS above cwnd and
+  // every ACK grows the window by a full MSS.
+  double max_cwnd = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    sim.at(seconds(10) + milliseconds(10) * (i + 1),
+           [&] { max_cwnd = std::max(max_cwnd, src.cwnd_bytes()); });
+  }
+  sim.at(seconds(10), [&] { src.send(1'500'000); });
+  sim.run_until(seconds(10) + milliseconds(400));
+
+  EXPECT_LT(max_cwnd, cwnd_before + 30 * 1460)
+      << "cubic clock ran across the idle gap: post-idle burst to " << max_cwnd
+      << " bytes from " << cwnd_before;
 }
 
 }  // namespace

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <tuple>
+#include <utility>
 
 #include "arnet/net/network.hpp"
 #include "arnet/sim/simulator.hpp"
@@ -293,6 +295,70 @@ TEST(Survey, TablesAreConsistent) {
   EXPECT_LT(est[0].mbps, est[3].mbps * 10);
   EXPECT_LT(est[3].mbps, est[2].mbps);
   EXPECT_LT(est[2].mbps, est[1].mbps);
+}
+
+TEST(Cellular, Nr5gBlockageBurstsCollapseAndRestoreTheLink) {
+  sim::Simulator sim;
+  net::Network net(sim, 3);
+  auto c = net.add_node("c");
+  auto t = net.add_node("t");
+  auto att = attach_cellular(net, c, t, CellularProfile::nr_5g(), 21);
+  att.modulator->start();
+  // Track the uplink's rate while blocked vs clear.
+  double min_blocked_rate = 1e18, min_clear_rate = 1e18;
+  for (int i = 0; i < 60 * 50; ++i) {
+    sim.at(milliseconds(20) * i, [&] {
+      double r = att.uplink->rate_bps();
+      if (att.modulator->blockage_active()) {
+        min_blocked_rate = std::min(min_blocked_rate, r);
+      } else {
+        min_clear_rate = std::min(min_clear_rate, r);
+      }
+    });
+  }
+  sim.run_until(seconds(60));
+  // ~15 bursts per minute at a 4 s mean clear time; be generous.
+  EXPECT_GE(att.modulator->blockage_bursts(), 4);
+  EXPECT_FALSE(att.modulator->blockage_log().empty());
+  // Blocked capacity sits at 5% of the fading value: far under any clear
+  // sample of a 120 Mb/s-mean uplink.
+  EXPECT_LT(min_blocked_rate, 0.25 * min_clear_rate);
+}
+
+TEST(Cellular, Nr5gBlockageScheduleIsSeedDeterministic) {
+  auto schedule = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    net::Network net(sim, seed);
+    auto c = net.add_node("c");
+    auto t = net.add_node("t");
+    auto att = attach_cellular(net, c, t, CellularProfile::nr_5g(), seed);
+    att.modulator->start();
+    sim.run_until(seconds(30));
+    return std::make_pair(att.modulator->blockage_log(),
+                          att.modulator->blockage_bursts());
+  };
+  auto [log_a, bursts_a] = schedule(77);
+  auto [log_b, bursts_b] = schedule(77);
+  auto [log_c, bursts_c] = schedule(78);
+  EXPECT_EQ(bursts_a, bursts_b);
+  EXPECT_EQ(log_a, log_b) << "same seed must give a byte-equal burst schedule";
+  EXPECT_NE(log_a, log_c) << "different seeds should move the bursts";
+  ASSERT_FALSE(log_a.empty());
+}
+
+TEST(Cellular, LegacyProfilesDrawNoBlockage) {
+  // The blockage substream is forked only when the profile enables it, so
+  // LTE/HSPA+ behavior (and fingerprints) are unchanged by the NR feature.
+  sim::Simulator sim;
+  net::Network net(sim, 3);
+  auto c = net.add_node("c");
+  auto t = net.add_node("t");
+  auto att = attach_cellular(net, c, t, CellularProfile::lte(), 21);
+  att.modulator->start();
+  sim.run_until(seconds(30));
+  EXPECT_EQ(att.modulator->blockage_bursts(), 0);
+  EXPECT_FALSE(att.modulator->blockage_active());
+  EXPECT_TRUE(att.modulator->blockage_log().empty());
 }
 
 }  // namespace
