@@ -1,12 +1,15 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arnet/net/loss.hpp"
 #include "arnet/net/observer.hpp"
 #include "arnet/net/packet.hpp"
+#include "arnet/net/packet_arena.hpp"
 #include "arnet/net/queue.hpp"
 #include "arnet/obs/registry.hpp"
 #include "arnet/sim/rng.hpp"
@@ -23,6 +26,32 @@ namespace arnet::net {
 /// the new rate applies from the next packet serialization.
 class Link {
  public:
+  /// Hot-path strategy for the serializer/propagation pipeline. All three
+  /// are behaviorally equivalent; they differ in how many simulator events
+  /// and heap allocations a packet costs.
+  enum class TxPath : std::uint8_t {
+    /// Two events per packet (tx-complete + arrival), each capturing the
+    /// ~200-byte Packet by move (heap-allocated closure). The reference
+    /// implementation the fingerprint tests compare against.
+    kLegacy,
+    /// Same event structure, times, and ordering as kLegacy — sim-level
+    /// fingerprints are identical — but in-flight packets are parked in a
+    /// slab arena and closures capture a 4-byte slot, staying inside the
+    /// simulator's inline callback buffer (no allocation per event).
+    kArena,
+    /// kArena plus transmit batching: up to kBatchMax queued packets are
+    /// dequeued together and their serialization timeline precomputed
+    /// (back-to-back), costing one batch-complete event plus one arrival
+    /// event per packet instead of two events per packet. Packet-level
+    /// behavior (delivery times/order, drops, metrics totals) is unchanged;
+    /// the simulator-level event stream necessarily differs (fewer events).
+    /// Batching self-disables per transmission — falling back to kArena —
+    /// whenever it could change behavior: time-dependent queue disciplines
+    /// (AQM), a configured loss model (per-packet RNG draw order), or an
+    /// attached tracer (records real event times).
+    kArenaBatched,
+  };
+
   struct Config {
     double rate_bps = 10e6;
     sim::Time delay = sim::milliseconds(1);
@@ -30,6 +59,7 @@ class Link {
     std::unique_ptr<Queue> queue;             ///< custom discipline
     std::unique_ptr<LossModel> loss;          ///< null = lossless
     std::string name;
+    TxPath tx_path = TxPath::kArenaBatched;
   };
 
   using Sink = std::function<void(Packet&&)>;
@@ -46,8 +76,18 @@ class Link {
 
   void set_sink(Sink sink) { sink_ = std::move(sink); }
   void set_drop_hook(DropHook hook);
-  void set_rate(double bps) { cfg_.rate_bps = bps; }
-  void set_delay(sim::Time d) { cfg_.delay = d; }
+
+  /// Change the serialization rate. Applies from the next packet
+  /// serialization; a batched transmit plan is unwound (not-yet-started
+  /// packets return to the queue head) so they re-serialize at the new rate,
+  /// exactly as un-batched operation would.
+  void set_rate(double bps);
+
+  /// Change the propagation delay. In-flight (already serialized) packets
+  /// keep their old arrival times; the currently serializing packet and all
+  /// queued ones use the new delay — same semantics as the un-batched path,
+  /// where delay is sampled at serialization end.
+  void set_delay(sim::Time d);
 
   /// Administratively disable the link (e.g. out of coverage); queued and
   /// in-flight packets are lost.
@@ -76,12 +116,49 @@ class Link {
   /// life cycle into its ring: kEnqueue on send, kTxStart when serialization
   /// begins (also a WireRecord for pcap export), kRx on delivery, kDrop with
   /// the reason string wherever the packet dies. The tracer must outlive the
-  /// link. Purely observational — no simulator events, no Rng draws.
+  /// link. Purely observational — no simulator events, no Rng draws — but it
+  /// disables transmit batching (trace events carry real times).
   void attach_trace(trace::Tracer& tracer, std::string name);
 
  private:
+  /// One packet of a precomputed batch timeline. `start`/`tx_end` are the
+  /// logical serialization window (identical to when the un-batched link
+  /// would have served it back-to-back); `arrival` its delivery time.
+  struct BatchEntry {
+    std::uint32_t slot;        ///< arena slot holding the packet
+    bool stats_recorded;       ///< sojourn/busy-time already accounted
+    sim::Time enqueued_at;     ///< for deferred sojourn accounting
+    sim::Time start;
+    sim::Time tx_end;
+    sim::Time arrival;
+    sim::EventHandle arrival_ev;
+  };
+  static constexpr std::size_t kBatchMax = 8;
+
   void start_transmission_if_idle();
+  bool batch_eligible() const;
+  void start_transmission_legacy();
+  void start_transmission_arena();
+  void start_batch();
+  /// Loss roll + arrival scheduling for the kArena path (same timing as the
+  /// legacy on_transmit_complete).
+  void tx_complete_from_arena(std::uint32_t slot);
+  /// Final delivery of an arena-parked packet (epoch already checked).
+  void deliver_from_arena(std::uint32_t slot);
   void on_transmit_complete(Packet p);
+  /// Batch-complete event: account deferred stats, retire the plan, pump.
+  void finish_batch();
+  /// Record sojourn/busy-time/utilization for one batch entry using its
+  /// logical serialization window (values identical to the un-batched path).
+  void record_tx_stats(BatchEntry& e);
+  /// Return not-yet-started batch entries (start > now) to the queue head
+  /// and re-time the batch-complete event; called when rate or delay changes
+  /// invalidate the precomputed timeline. No-op outside a batch.
+  void unwind_future_batch_entries();
+  /// Packets this link has committed to future serialization slots; counted
+  /// against the queue capacity so batching admits exactly what un-batched
+  /// operation would.
+  std::size_t phantom_count() const;
   void install_queue_hook();
   void record_trace(trace::EventKind kind, const Packet& p, const char* reason = nullptr) {
     if (tracer_ == nullptr) return;
@@ -111,6 +188,11 @@ class Link {
   bool up_ = true;
   std::uint64_t epoch_ = 0;  ///< bumped on set_up(false) to void in-flight packets
   sim::Time last_arrival_ = 0;  ///< FIFO guard when delay shrinks mid-flight
+
+  PacketArena arena_;                ///< in-flight packets (kArena/kArenaBatched)
+  std::vector<BatchEntry> batch_;    ///< active transmit plan (kArenaBatched)
+  sim::EventHandle batch_done_;      ///< batch-complete event
+  sim::Time batch_prev_arrival_ = 0; ///< last_arrival_ snapshot at batch start
 
   std::int64_t delivered_bytes_ = 0;
   std::int64_t delivered_packets_ = 0;

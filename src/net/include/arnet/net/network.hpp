@@ -9,6 +9,7 @@
 #include "arnet/net/link.hpp"
 #include "arnet/net/observer.hpp"
 #include "arnet/net/packet.hpp"
+#include "arnet/net/packet_arena.hpp"
 #include "arnet/sim/rng.hpp"
 #include "arnet/sim/simulator.hpp"
 
@@ -151,6 +152,10 @@ class Network {
 
   sim::Simulator& sim_;
   sim::Rng rng_;
+  /// Packets in the event-loop gap between hops (local delivery decoupling,
+  /// forwarding delay). Slots are LIFO-recycled; closures capture the 4-byte
+  /// slot instead of the ~200-byte Packet.
+  PacketArena arena_;
   std::uint64_t next_uid_ = 1;
   Port next_port_ = 5000;  ///< ephemeral range start
   // count -> LIFO stack of released block bases (deterministic reuse order).

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "arnet/net/packet.hpp"
+
+namespace arnet::net {
+
+/// Slab arena for in-flight packets.
+///
+/// A Packet is a ~200-byte value (its transport header variant can hold ARTP
+/// feedback vectors), so a simulator callback that captures one by move is
+/// forced onto the heap — one allocation and one ~200-byte copy per
+/// serialization and per propagation hop, on the hottest path the simulator
+/// has. Parking the packet in an arena slot and capturing the 4-byte slot
+/// index keeps every link/network closure inside SmallFn's inline buffer.
+///
+/// Slots are recycled LIFO, so steady-state traffic reuses a handful of warm
+/// slots (and the header vectors' capacity inside them) instead of growing.
+/// The deque gives slots stable addresses: acquire() never moves a parked
+/// packet, so references from at() stay valid across growth.
+class PacketArena {
+ public:
+  std::uint32_t acquire(Packet&& p) {
+    if (!free_.empty()) {
+      const std::uint32_t slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(p);
+      return slot;
+    }
+    slots_.push_back(std::move(p));
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  Packet& at(std::uint32_t slot) { return slots_[slot]; }
+  const Packet& at(std::uint32_t slot) const { return slots_[slot]; }
+
+  /// Move the packet out and free its slot.
+  Packet take(std::uint32_t slot) {
+    Packet p = std::move(slots_[slot]);
+    free_.push_back(slot);
+    return p;
+  }
+
+  /// Free a slot without needing its contents (the parked packet is
+  /// destroyed in place when the slot is next reused).
+  void release(std::uint32_t slot) { free_.push_back(slot); }
+
+  std::size_t in_flight() const { return slots_.size() - free_.size(); }
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::deque<Packet> slots_;
+  std::vector<std::uint32_t> free_;  // recycled LIFO
+};
+
+}  // namespace arnet::net

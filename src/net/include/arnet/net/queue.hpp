@@ -38,6 +38,31 @@ class Queue {
   /// their inner queues.
   virtual void set_drop_hook(DropHook hook) { drop_hook_ = std::move(hook); }
 
+  /// True when dequeue order and drop decisions depend only on the sequence
+  /// of enqueues/dequeues, never on the clock. Such a discipline can be
+  /// drained ahead of time by a batching serializer (Link) without changing
+  /// which packet goes next or which gets dropped. AQM disciplines (CoDel)
+  /// are time-dependent and must return false.
+  virtual bool fifo_time_invariant() const { return false; }
+
+  /// Extra occupancy charged against the capacity check on enqueue, beyond
+  /// the packets the discipline physically holds. A batching Link registers
+  /// a callback counting packets it has committed to future serialization
+  /// slots but not yet started transmitting — in un-batched operation those
+  /// would still be sitting in the queue, so they must still count, or
+  /// batching would admit packets the un-batched link drops. Only meaningful
+  /// for disciplines with fifo_time_invariant() == true; others ignore it.
+  using OccupancySupplement = std::function<std::size_t()>;
+  virtual void set_occupancy_supplement(OccupancySupplement s) { (void)s; }
+
+  /// Put a packet back at the *head* of the queue (it will be the next
+  /// dequeue), preserving its original enqueued_at. Used by a batching Link
+  /// to unwind not-yet-started transmissions when the link's rate or delay
+  /// changes mid-batch. Bypasses the capacity check: the packet was already
+  /// admitted once (and counted via the occupancy supplement since). Only
+  /// disciplines with fifo_time_invariant() == true support it.
+  virtual void requeue_front(Packet&& p) { (void)p; }
+
   bool empty() const { return packets() == 0; }
   std::int64_t drops() const { return drops_; }
 
@@ -69,10 +94,20 @@ class DropTailQueue final : public Queue {
   std::size_t packets() const override { return q_.size(); }
   std::int64_t bytes() const override { return bytes_; }
 
+  bool fifo_time_invariant() const override { return true; }
+  void set_occupancy_supplement(OccupancySupplement s) override {
+    supplement_ = std::move(s);
+  }
+  void requeue_front(Packet&& p) override {
+    bytes_ += p.size_bytes;
+    q_.push_front(std::move(p));
+  }
+
  private:
   std::size_t capacity_;
   std::int64_t bytes_ = 0;
   std::deque<Packet> q_;
+  OccupancySupplement supplement_;
 };
 
 /// CoDel AQM (RFC 8289): drops to keep the standing sojourn time near

@@ -46,6 +46,12 @@ Link::Link(sim::Simulator& sim, sim::Rng rng, Config cfg)
   } else {
     queue_ = std::make_unique<DropTailQueue>(cfg_.queue_packets);
   }
+  if (cfg_.tx_path == TxPath::kArenaBatched && !cfg_.loss && queue_->fifo_time_invariant()) {
+    // Packets claimed by an active transmit plan but not yet at their logical
+    // serialization start must still occupy queue capacity, or batching would
+    // admit packets the un-batched link tail-drops.
+    queue_->set_occupancy_supplement([this] { return phantom_count(); });
+  }
 }
 
 void Link::attach_obs(obs::MetricsRegistry& reg, std::string entity) {
@@ -86,12 +92,83 @@ void Link::send(Packet p) {
   start_transmission_if_idle();
 }
 
+void Link::set_rate(double bps) {
+  if (bps == cfg_.rate_bps) return;
+  cfg_.rate_bps = bps;
+  // The new rate applies from the next serialization: packets a transmit
+  // plan timed with the old rate but has not started go back to the queue.
+  unwind_future_batch_entries();
+}
+
+void Link::set_delay(sim::Time d) {
+  if (d == cfg_.delay) return;
+  cfg_.delay = d;
+  if (batch_.empty()) return;
+  unwind_future_batch_entries();
+  // The un-batched link samples the delay when serialization *ends*, so the
+  // currently serializing packet gets the new value; already-propagating
+  // packets keep their old arrival times.
+  BatchEntry& e = batch_.back();
+  const sim::Time now = sim_.now();
+  if (e.tx_end > now) {
+    const sim::Time prev = batch_.size() >= 2 ? batch_[batch_.size() - 2].arrival
+                                              : batch_prev_arrival_;
+    const sim::Time arrival = std::max(e.tx_end + cfg_.delay, prev);
+    if (arrival != e.arrival) {
+      sim_.cancel(e.arrival_ev);
+      e.arrival = arrival;
+      const std::uint64_t epoch = epoch_;
+      e.arrival_ev = sim_.at(arrival, [this, epoch, slot = e.slot] {
+        if (epoch != epoch_) {  // link went down while propagating
+          Packet pkt = arena_.take(slot);
+          notify_drop(pkt, DropReason::kLinkDown);
+          return;
+        }
+        deliver_from_arena(slot);
+      });
+      last_arrival_ = arrival;
+    }
+  }
+}
+
 void Link::set_up(bool up) {
   if (up_ == up) return;
   up_ = up;
   if (!up) {
+    const sim::Time now = sim_.now();
+    if (!batch_.empty()) {
+      sim_.cancel(batch_done_);
+      batch_done_ = {};
+      // Entries that reached their logical serialization start behave like
+      // legacy in-flight packets; the rest would still be queued un-batched,
+      // so they are dropped ahead of the residual queue (FIFO flush order).
+      std::size_t started = 0;
+      while (started < batch_.size() && batch_[started].start <= now) ++started;
+      for (std::size_t i = 0; i < started; ++i) {
+        BatchEntry& e = batch_[i];
+        record_tx_stats(e);  // it began serializing; legacy accounted it then
+        if (e.tx_end > now) {
+          // Mid-serialization: legacy reports this drop when the (stale
+          // epoch) tx-complete event fires at tx_end, not counted as lost.
+          sim_.cancel(e.arrival_ev);
+          sim_.at(e.tx_end, [this, slot = e.slot] {
+            Packet pkt = arena_.take(slot);
+            notify_drop(pkt, DropReason::kLinkDown);
+          });
+        }
+        // else: propagating — its arrival event stays scheduled and the
+        // stale-epoch check there reports the drop, exactly like legacy.
+      }
+      for (std::size_t i = started; i < batch_.size(); ++i) {
+        sim_.cancel(batch_[i].arrival_ev);
+        ++lost_packets_;
+        Packet pkt = arena_.take(batch_[i].slot);
+        notify_drop(pkt, DropReason::kLinkDown);
+      }
+      batch_.clear();
+    }
     // Flush the queue and invalidate in-flight serializations/deliveries.
-    while (auto p = queue_->dequeue(sim_.now())) {
+    while (auto p = queue_->dequeue(now)) {
       ++lost_packets_;
       notify_drop(*p, DropReason::kLinkDown);
     }
@@ -104,6 +181,36 @@ void Link::set_up(bool up) {
 
 void Link::start_transmission_if_idle() {
   if (transmitting_ || !up_) return;
+  switch (cfg_.tx_path) {
+    case TxPath::kLegacy:
+      start_transmission_legacy();
+      return;
+    case TxPath::kArena:
+      start_transmission_arena();
+      return;
+    case TxPath::kArenaBatched:
+      if (batch_eligible()) {
+        start_batch();
+      } else {
+        start_transmission_arena();
+      }
+      return;
+  }
+}
+
+bool Link::batch_eligible() const {
+  // Batching must not change behavior: it needs a clock-free FIFO discipline
+  // (AQM drop decisions depend on dequeue time), no loss model (the RNG draw
+  // happens per tx-complete event, and batching reorders event structure),
+  // and no tracer (trace events carry real event times, which batching would
+  // shift to the batch start).
+  return cfg_.tx_path == TxPath::kArenaBatched && !cfg_.loss && tracer_ == nullptr &&
+         queue_->fifo_time_invariant();
+}
+
+// --------------------------------------------------------------- legacy path
+
+void Link::start_transmission_legacy() {
   trace::ProfScope prof(tracer_, "Link::tx");
   auto p = queue_->dequeue(sim_.now());
   if (!p) return;
@@ -159,6 +266,183 @@ void Link::on_transmit_complete(Packet p) {
     }
     if (sink_) sink_(std::move(pkt));
   });
+}
+
+// ---------------------------------------------------------------- arena path
+//
+// Event structure, times, and ordering identical to the legacy path (the
+// simulator-level fingerprint is byte-identical); the packet is parked in
+// the slab arena so each closure captures {this, epoch, slot} — 20 bytes,
+// inside the simulator's inline callback buffer, zero allocations.
+
+void Link::start_transmission_arena() {
+  trace::ProfScope prof(tracer_, "Link::tx");
+  auto p = queue_->dequeue(sim_.now());
+  if (!p) return;
+  transmitting_ = true;
+  record_trace(trace::EventKind::kTxStart, *p);
+  if (tracer_ != nullptr) tracer_->record_wire(make_wire(*p, sim_.now()));
+  queueing_delay_ms_.add(sim::to_milliseconds(sim_.now() - p->enqueued_at));
+  sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
+  if (metrics_) {
+    metrics_->histogram("queue.sojourn_ms", obs_entity_)
+        .record(sim::to_milliseconds(sim_.now() - p->enqueued_at));
+    busy_time_ += tx;
+    sim::Time elapsed = sim_.now() + tx;  // utilization through this frame
+    if (elapsed > 0) {
+      metrics_->gauge("link.utilization", obs_entity_)
+          .set(sim::to_seconds(busy_time_) / sim::to_seconds(elapsed));
+    }
+  }
+  const std::uint64_t epoch = epoch_;
+  const std::uint32_t slot = arena_.acquire(std::move(*p));
+  sim_.after(tx, [this, epoch, slot] {
+    if (epoch != epoch_) {  // link went down mid-serialization
+      Packet pkt = arena_.take(slot);
+      notify_drop(pkt, DropReason::kLinkDown);
+      return;
+    }
+    transmitting_ = false;
+    tx_complete_from_arena(slot);
+    start_transmission_if_idle();
+  });
+}
+
+void Link::tx_complete_from_arena(std::uint32_t slot) {
+  if (cfg_.loss && cfg_.loss->lose(rng_, arena_.at(slot))) {
+    ++lost_packets_;
+    Packet pkt = arena_.take(slot);
+    notify_drop(pkt, DropReason::kRandomLoss);
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  // A point-to-point pipe is FIFO: if the (mutable) propagation delay
+  // shrank since the previous packet, do not let this one overtake it.
+  const sim::Time arrival = std::max(sim_.now() + cfg_.delay, last_arrival_);
+  last_arrival_ = arrival;
+  sim_.at(arrival, [this, epoch, slot] {
+    if (epoch != epoch_) {  // link went down while propagating
+      Packet pkt = arena_.take(slot);
+      notify_drop(pkt, DropReason::kLinkDown);
+      return;
+    }
+    deliver_from_arena(slot);
+  });
+}
+
+void Link::deliver_from_arena(std::uint32_t slot) {
+  Packet pkt = arena_.take(slot);
+  delivered_bytes_ += pkt.size_bytes;
+  ++delivered_packets_;
+  record_trace(trace::EventKind::kRx, pkt);
+  if (metrics_) {
+    metrics_->counter("link.delivered_bytes", obs_entity_).add(pkt.size_bytes);
+    metrics_->counter("link.delivered_packets", obs_entity_).add();
+  }
+  if (sink_) sink_(std::move(pkt));
+}
+
+// -------------------------------------------------------------- batched path
+//
+// Dequeue up to kBatchMax packets at once and precompute their back-to-back
+// serialization timeline: the i-th packet's logical window is exactly when
+// the un-batched link would have served it, so arrival times, drop decisions
+// and metric values are unchanged. Cost drops from 2 events per packet to
+// one arrival event per packet plus one batch-complete event.
+
+void Link::start_batch() {
+  const sim::Time now = sim_.now();
+  batch_.clear();
+  batch_prev_arrival_ = last_arrival_;
+  sim::Time t = now;
+  sim::Time prev_arrival = last_arrival_;
+  const std::uint64_t epoch = epoch_;
+  while (batch_.size() < kBatchMax) {
+    auto p = queue_->dequeue(now);
+    if (!p) break;
+    BatchEntry e;
+    e.stats_recorded = false;
+    e.enqueued_at = p->enqueued_at;
+    e.start = t;
+    e.tx_end = t + sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
+    e.arrival = std::max(e.tx_end + cfg_.delay, prev_arrival);
+    e.slot = arena_.acquire(std::move(*p));
+    e.arrival_ev = sim_.at(e.arrival, [this, epoch, slot = e.slot] {
+      if (epoch != epoch_) {  // link went down while propagating
+        Packet pkt = arena_.take(slot);
+        notify_drop(pkt, DropReason::kLinkDown);
+        return;
+      }
+      deliver_from_arena(slot);
+    });
+    prev_arrival = e.arrival;
+    t = e.tx_end;
+    batch_.push_back(e);
+  }
+  if (batch_.empty()) return;
+  transmitting_ = true;
+  last_arrival_ = prev_arrival;
+  // The first packet starts serializing now, exactly like un-batched; the
+  // others are accounted when their logical start has passed (batch end or
+  // unwind) so an unwound packet is never double-counted.
+  record_tx_stats(batch_.front());
+  batch_done_ = sim_.at(batch_.back().tx_end, [this, epoch] {
+    if (epoch != epoch_) return;  // defensive; set_up(false) cancels this
+    finish_batch();
+  });
+}
+
+void Link::finish_batch() {
+  for (auto& e : batch_) record_tx_stats(e);
+  batch_.clear();
+  batch_done_ = {};
+  transmitting_ = false;
+  start_transmission_if_idle();
+}
+
+void Link::record_tx_stats(BatchEntry& e) {
+  if (e.stats_recorded) return;
+  e.stats_recorded = true;
+  const double sojourn_ms = sim::to_milliseconds(e.start - e.enqueued_at);
+  queueing_delay_ms_.add(sojourn_ms);
+  if (metrics_) {
+    metrics_->histogram("queue.sojourn_ms", obs_entity_).record(sojourn_ms);
+    busy_time_ += e.tx_end - e.start;
+    if (e.tx_end > 0) {  // utilization through this frame
+      metrics_->gauge("link.utilization", obs_entity_)
+          .set(sim::to_seconds(busy_time_) / sim::to_seconds(e.tx_end));
+    }
+  }
+}
+
+void Link::unwind_future_batch_entries() {
+  if (batch_.empty()) return;
+  const sim::Time now = sim_.now();
+  // Walk from the back so requeue_front restores original FIFO order.
+  while (!batch_.empty() && batch_.back().start > now) {
+    BatchEntry& e = batch_.back();
+    sim_.cancel(e.arrival_ev);
+    queue_->requeue_front(arena_.take(e.slot));
+    batch_.pop_back();
+  }
+  // The entry whose window contains `now` is never unwound, so the batch
+  // cannot empty here.
+  last_arrival_ = batch_.back().arrival;
+  sim_.cancel(batch_done_);
+  const std::uint64_t epoch = epoch_;
+  batch_done_ = sim_.at(batch_.back().tx_end, [this, epoch] {
+    if (epoch != epoch_) return;
+    finish_batch();
+  });
+}
+
+std::size_t Link::phantom_count() const {
+  const sim::Time now = sim_.now();
+  std::size_t n = 0;
+  for (const auto& e : batch_) {
+    if (e.start > now) ++n;
+  }
+  return n;
 }
 
 }  // namespace arnet::net

@@ -53,8 +53,12 @@ void Node::on_packet(Packet&& p) {
     return;
   }
   if (forwarding_delay_ > 0) {
+    // Park the packet in the network arena so the closure stays inside the
+    // simulator's inline callback buffer (a moved Packet would force a heap
+    // allocation per forwarded packet).
+    const std::uint32_t slot = net_.arena_.acquire(std::move(p));
     net_.sim_.after(forwarding_delay_,
-                    [this, pkt = std::move(p)]() mutable { net_.forward(id_, std::move(pkt)); });
+                    [this, slot] { net_.forward(id_, net_.arena_.take(slot)); });
   } else {
     net_.forward(id_, std::move(p));
   }
@@ -178,10 +182,10 @@ Link* Network::link_between(NodeId a, NodeId b) {
 void Network::deliver_or_forward(NodeId at, Packet&& p) {
   if (p.dst == at) {
     // Local delivery without touching any link; decouple via the event loop
-    // to avoid handler reentrancy.
-    sim_.after(0, [this, at, pkt = std::move(p)]() mutable {
-      node(at).on_packet(std::move(pkt));
-    });
+    // to avoid handler reentrancy. The packet is parked in the arena so the
+    // closure fits the simulator's inline callback buffer.
+    const std::uint32_t slot = arena_.acquire(std::move(p));
+    sim_.after(0, [this, at, slot] { node(at).on_packet(arena_.take(slot)); });
     return;
   }
   forward(at, std::move(p));

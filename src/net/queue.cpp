@@ -7,7 +7,9 @@ namespace arnet::net {
 // ---------------------------------------------------------------- DropTail
 
 bool DropTailQueue::enqueue(Packet p, sim::Time now) {
-  if (q_.size() >= capacity_) {
+  // The supplement counts packets a batching Link has claimed for future
+  // serialization slots; un-batched they would still occupy this queue.
+  if (q_.size() + (supplement_ ? supplement_() : 0) >= capacity_) {
     drop(p, DropReason::kQueue);
     return false;
   }

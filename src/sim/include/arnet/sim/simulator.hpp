@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <functional>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "arnet/sim/small_fn.hpp"
 #include "arnet/sim/time.hpp"
 
 namespace arnet::sim {
@@ -40,17 +41,19 @@ struct SimulatorTestPeer;
 /// protocol traces deterministic.
 ///
 /// Engine layout (ns-3-style slab scheduler): every scheduled event lives in
-/// a slot of a slab, and a 4-ary min-heap of slot indices orders the slots
-/// by (time, seq). Handles pack {slot, generation}; freeing a slot bumps its
-/// generation, so a stale handle (already fired, already cancelled, forged)
-/// is rejected by a single compare — no id hash sets, no tombstone growth.
-/// cancel() is an O(1) slot mark; the dead heap entry is discarded when it
-/// surfaces at the front. Freed slots are recycled LIFO, so steady-state
-/// scheduling reuses warm Event records (including their Callback storage)
-/// instead of allocating.
+/// a slot of a chunked slab, and a 4-ary min-heap of slot indices orders the
+/// slots by (time, seq). Handles pack {slot, generation}; freeing a slot
+/// bumps its generation, so a stale handle (already fired, already
+/// cancelled, forged) is rejected by a single compare — no id hash sets, no
+/// tombstone growth. cancel() is an O(1) slot mark; the dead heap entry is
+/// discarded when it surfaces at the front. Freed slots are recycled LIFO,
+/// so steady-state scheduling reuses warm Event records (including their
+/// Callback storage) instead of allocating. The slab grows in fixed chunks
+/// with stable addresses: growth never moves live Event records (and their
+/// callback captures), which a flat vector did on every regrow.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   Time now() const { return now_; }
 
@@ -81,7 +84,9 @@ class Simulator {
   /// Cancelled events whose heap entry has not yet surfaced at the front and
   /// been discarded. Bounded by the queue size; always 0 once the queue
   /// drains. SimAuditor::finish() still audits that invariant as a backstop.
-  std::size_t cancel_backlog() const { return heap_.size() - live_; }
+  std::size_t cancel_backlog() const {
+    return heap_.size() + (tail_.size() - tail_head_) - live_;
+  }
 
   /// Register/unregister an execution observer (auditing & trace
   /// fingerprinting). Several may be registered; order = registration order.
@@ -94,15 +99,27 @@ class Simulator {
   friend struct SimulatorTestPeer;
 
   struct Event {
-    Time time = 0;
-    std::uint64_t seq = 0;  // tie-break: FIFO among equal-time events
     std::uint32_t generation = 1;
     enum State : std::uint8_t { kFree, kPending, kCancelled };
     State state = kFree;
     Callback cb;
   };
 
+  /// Slab chunk geometry: 512 events per chunk keeps a chunk around 24 KiB
+  /// (well inside L2) while bounding growth allocations to one every 512
+  /// schedules at peak.
+  static constexpr std::uint32_t kChunkShift = 9;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
+  Event& event_at(std::uint32_t slot) {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
+  const Event& event_at(std::uint32_t slot) const {
+    return chunks_[slot >> kChunkShift][slot & kChunkMask];
+  }
 
   static std::uint64_t pack_id(std::uint32_t slot, std::uint32_t generation) {
     return (static_cast<std::uint64_t>(generation) << 32) | slot;
@@ -115,23 +132,28 @@ class Simulator {
   /// only alias after 2^32 - 1 reuses of one slot.
   static std::uint32_t next_generation(std::uint32_t g) { return g + 1 == 0 ? 1 : g + 1; }
 
-  /// Heap entries cache the primary ordering key (time) next to the slot
-  /// index: sift comparisons run over contiguous heap memory instead of
-  /// chasing slab slots, which is where a slab scheduler's cache misses
-  /// hide. The seq tie-break stays in the slab and is only fetched on equal
-  /// times — keeping the entry at 16 bytes, so a 4-ary node's child group
-  /// spans at most two cache lines and half the heap footprint stays hot.
+  /// Lane entries carry the full ordering key (time, seq) next to the slot
+  /// index: sift comparisons and front merges run over contiguous lane
+  /// memory and never chase slab slots, which is where a slab scheduler's
+  /// cache misses hide. Keeping time/seq out of the slab also shrinks an
+  /// Event to one cache line, which is what bounds a cold simulator's
+  /// first-touch cost (the dominant term in short-lived worlds).
   struct HeapEntry {
     Time time;
+    std::uint64_t seq;
     std::uint32_t slot;
   };
-  bool entry_before(const HeapEntry& a, const HeapEntry& b) const {
+  static bool entry_before(const HeapEntry& a, const HeapEntry& b) {
     if (a.time != b.time) return a.time < b.time;
-    return slab_[a.slot].seq < slab_[b.slot].seq;
+    return a.seq < b.seq;
   }
 
   void heap_push(HeapEntry e);
   void heap_pop_front();
+  /// True when the front of the monotone tail lane orders before the heap
+  /// front (pre: at least one lane non-empty after has_live_front()).
+  bool tail_is_front() const;
+  Time front_time() const;
   /// Discard cancelled entries off the heap front (freeing their slots);
   /// afterwards heap_[0] is the live front event. Returns false when
   /// drained. The single pass shared by run()/run_until().
@@ -144,8 +166,19 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;
-  std::vector<Event> slab_;
+  std::vector<std::unique_ptr<Event[]>> chunks_;
+  std::uint32_t slab_size_ = 0;      // slots handed out so far (all chunks)
   std::vector<HeapEntry> heap_;      // 4-ary min-heap keyed by (time, seq)
+  // Monotone tail lane: most discrete-event workloads schedule in nearly
+  // non-decreasing time order (per-hop delays, timer re-arms). An event whose
+  // time is >= the newest tail entry is appended here instead of the heap;
+  // the lane is sorted by construction ((time, seq) increases with every
+  // append), so both push and pop are O(1). Out-of-order events still take
+  // the heap, and the dispatcher merges the two fronts by exact (time, seq)
+  // — execution order (and thus every fingerprint) is identical to a pure
+  // heap.
+  std::vector<HeapEntry> tail_;
+  std::size_t tail_head_ = 0;
   std::vector<std::uint32_t> free_;  // freed slots, reused LIFO
   // The firing callback is moved here (not run in place) because it may
   // schedule events and grow the slab under its own feet; the member is
@@ -160,9 +193,9 @@ class Simulator {
 struct SimulatorTestPeer {
   static std::uint32_t slot_of(EventHandle h) { return Simulator::slot_of(h.id); }
   static std::uint32_t generation_of(EventHandle h) { return Simulator::generation_of(h.id); }
-  static std::size_t slab_size(const Simulator& s) { return s.slab_.size(); }
+  static std::size_t slab_size(const Simulator& s) { return s.slab_size_; }
   static void set_slot_generation(Simulator& s, std::uint32_t slot, std::uint32_t generation) {
-    s.slab_[slot].generation = generation;
+    s.event_at(slot).generation = generation;
   }
 };
 

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace arnet::sim {
+
+/// Move-only callable wrapper with a large inline buffer, used as the
+/// simulator's event callback type. std::function's small-buffer optimisation
+/// tops out at 16 trivially-copyable bytes (libstdc++), so every closure that
+/// captures a Packet handle plus a couple of fields heap-allocates on the
+/// simulator's hottest path. SmallFn inlines up to `kInlineBytes` of capture
+/// state (and falls back to the heap above that), and being move-only it can
+/// hold move-only captures that std::function rejects.
+class SmallFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 24;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SmallFn>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>, "SmallFn requires a void() callable");
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](SmallFn& self) { (*std::launder(reinterpret_cast<Fn*>(self.buf_)))(); };
+      manage_ = [](SmallFn& self, SmallFn* dst) {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(self.buf_));
+        if (dst != nullptr) ::new (static_cast<void*>(dst->buf_)) Fn(std::move(*src));
+        src->~Fn();
+      };
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      invoke_ = [](SmallFn& self) { (*static_cast<Fn*>(self.heap_))(); };
+      manage_ = [](SmallFn& self, SmallFn* dst) {
+        if (dst != nullptr) {
+          dst->heap_ = self.heap_;
+        } else {
+          delete static_cast<Fn*>(self.heap_);
+        }
+      };
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() { invoke_(*this); }
+
+ private:
+  void reset() {
+    if (manage_ != nullptr) manage_(*this, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  /// Move `other`'s callable into this (pre: *this is empty). For inline
+  /// callables this move-constructs into our buffer; for heap callables it
+  /// just steals the pointer. `other` is left empty either way.
+  void move_from(SmallFn& other) {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) other.manage_(other, this);
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  using Invoke = void (*)(SmallFn&);
+  /// dst == nullptr: destroy. dst != nullptr: move into dst's storage (which
+  /// must be empty), then leave the source destroyed-but-unset.
+  using Manage = void (*)(SmallFn&, SmallFn*);
+
+  union {
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    void* heap_;
+  };
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace arnet::sim

@@ -33,7 +33,7 @@ void Simulator::heap_pop_front() {
     if (first_child >= n) break;
     std::size_t best = first_child;
     if (first_child + 4 <= n) {
-      // Interior node: the four 16-byte children span at most two cache
+      // Interior node: the four 24-byte children span at most two cache
       // lines; unrolling keeps the min-scan branch-predictable.
       if (entry_before(heap_[first_child + 1], heap_[best])) best = first_child + 1;
       if (entry_before(heap_[first_child + 2], heap_[best])) best = first_child + 2;
@@ -51,7 +51,7 @@ void Simulator::heap_pop_front() {
 }
 
 void Simulator::release_slot(std::uint32_t slot) {
-  Event& e = slab_[slot];
+  Event& e = event_at(slot);
   e.state = Event::kFree;
   e.generation = next_generation(e.generation);
   free_.push_back(slot);
@@ -64,16 +64,25 @@ EventHandle Simulator::at(Time t, Callback cb) {
     slot = free_.back();
     free_.pop_back();
   } else {
-    ARNET_ASSERT(slab_.size() < kNoSlot, "event slab exhausted (2^32 - 1 concurrent events)");
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
+    ARNET_ASSERT(slab_size_ < kNoSlot, "event slab exhausted (2^32 - 1 concurrent events)");
+    slot = slab_size_++;
+    if ((slot & kChunkMask) == 0) {
+      chunks_.push_back(std::make_unique<Event[]>(kChunkSize));
+    }
   }
-  Event& e = slab_[slot];
-  e.time = t;
-  e.seq = next_seq_++;
+  Event& e = event_at(slot);
   e.state = Event::kPending;
   e.cb = std::move(cb);
-  heap_push(HeapEntry{t, slot});
+  const std::uint64_t seq = next_seq_++;
+  if (tail_head_ == tail_.size() || t >= tail_.back().time) {
+    if (tail_head_ != 0 && tail_head_ == tail_.size()) {
+      tail_.clear();
+      tail_head_ = 0;
+    }
+    tail_.push_back(HeapEntry{t, seq, slot});
+  } else {
+    heap_push(HeapEntry{t, seq, slot});
+  }
   ++live_;
   return EventHandle{pack_id(slot, e.generation)};
 }
@@ -85,10 +94,10 @@ void Simulator::cancel(EventHandle h) {
   // "Issued" = this id could have come out of at(): its slot exists and its
   // generation is non-zero (0 is never issued). Fired and double-cancelled
   // handles were issued; forged ids like EventHandle{999999} were not.
-  const bool issued = gen != 0 && slot < slab_.size();
+  const bool issued = gen != 0 && slot < slab_size_;
   for (SimObserver* o : observers_) o->on_cancel(h.id, issued);
   if (!issued) return;
-  Event& e = slab_[slot];
+  Event& e = event_at(slot);
   if (e.state != Event::kPending || e.generation != gen) return;  // stale handle: no-op
   // O(1) mark: bump the generation so every outstanding copy of this handle
   // goes stale, and leave the dead heap entry to be discarded at the front.
@@ -99,21 +108,50 @@ void Simulator::cancel(EventHandle h) {
 }
 
 bool Simulator::has_live_front() {
+  while (tail_head_ < tail_.size()) {
+    const std::uint32_t slot = tail_[tail_head_].slot;
+    if (event_at(slot).state == Event::kPending) break;
+    ++tail_head_;
+    release_slot(slot);
+  }
+  if (tail_head_ == tail_.size() && tail_head_ != 0) {
+    tail_.clear();
+    tail_head_ = 0;
+  }
   while (!heap_.empty()) {
     const std::uint32_t slot = heap_[0].slot;
-    if (slab_[slot].state == Event::kPending) return true;
+    if (event_at(slot).state == Event::kPending) break;
     heap_pop_front();
     release_slot(slot);
   }
-  return false;
+  return tail_head_ < tail_.size() || !heap_.empty();
+}
+
+bool Simulator::tail_is_front() const {
+  if (tail_head_ == tail_.size()) return false;
+  if (heap_.empty()) return true;
+  return entry_before(tail_[tail_head_], heap_[0]);
+}
+
+Time Simulator::front_time() const {
+  if (tail_head_ == tail_.size()) return heap_[0].time;
+  if (heap_.empty()) return tail_[tail_head_].time;
+  return std::min(tail_[tail_head_].time, heap_[0].time);
 }
 
 void Simulator::run_front() {
-  const std::uint32_t slot = heap_[0].slot;
-  heap_pop_front();
-  Event& e = slab_[slot];
-  const Time t = e.time;
-  const std::uint64_t seq = e.seq;
+  HeapEntry front;
+  if (tail_is_front()) {
+    front = tail_[tail_head_];
+    ++tail_head_;
+  } else {
+    front = heap_[0];
+    heap_pop_front();
+  }
+  const std::uint32_t slot = front.slot;
+  Event& e = event_at(slot);
+  const Time t = front.time;
+  const std::uint64_t seq = front.seq;
   const std::uint64_t id = pack_id(slot, e.generation);
   // Survives NDEBUG: a backwards clock silently corrupts every downstream
   // trace, so it must halt release runs too.
@@ -137,7 +175,7 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time t) {
-  while (has_live_front() && heap_[0].time <= t) {
+  while (has_live_front() && front_time() <= t) {
     run_front();
   }
   if (now_ < t) now_ = t;

@@ -1,10 +1,12 @@
 #include "arnet/vision/features.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdlib>
 
 #include "arnet/sim/rng.hpp"
+#include "arnet/vision/simd.hpp"
 
 namespace arnet::vision {
 
@@ -15,18 +17,20 @@ constexpr int kRing[16][2] = {{0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0},  {3, 1
                               {2, 2},  {1, 3},  {0, 3},  {-1, 3}, {-2, 2}, {-3, 1},
                               {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3}};
 
-/// Does the ring around (x,y) contain >= 9 contiguous pixels all brighter /
-/// darker than the thresholded center? Returns the corner score (sum of
-/// absolute differences over the qualifying arc) or 0.
-int fast_score(const Image& img, int x, int y, int threshold) {
-  int center = img.at(x, y);
-  int bright = center + threshold;
-  int dark = center - threshold;
+/// Does the ring around `center` contain >= 9 contiguous pixels all brighter
+/// / darker than the thresholded center? Returns the corner score (sum of
+/// absolute differences over the qualifying arc) or 0. `ring_off` holds the
+/// 16 ring taps as byte offsets from the center pixel (stride-dependent, so
+/// the caller precomputes them once per image).
+int fast_score_at(const std::uint8_t* center, const int ring_off[16], int threshold) {
+  int c = *center;
+  int bright = c + threshold;
+  int dark = c - threshold;
   // Classify ring pixels: +1 brighter, -1 darker, 0 neither.
   int cls[16];
   int vals[16];
   for (int i = 0; i < 16; ++i) {
-    vals[i] = img.at(x + kRing[i][0], y + kRing[i][1]);
+    vals[i] = center[ring_off[i]];
     cls[i] = vals[i] > bright ? 1 : (vals[i] < dark ? -1 : 0);
   }
   // Search for an arc of >= 9 equal nonzero classes (wrap-around).
@@ -37,7 +41,7 @@ int fast_score(const Image& img, int x, int y, int threshold) {
     for (int i = 0; i < 32; ++i) {  // doubled for wrap-around
       if (cls[i % 16] == polarity) {
         ++run;
-        run_score += std::abs(vals[i % 16] - center);
+        run_score += std::abs(vals[i % 16] - c);
         if (run > best_run) {
           best_run = run;
           best_score = run_score;
@@ -53,17 +57,9 @@ int fast_score(const Image& img, int x, int y, int threshold) {
   return 0;
 }
 
-}  // namespace
-
-std::vector<Feature> fast_detect(const Image& img, int threshold, int nms_radius) {
-  std::vector<Feature> raw;
-  for (int y = 3; y < img.height() - 3; ++y) {
-    for (int x = 3; x < img.width() - 3; ++x) {
-      int s = fast_score(img, x, y, threshold);
-      if (s > 0) raw.push_back({x, y, s});
-    }
-  }
-  // Non-maximum suppression on a score-sorted list.
+/// Shared FAST/Harris non-maximum suppression: greedy on a score-sorted
+/// list.
+std::vector<Feature> nms(std::vector<Feature> raw, int nms_radius) {
   std::sort(raw.begin(), raw.end(), [](const Feature& a, const Feature& b) {
     return a.score > b.score;
   });
@@ -81,6 +77,69 @@ std::vector<Feature> fast_detect(const Image& img, int threshold, int nms_radius
     }
   }
   return kept;
+}
+
+}  // namespace
+
+std::vector<Feature> fast_detect(const Image& img, int threshold, int nms_radius) {
+  const int w = img.width(), h = img.height();
+  const int stride = img.stride();
+  int ring_off[16];
+  for (int i = 0; i < 16; ++i) ring_off[i] = kRing[i][1] * stride + kRing[i][0];
+
+  std::vector<Feature> raw;
+  if (threshold >= 0 && threshold <= 255) {
+    // Early-reject cascade. Any arc of >= 9 contiguous ring positions (out
+    // of 16) must contain one of the vertical cardinals {0, 8} AND one of
+    // the horizontal cardinals {4, 12}: members of each pair sit 8 apart, so
+    // at most 7 consecutive positions can miss both. A corner therefore
+    // needs, for one polarity, a qualifying pixel in each pair — a necessary
+    // condition checked for 16 candidate centers at once. Saturating u8
+    // center +/- threshold matches the scalar int comparison exactly for
+    // thresholds in [0, 255]: if center + t > 255 no u8 value exceeds either
+    // bound, and likewise below 0. Survivors (a few percent of pixels on
+    // natural scenes) are re-scored with the exact scalar routine, so the
+    // result list is identical to the plain scan.
+    const simd::U8x16 thr = simd::U8x16::splat(static_cast<std::uint8_t>(threshold));
+    for (int y = 3; y < h - 3; ++y) {
+      const std::uint8_t* r0 = img.row(y);
+      const std::uint8_t* rm3 = img.row(y - 3);
+      const std::uint8_t* rp3 = img.row(y + 3);
+      for (int x = 3; x < w - 3; x += 16) {
+        const simd::U8x16 c = simd::U8x16::load(r0 + x);
+        const simd::U8x16 hi = simd::adds(c, thr);
+        const simd::U8x16 lo = simd::subs(c, thr);
+        const simd::U8x16 p0 = simd::U8x16::load(rm3 + x);
+        const simd::U8x16 p8 = simd::U8x16::load(rp3 + x);
+        const simd::U8x16 p4 = simd::U8x16::load(r0 + x + 3);
+        const simd::U8x16 p12 = simd::U8x16::load(r0 + x - 3);
+        const simd::U8x16 bright = simd::bit_and(simd::bit_or(simd::gt(p0, hi), simd::gt(p8, hi)),
+                                                 simd::bit_or(simd::gt(p4, hi), simd::gt(p12, hi)));
+        const simd::U8x16 dark = simd::bit_and(simd::bit_or(simd::gt(lo, p0), simd::gt(lo, p8)),
+                                               simd::bit_or(simd::gt(lo, p4), simd::gt(lo, p12)));
+        std::uint32_t m = simd::movemask(simd::bit_or(bright, dark));
+        const int valid = std::min(16, w - 3 - x);
+        if (valid < 16) m &= (1u << valid) - 1;
+        while (m != 0) {
+          const int lane = std::countr_zero(m);
+          m &= m - 1;
+          const int s = fast_score_at(r0 + x + lane, ring_off, threshold);
+          if (s > 0) raw.push_back({x + lane, y, s});
+        }
+      }
+    }
+  } else {
+    // Degenerate thresholds (outside u8 range) skip the cascade; the scalar
+    // scan is the reference semantics either way.
+    for (int y = 3; y < h - 3; ++y) {
+      const std::uint8_t* r0 = img.row(y);
+      for (int x = 3; x < w - 3; ++x) {
+        const int s = fast_score_at(r0 + x, ring_off, threshold);
+        if (s > 0) raw.push_back({x, y, s});
+      }
+    }
+  }
+  return nms(std::move(raw), nms_radius);
 }
 
 namespace {
@@ -105,19 +164,37 @@ const BriefPattern& brief_pattern() {
   return p;
 }
 
+/// Per-frame blur scratch: extract() runs per camera frame, and the smooth
+/// image was its last remaining full-frame allocation.
+Image& smooth_scratch() {
+  thread_local Image scratch;
+  return scratch;
+}
+
 }  // namespace
 
 DescribedFeatures brief_describe(const Image& img, const std::vector<Feature>& features) {
-  Image smooth = box_blur(img, 2);
+  Image& smooth = smooth_scratch();
+  box_blur_into(img, 2, smooth);
   const auto& pat = brief_pattern();
+  // Resolve the 256 tap pairs to byte offsets once per image; the inner loop
+  // is then 512 loads off the feature's center pointer.
+  const int stride = smooth.stride();
+  std::array<int, 256> off1;
+  std::array<int, 256> off2;
+  for (int b = 0; b < 256; ++b) {
+    const auto& p = pat.pairs[static_cast<std::size_t>(b)];
+    off1[static_cast<std::size_t>(b)] = p[1] * stride + p[0];
+    off2[static_cast<std::size_t>(b)] = p[3] * stride + p[2];
+  }
   DescribedFeatures out;
   for (const Feature& f : features) {
     if (f.x < 16 || f.y < 16 || f.x >= img.width() - 16 || f.y >= img.height() - 16) continue;
+    const std::uint8_t* center = smooth.row(f.y) + f.x;
     Descriptor d;
     for (int b = 0; b < 256; ++b) {
-      const auto& p = pat.pairs[static_cast<std::size_t>(b)];
-      std::uint8_t v1 = smooth.at(f.x + p[0], f.y + p[1]);
-      std::uint8_t v2 = smooth.at(f.x + p[2], f.y + p[3]);
+      const std::uint8_t v1 = center[off1[static_cast<std::size_t>(b)]];
+      const std::uint8_t v2 = center[off2[static_cast<std::size_t>(b)]];
       if (v1 < v2) d.bits[static_cast<std::size_t>(b / 64)] |= 1ULL << (b % 64);
     }
     out.features.push_back(f);
@@ -129,20 +206,38 @@ DescribedFeatures brief_describe(const Image& img, const std::vector<Feature>& f
 double feature_orientation(const Image& img, const Feature& f, int radius) {
   // Intensity centroid over a disc: angle(m01, m10).
   double m10 = 0.0, m01 = 0.0;
-  for (int dy = -radius; dy <= radius; ++dy) {
-    for (int dx = -radius; dx <= radius; ++dx) {
-      if (dx * dx + dy * dy > radius * radius) continue;
-      double v = img.at_clamped(f.x + dx, f.y + dy);
-      m10 += dx * v;
-      m01 += dy * v;
+  if (f.x >= radius && f.y >= radius && f.x < img.width() - radius &&
+      f.y < img.height() - radius) {
+    // Interior feature: no clamping possible, read rows directly. Same taps
+    // in the same order as the clamped loop, so the double accumulation is
+    // bit-identical.
+    for (int dy = -radius; dy <= radius; ++dy) {
+      const std::uint8_t* row = img.row(f.y + dy) + f.x;
+      for (int dx = -radius; dx <= radius; ++dx) {
+        if (dx * dx + dy * dy > radius * radius) continue;
+        double v = row[dx];
+        m10 += dx * v;
+        m01 += dy * v;
+      }
+    }
+  } else {
+    for (int dy = -radius; dy <= radius; ++dy) {
+      for (int dx = -radius; dx <= radius; ++dx) {
+        if (dx * dx + dy * dy > radius * radius) continue;
+        double v = img.at_clamped(f.x + dx, f.y + dy);
+        m10 += dx * v;
+        m01 += dy * v;
+      }
     }
   }
   return std::atan2(m01, m10);
 }
 
 DescribedFeatures orb_describe(const Image& img, const std::vector<Feature>& features) {
-  Image smooth = box_blur(img, 2);
+  Image& smooth = smooth_scratch();
+  box_blur_into(img, 2, smooth);
   const auto& pat = brief_pattern();
+  const int stride = smooth.stride();
   DescribedFeatures out;
   for (const Feature& f : features) {
     if (f.x < 16 || f.y < 16 || f.x >= img.width() - 16 || f.y >= img.height() - 16) continue;
@@ -152,14 +247,15 @@ DescribedFeatures orb_describe(const Image& img, const std::vector<Feature>& fea
       ox = std::clamp(static_cast<int>(std::lround(c * px - s * py)), -15, 15);
       oy = std::clamp(static_cast<int>(std::lround(s * px + c * py)), -15, 15);
     };
+    const std::uint8_t* center = smooth.row(f.y) + f.x;
     Descriptor d;
     for (int b = 0; b < 256; ++b) {
       const auto& p = pat.pairs[static_cast<std::size_t>(b)];
       int x1, y1, x2, y2;
       steer(p[0], p[1], x1, y1);
       steer(p[2], p[3], x2, y2);
-      std::uint8_t v1 = smooth.at(f.x + x1, f.y + y1);
-      std::uint8_t v2 = smooth.at(f.x + x2, f.y + y2);
+      const std::uint8_t v1 = center[y1 * stride + x1];
+      const std::uint8_t v2 = center[y2 * stride + x2];
       if (v1 < v2) d.bits[static_cast<std::size_t>(b / 64)] |= 1ULL << (b % 64);
     }
     out.features.push_back(f);

@@ -30,6 +30,101 @@ Mat3 normalizing_transform(const std::vector<Correspondence>& pts, bool use_dst)
   return t;
 }
 
+/// Direct homography from exactly 4 correspondences: with h22 pinned to 1
+/// the DLT constraints become an 8x8 linear system, solved here by Gaussian
+/// elimination with partial pivoting. Orders of magnitude cheaper than the
+/// general path (which builds A^T A and runs a 9x9 Jacobi eigensolve per
+/// RANSAC iteration — the dominant cost of recognizing a frame against
+/// non-matching database objects, where RANSAC always runs to its iteration
+/// cap). Points are Hartley-normalized first so the pivots are well scaled.
+/// Degenerate samples (collinear points) hit a ~zero pivot and return
+/// nullopt, which RANSAC treats exactly like a failed DLT: skip the
+/// iteration.
+std::optional<Mat3> homography_from_quad(const Correspondence* c) {
+  // Normalize both point sets (centroid to origin, mean distance sqrt(2)).
+  double scx = 0, scy = 0, dcx = 0, dcy = 0;
+  for (int i = 0; i < 4; ++i) {
+    scx += c[i].src.x;
+    scy += c[i].src.y;
+    dcx += c[i].dst.x;
+    dcy += c[i].dst.y;
+  }
+  scx /= 4;
+  scy /= 4;
+  dcx /= 4;
+  dcy /= 4;
+  double sd = 0, dd = 0;
+  for (int i = 0; i < 4; ++i) {
+    sd += std::hypot(c[i].src.x - scx, c[i].src.y - scy);
+    dd += std::hypot(c[i].dst.x - dcx, c[i].dst.y - dcy);
+  }
+  sd /= 4;
+  dd /= 4;
+  const double ss = sd > 1e-9 ? std::sqrt(2.0) / sd : 1.0;
+  const double ds = dd > 1e-9 ? std::sqrt(2.0) / dd : 1.0;
+
+  // Augmented 8x9 system over the normalized points.
+  double a[8][9];
+  for (int i = 0; i < 4; ++i) {
+    const double x = ss * (c[i].src.x - scx), y = ss * (c[i].src.y - scy);
+    const double u = ds * (c[i].dst.x - dcx), v = ds * (c[i].dst.y - dcy);
+    double* r0 = a[2 * i];
+    double* r1 = a[2 * i + 1];
+    r0[0] = x;
+    r0[1] = y;
+    r0[2] = 1;
+    r0[3] = 0;
+    r0[4] = 0;
+    r0[5] = 0;
+    r0[6] = -u * x;
+    r0[7] = -u * y;
+    r0[8] = u;
+    r1[0] = 0;
+    r1[1] = 0;
+    r1[2] = 0;
+    r1[3] = x;
+    r1[4] = y;
+    r1[5] = 1;
+    r1[6] = -v * x;
+    r1[7] = -v * y;
+    r1[8] = v;
+  }
+  for (int col = 0; col < 8; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < 8; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return std::nullopt;
+    if (pivot != col) {
+      for (int k = col; k < 9; ++k) std::swap(a[pivot][k], a[col][k]);
+    }
+    const double inv = 1.0 / a[col][col];
+    for (int row = col + 1; row < 8; ++row) {
+      const double f = a[row][col] * inv;
+      if (f == 0.0) continue;
+      for (int k = col; k < 9; ++k) a[row][k] -= f * a[col][k];
+    }
+  }
+  double hn[8];
+  for (int row = 7; row >= 0; --row) {
+    double v = a[row][8];
+    for (int k = row + 1; k < 8; ++k) v -= a[row][k] * hn[k];
+    hn[row] = v / a[row][row];
+  }
+
+  Mat3 hmat;
+  hmat.m = {hn[0], hn[1], hn[2], hn[3], hn[4], hn[5], hn[6], hn[7], 1.0};
+  // Denormalize: H = Td^-1 * Hn * Ts.
+  Mat3 ts;
+  ts.m = {ss, 0, -ss * scx, 0, ss, -ss * scy, 0, 0, 1};
+  Mat3 td_inv;
+  td_inv.m = {1.0 / ds, 0, dcx, 0, 1.0 / ds, dcy, 0, 0, 1};
+  Mat3 result = td_inv * hmat * ts;
+  if (std::abs(result.determinant()) < 1e-12) return std::nullopt;
+  if (std::abs(result.m[8]) < 1e-12) return std::nullopt;
+  return result.normalized();
+}
+
 }  // namespace
 
 std::optional<Mat3> estimate_homography_dlt(const std::vector<Correspondence>& pts) {
@@ -75,6 +170,7 @@ std::optional<RansacResult> estimate_homography_ransac(const std::vector<Corresp
   if (n < 4) return std::nullopt;
 
   std::vector<int> best_inliers;
+  std::vector<int> inliers;  // hoisted: reused (and swapped) across iterations
   int iterations_needed = params.max_iterations;
   int it = 0;
   for (; it < iterations_needed && it < params.max_iterations; ++it) {
@@ -88,14 +184,14 @@ std::optional<RansacResult> estimate_homography_ransac(const std::vector<Corresp
         for (int j = 0; j < k; ++j) dup |= idx[j] == idx[k];
       }
     }
-    std::vector<Correspondence> sample = {pts[static_cast<std::size_t>(idx[0])],
-                                          pts[static_cast<std::size_t>(idx[1])],
-                                          pts[static_cast<std::size_t>(idx[2])],
-                                          pts[static_cast<std::size_t>(idx[3])]};
-    auto h = estimate_homography_dlt(sample);
+    const Correspondence sample[4] = {pts[static_cast<std::size_t>(idx[0])],
+                                      pts[static_cast<std::size_t>(idx[1])],
+                                      pts[static_cast<std::size_t>(idx[2])],
+                                      pts[static_cast<std::size_t>(idx[3])]};
+    auto h = homography_from_quad(sample);
     if (!h) continue;
 
-    std::vector<int> inliers;
+    inliers.clear();
     for (int i = 0; i < n; ++i) {
       Vec2 mapped = h->apply(pts[static_cast<std::size_t>(i)].src);
       if (distance(mapped, pts[static_cast<std::size_t>(i)].dst) <
@@ -104,7 +200,7 @@ std::optional<RansacResult> estimate_homography_ransac(const std::vector<Corresp
       }
     }
     if (inliers.size() > best_inliers.size()) {
-      best_inliers = std::move(inliers);
+      std::swap(best_inliers, inliers);
       // Adaptive iteration count from the inlier ratio.
       double w = static_cast<double>(best_inliers.size()) / n;
       double p_outlier_sample = 1.0 - w * w * w * w;

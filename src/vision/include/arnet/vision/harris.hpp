@@ -23,8 +23,16 @@ std::vector<Feature> harris_detect(const Image& img, const HarrisParams& params 
 /// Downscale by 2x with 2x2 averaging.
 Image downscale2(const Image& src);
 
+/// downscale2 into a caller-owned destination (resized as needed).
+void downscale2_into(const Image& src, Image& dst);
+
 /// Gaussian-ish image pyramid (successive blur + halving).
 std::vector<Image> build_pyramid(const Image& base, int levels);
+
+/// build_pyramid reusing the caller's level buffers: a per-frame pipeline
+/// that keeps `pyr` across frames allocates nothing once warm. `pyr` is
+/// resized to the number of levels actually built.
+void build_pyramid_into(const Image& base, int levels, std::vector<Image>& pyr);
 
 /// A feature with the pyramid level it was found on (coordinates are in
 /// base-image space).

@@ -11,19 +11,35 @@ namespace arnet::vision {
 /// synthetic scenes, so grayscale is sufficient to exercise the full
 /// detect/describe/match/estimate pipeline the paper's offloading model
 /// needs (feature extraction is the unit CloudRidAR runs on-device).
+///
+/// Rows are stored at a stride rounded up to 16 bytes (plus a little end
+/// slack) so the SIMD detectors can issue full 16-lane loads from any pixel
+/// of any row without edge special-casing. Padding bytes are deterministic
+/// (the fill value): images rendered the same way compare equal through
+/// data(), and reads that stray into the pad see defined values.
 class Image {
  public:
   Image() = default;
   Image(int width, int height, std::uint8_t fill = 0)
-      : width_(width), height_(height), data_(static_cast<std::size_t>(width) * height, fill) {}
+      : width_(width),
+        height_(height),
+        stride_(row_stride(width)),
+        data_(static_cast<std::size_t>(stride_) * height + kEndSlack, fill) {}
 
   int width() const { return width_; }
   int height() const { return height_; }
-  bool empty() const { return data_.empty(); }
+  /// Bytes between the starts of consecutive rows (>= width, 16-aligned).
+  int stride() const { return stride_; }
+  bool empty() const { return width_ == 0 || height_ == 0; }
 
-  std::uint8_t& at(int x, int y) { return data_[static_cast<std::size_t>(y) * width_ + x]; }
+  std::uint8_t* row(int y) { return data_.data() + static_cast<std::size_t>(y) * stride_; }
+  const std::uint8_t* row(int y) const {
+    return data_.data() + static_cast<std::size_t>(y) * stride_;
+  }
+
+  std::uint8_t& at(int x, int y) { return data_[static_cast<std::size_t>(y) * stride_ + x]; }
   std::uint8_t at(int x, int y) const {
-    return data_[static_cast<std::size_t>(y) * width_ + x];
+    return data_[static_cast<std::size_t>(y) * stride_ + x];
   }
 
   /// Clamped access: out-of-bounds coordinates read the nearest edge pixel.
@@ -43,16 +59,30 @@ class Image {
     return (v00 * (1 - fx) + v10 * fx) * (1 - fy) + (v01 * (1 - fx) + v11 * fx) * fy;
   }
 
+  /// Raw backing store, including row padding and end slack. Two images
+  /// rendered identically have equal data() (padding is deterministic), but
+  /// per-pixel work must walk row(y)/width() — the pad bytes are not pixels.
   const std::vector<std::uint8_t>& data() const { return data_; }
   std::vector<std::uint8_t>& data() { return data_; }
 
  private:
+  /// Row stride for a given width: next multiple of 16.
+  static int row_stride(int width) { return (width + 15) & ~15; }
+  /// Slack past the last row so a 16-lane load at the final pixel stays in
+  /// bounds even when the row's tail padding alone wouldn't cover it.
+  static constexpr std::size_t kEndSlack = 32;
+
   int width_ = 0;
   int height_ = 0;
+  int stride_ = 0;
   std::vector<std::uint8_t> data_;
 };
 
 /// 5x5 box blur; BRIEF requires smoothing for repeatability under noise.
 Image box_blur(const Image& src, int radius = 2);
+
+/// box_blur writing into a caller-owned destination (resized as needed);
+/// lets per-frame pipelines reuse the allocation.
+void box_blur_into(const Image& src, int radius, Image& dst);
 
 }  // namespace arnet::vision

@@ -12,7 +12,10 @@ Image render_scene_with_sensitive(sim::Rng& rng, const SceneParams& params, int 
   truth.clear();
   // Keep the background below the detector threshold so the synthetic
   // sensitive objects are the only near-saturated content.
-  for (auto& px : img.data()) px = std::min<std::uint8_t>(px, 220);
+  for (int y = 0; y < img.height(); ++y) {
+    std::uint8_t* row = img.row(y);
+    for (int x = 0; x < img.width(); ++x) row[x] = std::min<std::uint8_t>(row[x], 220);
+  }
 
   for (int f = 0; f < faces; ++f) {
     int r = static_cast<int>(rng.uniform_int(6, 12));

@@ -1,0 +1,379 @@
+// Equivalence tests for the link/network hot-path overhaul (packet arena +
+// batched transmit events). The contract, pinned here with TraceRecorder
+// fingerprints:
+//
+//   - TxPath::kArena reproduces the legacy path *event for event*: same
+//     simulator event times, seqs, and packet life cycle — the sim-level
+//     fingerprint (network + simulator attach) is byte-identical.
+//   - TxPath::kArenaBatched reproduces the legacy *packet-level* behavior
+//     (inject/deliver/drop times, uids, reasons — network attach) while
+//     necessarily executing fewer simulator events. This holds through tail
+//     drops, mid-flight rate/delay modulation, and link flaps.
+//   - Batching self-disables (falling back to kArena, which is exact) for
+//     AQM queues and loss models, so those configurations stay identical
+//     even at the simulator level.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "arnet/check/determinism.hpp"
+#include "arnet/net/network.hpp"
+#include "arnet/net/packet_arena.hpp"
+#include "arnet/net/queue.hpp"
+#include "arnet/sim/simulator.hpp"
+#include "arnet/transport/artp.hpp"
+#include "arnet/transport/tcp.hpp"
+
+namespace {
+
+using namespace arnet;
+using net::Link;
+
+struct Fp {
+  std::uint64_t fingerprint;
+  std::uint64_t records;
+};
+
+/// Build-and-run harness: `scenario` receives the network, the configured
+/// duplex pair, and the simulator; the recorder observes the network always
+/// and the simulator only in `sim_level` mode.
+using Scenario = std::function<void(sim::Simulator&, net::Network&, Link*, Link*)>;
+
+Fp run_scenario(const Scenario& scenario, Link::Config base_ab, Link::Config base_ba,
+                Link::TxPath path, bool sim_level) {
+  sim::Simulator sim;
+  net::Network net(sim, 7);
+  check::TraceRecorder trace;
+  trace.attach(net);
+  if (sim_level) trace.attach(sim);
+  auto a = net.add_node("a");
+  auto b = net.add_node("b");
+  base_ab.tx_path = path;
+  base_ba.tx_path = path;
+  auto [ab, ba] = net.connect(a, b, std::move(base_ab), std::move(base_ba));
+  scenario(sim, net, ab, ba);
+  return {trace.fingerprint(), trace.records()};
+}
+
+Link::Config plain_cfg(double rate_bps, sim::Time delay, std::size_t queue_packets) {
+  Link::Config cfg;
+  cfg.rate_bps = rate_bps;
+  cfg.delay = delay;
+  cfg.queue_packets = queue_packets;
+  return cfg;
+}
+
+/// Assert the three paths agree: kArena at the simulator level, batched at
+/// the packet level (and that the runs actually produced traffic).
+void expect_equivalent(const char* label, const Scenario& scenario,
+                       const std::function<Link::Config()>& make_ab,
+                       const std::function<Link::Config()>& make_ba,
+                       bool batched_sim_identical = false) {
+  const Fp legacy_sim =
+      run_scenario(scenario, make_ab(), make_ba(), Link::TxPath::kLegacy, true);
+  const Fp arena_sim =
+      run_scenario(scenario, make_ab(), make_ba(), Link::TxPath::kArena, true);
+  EXPECT_EQ(legacy_sim.fingerprint, arena_sim.fingerprint) << label << " (arena, sim-level)";
+  EXPECT_EQ(legacy_sim.records, arena_sim.records) << label << " (arena, sim-level)";
+  EXPECT_GT(legacy_sim.records, 100u) << label << " produced too little traffic to mean much";
+
+  const Fp legacy_pkt =
+      run_scenario(scenario, make_ab(), make_ba(), Link::TxPath::kLegacy, false);
+  const Fp batched_pkt =
+      run_scenario(scenario, make_ab(), make_ba(), Link::TxPath::kArenaBatched, false);
+  EXPECT_EQ(legacy_pkt.fingerprint, batched_pkt.fingerprint) << label << " (batched, packet-level)";
+  EXPECT_EQ(legacy_pkt.records, batched_pkt.records) << label << " (batched, packet-level)";
+
+  if (batched_sim_identical) {
+    // Configurations where batching must fall back to the exact kArena path.
+    const Fp batched_sim =
+        run_scenario(scenario, make_ab(), make_ba(), Link::TxPath::kArenaBatched, true);
+    EXPECT_EQ(legacy_sim.fingerprint, batched_sim.fingerprint) << label << " (batched, sim-level)";
+  }
+}
+
+// ------------------------------------------------------------- scenarios
+
+void tcp_bulk(sim::Simulator& sim, net::Network& net, Link*, Link*) {
+  transport::TcpSink sink(net, 1, 80);
+  transport::TcpSource src(net, 0, 1000, 1, 80, 1);
+  src.send(400'000);
+  sim.run_until(sim::seconds(20));
+  (void)sink;
+}
+
+void artp_stream(sim::Simulator& sim, net::Network& net, Link*, Link*) {
+  transport::ArtpReceiver rx(net, 1, 80);
+  transport::ArtpSender tx(net, 0, 1000, 1, 80, 1, transport::ArtpSenderConfig{});
+  for (int i = 0; i < 60; ++i) {
+    sim.at(sim::from_seconds(i / 30.0), [&tx] {
+      transport::ArtpMessageSpec m;
+      m.bytes = 14'400;
+      m.tclass = net::TrafficClass::kBestEffortLossRecovery;
+      m.priority = net::Priority::kMediumNoDrop;
+      tx.send_message(m);
+    });
+  }
+  sim.run_until(sim::seconds(4));
+  (void)rx;
+}
+
+void tcp_with_rate_modulation(sim::Simulator& sim, net::Network& net, Link* ab, Link* ba) {
+  transport::TcpSink sink(net, 1, 80);
+  transport::TcpSource src(net, 0, 1000, 1, 80, 1);
+  src.send(400'000);
+  // Kick the rate up and down mid-transfer, including while a transmit plan
+  // is in flight, to force the batched path through its unwind logic.
+  for (int i = 1; i <= 40; ++i) {
+    sim.at(sim::milliseconds(37 * i), [ab, ba, i] {
+      const double r = (i % 3 == 0) ? 4e6 : (i % 3 == 1) ? 10e6 : 7e6;
+      ab->set_rate(r);
+      ba->set_rate(r / 2);
+    });
+  }
+  sim.run_until(sim::seconds(20));
+  (void)sink;
+}
+
+void tcp_with_delay_modulation(sim::Simulator& sim, net::Network& net, Link* ab, Link* ba) {
+  transport::TcpSink sink(net, 1, 80);
+  transport::TcpSource src(net, 0, 1000, 1, 80, 1);
+  src.send(300'000);
+  for (int i = 1; i <= 30; ++i) {
+    sim.at(sim::milliseconds(53 * i), [ab, ba, i] {
+      // Both directions: grow and shrink, so the FIFO no-overtake guard and
+      // the serializing-packet re-time both trigger.
+      ab->set_delay(sim::milliseconds(i % 4 == 0 ? 2 : 12));
+      ba->set_delay(sim::milliseconds(i % 2 == 0 ? 1 : 9));
+    });
+  }
+  sim.run_until(sim::seconds(20));
+  (void)sink;
+}
+
+void tcp_with_link_flaps(sim::Simulator& sim, net::Network& net, Link* ab, Link* ba) {
+  transport::TcpSink sink(net, 1, 80);
+  transport::TcpSource src(net, 0, 1000, 1, 80, 1);
+  src.send(300'000);
+  for (int i = 1; i <= 6; ++i) {
+    sim.at(sim::milliseconds(400 * i), [ab] { ab->set_up(false); });
+    sim.at(sim::milliseconds(400 * i + 130), [ab] { ab->set_up(true); });
+    if (i % 2 == 0) {
+      sim.at(sim::milliseconds(400 * i + 50), [ba] { ba->set_up(false); });
+      sim.at(sim::milliseconds(400 * i + 90), [ba] { ba->set_up(true); });
+    }
+  }
+  sim.run_until(sim::seconds(10));
+  (void)sink;
+}
+
+// ------------------------------------------------------------------ tests
+
+TEST(HotPathEquivalence, TcpBulkWithTailDrops) {
+  // Queue of 10 on a slow uplink: steady tail drops and retransmissions.
+  expect_equivalent(
+      "tcp-bulk", tcp_bulk, [] { return plain_cfg(5e6, sim::milliseconds(10), 10); },
+      [] { return plain_cfg(5e6, sim::milliseconds(10), 100); });
+}
+
+TEST(HotPathEquivalence, ArtpFeatureStream) {
+  expect_equivalent(
+      "artp", artp_stream, [] { return plain_cfg(20e6, sim::milliseconds(10), 300); },
+      [] { return plain_cfg(20e6, sim::milliseconds(10), 300); });
+}
+
+TEST(HotPathEquivalence, RateModulationMidBatch) {
+  expect_equivalent(
+      "rate-mod", tcp_with_rate_modulation,
+      [] { return plain_cfg(10e6, sim::milliseconds(8), 50); },
+      [] { return plain_cfg(10e6, sim::milliseconds(8), 50); });
+}
+
+TEST(HotPathEquivalence, DelayModulationMidBatch) {
+  expect_equivalent(
+      "delay-mod", tcp_with_delay_modulation,
+      [] { return plain_cfg(10e6, sim::milliseconds(8), 50); },
+      [] { return plain_cfg(10e6, sim::milliseconds(8), 50); });
+}
+
+TEST(HotPathEquivalence, LinkFlapsDropBatchedPlans) {
+  expect_equivalent(
+      "flap", tcp_with_link_flaps, [] { return plain_cfg(8e6, sim::milliseconds(6), 40); },
+      [] { return plain_cfg(8e6, sim::milliseconds(6), 40); });
+}
+
+TEST(HotPathEquivalence, CoDelQueueFallsBackToExactPath) {
+  auto make = [] {
+    Link::Config cfg;
+    cfg.rate_bps = 4e6;
+    cfg.delay = sim::milliseconds(10);
+    cfg.queue = std::make_unique<net::CoDelQueue>();
+    return cfg;
+  };
+  // AQM is time-dependent: batching must not engage, so even the sim-level
+  // fingerprint matches legacy.
+  expect_equivalent("codel", tcp_bulk, make, make, /*batched_sim_identical=*/true);
+}
+
+TEST(HotPathEquivalence, LossModelFallsBackToExactPath) {
+  auto make = [] {
+    Link::Config cfg;
+    cfg.rate_bps = 8e6;
+    cfg.delay = sim::milliseconds(10);
+    cfg.queue_packets = 60;
+    cfg.loss = std::make_unique<net::BernoulliLoss>(0.02);
+    return cfg;
+  };
+  // The loss roll consumes the link's RNG per tx-complete; batching would
+  // perturb draw order, so it must not engage on either lossy direction —
+  // which makes even the sim-level stream identical to legacy.
+  expect_equivalent("loss", tcp_bulk, make, make, /*batched_sim_identical=*/true);
+}
+
+TEST(HotPathEquivalence, DeterministicUnderBatching) {
+  // The batched default still satisfies the determinism harness: two runs of
+  // the same seed produce identical packet and simulator traces.
+  auto report = check::DeterminismHarness::run_twice(
+      [](std::uint64_t seed, check::TraceRecorder& trace) {
+        sim::Simulator sim;
+        net::Network net(sim, seed);
+        trace.attach(net);
+        trace.attach(sim);
+        auto a = net.add_node("a");
+        auto b = net.add_node("b");
+        net.connect(a, b, 10e6, sim::milliseconds(10), 20);
+        transport::TcpSink sink(net, b, 80);
+        transport::TcpSource src(net, a, 1000, b, 80, 1);
+        src.send(200'000);
+        sim.run_until(sim::seconds(10));
+      },
+      42);
+  EXPECT_TRUE(report.deterministic());
+}
+
+// -------------------------------------------------------------- unit level
+
+TEST(PacketArena, SlotsRecycleLifoWithStableAddresses) {
+  net::PacketArena arena;
+  net::Packet p;
+  p.size_bytes = 100;
+  p.uid = 1;
+  const std::uint32_t s0 = arena.acquire(std::move(p));
+  net::Packet q;
+  q.size_bytes = 200;
+  q.uid = 2;
+  const std::uint32_t s1 = arena.acquire(std::move(q));
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(arena.in_flight(), 2u);
+  const net::Packet* addr0 = &arena.at(s0);
+
+  // Growth must not move parked packets (deque-backed slab).
+  for (int i = 0; i < 1000; ++i) {
+    net::Packet f;
+    f.uid = 100 + static_cast<std::uint64_t>(i);
+    arena.acquire(std::move(f));
+  }
+  EXPECT_EQ(&arena.at(s0), addr0);
+  EXPECT_EQ(arena.at(s0).uid, 1u);
+
+  // take() frees the slot; the next acquire reuses it (LIFO).
+  net::Packet out = arena.take(s1);
+  EXPECT_EQ(out.uid, 2u);
+  net::Packet r;
+  r.uid = 3;
+  EXPECT_EQ(arena.acquire(std::move(r)), s1);
+  EXPECT_EQ(arena.at(s1).uid, 3u);
+
+  // release() frees without moving the payload out.
+  arena.release(s1);
+  net::Packet r2;
+  r2.uid = 4;
+  EXPECT_EQ(arena.acquire(std::move(r2)), s1);
+}
+
+TEST(PacketArena, BatchedLinkObeysQueueCapacityExactly) {
+  // A batch claims queued packets ahead of time; the occupancy supplement
+  // must keep the *effective* buffer identical to the un-batched link, so a
+  // burst larger than the queue drops exactly the same packets.
+  auto run = [](Link::TxPath path) {
+    sim::Simulator sim;
+    net::Network net(sim, 3);
+    auto a = net.add_node("a");
+    auto b = net.add_node("b");
+    Link::Config ab = plain_cfg(1e6, sim::milliseconds(5), 4);
+    ab.tx_path = path;
+    Link::Config ba = plain_cfg(1e6, sim::milliseconds(5), 4);
+    ba.tx_path = path;
+    auto [link, rev] = net.connect(a, b, std::move(ab), std::move(ba));
+    (void)rev;
+    std::int64_t delivered = 0;
+    net.node(b).bind(9, [&delivered](net::Packet&&) { ++delivered; });
+    // Burst of 12 into a 4-packet queue, then a second burst mid-drain.
+    auto burst = [&net, a, b](int n, std::uint64_t base) {
+      for (int i = 0; i < n; ++i) {
+        net::Packet p;
+        p.src = a;
+        p.dst = b;
+        p.dst_port = 9;
+        p.size_bytes = 1000;
+        p.uid = base + static_cast<std::uint64_t>(i);
+        net.send(std::move(p));
+      }
+    };
+    burst(12, 1);
+    sim.at(sim::milliseconds(20), [&burst] { burst(12, 100); });
+    sim.run();
+    // Tail drops are accounted by the discipline, not lost_packets() (that
+    // counts loss-model and link-down kills).
+    return std::pair<std::int64_t, std::int64_t>(delivered, link->queue().drops());
+  };
+  const auto legacy = run(Link::TxPath::kLegacy);
+  const auto batched = run(Link::TxPath::kArenaBatched);
+  EXPECT_EQ(legacy.first, batched.first);
+  EXPECT_EQ(legacy.second, batched.second);
+  EXPECT_GT(legacy.second, 0);  // the scenario must actually overflow
+}
+
+TEST(PacketArena, BatchedLinkMetricsMatchLegacy) {
+  auto run = [](Link::TxPath path) {
+    sim::Simulator sim;
+    net::Network net(sim, 3);
+    auto a = net.add_node("a");
+    auto b = net.add_node("b");
+    Link::Config ab = plain_cfg(2e6, sim::milliseconds(5), 64);
+    ab.tx_path = path;
+    Link::Config ba = plain_cfg(2e6, sim::milliseconds(5), 64);
+    ba.tx_path = path;
+    auto [link, rev] = net.connect(a, b, std::move(ab), std::move(ba));
+    (void)rev;
+    for (int i = 0; i < 40; ++i) {
+      net::Packet p;
+      p.src = a;
+      p.dst = b;
+      p.dst_port = 9;
+      p.size_bytes = 1200;
+      net.send(std::move(p));
+    }
+    sim.run();
+    struct Out {
+      std::int64_t delivered_bytes, delivered_packets;
+      std::int64_t sojourn_count;
+      double sojourn_mean;
+    };
+    return Out{link->delivered_bytes(), link->delivered_packets(),
+               link->queueing_delay_ms().count(), link->queueing_delay_ms().mean()};
+  };
+  const auto legacy = run(Link::TxPath::kLegacy);
+  const auto batched = run(Link::TxPath::kArenaBatched);
+  EXPECT_EQ(legacy.delivered_bytes, batched.delivered_bytes);
+  EXPECT_EQ(legacy.delivered_packets, batched.delivered_packets);
+  EXPECT_EQ(legacy.sojourn_count, batched.sojourn_count);
+  EXPECT_DOUBLE_EQ(legacy.sojourn_mean, batched.sojourn_mean);
+  EXPECT_GT(legacy.sojourn_count, 30);
+}
+
+}  // namespace

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
 """Compare a fresh arnet-bench-v1 run against a committed baseline.
 
-Usage: compare_bench.py [--threshold PCT] BASELINE CANDIDATE [BASELINE CANDIDATE...]
+Usage: compare_bench.py [--threshold PCT] [--floor NAME=RATIO ...]
+                        BASELINE CANDIDATE [BASELINE CANDIDATE...]
 
 For each (baseline, candidate) pair, matches benchmarks by name and fails
 (exit 1) when a candidate's ops_per_sec drops more than --threshold percent
 (default 20) below the baseline. Benchmarks present only on one side are
 reported but never fatal — new benches land without a baseline, and retired
 ones linger in old baselines until they are regenerated.
+
+`--floor NAME=RATIO` inverts the check into a speedup gate: the candidate
+must run at least RATIO times the baseline's ops_per_sec. Used with frozen
+pre-optimization baselines (tools/BENCH_pre_simd_*.json) to pin the SIMD
+and event-batching wins — a change that quietly serializes the fast path
+again fails CI even if it is "only" a regression back to scalar speed. A
+floored name missing from either file is fatal (the gate cannot silently
+evaporate).
 
 CI wires this between the bench run and the artifact upload, so a hot-path
 regression fails the job instead of silently becoming the next baseline.
@@ -25,7 +34,7 @@ def load(path):
     return {b["name"]: b for b in doc.get("benchmarks", [])}
 
 
-def compare_pair(baseline_path, candidate_path, threshold_pct):
+def compare_pair(baseline_path, candidate_path, threshold_pct, floors):
     try:
         baseline = load(baseline_path)
         candidate = load(candidate_path)
@@ -37,16 +46,32 @@ def compare_pair(baseline_path, candidate_path, threshold_pct):
     for name in sorted(baseline.keys() | candidate.keys()):
         b = baseline.get(name)
         c = candidate.get(name)
-        if b is None:
-            print(f"  NEW      {name}: no baseline entry "
-                  f"({c['ops_per_sec']:.4g} ops/s)")
-            continue
-        if c is None:
-            print(f"  MISSING  {name}: in baseline but not in candidate")
+        floor = floors.get(name)
+        if b is None or c is None:
+            if floor is not None:
+                side = "baseline" if b is None else "candidate"
+                print(f"  FAIL     {name}: floor x{floor:g} set but missing "
+                      f"from {side}")
+                rc = 1
+            elif b is None:
+                print(f"  NEW      {name}: no baseline entry "
+                      f"({c['ops_per_sec']:.4g} ops/s)")
+            else:
+                print(f"  MISSING  {name}: in baseline but not in candidate")
             continue
         base_ops = b["ops_per_sec"]
         cand_ops = c["ops_per_sec"]
-        delta_pct = (cand_ops / base_ops - 1.0) * 100
+        ratio = cand_ops / base_ops
+        if floor is not None:
+            if ratio < floor:
+                print(f"  FAIL     {name}: {base_ops:.4g} -> {cand_ops:.4g} ops/s "
+                      f"(x{ratio:.2f}, floor x{floor:g})")
+                rc = 1
+            else:
+                print(f"  ok       {name}: {base_ops:.4g} -> {cand_ops:.4g} ops/s "
+                      f"(x{ratio:.2f} >= floor x{floor:g})")
+            continue
+        delta_pct = (ratio - 1.0) * 100
         if delta_pct < -threshold_pct:
             print(f"  FAIL     {name}: {base_ops:.4g} -> {cand_ops:.4g} ops/s "
                   f"({delta_pct:+.1f} %, limit -{threshold_pct:g} %)")
@@ -57,22 +82,40 @@ def compare_pair(baseline_path, candidate_path, threshold_pct):
     return rc
 
 
+def parse_floor(spec):
+    name, sep, ratio = spec.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(f"expected NAME=RATIO, got {spec!r}")
+    try:
+        value = float(ratio)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad ratio in {spec!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"ratio must be positive: {spec!r}")
+    return name, value
+
+
 def main(argv):
     ap = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--threshold", type=float, default=20.0,
                     help="max allowed ops_per_sec regression in percent (default 20)")
+    ap.add_argument("--floor", type=parse_floor, action="append", default=[],
+                    metavar="NAME=RATIO",
+                    help="require candidate[NAME] >= RATIO * baseline[NAME] "
+                         "(speedup gate; repeatable)")
     ap.add_argument("files", nargs="+", metavar="BASELINE CANDIDATE",
                     help="alternating baseline/candidate file pairs")
     args = ap.parse_args(argv[1:])
     if len(args.files) % 2 != 0:
         ap.error("files must come in BASELINE CANDIDATE pairs")
+    floors = dict(args.floor)
 
     rc = 0
     for i in range(0, len(args.files), 2):
         baseline_path, candidate_path = args.files[i], args.files[i + 1]
         print(f"{baseline_path} vs {candidate_path}:")
-        rc |= compare_pair(baseline_path, candidate_path, args.threshold)
+        rc |= compare_pair(baseline_path, candidate_path, args.threshold, floors)
     if rc:
         print("benchmark regression beyond threshold", file=sys.stderr)
     return rc
