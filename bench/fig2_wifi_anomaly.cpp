@@ -66,6 +66,7 @@ void run_traced_exemplar(const std::string& trace_path, const std::string& pcap_
 
   sim::Simulator sim;
   trace::Tracer tracer;
+  tracer.set_wire_capture(!pcap_path.empty());
   // Wall clock injected from the driver: bench code may consult the host
   // clock; src/ never does (determinism lint).
   trace::SimProfiler prof(sim, [] {

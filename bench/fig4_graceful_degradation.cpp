@@ -193,6 +193,7 @@ int main(int argc, char** argv) {
   const std::string trace_path = runner::parse_string_flag(argc, argv, "--trace");
   const std::string pcap_path = runner::parse_string_flag(argc, argv, "--pcap");
   trace::Tracer tracer;
+  tracer.set_wire_capture(!pcap_path.empty());
   trace::Tracer* tracer_ptr =
       (!trace_path.empty() || !pcap_path.empty()) ? &tracer : nullptr;
 

@@ -8,8 +8,14 @@
 // ExperimentRunner pool (`--jobs N`), with per-cell seeds derived from the
 // root seed by run index — output is byte-identical for any job count.
 // Artifacts land under --out-dir (default bench-out/):
-//   scale_fleet_metrics.jsonl   merged arnet-obs-v1 registry (all cells)
+//   scale_fleet_metrics.jsonl   merged arnet-obs-v2 registry (all cells)
 //   BENCH_scale_fleet.json      arnet-bench-v1 summary, sim-derived values
+// With --slo yes, each cell additionally runs the full telemetry stack
+// (tracer + tail sampler + SLO tracker; fingerprint-neutral observers):
+//   scale_fleet_slo.jsonl       arnet-slo-v1 burn/alert log, cell order
+//   scale_fleet_samples.jsonl   arnet-sample-v1 retained trace sets
+// With --report yes (implies the files above exist), tools/arnet_report.py
+// is invoked to render bench-out/scale_fleet_report.html.
 //
 // The summary deliberately reports *simulated* time as wall_time_s and
 // completed frames as iterations: the numbers are properties of the model,
@@ -24,10 +30,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "arnet/core/table.hpp"
 #include "arnet/fleet/scenario.hpp"
 #include "arnet/obs/export.hpp"
 #include "arnet/runner/experiment.hpp"
+#include "arnet/slo/slo.hpp"
+#include "arnet/trace/sampler.hpp"
+#include "arnet/trace/trace.hpp"
 
 using namespace arnet;
 
@@ -144,6 +155,8 @@ bool write_summary(const std::string& path, const std::vector<fleet::CellResult>
 
 int main(int argc, char** argv) {
   const bool smoke = runner::parse_string_flag(argc, argv, "--smoke", "no") != "no";
+  const bool with_slo = runner::parse_string_flag(argc, argv, "--slo", "no") != "no";
+  const bool with_report = runner::parse_string_flag(argc, argv, "--report", "no") != "no";
   const std::string out_dir = runner::parse_out_dir(argc, argv);
   const std::string seed_str = runner::parse_string_flag(argc, argv, "--seed", "1");
   runner::ExperimentRunner::Config pool_cfg;
@@ -160,9 +173,32 @@ int main(int argc, char** argv) {
   // merge below is in cell order no matter how workers interleave.
   std::vector<fleet::CellResult> results(cells.size());
   std::vector<obs::MetricsRegistry> regs(cells.size());
+  // Telemetry attachments are also per-cell (Tracer/TailSampler are
+  // non-copyable: one world, one observer set), constructed inside the
+  // worker from run-index-derived seeds so --jobs N stays byte-identical.
+  // No FlightRecorder here: its check-failure hook is process-global.
+  std::vector<std::unique_ptr<trace::Tracer>> tracers(cells.size());
+  std::vector<std::unique_ptr<trace::TailSampler>> samplers(cells.size());
+  std::vector<std::unique_ptr<slo::SloTracker>> slos(cells.size());
   pool.for_each(cells.size(), [&](runner::RunContext& ctx) {
-    results[ctx.run_index] =
-        fleet::run_capacity_cell(cells[ctx.run_index], ctx.seed, &regs[ctx.run_index]);
+    fleet::CellTelemetry t;
+    t.metrics = &regs[ctx.run_index];
+    if (with_slo) {
+      tracers[ctx.run_index] = std::make_unique<trace::Tracer>();
+      // Sampled sweep: the sampler's span budget is the retention store, so
+      // skip the per-entity rings (nothing here exports them).
+      tracers[ctx.run_index]->set_sink_only(true);
+      trace::SamplerConfig sc;
+      sc.seed = runner::derive_seed(ctx.seed, 0x5A3917);
+      samplers[ctx.run_index] = std::make_unique<trace::TailSampler>(sc);
+      slo::SloConfig lc;
+      lc.entity = cells[ctx.run_index].name;
+      slos[ctx.run_index] = std::make_unique<slo::SloTracker>(lc);
+      t.tracer = tracers[ctx.run_index].get();
+      t.sampler = samplers[ctx.run_index].get();
+      t.slo = slos[ctx.run_index].get();
+    }
+    results[ctx.run_index] = fleet::run_capacity_cell(cells[ctx.run_index], ctx.seed, t);
   });
 
   core::TablePrinter t({"cell", "admit", "downgrade", "reject", "frames", "p50",
@@ -219,5 +255,50 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << metrics_path << "\nwrote " << summary_path << "\n";
+
+  if (with_slo) {
+    const std::string slo_path = runner::out_path(out_dir, "scale_fleet_slo.jsonl");
+    {
+      std::ofstream sf(slo_path);
+      if (!sf) {
+        std::cerr << "cannot write " << slo_path << "\n";
+        return 1;
+      }
+      std::vector<const slo::SloTracker*> trackers;
+      for (const auto& s : slos) trackers.push_back(s.get());
+      slo::write_slo_jsonl(trackers, sf);
+    }
+    const std::string samples_path = runner::out_path(out_dir, "scale_fleet_samples.jsonl");
+    {
+      std::ofstream pf(samples_path);
+      if (!pf) {
+        std::cerr << "cannot write " << samples_path << "\n";
+        return 1;
+      }
+      trace::write_samples_header(pf);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        trace::append_samples_run(*samplers[i], *tracers[i], cells[i].name, pf);
+      }
+      trace::write_samples_end(pf, cells.size());
+    }
+    std::cout << "wrote " << slo_path << "\nwrote " << samples_path << "\n";
+
+    if (with_report) {
+      const std::string report_path = runner::out_path(out_dir, "scale_fleet_report.html");
+      const std::string cmd = "python3 tools/arnet_report.py --title scale_fleet --bench " +
+                              summary_path + " --metrics " + metrics_path + " --slo " +
+                              slo_path + " --samples " + samples_path + " --out " +
+                              report_path;
+      // Best effort: report generation rides an external interpreter, and a
+      // bench run without python available should still produce its JSONL.
+      if (std::system(cmd.c_str()) != 0) {
+        std::cerr << "warning: report generation failed: " << cmd << "\n";
+      } else {
+        std::cout << "wrote " << report_path << "\n";
+      }
+    }
+  } else if (with_report) {
+    std::cerr << "warning: --report requires --slo yes; skipping report\n";
+  }
   return 0;
 }

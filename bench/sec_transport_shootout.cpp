@@ -12,6 +12,12 @@
 // Artifacts land under --out-dir (default bench-out/):
 //   sec_transport_shootout_report.txt   this console report
 //   BENCH_sec_transport_shootout.json   arnet-bench-v1 summary, sim-derived
+// With --slo yes, each cell also runs tracer + tail sampler + SLO tracker
+// (fingerprint-neutral observers) and exports:
+//   sec_transport_shootout_slo.jsonl      arnet-slo-v1 burn/alert log
+//   sec_transport_shootout_samples.jsonl  arnet-sample-v1 retained traces
+// With --report yes, tools/arnet_report.py renders
+// bench-out/sec_transport_shootout_report.html from those artifacts.
 //
 // As in scale_fleet, the summary reports *simulated* time as wall_time_s and
 // frames as iterations: the numbers are properties of the model, not of the
@@ -26,10 +32,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "arnet/core/shootout.hpp"
 #include "arnet/core/table.hpp"
 #include "arnet/obs/export.hpp"
 #include "arnet/runner/experiment.hpp"
+#include "arnet/slo/slo.hpp"
+#include "arnet/trace/sampler.hpp"
+#include "arnet/trace/trace.hpp"
 
 using namespace arnet;
 
@@ -108,6 +119,8 @@ bool write_summary(const std::string& path,
 
 int main(int argc, char** argv) {
   const bool smoke = runner::parse_string_flag(argc, argv, "--smoke", "no") != "no";
+  const bool with_slo = runner::parse_string_flag(argc, argv, "--slo", "no") != "no";
+  const bool with_report = runner::parse_string_flag(argc, argv, "--report", "no") != "no";
   const std::string out_dir = runner::parse_out_dir(argc, argv);
   const std::string seed_str = runner::parse_string_flag(argc, argv, "--seed", "1");
   runner::ExperimentRunner::Config pool_cfg;
@@ -122,8 +135,30 @@ int main(int argc, char** argv) {
             << pool.root_seed() << (smoke ? " (smoke)" : "") << "\n\n";
 
   std::vector<core::ShootoutCellResult> results(cells.size());
+  // Per-cell telemetry (Tracer/TailSampler are non-copyable; one world, one
+  // observer set), constructed inside the worker from run-derived seeds so
+  // --jobs N stays byte-identical.
+  std::vector<std::unique_ptr<trace::Tracer>> tracers(cells.size());
+  std::vector<std::unique_ptr<trace::TailSampler>> samplers(cells.size());
+  std::vector<std::unique_ptr<slo::SloTracker>> slos(cells.size());
   pool.for_each(cells.size(), [&](runner::RunContext& ctx) {
-    results[ctx.run_index] = core::run_shootout_cell(cells[ctx.run_index], ctx.seed);
+    core::ShootoutTelemetry t;
+    if (with_slo) {
+      tracers[ctx.run_index] = std::make_unique<trace::Tracer>();
+      // Sampled sweep: retention lives in the sampler, skip the rings.
+      tracers[ctx.run_index]->set_sink_only(true);
+      trace::SamplerConfig sc;
+      sc.seed = runner::derive_seed(ctx.seed, 0x5A3917);
+      samplers[ctx.run_index] = std::make_unique<trace::TailSampler>(sc);
+      slo::SloConfig lc;
+      lc.entity = cells[ctx.run_index].name();
+      lc.deadline_ms = sim::to_milliseconds(cells[ctx.run_index].deadline);
+      slos[ctx.run_index] = std::make_unique<slo::SloTracker>(lc);
+      t.tracer = tracers[ctx.run_index].get();
+      t.sampler = samplers[ctx.run_index].get();
+      t.slo = slos[ctx.run_index].get();
+    }
+    results[ctx.run_index] = core::run_shootout_cell(cells[ctx.run_index], ctx.seed, t);
   });
 
   core::TablePrinter t({"cell", "frames", "on-time", "late", "incomp", "hit %", "p50",
@@ -161,5 +196,52 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::cout << "\nwrote " << summary_path << "\n";
+
+  if (with_slo) {
+    const std::string slo_path =
+        runner::out_path(out_dir, "sec_transport_shootout_slo.jsonl");
+    {
+      std::ofstream sf(slo_path);
+      if (!sf) {
+        std::cerr << "cannot write " << slo_path << "\n";
+        return 1;
+      }
+      std::vector<const slo::SloTracker*> trackers;
+      for (const auto& s : slos) trackers.push_back(s.get());
+      slo::write_slo_jsonl(trackers, sf);
+    }
+    const std::string samples_path =
+        runner::out_path(out_dir, "sec_transport_shootout_samples.jsonl");
+    {
+      std::ofstream pf(samples_path);
+      if (!pf) {
+        std::cerr << "cannot write " << samples_path << "\n";
+        return 1;
+      }
+      trace::write_samples_header(pf);
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        trace::append_samples_run(*samplers[i], *tracers[i], cells[i].name(), pf);
+      }
+      trace::write_samples_end(pf, cells.size());
+    }
+    std::cout << "wrote " << slo_path << "\nwrote " << samples_path << "\n";
+
+    if (with_report) {
+      const std::string report_path =
+          runner::out_path(out_dir, "sec_transport_shootout_report.html");
+      const std::string cmd =
+          "python3 tools/arnet_report.py --title sec_transport_shootout --bench " +
+          summary_path + " --slo " + slo_path + " --samples " + samples_path + " --out " +
+          report_path;
+      // Best effort: a bench run without python should still produce JSONL.
+      if (std::system(cmd.c_str()) != 0) {
+        std::cerr << "warning: report generation failed: " << cmd << "\n";
+      } else {
+        std::cout << "wrote " << report_path << "\n";
+      }
+    }
+  } else if (with_report) {
+    std::cerr << "warning: --report requires --slo yes; skipping report\n";
+  }
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -145,6 +146,11 @@ void build_network(const ShootoutCellConfig& cfg, net::Network& net, net::NodeId
 }  // namespace
 
 ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_t seed) {
+  return run_shootout_cell(cfg, seed, ShootoutTelemetry{});
+}
+
+ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_t seed,
+                                     const ShootoutTelemetry& telemetry) {
   sim::Simulator sim;
   net::Network net(sim, seed);
   net::NodeId client = net.add_node("ar-client");
@@ -154,6 +160,50 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
   build_network(cfg, net, client, server, seed, plant);
 
   FrameScore score;
+
+  // Telemetry is a pure observer: the trace/SLO stream reads completion
+  // events the scoring path already produces and feeds nothing back.
+  trace::EntityId ent = trace::kNoEntity;
+  if (telemetry.tracer) {
+    ent = telemetry.tracer->register_entity(cfg.name());
+    if (telemetry.sampler) telemetry.tracer->set_sink(telemetry.sampler);
+  }
+  // Live trace context per in-flight frame id; erased on classification so
+  // whatever remains at the end is provably unclassified.
+  std::map<std::uint32_t, trace::TraceContext> frame_ctx;
+  auto ctx_of = [&](std::uint32_t fid) {
+    auto it = frame_ctx.find(fid);
+    return it == frame_ctx.end() ? trace::TraceContext{} : it->second;
+  };
+  auto record = [&](trace::EventKind kind, const trace::TraceContext& ctx, std::uint64_t uid,
+                    std::int64_t size, const char* reason = nullptr) {
+    if (!telemetry.tracer) return;
+    trace::TraceEvent e;
+    e.time = sim.now();
+    e.uid = uid;
+    e.size = size;
+    e.trace_id = ctx.trace_id;
+    e.span_id = ctx.span_id;
+    e.kind = kind;
+    e.reason = reason;
+    telemetry.tracer->record(ent, e);
+  };
+  // One frame, one verdict: complete frames observe their latency (late ==
+  // miss for the SLO), incompletes record an explicit drop + miss.
+  auto classify = [&](std::uint32_t fid, bool complete, sim::Time latency) {
+    const trace::TraceContext ctx = ctx_of(fid);
+    frame_ctx.erase(fid);
+    if (!complete) {
+      record(trace::EventKind::kDrop, ctx, fid, 0, "incomplete");
+      record(trace::EventKind::kFrameMiss, ctx, fid, 0, "incomplete");
+      if (telemetry.slo) telemetry.slo->observe_miss(sim.now());
+      return;
+    }
+    const bool missed = latency > cfg.deadline;
+    record(missed ? trace::EventKind::kFrameMiss : trace::EventKind::kFrameDone, ctx, fid,
+           static_cast<std::int64_t>(latency), missed ? "deadline" : nullptr);
+    if (telemetry.slo) telemetry.slo->observe(sim.now(), sim::to_milliseconds(latency));
+  };
 
   // Transport plumbing. Exactly one of these sets of endpoints is live; the
   // submit closure hides which one.
@@ -168,6 +218,7 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
   // TCP frames are byte ranges of one stream: frame i is complete when the
   // sink's cumulative byte count crosses boundary (i+1)*frame_bytes.
   struct TcpFrame {
+    std::uint32_t frame_id = 0;
     std::int64_t boundary = 0;
     sim::Time submitted_at = 0;
   };
@@ -195,6 +246,7 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
       artp_rx->set_message_callback([&](const transport::ArtpDelivery& d) {
         // Incomplete (expired) deliveries stay in the incomplete bucket.
         if (d.complete) score.complete(d.latency(), cfg.deadline, cfg.frame_bytes);
+        classify(d.frame_id, d.complete, d.latency());
       });
       submit_frame = [&] {
         transport::ArtpMessageSpec spec;
@@ -209,6 +261,7 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
         // the receiver's own 250 ms expiry would reclassify them anyway.
         spec.stale_after = sim::milliseconds(250);
         spec.frame_id = static_cast<std::uint32_t>(score.sent);
+        spec.trace = ctx_of(spec.frame_id);
         artp_tx->send_message(spec);
       };
       break;
@@ -226,7 +279,8 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
                                                       kArServerPort, kArFlow, tc);
       submit_frame = [&] {
         tcp_submitted_bytes += cfg.frame_bytes;
-        tcp_frames.push_back({tcp_submitted_bytes, sim.now()});
+        tcp_frames.push_back(
+            {static_cast<std::uint32_t>(score.sent), tcp_submitted_bytes, sim.now()});
         tcp_tx->send(cfg.frame_bytes);
       };
       break;
@@ -240,8 +294,12 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
       quic_rx = std::make_unique<transport::QuicLiteReceiver>(net, server, kArServerPort, qr);
       quic_rx->set_frame_callback([&](const transport::QuicFrameResult& r) {
         if (r.complete) score.complete(r.latency(), cfg.deadline, cfg.frame_bytes);
+        classify(r.frame_id, r.complete, r.latency());
       });
-      submit_frame = [&] { quic_tx->send_frame(cfg.frame_bytes); };
+      submit_frame = [&] {
+        quic_tx->send_frame(cfg.frame_bytes,
+                            ctx_of(static_cast<std::uint32_t>(score.sent)));
+      };
       break;
     }
   }
@@ -251,6 +309,12 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
   // `after(1/fps)` chain accumulates integer-ns truncation — 90 ticks of
   // 33'333'333 ns land 30 ns short of 3 s and a 91st frame sneaks in.)
   std::function<void()> frame_tick = [&] {
+    const auto fid = static_cast<std::uint32_t>(score.sent);
+    if (telemetry.tracer) {
+      const trace::TraceContext ctx = telemetry.tracer->new_trace();
+      frame_ctx.emplace(fid, ctx);
+      record(trace::EventKind::kFrameCapture, ctx, fid, cfg.frame_bytes);
+    }
     submit_frame();
     ++score.sent;
     const sim::Time next =
@@ -264,8 +328,9 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
   // for all three TCP flavors).
   std::function<void()> tcp_poll = [&] {
     while (!tcp_frames.empty() && tcp_rx->received_bytes() >= tcp_frames.front().boundary) {
-      score.complete(sim.now() - tcp_frames.front().submitted_at, cfg.deadline,
-                     cfg.frame_bytes);
+      const TcpFrame& front = tcp_frames.front();
+      score.complete(sim.now() - front.submitted_at, cfg.deadline, cfg.frame_bytes);
+      classify(front.frame_id, true, sim.now() - front.submitted_at);
       tcp_frames.pop_front();
     }
     sim.after(sim::milliseconds(1), tcp_poll);
@@ -275,6 +340,14 @@ ShootoutCellResult run_shootout_cell(const ShootoutCellConfig& cfg, std::uint64_
   // Drain grace so frames in flight at the cutoff get to classify (matches
   // the receivers' 250 ms expiry sweeps).
   sim.run_until(cfg.duration + sim::milliseconds(300));
+
+  // Frames the transports never classified (shed at the sender, stream bytes
+  // still buffered at the cutoff) are incomplete by subtraction in the
+  // scoreboard; mirror that verdict into the telemetry stream so the sampler
+  // and SLO see every submitted frame exactly once.
+  if (telemetry.tracer || telemetry.slo) {
+    while (!frame_ctx.empty()) classify(frame_ctx.begin()->first, false, 0);
+  }
 
   ShootoutCellResult r;
   r.name = cfg.name();

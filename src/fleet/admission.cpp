@@ -20,10 +20,11 @@ double AdmissionController::projected_p99_ms() const {
   if (latencies_.empty()) return 0.0;
   // Exact quantile over a copy; the window is small (hundreds), and exact
   // values keep the admission log bit-stable across platforms.
-  std::vector<double> xs = latencies_;
-  auto idx = static_cast<std::size_t>(0.99 * static_cast<double>(xs.size() - 1));
-  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(idx), xs.end());
-  return xs[idx];
+  scratch_ = latencies_;
+  auto idx = static_cast<std::size_t>(0.99 * static_cast<double>(scratch_.size() - 1));
+  std::nth_element(scratch_.begin(), scratch_.begin() + static_cast<std::ptrdiff_t>(idx),
+                   scratch_.end());
+  return scratch_[idx];
 }
 
 AdmissionDecision AdmissionController::decide(sim::Time now, std::uint64_t session) {

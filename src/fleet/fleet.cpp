@@ -92,6 +92,11 @@ void Fleet::on_arrival(const SessionSpec& spec) {
   if (cfg_.metrics) cfg_.metrics->counter("fleet.arrivals", cfg_.entity).add();
   const AdmissionDecision d = admission_.decide(sim_.now(), spec.id);
   record_trace(trace::EventKind::kAdmit, trace::TraceContext{}, spec.id, 0, to_string(d));
+  // Admission anomalies predate any frame trace, so the sampler keeps them
+  // as notes rather than span sets.
+  if (cfg_.sampler && d != AdmissionDecision::kAdmit) {
+    cfg_.sampler->note(spec.id, to_string(d), sim_.now());
+  }
   if (cfg_.metrics) {
     cfg_.metrics
         ->counter(d == AdmissionDecision::kReject
@@ -189,14 +194,29 @@ void Fleet::finish_frame(std::uint64_t frame_uid, const Session& snapshot, sim::
   admission_.observe_latency_ms(ms);
   const bool missed = latency > deadline;
   if (missed) ++stats_.deadline_misses;
+  // Keep the sampler's outlier rule tracking the live tail estimate before
+  // it sees this frame's completion event (the admission projection is
+  // always maintained, even with admission disabled). Refreshed once per 32
+  // frames: the exact-quantile projection costs a window copy plus
+  // nth_element, and the tail estimate moves slowly at that granularity.
+  if (cfg_.sampler && (stats_.results & 31) == 1) {
+    cfg_.sampler->set_outlier_threshold_ms(admission_.projected_p99_ms());
+  }
   record_trace(missed ? trace::EventKind::kFrameMiss : trace::EventKind::kFrameDone, ctx,
                frame_uid, static_cast<std::int64_t>(latency),
                missed ? "deadline" : nullptr);
+  if (cfg_.slo) cfg_.slo->observe(sim_.now(), ms);
   if (cfg_.metrics) {
+    // Retention was just decided (the sampler saw the completion event via
+    // the tracer sink): retained frames become their bucket's exemplar.
+    const std::uint32_t exemplar =
+        (cfg_.sampler && ctx.active() && cfg_.sampler->retained(ctx.trace_id))
+            ? ctx.trace_id
+            : 0;
     const std::string cls_entity =
         cfg_.entity + "/class:" + mar::device_profile(snapshot.spec.device).name;
-    cfg_.metrics->histogram("fleet.m2p_ms", cls_entity).record(ms);
-    cfg_.metrics->histogram("fleet.m2p_ms", cfg_.entity).record(ms);
+    cfg_.metrics->histogram("fleet.m2p_ms", cls_entity).record(ms, exemplar);
+    cfg_.metrics->histogram("fleet.m2p_ms", cfg_.entity).record(ms, exemplar);
     cfg_.metrics
         ->counter(missed ? "fleet.deadline_miss" : "fleet.deadline_hit", cfg_.entity)
         .add();

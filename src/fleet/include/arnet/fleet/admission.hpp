@@ -82,6 +82,10 @@ class AdmissionController {
   std::size_t next_slot_ = 0;
   bool overloaded_ = false;
   std::vector<AdmissionLogEntry> log_;
+  /// nth_element scratch: projected_p99_ms() runs on every arrival and (with
+  /// a sampler attached) every 32 frames — reusing the copy buffer keeps the
+  /// projection allocation-free after warmup.
+  mutable std::vector<double> scratch_;
 };
 
 }  // namespace arnet::fleet

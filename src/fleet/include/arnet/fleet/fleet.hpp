@@ -14,6 +14,8 @@
 #include "arnet/fleet/server.hpp"
 #include "arnet/obs/registry.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/slo/slo.hpp"
+#include "arnet/trace/sampler.hpp"
 #include "arnet/trace/trace.hpp"
 
 namespace arnet::fleet {
@@ -41,6 +43,15 @@ struct FleetConfig {
   /// "<entity>", "<entity>/server:N" and "<entity>/class:<device>".
   obs::MetricsRegistry* metrics = nullptr;
   trace::Tracer* tracer = nullptr;
+  /// Tail-based trace sampler. The fleet keeps its outlier threshold synced
+  /// to the admission controller's live p99 projection, records m2p
+  /// histogram exemplars for frames the sampler retained, and notes
+  /// admission rejects/downgrades (which carry no trace context). The
+  /// caller is responsible for `tracer->set_sink(sampler)`.
+  trace::TailSampler* sampler = nullptr;
+  /// Per-cell frame-deadline SLO: every completed frame's latency is
+  /// observed (burn-rate windows + alert state machine).
+  slo::SloTracker* slo = nullptr;
   std::string entity = "fleet";
 };
 

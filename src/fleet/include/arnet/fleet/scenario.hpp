@@ -5,6 +5,7 @@
 
 #include "arnet/fleet/fleet.hpp"
 #include "arnet/sim/simulator.hpp"
+#include "arnet/trace/flight.hpp"
 
 namespace arnet::fleet {
 
@@ -47,6 +48,20 @@ struct CellResult {
 /// The FleetConfig a cell resolves to (exposed so tests can perturb it).
 FleetConfig cell_fleet_config(const CellConfig& cell, std::uint64_t seed);
 
+/// Per-cell telemetry attachments (all optional, all owned by the caller
+/// and outliving the call). run_capacity_cell wires them together: the
+/// sampler becomes the tracer's sink, the fleet feeds the SLO tracker, and
+/// an SLO alert triggers `flight->dump` so a burning cell leaves its trace
+/// timeline behind. FlightRecorder installs a process-global failure hook —
+/// attach one only in serial runs.
+struct CellTelemetry {
+  obs::MetricsRegistry* metrics = nullptr;
+  trace::Tracer* tracer = nullptr;
+  trace::TailSampler* sampler = nullptr;
+  slo::SloTracker* slo = nullptr;
+  trace::FlightRecorder* flight = nullptr;
+};
+
 /// Build a fresh world, run the cell, and summarize. When `metrics` is
 /// given, fleet instruments publish under entities prefixed with the cell
 /// name and a per-cell summary is published as "cell.*" gauges — everything
@@ -55,5 +70,11 @@ FleetConfig cell_fleet_config(const CellConfig& cell, std::uint64_t seed);
 CellResult run_capacity_cell(const CellConfig& cell, std::uint64_t seed,
                              obs::MetricsRegistry* metrics = nullptr,
                              trace::Tracer* tracer = nullptr);
+
+/// Full-telemetry variant: same contract, plus SLO burn accounting, tail
+/// sampling, and histogram exemplars when the corresponding attachments are
+/// present. Pure function of (cell, seed, telemetry configs).
+CellResult run_capacity_cell(const CellConfig& cell, std::uint64_t seed,
+                             const CellTelemetry& telemetry);
 
 }  // namespace arnet::fleet

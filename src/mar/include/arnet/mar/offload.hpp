@@ -13,6 +13,7 @@
 #include "arnet/net/network.hpp"
 #include "arnet/obs/registry.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/slo/slo.hpp"
 #include "arnet/trace/flight.hpp"
 #include "arnet/trace/trace.hpp"
 #include "arnet/transport/artp.hpp"
@@ -69,10 +70,23 @@ struct OffloadConfig {
   /// as "<trace_entity>/..." entities. The tracer must outlive the session.
   trace::Tracer* tracer = nullptr;
   std::string trace_entity = "mar";
+  /// Instrumentation granularity. True (deep-dive default) propagates the
+  /// tracer into the session's ARTP endpoints, so every chunk/ack/repair
+  /// emits an event — the stream frame_breakdown and the pcap/Perfetto
+  /// exporters want. False is the *span-level* operating point used by
+  /// sampled (tail-sampling) runs: only frame-scoped spans (capture,
+  /// compute, completion) are recorded, which is what keeps the telemetry
+  /// stack inside its overhead budget (DESIGN.md §14) — packet-level events
+  /// remain a deep-dive tool, priced separately.
+  bool trace_transport = true;
   /// When set together with `tracer`, a deadline miss dumps the flight
   /// recorder (cause "deadline-miss"); ARNET_CHECK failures dump via the
   /// recorder's own failure hook regardless.
   trace::FlightRecorder* flight = nullptr;
+  /// When set, every completed frame's latency feeds the tracker's
+  /// burn-rate windows (the single-session analogue of the fleet wiring).
+  /// Must outlive the session.
+  slo::SloTracker* slo = nullptr;
 };
 
 /// End-to-end per-frame statistics of one offloading run.

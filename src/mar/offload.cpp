@@ -43,6 +43,8 @@ OffloadSession::OffloadSession(net::Network& net, net::NodeId client, net::NodeI
   transport::ArtpSenderConfig reply_cfg;  // results: small, default transport
   if (cfg_.tracer) {
     trace_entity_ = cfg_.tracer->register_entity(cfg_.trace_entity);
+  }
+  if (cfg_.tracer && cfg_.trace_transport) {
     cfg_.artp.tracer = cfg_.tracer;
     cfg_.artp.trace_entity = cfg_.trace_entity + "/artp-up";
     server_rx_cfg.tracer = cfg_.tracer;
@@ -348,6 +350,7 @@ void OffloadSession::finish_frame(std::uint32_t frame_id, sim::Time latency) {
                frame_trace(frame_id), frame_id, static_cast<std::int64_t>(latency),
                missed ? "deadline" : nullptr);
   if (missed && cfg_.flight) cfg_.flight->dump("deadline-miss");
+  if (cfg_.slo) cfg_.slo->observe(net_.sim().now(), sim::to_milliseconds(latency));
   if (cfg_.metrics) {
     cfg_.metrics->histogram("mar.frame_latency_ms", cfg_.metrics_entity)
         .record(sim::to_milliseconds(latency));

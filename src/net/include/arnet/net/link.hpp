@@ -160,6 +160,11 @@ class Link {
   /// operation would.
   std::size_t phantom_count() const;
   void install_queue_hook();
+  /// Batched-path trace record: emits kTxStart (and the wire record) for a
+  /// batch entry using the logical serialization start captured at plan
+  /// time, called from the entry's arrival event while the packet is still
+  /// in the arena. Keeps batched trace timestamps identical to un-batched.
+  void record_batched_tx(std::uint32_t slot);
   void record_trace(trace::EventKind kind, const Packet& p, const char* reason = nullptr) {
     if (tracer_ == nullptr) return;
     trace::TraceEvent e;
@@ -191,6 +196,10 @@ class Link {
 
   PacketArena arena_;                ///< in-flight packets (kArena/kArenaBatched)
   std::vector<BatchEntry> batch_;    ///< active transmit plan (kArenaBatched)
+  /// Logical serialization start per arena slot, written at batch-plan time
+  /// when a tracer is attached (the arrival lambda stays at 20 captured
+  /// bytes — inside the simulator's inline callback buffer).
+  std::vector<sim::Time> batch_tx_start_;
   sim::EventHandle batch_done_;      ///< batch-complete event
   sim::Time batch_prev_arrival_ = 0; ///< last_arrival_ snapshot at batch start
 

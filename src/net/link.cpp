@@ -124,6 +124,7 @@ void Link::set_delay(sim::Time d) {
           notify_drop(pkt, DropReason::kLinkDown);
           return;
         }
+        record_batched_tx(slot);
         deliver_from_arena(slot);
       });
       last_arrival_ = arrival;
@@ -147,6 +148,7 @@ void Link::set_up(bool up) {
       for (std::size_t i = 0; i < started; ++i) {
         BatchEntry& e = batch_[i];
         record_tx_stats(e);  // it began serializing; legacy accounted it then
+        record_batched_tx(e.slot);  // ... and traced its tx then, too
         if (e.tx_end > now) {
           // Mid-serialization: legacy reports this drop when the (stale
           // epoch) tx-complete event fires at tx_end, not counted as lost.
@@ -200,11 +202,13 @@ void Link::start_transmission_if_idle() {
 
 bool Link::batch_eligible() const {
   // Batching must not change behavior: it needs a clock-free FIFO discipline
-  // (AQM drop decisions depend on dequeue time), no loss model (the RNG draw
-  // happens per tx-complete event, and batching reorders event structure),
-  // and no tracer (trace events carry real event times, which batching would
-  // shift to the batch start).
-  return cfg_.tx_path == TxPath::kArenaBatched && !cfg_.loss && tracer_ == nullptr &&
+  // (AQM drop decisions depend on dequeue time) and no loss model (the RNG
+  // draw happens per tx-complete event, and batching reorders event
+  // structure). A tracer is fine: tx events are emitted at delivery (or at
+  // link-down for entries that had started) with the logical serialization
+  // start captured at plan time (record_batched_tx), so trace timestamps
+  // match the un-batched path.
+  return cfg_.tx_path == TxPath::kArenaBatched && !cfg_.loss &&
          queue_->fifo_time_invariant();
 }
 
@@ -216,7 +220,9 @@ void Link::start_transmission_legacy() {
   if (!p) return;
   transmitting_ = true;
   record_trace(trace::EventKind::kTxStart, *p);
-  if (tracer_ != nullptr) tracer_->record_wire(make_wire(*p, sim_.now()));
+  if (tracer_ != nullptr && tracer_->wire_capture()) {
+    tracer_->record_wire(make_wire(*p, sim_.now()));
+  }
   queueing_delay_ms_.add(sim::to_milliseconds(sim_.now() - p->enqueued_at));
   sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
   if (metrics_) {
@@ -281,7 +287,9 @@ void Link::start_transmission_arena() {
   if (!p) return;
   transmitting_ = true;
   record_trace(trace::EventKind::kTxStart, *p);
-  if (tracer_ != nullptr) tracer_->record_wire(make_wire(*p, sim_.now()));
+  if (tracer_ != nullptr && tracer_->wire_capture()) {
+    tracer_->record_wire(make_wire(*p, sim_.now()));
+  }
   queueing_delay_ms_.add(sim::to_milliseconds(sim_.now() - p->enqueued_at));
   sim::Time tx = sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
   if (metrics_) {
@@ -367,12 +375,15 @@ void Link::start_batch() {
     e.tx_end = t + sim::transmission_delay(p->size_bytes, cfg_.rate_bps);
     e.arrival = std::max(e.tx_end + cfg_.delay, prev_arrival);
     e.slot = arena_.acquire(std::move(*p));
+    if (e.slot >= batch_tx_start_.size()) batch_tx_start_.resize(e.slot + 1, -1);
+    batch_tx_start_[e.slot] = e.start;
     e.arrival_ev = sim_.at(e.arrival, [this, epoch, slot = e.slot] {
       if (epoch != epoch_) {  // link went down while propagating
         Packet pkt = arena_.take(slot);
         notify_drop(pkt, DropReason::kLinkDown);
         return;
       }
+      record_batched_tx(slot);
       deliver_from_arena(slot);
     });
     prev_arrival = e.arrival;
@@ -398,6 +409,23 @@ void Link::finish_batch() {
   batch_done_ = {};
   transmitting_ = false;
   start_transmission_if_idle();
+}
+
+void Link::record_batched_tx(std::uint32_t slot) {
+  if (tracer_ == nullptr || slot >= batch_tx_start_.size()) return;
+  const sim::Time start = batch_tx_start_[slot];
+  if (start < 0) return;  // planned before the tracer attached
+  batch_tx_start_[slot] = -1;  // each entry serializes (and records) once
+  const Packet& p = arena_.at(slot);
+  trace::TraceEvent e;
+  e.time = start;
+  e.uid = p.uid;
+  e.size = p.size_bytes;
+  e.trace_id = p.trace.trace_id;
+  e.span_id = p.trace.span_id;
+  e.kind = trace::EventKind::kTxStart;
+  tracer_->record(trace_entity_, e);
+  if (tracer_->wire_capture()) tracer_->record_wire(make_wire(p, start));
 }
 
 void Link::record_tx_stats(BatchEntry& e) {

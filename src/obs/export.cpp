@@ -36,7 +36,9 @@ void write_id(std::ostream& os, const char* kind, const MetricId& id) {
 struct ParsedLine {
   std::map<std::string, std::string> strings;
   std::map<std::string, double> numbers;
-  std::map<std::string, std::vector<std::pair<double, double>>> pair_lists;
+  /// Arrays of fixed-arity number tuples ([[a,b],...] bucket/point pairs,
+  /// [[a,b,c],...] exemplar triples). Arity is per-element as parsed.
+  std::map<std::string, std::vector<std::vector<double>>> lists;
 };
 
 struct Cursor {
@@ -96,17 +98,20 @@ bool parse_number(Cursor& c, double& out) {
   return true;
 }
 
-bool parse_pair_list(Cursor& c, std::vector<std::pair<double, double>>& out) {
+bool parse_tuple_list(Cursor& c, std::vector<std::vector<double>>& out) {
   if (!c.eat('[')) return false;
   out.clear();
   if (c.eat(']')) return true;  // empty list
   do {
-    double a = 0, b = 0;
-    if (!c.eat('[') || !parse_number(c, a) || !c.eat(',') || !parse_number(c, b) ||
-        !c.eat(']')) {
-      return false;
-    }
-    out.emplace_back(a, b);
+    if (!c.eat('[')) return false;
+    std::vector<double> tuple;
+    do {
+      double v = 0;
+      if (!parse_number(c, v)) return false;
+      tuple.push_back(v);
+    } while (c.eat(','));
+    if (!c.eat(']') || tuple.empty()) return false;
+    out.push_back(std::move(tuple));
   } while (c.eat(','));
   return c.eat(']');
 }
@@ -124,9 +129,9 @@ bool parse_line(const std::string& line, ParsedLine& out) {
       if (!parse_string(c, v)) return false;
       out.strings[key] = v;
     } else if (c.peek('[')) {
-      std::vector<std::pair<double, double>> v;
-      if (!parse_pair_list(c, v)) return false;
-      out.pair_lists[key] = std::move(v);
+      std::vector<std::vector<double>> v;
+      if (!parse_tuple_list(c, v)) return false;
+      out.lists[key] = std::move(v);
     } else {
       double v = 0;
       if (!parse_number(c, v)) return false;
@@ -173,6 +178,7 @@ std::string json_escape(const std::string& s) {
 }
 
 void write_jsonl(const MetricsRegistry& reg, std::ostream& os) {
+  os << "{\"kind\":\"meta\",\"schema\":\"arnet-obs-v2\"}\n";
   for (const auto& [id, c] : reg.counters()) {
     write_id(os, "counter", id);
     os << ",\"value\":" << c.value() << "}\n";
@@ -183,7 +189,10 @@ void write_jsonl(const MetricsRegistry& reg, std::ostream& os) {
   }
   for (const auto& [id, h] : reg.histograms()) {
     write_id(os, "histogram", id);
-    os << ",\"count\":" << h.count() << ",\"sum\":" << fmt_double(h.mean() * static_cast<double>(h.count()))
+    // The raw accumulated sum, not mean*count: the divide-then-multiply
+    // round trip can drift by ULPs, which breaks the bit-exact export ->
+    // import -> merge contract the cross-shard property test pins.
+    os << ",\"count\":" << h.count() << ",\"sum\":" << fmt_double(h.sum())
        << ",\"min\":" << fmt_double(h.min()) << ",\"max\":" << fmt_double(h.max())
        << ",\"mean\":" << fmt_double(h.mean()) << ",\"p50\":" << fmt_double(h.p50())
        << ",\"p90\":" << fmt_double(h.p90()) << ",\"p99\":" << fmt_double(h.p99())
@@ -194,7 +203,18 @@ void write_jsonl(const MetricsRegistry& reg, std::ostream& os) {
       first = false;
       os << "[" << idx << "," << n << "]";
     }
-    os << "]}\n";
+    os << "]";
+    if (!h.exemplars().empty()) {
+      os << ",\"exemplars\":[";
+      first = true;
+      for (const auto& [idx, ex] : h.exemplars()) {
+        if (!first) os << ",";
+        first = false;
+        os << "[" << idx << "," << ex.trace_id << "," << fmt_double(ex.value) << "]";
+      }
+      os << "]";
+    }
+    os << "}\n";
   }
   for (const auto& [id, ts] : reg.recorder().all()) {
     write_id(os, "series", id);
@@ -215,8 +235,16 @@ bool read_jsonl(std::istream& is, MetricsRegistry& out) {
     if (line.empty()) continue;
     ParsedLine l;
     if (!parse_line(line, l)) return false;
-    if (!has_keys(l, {"kind", "name", "entity"}, {})) return false;
+    if (!has_keys(l, {"kind"}, {})) return false;
     const std::string& kind = l.strings["kind"];
+    if (kind == "meta") {
+      // v2 header. v1 files have none (the reader accepts both); anything
+      // claiming a non-obs schema is not ours.
+      auto sit = l.strings.find("schema");
+      if (sit == l.strings.end() || sit->second.rfind("arnet-obs-", 0) != 0) return false;
+      continue;
+    }
+    if (!has_keys(l, {"name", "entity"}, {})) return false;
     const std::string& name = l.strings["name"];
     const std::string& entity = l.strings["entity"];
     if (kind == "counter") {
@@ -227,20 +255,31 @@ bool read_jsonl(std::istream& is, MetricsRegistry& out) {
       out.gauge(name, entity).set(l.numbers["value"]);
     } else if (kind == "histogram") {
       if (!has_keys(l, {}, {"sum", "min", "max"})) return false;
-      auto it = l.pair_lists.find("buckets");
-      if (it == l.pair_lists.end()) return false;
+      auto it = l.lists.find("buckets");
+      if (it == l.lists.end()) return false;
       std::vector<std::pair<int, std::int64_t>> buckets;
-      for (const auto& [idx, n] : it->second) {
-        buckets.emplace_back(static_cast<int>(idx), static_cast<std::int64_t>(n));
+      for (const auto& tuple : it->second) {
+        if (tuple.size() != 2) return false;
+        buckets.emplace_back(static_cast<int>(tuple[0]),
+                             static_cast<std::int64_t>(tuple[1]));
       }
-      out.histogram(name, entity)
-          .restore(buckets, l.numbers["sum"], l.numbers["min"], l.numbers["max"]);
+      Histogram& h = out.histogram(name, entity);
+      h.restore(buckets, l.numbers["sum"], l.numbers["min"], l.numbers["max"]);
+      auto ex = l.lists.find("exemplars");
+      if (ex != l.lists.end()) {
+        for (const auto& tuple : ex->second) {
+          if (tuple.size() != 3) return false;
+          h.note_exemplar(static_cast<int>(tuple[0]),
+                          static_cast<std::uint32_t>(tuple[1]), tuple[2]);
+        }
+      }
     } else if (kind == "series") {
-      auto it = l.pair_lists.find("points");
-      if (it == l.pair_lists.end()) return false;
+      auto it = l.lists.find("points");
+      if (it == l.lists.end()) return false;
       sim::TimeSeries& ts = out.recorder().series(name, entity);
-      for (const auto& [t, v] : it->second) {
-        ts.add(static_cast<sim::Time>(t), v);
+      for (const auto& tuple : it->second) {
+        if (tuple.size() != 2) return false;
+        ts.add(static_cast<sim::Time>(tuple[0]), tuple[1]);
       }
     } else {
       return false;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -59,6 +60,17 @@ class Gauge {
   bool set_ = false;
 };
 
+/// A bucket's representative retained trace: the metrics-to-traces join.
+/// When the tail sampler keeps a frame, its latency bucket remembers the
+/// trace id so a report can deep-link "p99 bucket" straight to a concrete
+/// per-frame timeline. Merge keeps the larger value (ties: lower trace id)
+/// — an associative, commutative rule, so cross-shard merges agree no
+/// matter the merge order.
+struct Exemplar {
+  std::uint32_t trace_id = 0;
+  double value = 0.0;
+};
+
 /// Log-bucketed histogram for positive, latency-like values (ns, ms, bytes).
 ///
 /// Buckets are geometric: kBucketsPerDecade per decade over [1, 10^kDecades),
@@ -76,8 +88,13 @@ class Histogram {
   static constexpr int kBucketCount = kBucketsPerDecade * kDecades + 2;
 
   void record(double v);
+  /// Record with a trace exemplar: `trace_id` 0 behaves exactly like the
+  /// plain overload (untraced), otherwise the value's bucket may adopt it
+  /// as its representative (keep-max-value rule; see Exemplar).
+  void record(double v, std::uint32_t trace_id);
 
   std::int64_t count() const { return count_; }
+  double sum() const { return count_ ? sum_ : 0.0; }
   double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
@@ -99,6 +116,13 @@ class Histogram {
   void restore(const std::vector<std::pair<int, std::int64_t>>& buckets, double sum,
                double min_v, double max_v);
 
+  /// Occupied exemplar slots, keyed by bucket index (sparse; ordered for
+  /// deterministic export).
+  const std::map<int, Exemplar>& exemplars() const { return exemplars_; }
+
+  /// Importer-side exemplar merge (same keep-max rule as record/merge).
+  void note_exemplar(int bucket, std::uint32_t trace_id, double value);
+
   /// Lower edge of bucket `i` (the value-domain boundary used for
   /// interpolation); exposed for tests.
   static double bucket_lower(int i);
@@ -107,6 +131,7 @@ class Histogram {
   static int bucket_of(double v);
 
   std::vector<std::int64_t> counts_;  ///< lazily sized to kBucketCount
+  std::map<int, Exemplar> exemplars_;
   std::int64_t count_ = 0;
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();

@@ -25,6 +25,20 @@ void Histogram::record(double v) {
   max_ = std::max(max_, v);
 }
 
+void Histogram::record(double v, std::uint32_t trace_id) {
+  record(v);
+  if (trace_id != 0) note_exemplar(bucket_of(v), trace_id, v);
+}
+
+void Histogram::note_exemplar(int bucket, std::uint32_t trace_id, double value) {
+  if (trace_id == 0 || bucket < 0 || bucket >= kBucketCount) return;
+  auto it = exemplars_.find(bucket);
+  if (it == exemplars_.end() || value > it->second.value ||
+      (value == it->second.value && trace_id < it->second.trace_id)) {
+    exemplars_[bucket] = Exemplar{trace_id, value};
+  }
+}
+
 double Histogram::percentile(double p) const {
   if (count_ == 0) return 0.0;
   p = std::clamp(p, 0.0, 1.0);
@@ -56,6 +70,7 @@ void Histogram::merge(const Histogram& o) {
   sum_ += o.sum_;
   min_ = std::min(min_, o.min_);
   max_ = std::max(max_, o.max_);
+  for (const auto& [b, ex] : o.exemplars_) note_exemplar(b, ex.trace_id, ex.value);
 }
 
 std::vector<std::pair<int, std::int64_t>> Histogram::nonzero_buckets() const {

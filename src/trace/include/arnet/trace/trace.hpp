@@ -110,15 +110,19 @@ class Ring {
     slots_.reserve(capacity_);
   }
 
-  void push(const T& v) {
+  /// Returns a reference to the stored slot so callers can stamp fields
+  /// in place instead of copying the record twice.
+  T& push(const T& v) {
+    ++recorded_;
     if (slots_.size() < capacity_) {
       slots_.push_back(v);
-    } else {
-      slots_[head_] = v;
-      head_ = (head_ + 1) % capacity_;
-      ++overflowed_;
+      return slots_.back();
     }
-    ++recorded_;
+    T& slot = slots_[head_];
+    slot = v;
+    if (++head_ == capacity_) head_ = 0;  // branch beats a div per record
+    ++overflowed_;
+    return slot;
   }
 
   std::size_t size() const { return slots_.size(); }
@@ -145,6 +149,17 @@ class Ring {
 using EventRing = Ring<TraceEvent>;
 using WireRing = Ring<WireRecord>;
 
+/// Observer of the tracer's record stream (the tail sampler implements
+/// this). Sinks see every event as it is recorded — including ones the
+/// rings will later overwrite — and must obey the same determinism contract
+/// as the Tracer itself: no simulator scheduling, no shared Rng, no
+/// branching of simulation logic.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const TraceEvent& e) = 0;
+};
+
 /// Per-run causal tracing hub. Entities (links, transports, sessions, cells)
 /// register once and record typed events into their own ring; packets carry a
 /// TraceContext so events across entities join into per-frame timelines.
@@ -159,6 +174,17 @@ class Tracer {
   struct Config {
     std::size_t ring_capacity = 1024;   ///< events retained per entity
     std::size_t wire_capacity = 8192;   ///< wire records retained (pcap)
+    /// Wire capture (pcap synthesis) is opt-in: cycling the wire ring costs
+    /// a cache-cold ~100 B store per transmitted packet, so only runs that
+    /// actually export a capture should pay for it.
+    bool capture_wire = false;
+    /// Sink-only mode: record() forwards events to the attached TraceSink
+    /// and skips the per-entity rings entirely. This is the city-scale
+    /// sampled operating point — the tail sampler's span budget *is* the
+    /// retention store, so paying a second (ring) copy per event buys
+    /// nothing. Ring-based exporters (Perfetto/pcap/flight) see no events
+    /// in this mode; deep-dive runs keep it off.
+    bool sink_only = false;
   };
 
   Tracer() : Tracer(Config{}) {}
@@ -189,12 +215,31 @@ class Tracer {
     return TraceContext{parent.trace_id, ++last_span_id_};
   }
 
-  void record(EntityId entity, TraceEvent e) {
-    e.entity = entity;
-    entities_.at(entity).ring.push(e);
+  void record(EntityId entity, const TraceEvent& e) {
+    if (cfg_.sink_only) {
+      if (sink_ == nullptr) return;
+      TraceEvent forwarded = e;
+      forwarded.entity = entity;
+      sink_->on_event(forwarded);
+      return;
+    }
+    TraceEvent& stored = entities_[entity].ring.push(e);
+    stored.entity = entity;
+    if (sink_) sink_->on_event(stored);
   }
 
-  void record_wire(const WireRecord& w) { wire_.push(w); }
+  void record_wire(const WireRecord& w) {
+    if (cfg_.capture_wire) wire_.push(w);
+  }
+  /// Flip wire capture on post-construction (pcap-exporting drivers do).
+  void set_wire_capture(bool on) { cfg_.capture_wire = on; }
+  /// Flip sink-only mode post-construction (sampled sweeps do, right after
+  /// set_sink). See Config::sink_only.
+  void set_sink_only(bool on) { cfg_.sink_only = on; }
+  bool sink_only() const { return cfg_.sink_only; }
+  /// Call sites check this before *building* a WireRecord: assembling the
+  /// ~100 B record is itself too expensive for non-capturing runs.
+  bool wire_capture() const { return cfg_.capture_wire; }
 
   /// All surviving events of every ring, merged and sorted by (time, entity,
   /// ring order). Exporters consume this.
@@ -208,6 +253,11 @@ class Tracer {
   void set_profiler(SimProfiler* p) { profiler_ = p; }
   SimProfiler* profiler() const { return profiler_; }
 
+  /// Optional record-stream observer (tail-based sampling). The sink sees
+  /// events *after* they land in the ring; rings remain the always-on view.
+  void set_sink(TraceSink* s) { sink_ = s; }
+  TraceSink* sink() const { return sink_; }
+
  private:
   struct Entity {
     std::string name;
@@ -220,6 +270,7 @@ class Tracer {
   std::uint32_t last_trace_id_ = 0;
   std::uint32_t last_span_id_ = 0;
   SimProfiler* profiler_ = nullptr;
+  TraceSink* sink_ = nullptr;
 };
 
 }  // namespace arnet::trace

@@ -1,0 +1,271 @@
+#include "arnet/trace/sampler.hpp"
+
+#include <cstring>
+#include <ostream>
+
+namespace arnet::trace {
+
+namespace {
+
+/// Minimal JSON string escaping (scope/reason strings are ASCII identifiers
+/// in practice; this keeps the exporter safe if one ever carries a quote).
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+constexpr const char* kVerdictMiss = "miss";
+constexpr const char* kVerdictDrop = "drop";
+constexpr const char* kVerdictOutlier = "outlier";
+constexpr const char* kVerdictReservoir = "reservoir";
+
+}  // namespace
+
+int TailSampler::priority_of(const char* verdict) {
+  if (std::strcmp(verdict, kVerdictMiss) == 0) return 3;
+  if (std::strcmp(verdict, kVerdictDrop) == 0) return 2;
+  if (std::strcmp(verdict, kVerdictOutlier) == 0) return 1;
+  return 0;
+}
+
+TailSampler::TailSampler(SamplerConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), outlier_ms_(cfg.outlier_threshold_ms) {
+  std::size_t cap = 1;
+  while (cap < cfg_.max_pending) cap <<= 1;
+  pending_.resize(cap);
+  slot_mask_ = static_cast<std::uint32_t>(cap - 1);
+}
+
+std::uint32_t TailSampler::acquire_buf() {
+  if (!free_bufs_.empty()) {
+    const std::uint32_t b = free_bufs_.back();
+    free_bufs_.pop_back();
+    return b;
+  }
+  const auto b = static_cast<std::uint32_t>(arena_.size() / cfg_.max_spans_per_frame);
+  arena_.resize(arena_.size() + cfg_.max_spans_per_frame);
+  return b;
+}
+
+void TailSampler::release_buf(Pending& p) {
+  if (p.buf == kNoBuf) return;
+  free_bufs_.push_back(p.buf);
+  p.buf = kNoBuf;
+}
+
+void TailSampler::on_event(const TraceEvent& e) {
+  if (e.trace_id == 0) return;  // untraced: same no-op contract as the rings
+  Pending& p = pending_[e.trace_id & slot_mask_];
+  if (p.trace_id != e.trace_id) {
+    // Slot miss: a new frame, or a straggler for one that already completed.
+    // Opening events are kFrameCapture in practice, so the straggler check
+    // (a map lookup) stays off the common path.
+    if (e.kind != EventKind::kFrameCapture &&
+        retained_.find(e.trace_id) != retained_.end()) {
+      return;
+    }
+    if (p.trace_id != 0) {
+      ++stats_.pending_evicted;  // displaced stale frame; its arena slot is reused
+    } else {
+      p.buf = acquire_buf();
+    }
+    p.trace_id = e.trace_id;
+    p.first_time = e.time;
+    p.count = 0;
+    p.truncated = 0;
+    p.dropped = false;
+  }
+  if (e.kind == EventKind::kDrop || e.kind == EventKind::kShed) p.dropped = true;
+  if (p.count < cfg_.max_spans_per_frame) {
+    arena_[p.buf * cfg_.max_spans_per_frame + p.count++] = e;
+  } else {
+    ++p.truncated;
+    ++stats_.truncated_spans;
+  }
+  if (e.kind == EventKind::kFrameDone || e.kind == EventKind::kFrameMiss) {
+    finalize(p, e);
+  }
+}
+
+void TailSampler::finalize(Pending& p, const TraceEvent& completion) {
+  ++stats_.frames_seen;
+  const std::uint32_t trace_id = p.trace_id;
+  p.trace_id = 0;  // the slot is free either way; its buffer returns below
+
+  // Decide the verdict before building anything: the common case (healthy
+  // frame, reservoir full, not selected) must not allocate.
+  const char* verdict;
+  std::uint64_t* retained_counter;
+  if (completion.kind == EventKind::kFrameMiss) {
+    verdict = kVerdictMiss;
+    retained_counter = &stats_.retained_miss;
+  } else if (p.dropped) {
+    verdict = kVerdictDrop;
+    retained_counter = &stats_.retained_drop;
+  } else if (outlier_ms_ > 0.0 &&
+             sim::to_milliseconds(static_cast<sim::Time>(completion.time - p.first_time)) >
+                 outlier_ms_) {
+    verdict = kVerdictOutlier;
+    retained_counter = &stats_.retained_outlier;
+  } else {
+    // Healthy frame: seeded reservoir (Algorithm R). The reservoir
+    // population is the retained frames with verdict "reservoir"; budget
+    // evictions shrink it, which simply reopens slots for later healthy
+    // frames.
+    ++healthy_seen_;
+    if (reservoir_.size() >= cfg_.reservoir_capacity) {
+      if (cfg_.reservoir_capacity == 0) {
+        release_buf(p);
+        return;
+      }
+      const std::int64_t j =
+          rng_.uniform_int(1, static_cast<std::int64_t>(healthy_seen_));
+      if (j > static_cast<std::int64_t>(cfg_.reservoir_capacity)) {
+        release_buf(p);
+        return;
+      }
+      // Replace slot j (1-based, admit order) with the new frame.
+      const std::uint32_t victim = reservoir_[static_cast<std::size_t>(j - 1)];
+      auto vit = retained_.find(victim);
+      spans_used_ -= vit->second.spans.size();
+      retained_.erase(vit);
+      reservoir_.erase(reservoir_.begin() + (j - 1));
+      ++stats_.evicted;
+    }
+    verdict = kVerdictReservoir;
+    retained_counter = &stats_.retained_reservoir;
+  }
+
+  RetainedFrame f;
+  f.trace_id = trace_id;
+  f.verdict = verdict;
+  f.first_time = p.first_time;
+  f.last_time = completion.time;
+  f.latency_ns = completion.time - p.first_time;
+  f.truncated = p.truncated;
+  // Retention is the rare path: only here do the spans leave the arena.
+  const std::size_t off = static_cast<std::size_t>(p.buf) * cfg_.max_spans_per_frame;
+  f.spans.assign(arena_.begin() + static_cast<std::ptrdiff_t>(off),
+                 arena_.begin() + static_cast<std::ptrdiff_t>(off + p.count));
+  release_buf(p);
+  if (admit(std::move(f))) ++*retained_counter;
+}
+
+bool TailSampler::evict_one(int below_priority) {
+  // Lowest priority first, then oldest admit order within it — the class
+  // indexes keep this O(1) instead of a scan over every retained frame.
+  auto kill = [this](std::uint32_t tid) {
+    auto it = retained_.find(tid);
+    spans_used_ -= it->second.spans.size();
+    retained_.erase(it);
+    ++stats_.evicted;
+  };
+  if (below_priority > 0 && !reservoir_.empty()) {
+    kill(reservoir_.front());
+    reservoir_.erase(reservoir_.begin());
+    return true;
+  }
+  if (below_priority > 1 && !outliers_.empty()) {
+    kill(outliers_.front());
+    outliers_.pop_front();
+    return true;
+  }
+  if (below_priority > 2 && !drops_.empty()) {
+    kill(drops_.front());
+    drops_.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool TailSampler::admit(RetainedFrame&& f) {
+  const int pri = priority_of(f.verdict);
+  const std::size_t need = f.spans.size();
+  if (need > cfg_.span_budget) {
+    ++stats_.budget_rejected;
+    return false;
+  }
+  while (spans_used_ + need > cfg_.span_budget) {
+    if (!evict_one(pri)) {
+      ++stats_.budget_rejected;
+      return false;
+    }
+  }
+  spans_used_ += need;
+  const std::uint32_t tid = f.trace_id;
+  retained_.emplace(tid, std::move(f));
+  switch (pri) {
+    case 0: reservoir_.push_back(tid); break;
+    case 1: outliers_.push_back(tid); break;
+    case 2: drops_.push_back(tid); break;
+    default: break;  // misses are never victims: no index needed
+  }
+  return true;
+}
+
+void TailSampler::note(std::uint64_t uid, const char* reason, sim::Time t) {
+  if (notes_.size() >= cfg_.note_capacity) {
+    ++stats_.notes_dropped;
+    return;
+  }
+  Note n;
+  n.time = t;
+  n.uid = uid;
+  n.reason = reason ? reason : "";
+  notes_.push_back(n);
+}
+
+// ------------------------------------------------------------------ export
+
+void write_samples_header(std::ostream& os) {
+  os << "{\"kind\":\"meta\",\"schema\":\"arnet-sample-v1\"}\n";
+}
+
+void append_samples_run(const TailSampler& sampler, const Tracer& tracer,
+                        const std::string& scope, std::ostream& os) {
+  const TailSampler::Stats& st = sampler.stats();
+  os << "{\"kind\":\"run\",\"scope\":\"" << esc(scope)
+     << "\",\"frames_seen\":" << st.frames_seen
+     << ",\"retained\":" << sampler.retained_count()
+     << ",\"miss\":" << st.retained_miss << ",\"drop\":" << st.retained_drop
+     << ",\"outlier\":" << st.retained_outlier
+     << ",\"reservoir\":" << st.retained_reservoir
+     << ",\"evicted\":" << st.evicted
+     << ",\"budget_rejected\":" << st.budget_rejected
+     << ",\"truncated_spans\":" << st.truncated_spans
+     << ",\"pending_evicted\":" << st.pending_evicted
+     << ",\"spans\":" << sampler.spans_used()
+     << ",\"span_budget\":" << sampler.config().span_budget
+     << ",\"notes\":" << sampler.notes().size() << "}\n";
+  for (const auto& [tid, f] : sampler.retained_frames()) {
+    os << "{\"kind\":\"frame\",\"scope\":\"" << esc(scope) << "\",\"trace\":" << tid
+       << ",\"verdict\":\"" << f.verdict << "\",\"t0_ns\":" << f.first_time
+       << ",\"t1_ns\":" << f.last_time << ",\"latency_ns\":" << f.latency_ns
+       << ",\"spans\":" << f.spans.size() << ",\"truncated\":" << f.truncated
+       << "}\n";
+    for (const TraceEvent& e : f.spans) {
+      os << "{\"kind\":\"span\",\"scope\":\"" << esc(scope) << "\",\"trace\":" << tid
+         << ",\"t_ns\":" << e.time << ",\"entity\":\""
+         << (e.entity < tracer.entity_count() ? esc(tracer.entity_name(e.entity)) : "")
+         << "\",\"event\":\"" << to_string(e.kind) << "\",\"span\":" << e.span_id
+         << ",\"uid\":" << e.uid << ",\"size\":" << e.size;
+      if (e.reason) os << ",\"reason\":\"" << e.reason << "\"";
+      os << "}\n";
+    }
+  }
+  for (const TailSampler::Note& n : sampler.notes()) {
+    os << "{\"kind\":\"note\",\"scope\":\"" << esc(scope) << "\",\"t_ns\":" << n.time
+       << ",\"uid\":" << n.uid << ",\"reason\":\"" << n.reason << "\"}\n";
+  }
+}
+
+void write_samples_end(std::ostream& os, std::size_t runs) {
+  os << "{\"kind\":\"end\",\"runs\":" << runs << "}\n";
+}
+
+}  // namespace arnet::trace

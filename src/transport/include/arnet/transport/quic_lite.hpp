@@ -11,6 +11,7 @@
 #include "arnet/net/packet.hpp"
 #include "arnet/sim/simulator.hpp"
 #include "arnet/sim/stats.hpp"
+#include "arnet/trace/trace.hpp"
 
 namespace arnet::transport {
 
@@ -25,6 +26,8 @@ struct QuicFrameResult {
   sim::Time completed_at = sim::kNever;  ///< kNever while incomplete
   bool complete = false;
   bool on_time = false;          ///< complete && latency() <= deadline
+  /// Trace context stamped by send_frame(bytes, ctx); inactive otherwise.
+  trace::TraceContext trace;
 
   sim::Time latency() const { return completed_at - submitted_at; }
 };
@@ -55,6 +58,11 @@ class QuicLiteSender {
   /// Fragment and stage one application frame; returns its frame id.
   std::uint32_t send_frame(std::int64_t bytes);
 
+  /// Same, stamping `ctx` on every fragment's wire packet so the frame's
+  /// datagrams are attributable in packet traces and the receiver can hand
+  /// the context back in its QuicFrameResult.
+  std::uint32_t send_frame(std::int64_t bytes, const trace::TraceContext& ctx);
+
   std::uint32_t frames_sent() const { return next_frame_id_; }
   std::int64_t sent_bytes() const { return sent_bytes_; }
   std::int64_t backlog_fragments() const { return static_cast<std::int64_t>(queue_.size()); }
@@ -66,6 +74,7 @@ class QuicLiteSender {
     std::uint32_t frag_count = 1;
     std::int32_t payload = 0;
     sim::Time frame_submitted_at = 0;
+    trace::TraceContext trace;
   };
 
   void pace_tick();
@@ -127,7 +136,8 @@ class QuicLiteReceiver {
     std::int64_t bytes = 0;
     sim::Time submitted_at = 0;
     sim::Time first_arrival = 0;
-    bool delivered = false;  ///< tombstone: absorbs trailing duplicates
+    trace::TraceContext trace;  ///< from the first fragment's packet
+    bool delivered = false;     ///< tombstone: absorbs trailing duplicates
   };
 
   void on_packet(net::Packet&& p);

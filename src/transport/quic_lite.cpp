@@ -28,6 +28,10 @@ QuicLiteSender::QuicLiteSender(net::Network& net, net::NodeId local, net::Port l
 QuicLiteSender::~QuicLiteSender() { net_.node(local_).unbind(local_port_); }
 
 std::uint32_t QuicLiteSender::send_frame(std::int64_t bytes) {
+  return send_frame(bytes, trace::TraceContext{});
+}
+
+std::uint32_t QuicLiteSender::send_frame(std::int64_t bytes, const trace::TraceContext& ctx) {
   std::uint32_t id = next_frame_id_++;
   auto count = static_cast<std::uint32_t>(
       std::max<std::int64_t>(1, (bytes + cfg_.mtu_payload - 1) / cfg_.mtu_payload));
@@ -41,6 +45,7 @@ std::uint32_t QuicLiteSender::send_frame(std::int64_t bytes) {
     f.payload = static_cast<std::int32_t>(std::min<std::int64_t>(remaining, cfg_.mtu_payload));
     remaining -= f.payload;
     f.frame_submitted_at = net_.sim().now();
+    f.trace = ctx;
     queue_.push_back(f);
   }
   // First fragment goes out immediately; the pacer clocks out the rest. A
@@ -74,6 +79,7 @@ void QuicLiteSender::transmit(const Fragment& f) {
   h.sent_at = net_.sim().now();
   h.frame_submitted_at = f.frame_submitted_at;
   p.header = h;
+  p.trace = f.trace;
   sent_bytes_ += p.size_bytes;
   if (cfg_.first_hop) {
     net_.send_via(*cfg_.first_hop, std::move(p));
@@ -113,6 +119,7 @@ void QuicLiteReceiver::on_packet(Packet&& p) {
     f.have.assign(h->frag_count, false);
     f.submitted_at = h->frame_submitted_at;
     f.first_arrival = now;
+    f.trace = p.trace;
   }
   if (f.delivered || h->frag >= f.have.size() || f.have[h->frag]) {
     ++duplicate_fragments_;
@@ -130,6 +137,7 @@ void QuicLiteReceiver::on_packet(Packet&& p) {
     r.bytes = f.bytes;
     r.submitted_at = f.submitted_at;
     r.completed_at = now;
+    r.trace = f.trace;
     r.complete = true;
     r.on_time = r.latency() <= cfg_.deadline;
     if (r.on_time) {
@@ -159,6 +167,7 @@ void QuicLiteReceiver::sweep() {
       r.frame_id = it->first;
       r.bytes = f.bytes;
       r.submitted_at = f.submitted_at;
+      r.trace = f.trace;
       r.complete = false;
       r.on_time = false;
       if (frame_cb_) frame_cb_(r);

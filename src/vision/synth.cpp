@@ -180,15 +180,18 @@ Image render_scene(sim::Rng& rng, const SceneParams& params) {
     int cx = static_cast<int>(rng.uniform_int(0, params.width - 1));
     int cy = static_cast<int>(rng.uniform_int(0, params.height - 1));
     if (disc) {
-      int r = static_cast<int>(rng.uniform_int(6, params.width / 8));
+      // Clamp the upper bounds: uniform_int(lo, hi) with hi < lo is UB in
+      // the underlying distribution, and tiny test frames (width < 48) hit
+      // it. Draws for normal frame sizes are unchanged.
+      int r = static_cast<int>(rng.uniform_int(6, std::max<std::int64_t>(6, params.width / 8)));
       for (int y = std::max(0, cy - r); y < std::min(params.height, cy + r); ++y) {
         for (int x = std::max(0, cx - r); x < std::min(params.width, cx + r); ++x) {
           if ((x - cx) * (x - cx) + (y - cy) * (y - cy) <= r * r) img.at(x, y) = shade;
         }
       }
     } else {
-      int w = static_cast<int>(rng.uniform_int(8, params.width / 5));
-      int h = static_cast<int>(rng.uniform_int(8, params.height / 5));
+      int w = static_cast<int>(rng.uniform_int(8, std::max<std::int64_t>(8, params.width / 5)));
+      int h = static_cast<int>(rng.uniform_int(8, std::max<std::int64_t>(8, params.height / 5)));
       for (int y = std::max(0, cy - h / 2); y < std::min(params.height, cy + h / 2); ++y) {
         for (int x = std::max(0, cx - w / 2); x < std::min(params.width, cx + w / 2); ++x) {
           img.at(x, y) = shade;

@@ -98,6 +98,69 @@ TEST(ObsHistogram, MergeEqualsRecordingIntoOne) {
   EXPECT_DOUBLE_EQ(a.p99(), all.p99());
 }
 
+// Property-style cross-shard check: shard a stream of observations, merge
+// the shards in two different orders, and require state identical to
+// recording the whole stream into one histogram. Integer-valued samples make
+// double addition exact, so even `sum` must match bit-for-bit regardless of
+// merge order — the invariant behind byte-identical serial/parallel sweeps.
+TEST(ObsHistogram, ShardMergeIsOrderIndependentAndExact) {
+  constexpr int kShards = 5;
+  obs::Histogram shards_a[kShards], shards_b[kShards], all;
+  sim::Rng rng(31);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = static_cast<double>(rng.uniform_int(1, 1 << 20));
+    const auto trace = static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 30));
+    shards_a[i % kShards].record(v, trace);
+    shards_b[i % kShards].record(v, trace);
+    all.record(v, trace);
+  }
+  obs::Histogram fwd, rev;
+  for (int s = 0; s < kShards; ++s) fwd.merge(shards_a[s]);
+  for (int s = kShards - 1; s >= 0; --s) rev.merge(shards_b[s]);
+
+  for (const obs::Histogram* m : {&fwd, &rev}) {
+    EXPECT_EQ(m->count(), all.count());
+    EXPECT_EQ(m->sum(), all.sum());  // bitwise: integer sums are exact
+    EXPECT_EQ(m->min(), all.min());
+    EXPECT_EQ(m->max(), all.max());
+    EXPECT_EQ(m->nonzero_buckets(), all.nonzero_buckets());
+    ASSERT_EQ(m->exemplars().size(), all.exemplars().size());
+    auto it = all.exemplars().begin();
+    for (const auto& [bucket, ex] : m->exemplars()) {
+      EXPECT_EQ(bucket, it->first);
+      EXPECT_EQ(ex.trace_id, it->second.trace_id);
+      EXPECT_EQ(ex.value, it->second.value);
+      ++it;
+    }
+  }
+}
+
+TEST(ObsHistogram, ExemplarKeepsMaxValueTiesToLowerTraceId) {
+  obs::Histogram h;
+  h.record(10.0, 7);
+  h.record(10.5, 9);   // same bucket, larger value: replaces
+  h.record(10.2, 3);   // smaller value: ignored
+  ASSERT_EQ(h.exemplars().size(), 1u);
+  const auto& ex = h.exemplars().begin()->second;
+  EXPECT_EQ(ex.trace_id, 9u);
+  EXPECT_DOUBLE_EQ(ex.value, 10.5);
+
+  obs::Histogram tie;
+  tie.record(10.5, 12);
+  obs::Histogram merged_a = h;  // NOLINT: Histogram is copyable state
+  merged_a.merge(tie);
+  // Equal values tie-break toward the lower trace id, whichever merge side
+  // it lives on — the rule that keeps cross-shard merges commutative.
+  EXPECT_EQ(merged_a.exemplars().begin()->second.trace_id, 9u);
+  obs::Histogram merged_b = tie;
+  merged_b.merge(h);
+  EXPECT_EQ(merged_b.exemplars().begin()->second.trace_id, 9u);
+
+  obs::Histogram untraced;
+  untraced.record(99.0);  // trace 0: never becomes an exemplar
+  EXPECT_TRUE(untraced.exemplars().empty());
+}
+
 TEST(ObsRegistry, CreateOnTouchAndMergeSemantics) {
   obs::MetricsRegistry a, b;
   a.counter("pkts", "link:0").add(10);
@@ -155,6 +218,42 @@ TEST(ObsExport, JsonlRoundTripIsLossless) {
   EXPECT_EQ(ts->points()[0].first, milliseconds(1500));
   EXPECT_DOUBLE_EQ(ts->points()[0].second, 3.25);
   EXPECT_DOUBLE_EQ(ts->points()[1].second, 1e-17);
+}
+
+// The v2 schema additions: a meta line announcing the version, the raw
+// `sum` field (shortest-round-trip, so it restores bit-exactly — the
+// mean*count reconstruction it replaced drifted by ULPs per merge), and
+// per-bucket exemplars that survive the round trip.
+TEST(ObsExport, V2MetaSumAndExemplarsRoundTrip) {
+  obs::MetricsRegistry reg;
+  auto& h = reg.histogram("m2p_ms", "cell:a");
+  sim::Rng rng(5);
+  for (int i = 0; i < 257; ++i) {
+    h.record(rng.exponential(33.0), static_cast<std::uint32_t>(i % 7));
+  }
+  std::stringstream ss;
+  obs::write_jsonl(reg, ss);
+  const std::string doc = ss.str();
+  EXPECT_EQ(doc.find("{\"kind\":\"meta\",\"schema\":\"arnet-obs-v2\""), 0u);
+  EXPECT_NE(doc.find("\"exemplars\""), std::string::npos);
+  EXPECT_NE(doc.find("\"sum\""), std::string::npos);
+
+  obs::MetricsRegistry back;
+  std::stringstream in(doc);
+  ASSERT_TRUE(obs::read_jsonl(in, back));
+  const obs::Histogram* hb = back.find_histogram("m2p_ms", "cell:a");
+  ASSERT_NE(hb, nullptr);
+  EXPECT_EQ(hb->count(), h.count());
+  EXPECT_EQ(hb->sum(), h.sum());  // bitwise, not approximate
+  EXPECT_EQ(hb->mean(), h.mean());
+  ASSERT_EQ(hb->exemplars().size(), h.exemplars().size());
+  auto it = h.exemplars().begin();
+  for (const auto& [bucket, ex] : hb->exemplars()) {
+    EXPECT_EQ(bucket, it->first);
+    EXPECT_EQ(ex.trace_id, it->second.trace_id);
+    EXPECT_EQ(ex.value, it->second.value);
+    ++it;
+  }
 }
 
 TEST(ObsExport, ReadRejectsMalformedLines) {

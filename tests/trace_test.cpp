@@ -289,6 +289,7 @@ struct TracedOffloadRun {
     auto edge = net.add_node("edge");
     net.connect(user, edge, 20e6, milliseconds(8), 200);
     net.compute_routes();
+    tracer.set_wire_capture(true);  // the pcap exporter tests read the ring
     net.attach_trace(tracer);
     mar::OffloadConfig cfg;
     cfg.strategy = mar::OffloadStrategy::kCloudRidAR;

@@ -5,8 +5,9 @@ Usage: check_fleet_schema.py METRICS_JSONL SUMMARY_JSON
 
 Validates the pair a scale_fleet run writes under --out-dir:
 
-  scale_fleet_metrics.jsonl   arnet-obs-v1 lines; per-cell "cell.*" gauges
-                              plus the fleet.* instruments underneath them
+  scale_fleet_metrics.jsonl   arnet-obs-v2 lines (v1 files still accepted);
+                              per-cell "cell.*" gauges plus the fleet.*
+                              instruments underneath them
   BENCH_scale_fleet.json      arnet-bench-v1 summary, one entry per cell
 
 and the internal consistency between the two: every summary benchmark has a
@@ -19,6 +20,7 @@ import json
 import sys
 
 OBS_KINDS = {"counter", "gauge", "histogram", "series"}
+OBS_SCHEMA_PREFIX = "arnet-obs-"
 CELL_GAUGES = ("cell.offered_users", "cell.p50_ms", "cell.p99_ms",
                "cell.miss_rate", "cell.served_fps", "cell.rejected",
                "cell.servers_final")
@@ -42,11 +44,25 @@ def load_metrics(path):
             except json.JSONDecodeError as e:
                 raise ValueError(f"{path}:{lineno}: invalid JSON: {e}")
             kind = obj.get("kind")
+            if kind == "meta":
+                schema = obj.get("schema", "")
+                if not schema.startswith(OBS_SCHEMA_PREFIX):
+                    raise ValueError(
+                        f"{path}:{lineno}: meta schema {schema!r} is not "
+                        f"{OBS_SCHEMA_PREFIX}*")
+                continue
             if kind not in OBS_KINDS:
                 raise ValueError(f"{path}:{lineno}: unknown kind {kind!r}")
             name, entity = obj.get("name"), obj.get("entity")
             if not name or entity is None:
                 raise ValueError(f"{path}:{lineno}: missing name/entity")
+            if kind == "histogram":
+                for i, ex in enumerate(obj.get("exemplars", [])):
+                    if (not isinstance(ex, list) or len(ex) != 3
+                            or not all(isinstance(v, (int, float)) for v in ex)):
+                        raise ValueError(
+                            f"{path}:{lineno}: exemplars[{i}] is not a "
+                            f"[bucket, trace, value] triple")
             out[(name, entity)] = obj
     return out
 

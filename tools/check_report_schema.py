@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Sanity-check an arnet_report.py HTML report.
+
+Usage: check_report_schema.py REPORT_HTML [REPORT_HTML...]
+
+Validates the machine-readable manifest embedded by tools/arnet_report.py
+(<script type="application/json" id="arnet-report-manifest">, schema
+"arnet-report-v1") and the structure it promises:
+
+  - manifest parses as JSON with the right schema id and required fields
+  - every section id listed in the manifest exists as a <section id=...>
+  - every anomaly has its embedded Perfetto trace blob (id="trace-<i>"),
+    each a valid JSON document with a non-empty traceEvents list
+  - counts are plausible (cells/objectives/anomalies are non-negative ints)
+
+Fails (exit 1) on the first structural problem so CI uploads only coherent
+reports. stdlib only.
+"""
+import json
+import sys
+from html.parser import HTMLParser
+
+MANIFEST_SCHEMA = "arnet-report-v1"
+REQUIRED_FIELDS = ("schema", "title", "inputs", "sections", "cells",
+                   "objectives", "anomalies")
+
+
+class ReportScanner(HTMLParser):
+    """Collects <script type="application/json"> payloads by id and the ids
+    of all <section> elements."""
+
+    def __init__(self):
+        super().__init__()
+        self.json_blobs = {}
+        self.section_ids = set()
+        self._script_id = None
+        self._buf = []
+
+    def handle_starttag(self, tag, attrs):
+        a = dict(attrs)
+        if tag == "script" and a.get("type") == "application/json" and "id" in a:
+            self._script_id = a["id"]
+            self._buf = []
+        elif tag == "section" and "id" in a:
+            self.section_ids.add(a["id"])
+
+    def handle_endtag(self, tag):
+        if tag == "script" and self._script_id is not None:
+            self.json_blobs[self._script_id] = "".join(self._buf)
+            self._script_id = None
+
+    def handle_data(self, data):
+        if self._script_id is not None:
+            self._buf.append(data)
+
+
+def fail(path, msg):
+    print(f"check_report_schema: {path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            doc = f.read()
+    except OSError as e:
+        return fail(path, str(e))
+
+    scanner = ReportScanner()
+    scanner.feed(doc)
+
+    raw = scanner.json_blobs.get("arnet-report-manifest")
+    if raw is None:
+        return fail(path, "no arnet-report-manifest script block")
+    try:
+        manifest = json.loads(raw)
+    except json.JSONDecodeError as e:
+        return fail(path, f"manifest is not valid JSON: {e}")
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        return fail(path, f"bad manifest schema: {manifest.get('schema')!r}")
+    for field in REQUIRED_FIELDS:
+        if field not in manifest:
+            return fail(path, f"manifest missing field {field!r}")
+    for field in ("cells", "objectives", "anomalies"):
+        v = manifest[field]
+        if not isinstance(v, int) or v < 0:
+            return fail(path, f"manifest {field} is not a non-negative int: {v!r}")
+    sections = manifest["sections"]
+    if not isinstance(sections, list) or not sections:
+        return fail(path, "manifest sections is empty or not a list")
+    for sid in sections:
+        if sid not in scanner.section_ids:
+            return fail(path, f"manifest lists section {sid!r} but no "
+                              f"<section id=\"{sid}\"> exists")
+    if not isinstance(manifest["inputs"], dict) or "bench" not in manifest["inputs"]:
+        return fail(path, "manifest inputs missing the bench path")
+
+    for i in range(manifest["anomalies"]):
+        blob = scanner.json_blobs.get(f"trace-{i}")
+        if blob is None:
+            return fail(path, f"anomaly {i} has no embedded trace blob")
+        try:
+            trace = json.loads(blob)
+        except json.JSONDecodeError as e:
+            return fail(path, f"trace-{i} is not valid JSON: {e}")
+        events = trace.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            return fail(path, f"trace-{i} has no traceEvents")
+        for e in events:
+            if "ph" not in e or "pid" not in e:
+                return fail(path, f"trace-{i}: event missing ph/pid: {e}")
+
+    print(f"{path}: OK ({manifest['cells']} cells, {manifest['objectives']} "
+          f"objectives, {manifest['anomalies']} anomalies)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    rc = 0
+    for path in argv[1:]:
+        rc |= check(path)
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,9 +8,14 @@ Dispatches on extension:
            carry valid phases (X duration / i instant / M metadata), numeric
            microsecond timestamps, and the arnet-trace-v1 schema tag in
            otherData.
-  .jsonl   Flight-recorder dump: a header line (schema, cause, ring
-           accounting), event lines, and a final end line whose count matches
-           the events written.
+  .jsonl   Dispatched on the first line's schema tag:
+             arnet-trace-v1   flight-recorder dump: a header line (schema,
+                              cause, ring accounting), event lines, and a
+                              final end line whose count matches the events
+             arnet-slo-v1     SLO log: meta, per-objective summary with its
+                              alert transitions and burn timeline, end line
+             arnet-sample-v1  tail-sampled traces: meta, per-run summary
+                              with frame/span/note lines, end line
   .pcapng  pcap-ng capture: SHB magic, 4-byte-aligned blocks whose trailing
            length echoes the leading one, exactly one interface, and at least
            one Enhanced Packet Block.
@@ -24,6 +29,10 @@ import sys
 
 VALID_PHASES = {"X", "i", "M"}
 SCHEMA = "arnet-trace-v1"
+SLO_SCHEMA = "arnet-slo-v1"
+SAMPLE_SCHEMA = "arnet-sample-v1"
+SLO_STATES = {"ok", "slow-burn", "fast-burn"}
+SAMPLE_VERDICTS = {"miss", "drop", "outlier", "reservoir"}
 
 
 def fail(path, msg):
@@ -106,6 +115,132 @@ def check_flight(path):
     return 0
 
 
+def load_jsonl(path):
+    try:
+        with open(path) as f:
+            lines = [l for l in (line.strip() for line in f) if l]
+    except OSError as e:
+        raise ValueError(f"unreadable: {e}")
+    try:
+        return [json.loads(l) for l in lines]
+    except json.JSONDecodeError as e:
+        raise ValueError(f"invalid JSONL: {e}")
+
+
+def check_slo(path, docs):
+    meta, body, end = docs[0], docs[1:-1], docs[-1]
+    if end.get("kind") != "end":
+        return fail(path, f"last line kind {end.get('kind')!r}, expected 'end'")
+    objectives, alerts = 0, 0
+    entities = set()
+    for i, d in enumerate(body):
+        kind = d.get("kind")
+        entity = d.get("entity")
+        if not entity:
+            return fail(path, f"line {i + 2}: missing entity")
+        if kind == "objective":
+            objectives += 1
+            entities.add(entity)
+            if not 0.0 < d.get("objective", 0) < 1.0:
+                return fail(path, f"line {i + 2}: objective outside (0, 1)")
+            if d.get("good", -1) < 0 or d.get("miss", -1) < 0:
+                return fail(path, f"line {i + 2}: negative good/miss counts")
+            if d.get("state") not in SLO_STATES:
+                return fail(path, f"line {i + 2}: bad state {d.get('state')!r}")
+        elif kind in ("alert", "burn"):
+            if entity not in entities:
+                return fail(path, f"line {i + 2}: {kind} precedes its objective line")
+            if not isinstance(d.get("t_ns"), int):
+                return fail(path, f"line {i + 2}: missing integer t_ns")
+            if d.get("state") not in SLO_STATES:
+                return fail(path, f"line {i + 2}: bad state {d.get('state')!r}")
+            alerts += kind == "alert"
+        else:
+            return fail(path, f"line {i + 2}: unknown kind {kind!r}")
+    if meta.get("objectives") != objectives or end.get("objectives") != objectives:
+        return fail(path, f"objective count mismatch: meta {meta.get('objectives')}, "
+                          f"end {end.get('objectives')}, file has {objectives}")
+    if end.get("alerts") != alerts:
+        return fail(path, f"end line says {end.get('alerts')} alerts, file has {alerts}")
+    print(f"{path}: OK ({objectives} objectives, {alerts} alerts)")
+    return 0
+
+
+def check_samples(path, docs):
+    meta, body, end = docs[0], docs[1:-1], docs[-1]
+    del meta
+    if end.get("kind") != "end":
+        return fail(path, f"last line kind {end.get('kind')!r}, expected 'end'")
+    runs = 0
+    run_scope = None
+    frame_spans_left = 0  # span lines owed by the last frame line
+    for i, d in enumerate(body):
+        kind = d.get("kind")
+        if kind == "run":
+            runs += 1
+            run_scope = d.get("scope")
+            if not run_scope:
+                return fail(path, f"line {i + 2}: run missing scope")
+            retained = d.get("retained", -1)
+            counts = [d.get(k, -1) for k in
+                      ("miss", "drop", "outlier", "reservoir", "evicted")]
+            if retained < 0 or any(c < 0 for c in counts):
+                return fail(path, f"line {i + 2}: negative retention counters")
+            if sum(counts[:4]) - counts[4] != retained:
+                return fail(path, f"line {i + 2}: retained {retained} != "
+                                  f"verdict counts minus evictions")
+            if d.get("spans", 0) > d.get("span_budget", 0):
+                return fail(path, f"line {i + 2}: spans over span_budget")
+            continue
+        if run_scope is None or d.get("scope") != run_scope:
+            return fail(path, f"line {i + 2}: {kind} outside its run scope")
+        if kind == "frame":
+            if frame_spans_left:
+                return fail(path, f"line {i + 2}: previous frame is "
+                                  f"{frame_spans_left} span lines short")
+            if d.get("verdict") not in SAMPLE_VERDICTS:
+                return fail(path, f"line {i + 2}: bad verdict {d.get('verdict')!r}")
+            if not isinstance(d.get("trace"), int) or d["trace"] == 0:
+                return fail(path, f"line {i + 2}: bad trace id")
+            frame_spans_left = d.get("spans", 0)
+        elif kind == "span":
+            if frame_spans_left <= 0:
+                return fail(path, f"line {i + 2}: span line without a frame")
+            if not isinstance(d.get("t_ns"), int):
+                return fail(path, f"line {i + 2}: missing integer t_ns")
+            if not d.get("event"):
+                return fail(path, f"line {i + 2}: missing event kind")
+            frame_spans_left -= 1
+        elif kind == "note":
+            if not isinstance(d.get("t_ns"), int) or not d.get("reason"):
+                return fail(path, f"line {i + 2}: note missing t_ns/reason")
+        else:
+            return fail(path, f"line {i + 2}: unknown kind {kind!r}")
+    if frame_spans_left:
+        return fail(path, f"last frame is {frame_spans_left} span lines short")
+    if end.get("runs") != runs:
+        return fail(path, f"end line says {end.get('runs')} runs, file has {runs}")
+    print(f"{path}: OK ({runs} runs)")
+    return 0
+
+
+def check_jsonl(path):
+    try:
+        docs = load_jsonl(path)
+    except ValueError as e:
+        return fail(path, str(e))
+    if len(docs) < 2:
+        return fail(path, "needs at least a header and an end line")
+    schema = docs[0].get("schema")
+    if schema == SLO_SCHEMA:
+        return check_slo(path, docs)
+    if schema == SAMPLE_SCHEMA:
+        return check_samples(path, docs)
+    if schema == SCHEMA:
+        return check_flight(path)
+    return fail(path, f"unknown JSONL schema {schema!r}")
+
+
 SHB_TYPE = 0x0A0D0D0A
 BYTE_ORDER_MAGIC = 0x1A2B3C4D
 IDB_TYPE = 1
@@ -153,7 +288,7 @@ def check_pcapng(path):
 
 def check_file(path):
     if path.endswith(".jsonl"):
-        return check_flight(path)
+        return check_jsonl(path)
     if path.endswith(".json"):
         return check_perfetto(path)
     if path.endswith(".pcapng") or path.endswith(".pcap"):
