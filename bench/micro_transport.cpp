@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "arnet/fleet/scenario.hpp"
+#include "arnet/fluid/fluid.hpp"
 #include "arnet/mar/offload.hpp"
 #include "arnet/net/network.hpp"
 #include "arnet/net/packet_arena.hpp"
@@ -201,6 +202,27 @@ std::int64_t run_fleet_session_churn() {
   return r.sim_events;
 }
 
+std::int64_t run_fluid_step() {
+  // Per-tick cost of the mean-field city cell: one simulated diurnal hour at
+  // the city tick (1 s), default probe grid. scale_city's wall time is this
+  // number times cells * ticks, so a regression here is a regression of the
+  // whole city bench.
+  fluid::FluidConfig f;
+  f.seed = 1;
+  f.population.base_arrivals_per_s = 0.5;
+  f.population.mean_lifetime_s = 600.0;
+  f.population.profile.curve = {0.5, 1.0, 2.0, 1.5};
+  f.population.profile.period = sim::seconds(3600);
+  f.tick = sim::seconds(1);
+  f.duration = sim::seconds(3600);
+  f.rtt_quantiles = 2;
+  f.wait_quantiles = 2;
+  fluid::FluidCell cell(std::move(f));
+  const fluid::FluidResult r = cell.run();
+  benchmark::DoNotOptimize(r.p99_ms);
+  return r.ticks;
+}
+
 std::int64_t run_telemetry_overhead(bool telemetry_on) {
   // The CI-gated pair: the paper's end-to-end pipeline — one AR offload
   // session shipping frames over a simulated access link — run dark vs with
@@ -337,6 +359,11 @@ void BM_FleetSessionChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_FleetSessionChurn);
 
+void BM_FluidStep(benchmark::State& state) {
+  for (auto _ : state) run_fluid_step();
+}
+BENCHMARK(BM_FluidStep);
+
 void BM_TelemetryOverheadOff(benchmark::State& state) {
   for (auto _ : state) run_telemetry_overhead_off();
 }
@@ -364,6 +391,7 @@ int main(int argc, char** argv) {
       {"ArtpSessionSimulated", run_artp_session},
       {"WifiCellSaturated", run_wifi_cell_saturated},
       {"FleetSessionChurn", run_fleet_session_churn},
+      {"FluidStep", run_fluid_step},
       {"TelemetryOverhead/off", run_telemetry_overhead_off},
       {"TelemetryOverhead/on", run_telemetry_overhead_on},
   };

@@ -1,0 +1,350 @@
+// City-scale hybrid packet/fluid experiment: a 20x20 grid of neighborhood
+// cells (downtown core, commercial ring, residential fabric, nightlife
+// pockets, transit hubs), each a mean-field arnet::fluid cell advancing its
+// session population as flow aggregates over a full simulated diurnal day —
+// >= 100k concurrent sessions at the evening peak, in minutes of wall time.
+// This is the paper's city-scale provisioning question (§IV scale concerns,
+// §VI-F): which neighborhoods breach the 75 ms motion-to-photon budget, when,
+// and what admission control does about it.
+//
+// The fluid model is cross-validated against the packet-level fleet model in
+// the same binary: four paired 25-200 user cells run both models and report
+// p99/goodput deltas (the tolerance bands are pinned in tests/fluid_test.cpp).
+//
+// Each cell is an independent world fanned across an ExperimentRunner pool
+// (`--jobs N`), seeds derived from the root seed by run index — output is
+// byte-identical for any job count. Artifacts land under --out-dir:
+//   scale_city_metrics.jsonl   merged arnet-obs-v2 registry (per-cell city.*
+//                              gauges, fluid.* instruments, SLO gauges)
+//   BENCH_scale_city.json      arnet-bench-v1 summary: one entry per cell
+//                              plus validate/uNNN/{packet,fluid} pairs
+//   scale_city_slo.jsonl       arnet-slo-v1 burn/alert log, cell order
+//   scale_city_samples.jsonl   arnet-sample-v1 header/footer (fluid cells
+//                              carry no spans; keeps arnet_report.py happy)
+// With --report yes, tools/arnet_report.py renders scale_city_report.html.
+//
+// As in scale_fleet, wall_time_s is *simulated* time and iterations are
+// completed frames: the summary reports properties of the model, not the
+// host, which keeps serial and parallel runs byte-identical and diffable.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arnet/core/table.hpp"
+#include "arnet/fluid/city.hpp"
+#include "arnet/fluid/validate.hpp"
+#include "arnet/obs/export.hpp"
+#include "arnet/runner/experiment.hpp"
+#include "arnet/slo/slo.hpp"
+#include "arnet/trace/sampler.hpp"
+#include "arnet/trace/trace.hpp"
+
+using namespace arnet;
+
+namespace {
+
+fluid::CityConfig make_city(bool smoke) {
+  fluid::CityConfig city;  // defaults: 20x20 grid, 86400 s day, 1 s tick
+  if (smoke) {
+    // CI-sized: a 4x4 grid over a compressed half-hour "day" with 2-minute
+    // sessions — same archetype mix and code paths, seconds of wall time.
+    city.grid_x = 4;
+    city.grid_y = 4;
+    city.day = sim::seconds(1800);
+    city.tick = sim::milliseconds(250);
+    city.mean_lifetime_s = 120.0;
+  }
+  return city;
+}
+
+void json_num(std::ostream& os, double v) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(12) << v;
+  os << tmp.str();
+}
+
+void write_benchmark(std::ostream& os, bool& first, const std::string& name,
+                     const fluid::FluidResult& r) {
+  if (!first) os << ",";
+  first = false;
+  const double sim_s = r.sim_seconds > 0 ? r.sim_seconds : 1.0;
+  os << "\n  {\"name\": \"" << obs::json_escape(name) << "\", \"iterations\": "
+     << r.frames << ", \"wall_time_s\": ";
+  json_num(os, sim_s);
+  os << ", \"ops_per_sec\": ";
+  json_num(os, r.served_fps);
+  os << ", \"sim_events\": " << r.ticks << ", \"sim_events_per_sec\": ";
+  json_num(os, static_cast<double>(r.ticks) / sim_s);
+  os << ", \"latency_ns\": {\"mean\": ";
+  json_num(os, r.mean_ms * 1e6);
+  os << ", \"p50\": ";
+  json_num(os, r.p50_ms * 1e6);
+  os << ", \"p90\": ";
+  json_num(os, r.p90_ms * 1e6);
+  os << ", \"p99\": ";
+  json_num(os, r.p99_ms * 1e6);
+  os << ", \"min\": ";
+  json_num(os, r.min_ms * 1e6);
+  os << ", \"max\": ";
+  json_num(os, r.max_ms * 1e6);
+  os << "}}";
+}
+
+/// arnet-bench-v1 emitter fed from simulation results (fluid cells and both
+/// sides of each validation pair; the packet side reuses its CellResult).
+bool write_summary(const std::string& path,
+                   const std::vector<fluid::CityCellOutcome>& cells,
+                   const std::vector<fluid::ValidationRow>& validation) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << "{\"schema\": \"arnet-bench-v1\", \"suite\": \"scale_city\", \"benchmarks\": [";
+  bool first = true;
+  for (const fluid::CityCellOutcome& c : cells) {
+    write_benchmark(os, first, c.r.name, c.r);
+  }
+  for (const fluid::ValidationRow& v : validation) {
+    std::ostringstream base;
+    base << "validate/u" << std::setw(3) << std::setfill('0')
+         << static_cast<int>(v.users);
+    const fleet::CellResult& p = v.packet;
+    if (!first) os << ",";
+    first = false;
+    const double sim_s = p.sim_seconds > 0 ? p.sim_seconds : 1.0;
+    os << "\n  {\"name\": \"" << obs::json_escape(base.str() + "/packet")
+       << "\", \"iterations\": " << p.results << ", \"wall_time_s\": ";
+    json_num(os, sim_s);
+    os << ", \"ops_per_sec\": ";
+    json_num(os, p.served_fps);
+    os << ", \"sim_events\": " << p.sim_events << ", \"sim_events_per_sec\": ";
+    json_num(os, static_cast<double>(p.sim_events) / sim_s);
+    os << ", \"latency_ns\": {\"mean\": ";
+    json_num(os, p.mean_ms * 1e6);
+    os << ", \"p50\": ";
+    json_num(os, p.p50_ms * 1e6);
+    os << ", \"p90\": ";
+    json_num(os, p.p90_ms * 1e6);
+    os << ", \"p99\": ";
+    json_num(os, p.p99_ms * 1e6);
+    os << ", \"min\": ";
+    json_num(os, p.min_ms * 1e6);
+    os << ", \"max\": ";
+    json_num(os, p.max_ms * 1e6);
+    os << "}}";
+    write_benchmark(os, first, base.str() + "/fluid", v.fluid);
+  }
+  os << "\n]}\n";
+  return os.good();
+}
+
+struct ArchetypeAgg {
+  int cells = 0;
+  std::size_t servers = 0;
+  double peak = 0.0;           // sum of per-cell peak session mass
+  double served_fps = 0.0;
+  double frames = 0.0;
+  double misses = 0.0;
+  std::uint64_t rejected = 0;
+  int breached = 0;            // cells whose tick p99 broke budget at least once
+  double worst_p99 = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = runner::parse_string_flag(argc, argv, "--smoke", "no") != "no";
+  const bool with_report = runner::parse_string_flag(argc, argv, "--report", "no") != "no";
+  const std::string out_dir = runner::parse_out_dir(argc, argv);
+  const std::string seed_str = runner::parse_string_flag(argc, argv, "--seed", "1");
+  runner::ExperimentRunner::Config pool_cfg;
+  pool_cfg.jobs = runner::parse_jobs_flag(argc, argv, 1);
+  pool_cfg.root_seed = std::strtoull(seed_str.c_str(), nullptr, 10);
+  runner::ExperimentRunner pool(pool_cfg);
+
+  fluid::CityConfig city = make_city(smoke);
+  city.seed = pool.root_seed();
+  const std::size_t n_cells = city.cells();
+  // Packet-vs-fluid validation pairs ride the same pool as extra runs.
+  const std::vector<double> levels = {25, 50, 100, 200};
+  const sim::Time validate_duration = smoke ? sim::seconds(10) : sim::seconds(30);
+  const std::size_t n_runs = n_cells + levels.size();
+
+  std::cout << "=== city-scale fluid simulation: " << city.grid_x << "x"
+            << city.grid_y << " grid over a " << sim::to_seconds(city.day) / 3600.0
+            << " h day ===\n"
+            << n_cells << " cells + " << levels.size() << " validation pairs, "
+            << pool.jobs() << " jobs, root seed " << pool.root_seed()
+            << (smoke ? " (smoke)" : "") << "\n\n";
+
+  // One world per run; results, registries and SLO trackers are indexed by
+  // run, so every merge below is in cell order no matter how workers
+  // interleave — byte-identical output at any --jobs.
+  std::vector<fluid::CityCellOutcome> outcomes(n_cells);
+  std::vector<obs::MetricsRegistry> regs(n_cells);
+  std::vector<std::unique_ptr<slo::SloTracker>> slos(n_cells);
+  std::vector<fluid::ValidationRow> validation(levels.size());
+  pool.for_each(n_runs, [&](runner::RunContext& ctx) {
+    if (ctx.run_index < n_cells) {
+      const std::string entity =
+          fluid::make_city_cell(city, ctx.run_index, ctx.seed).entity;
+      slos[ctx.run_index] =
+          std::make_unique<slo::SloTracker>(fluid::city_slo_config(city, entity));
+      outcomes[ctx.run_index] = fluid::run_city_cell(
+          city, ctx.run_index, ctx.seed, &regs[ctx.run_index],
+          slos[ctx.run_index].get());
+    } else {
+      const std::size_t v = ctx.run_index - n_cells;
+      validation[v] =
+          fluid::run_validation_level(levels[v], validate_duration, ctx.seed);
+    }
+  });
+
+  // Per-archetype rollup: the city story in five rows.
+  std::map<std::string, ArchetypeAgg> by_arch;
+  for (const fluid::CityCellOutcome& c : outcomes) {
+    ArchetypeAgg& a = by_arch[c.archetype];
+    ++a.cells;
+    a.peak += c.r.peak_sessions;
+    a.served_fps += c.r.served_fps;
+    a.frames += static_cast<double>(c.r.frames);
+    a.misses += static_cast<double>(c.r.misses);
+    a.rejected += c.r.rejected;
+    if (c.r.first_breach >= 0) ++a.breached;
+    a.worst_p99 = std::max(a.worst_p99, c.r.p99_ms);
+  }
+  const std::vector<fluid::CityArchetype> archetypes =
+      city.archetypes.empty() ? fluid::default_city_archetypes() : city.archetypes;
+  for (const fluid::CityArchetype& arch : archetypes) {
+    auto it = by_arch.find(arch.name);
+    if (it != by_arch.end()) it->second.servers = arch.servers;
+  }
+  core::TablePrinter t({"archetype", "cells", "servers", "peak sessions",
+                        "worst p99", "miss %", "breached", "rejected",
+                        "served fps"});
+  for (const auto& [name, a] : by_arch) {
+    const double miss_pct = a.frames > 0 ? 100.0 * a.misses / a.frames : 0.0;
+    t.add_row({name, std::to_string(a.cells), std::to_string(a.servers),
+               core::fmt(a.peak, 0), core::fmt_ms(a.worst_p99, 1),
+               core::fmt(miss_pct, 2),
+               std::to_string(a.breached) + "/" + std::to_string(a.cells),
+               std::to_string(a.rejected), core::fmt(a.served_fps, 0)});
+  }
+  t.print(std::cout);
+
+  // Aggregate concurrency curve: per-slot sums of the per-cell time-mean
+  // occupancy. The max slot is the city's peak concurrent session count.
+  std::vector<double> concurrency(static_cast<std::size_t>(city.occupancy_slots), 0.0);
+  for (const fluid::CityCellOutcome& c : outcomes) {
+    for (std::size_t s = 0; s < c.r.occupancy.size() && s < concurrency.size(); ++s) {
+      concurrency[s] += c.r.occupancy[s];
+    }
+  }
+  double peak_concurrent = 0.0;
+  std::size_t peak_slot = 0;
+  for (std::size_t s = 0; s < concurrency.size(); ++s) {
+    if (concurrency[s] > peak_concurrent) {
+      peak_concurrent = concurrency[s];
+      peak_slot = s;
+    }
+  }
+  const double slot_s =
+      sim::to_seconds(city.day) / std::max(1, city.occupancy_slots);
+  double total_frames = 0.0, total_misses = 0.0;
+  int breach_cells = 0;
+  for (const fluid::CityCellOutcome& c : outcomes) {
+    total_frames += static_cast<double>(c.r.frames);
+    total_misses += static_cast<double>(c.r.misses);
+    if (c.r.first_breach >= 0) ++breach_cells;
+  }
+  std::cout << "\npeak concurrent sessions: " << core::fmt(peak_concurrent, 0)
+            << " (slot " << peak_slot << ", t=" << core::fmt(peak_slot * slot_s / 3600.0, 1)
+            << " h)\nframes served: " << core::fmt(total_frames, 0)
+            << "  city miss rate: "
+            << core::fmt(total_frames > 0 ? 100.0 * total_misses / total_frames : 0.0, 2)
+            << " %  cells ever past budget: " << breach_cells << "/" << n_cells
+            << "\n";
+
+  // Fluid-vs-packet validation: the tolerance bands pinned in
+  // tests/fluid_test.cpp are the contract; this table is the evidence.
+  core::TablePrinter vt({"users", "packet p99", "fluid p99", "dp99 %",
+                         "packet fps", "fluid fps", "dfps %"});
+  for (const fluid::ValidationRow& v : validation) {
+    vt.add_row({core::fmt(v.users, 0), core::fmt_ms(v.packet.p99_ms, 1),
+                core::fmt_ms(v.fluid.p99_ms, 1), core::fmt(v.p99_delta_pct, 1),
+                core::fmt(v.packet.served_fps, 0), core::fmt(v.fluid.served_fps, 0),
+                core::fmt(v.goodput_delta_pct, 1)});
+  }
+  std::cout << "\nfluid vs packet validation (open loop):\n";
+  vt.print(std::cout);
+
+  obs::MetricsRegistry merged;
+  for (const obs::MetricsRegistry& r : regs) merged.merge_from(r);
+  merged.gauge("city.concurrent_peak", "city").set(peak_concurrent);
+  merged.gauge("city.concurrent_peak_slot", "city")
+      .set(static_cast<double>(peak_slot));
+  merged.gauge("city.cells_total", "city").set(static_cast<double>(n_cells));
+  merged.gauge("city.cells_breached", "city").set(breach_cells);
+
+  const std::string metrics_path = runner::out_path(out_dir, "scale_city_metrics.jsonl");
+  {
+    std::ofstream mf(metrics_path);
+    if (!mf) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    obs::write_jsonl(merged, mf);
+  }
+  const std::string summary_path = runner::out_path(out_dir, "BENCH_scale_city.json");
+  if (!write_summary(summary_path, outcomes, validation)) {
+    std::cerr << "cannot write " << summary_path << "\n";
+    return 1;
+  }
+  const std::string slo_path = runner::out_path(out_dir, "scale_city_slo.jsonl");
+  {
+    std::ofstream sf(slo_path);
+    if (!sf) {
+      std::cerr << "cannot write " << slo_path << "\n";
+      return 1;
+    }
+    std::vector<const slo::SloTracker*> trackers;
+    for (const auto& s : slos) trackers.push_back(s.get());
+    slo::write_slo_jsonl(trackers, sf);
+  }
+  // Fluid cells have no packet traces; an empty arnet-sample-v1 file keeps
+  // the report tool's input contract satisfied.
+  const std::string samples_path = runner::out_path(out_dir, "scale_city_samples.jsonl");
+  {
+    std::ofstream pf(samples_path);
+    if (!pf) {
+      std::cerr << "cannot write " << samples_path << "\n";
+      return 1;
+    }
+    trace::write_samples_header(pf);
+    trace::write_samples_end(pf, 0);
+  }
+  std::cout << "\nwrote " << metrics_path << "\nwrote " << summary_path
+            << "\nwrote " << slo_path << "\nwrote " << samples_path << "\n";
+
+  if (with_report) {
+    const std::string report_path = runner::out_path(out_dir, "scale_city_report.html");
+    const std::string cmd = "python3 tools/arnet_report.py --title scale_city --bench " +
+                            summary_path + " --metrics " + metrics_path + " --slo " +
+                            slo_path + " --samples " + samples_path + " --out " +
+                            report_path;
+    // Best effort: report generation rides an external interpreter, and a
+    // bench run without python available should still produce its JSONL.
+    if (std::system(cmd.c_str()) != 0) {
+      std::cerr << "warning: report generation failed: " << cmd << "\n";
+    } else {
+      std::cout << "wrote " << report_path << "\n";
+    }
+  }
+  return 0;
+}

@@ -61,6 +61,24 @@ struct SessionSpec {
   edge::GeoPoint pos;
 };
 
+/// A cell-local diurnal intensity profile: piecewise multipliers cycled over
+/// `period`, sampled at `(t + phase) % period`. The phase offset lets a city
+/// of cells share one canonical day shape while each cell lives in its own
+/// part of it (staggered rush hours across neighborhoods); a subpopulation
+/// with an active profile ignores the legacy global diurnal fields entirely.
+struct DiurnalProfile {
+  std::vector<double> curve;  ///< empty = inactive (use the legacy fields)
+  sim::Time period = sim::seconds(86400);
+  sim::Time phase = 0;
+
+  bool active() const { return !curve.empty() && period > 0; }
+  /// Intensity multiplier at simulated time `t` (1.0 when inactive).
+  double multiplier(sim::Time t) const;
+  /// Largest multiplier (floored at 1.0: the thinning envelope must always
+  /// dominate the instantaneous rate, matching the legacy peak rule).
+  double peak() const;
+};
+
 struct PopulationConfig {
   ArrivalProcess process = ArrivalProcess::kPoisson;
   /// Mean session arrivals per second at diurnal multiplier 1.0 (calm state).
@@ -73,6 +91,10 @@ struct PopulationConfig {
   /// (a day compressed to simulation scale). {1.0} = flat.
   std::vector<double> diurnal = {1.0};
   sim::Time diurnal_period = sim::seconds(60);
+  /// Cell-local diurnal profile. When `profile.active()` it replaces the
+  /// `diurnal`/`diurnal_period` pair above; left inactive (the default), the
+  /// legacy fields apply and existing single-cell behavior is bit-identical.
+  DiurnalProfile profile;
   double mean_lifetime_s = 20.0;
   std::vector<DeviceMixEntry> device_mix = {
       {mar::DeviceClass::kSmartphone, 0.55},

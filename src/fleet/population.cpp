@@ -35,6 +35,22 @@ std::size_t pick_weighted(const std::vector<T>& entries, double u, WeightOf weig
 
 }  // namespace
 
+double DiurnalProfile::multiplier(sim::Time t) const {
+  if (!active()) return 1.0;
+  sim::Time ph = (t + phase) % period;
+  if (ph < 0) ph += period;
+  auto slot = static_cast<std::size_t>(static_cast<double>(ph) /
+                                       static_cast<double>(period) *
+                                       static_cast<double>(curve.size()));
+  return curve[std::min(slot, curve.size() - 1)];
+}
+
+double DiurnalProfile::peak() const {
+  double p = 1.0;
+  for (double m : curve) p = std::max(p, m);
+  return p;
+}
+
 PopulationModel::PopulationModel(sim::Simulator& sim, PopulationConfig cfg,
                                  std::uint64_t seed)
     : sim_(sim),
@@ -44,7 +60,11 @@ PopulationModel::PopulationModel(sim::Simulator& sim, PopulationConfig cfg,
   ARNET_CHECK(!cfg_.device_mix.empty(), "population needs a device mix");
   ARNET_CHECK(!cfg_.app_mix.empty(), "population needs an app mix");
   double peak_diurnal = 1.0;
-  for (double m : cfg_.diurnal) peak_diurnal = std::max(peak_diurnal, m);
+  if (cfg_.profile.active()) {
+    peak_diurnal = cfg_.profile.peak();
+  } else {
+    for (double m : cfg_.diurnal) peak_diurnal = std::max(peak_diurnal, m);
+  }
   peak_rate_ = cfg_.base_arrivals_per_s * peak_diurnal *
                (cfg_.process == ArrivalProcess::kMmpp
                     ? std::max(1.0, cfg_.burst_multiplier)
@@ -52,6 +72,7 @@ PopulationModel::PopulationModel(sim::Simulator& sim, PopulationConfig cfg,
 }
 
 double PopulationModel::diurnal_multiplier(sim::Time t) const {
+  if (cfg_.profile.active()) return cfg_.profile.multiplier(t);
   if (cfg_.diurnal.empty() || cfg_.diurnal_period <= 0) return 1.0;
   sim::Time phase = t % cfg_.diurnal_period;
   auto slot = static_cast<std::size_t>(

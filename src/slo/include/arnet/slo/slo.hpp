@@ -91,6 +91,14 @@ class SloTracker {
   void observe(sim::Time now, double latency_ms);
   /// Feed a frame that never completed (counts as a miss).
   void observe_miss(sim::Time now);
+  /// Feed an aggregate of frames completing at `now`: `good` on-time and
+  /// `miss` late, all landing in one wheel slot with a single advance and a
+  /// single alert evaluation. Window sums and totals end up exactly as if
+  /// observe()/observe_miss() had been called good+miss times at the same
+  /// timestamp; only intra-batch alert transitions are collapsed. This is
+  /// what lets a fluid-mode cell report thousands of frames per tick at
+  /// O(1) cost instead of per-frame events.
+  void observe_batch(sim::Time now, std::int64_t good, std::int64_t miss);
 
   /// Fired on every transition *into* an alerting state (never on clear);
   /// the scenario layer wires this to FlightRecorder::dump so a burning

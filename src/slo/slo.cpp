@@ -52,6 +52,22 @@ void SloTracker::observe(sim::Time now, double latency_ms) {
 
 void SloTracker::observe_miss(sim::Time now) { record(now, true); }
 
+void SloTracker::observe_batch(sim::Time now, std::int64_t good, std::int64_t miss) {
+  ARNET_CHECK(good >= 0 && miss >= 0, "slo batch counts must be non-negative");
+  if (good == 0 && miss == 0) return;
+  advance(now);
+  Slot& s = wheel_[static_cast<std::size_t>(cur_slot_) % wheel_.size()];
+  s.good += good;
+  s.miss += miss;
+  fast_.good += good;
+  fast_.miss += miss;
+  slow_.good += good;
+  slow_.miss += miss;
+  total_good_ += good;
+  total_miss_ += miss;
+  evaluate(now);
+}
+
 void SloTracker::record(sim::Time now, bool missed) {
   advance(now);
   Slot& s = wheel_[static_cast<std::size_t>(cur_slot_) % wheel_.size()];

@@ -1,0 +1,39 @@
+// Fixture: rng-discipline across a sharded city grid — per-cell population
+// streams must come from derive_seed(root, cell), never from the raw cell
+// index (every grid re-run would mint colliding streams 0..N-1) or from
+// arithmetic with no seed provenance.
+#include <cstdint>
+#include <vector>
+
+namespace sim {
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+ private:
+  std::uint64_t state_;
+};
+}  // namespace sim
+
+namespace demo {
+
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t idx);
+
+void sharded_city_ok(std::uint64_t root_seed, std::size_t cells) {
+  std::vector<sim::Rng> streams;
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    streams.emplace_back(derive_seed(root_seed, cell));  // ok: derived per cell
+  }
+}
+
+void sharded_city_bad(std::size_t cells, int grid_x) {
+  std::vector<sim::Rng> streams;
+  for (std::size_t cell = 0; cell < cells; ++cell) {
+    sim::Rng per_cell(cell);                        // VIOLATION rng-discipline
+    sim::Rng by_position(cell * 31 + grid_x);       // VIOLATION rng-discipline
+    streams.push_back(per_cell);
+    streams.push_back(by_position);
+  }
+}
+
+}  // namespace demo

@@ -1,20 +1,22 @@
 #!/usr/bin/env python3
-"""Sanity-check the scale_fleet capacity-sweep artifacts.
+"""Sanity-check the scale_fleet / scale_city sweep artifacts.
 
 Usage: check_fleet_schema.py METRICS_JSONL SUMMARY_JSON
 
-Validates the pair a scale_fleet run writes under --out-dir:
+Validates the metrics/summary pair a sweep writes under --out-dir and the
+internal consistency between the two files. The summary's "suite" field
+selects the profile:
 
-  scale_fleet_metrics.jsonl   arnet-obs-v2 lines (v1 files still accepted);
-                              per-cell "cell.*" gauges plus the fleet.*
-                              instruments underneath them
-  BENCH_scale_fleet.json      arnet-bench-v1 summary, one entry per cell
+  scale_fleet   per-cell "cell.*" gauges plus the fleet.* instruments
+                underneath them (packet-level capacity sweep)
+  scale_city    per-cell "city.*" gauges, fluid.* instruments, and slo.*
+                gauges per grid cell, plus the aggregate "city" entity
+                (concurrent peak) and the validate/uNNN/{packet,fluid}
+                cross-validation pairs
 
-and the internal consistency between the two: every summary benchmark has a
-cell.* gauge family, percentiles are ordered, rates are positive, and each
-cell carries the fleet counters the sweep is supposed to publish. Fails
-(exit 1) on the first structural problem so CI archives only coherent
-artifacts.
+Percentiles must be ordered, rates positive, and every summary benchmark
+must have its gauge family in the JSONL. Fails (exit 1) on the first
+structural problem so CI archives only coherent artifacts.
 """
 import json
 import sys
@@ -24,6 +26,9 @@ OBS_SCHEMA_PREFIX = "arnet-obs-"
 CELL_GAUGES = ("cell.offered_users", "cell.p50_ms", "cell.p99_ms",
                "cell.miss_rate", "cell.served_fps", "cell.rejected",
                "cell.servers_final")
+CITY_GAUGES = ("city.peak_sessions", "city.knee_sessions", "city.p50_ms",
+               "city.p99_ms", "city.miss_rate", "city.served_fps",
+               "city.rejected", "city.first_breach_s")
 
 
 def fail(msg):
@@ -67,6 +72,60 @@ def load_metrics(path):
     return out
 
 
+def check_city_bench(cell, metrics, metrics_path):
+    """One scale_city benchmark: grid cells carry the city.*/fluid.*/slo.*
+    families; validate/uNNN/{packet,fluid} rows are summary-only. Returns
+    None when fine, 1 (already reported) otherwise."""
+    if cell.startswith("validate/"):
+        return None
+    for g in CITY_GAUGES:
+        if (g, cell) not in metrics:
+            return fail(f"{cell}: gauge {g} missing from {metrics_path}")
+    p50 = metrics[("city.p50_ms", cell)]["value"]
+    p99 = metrics[("city.p99_ms", cell)]["value"]
+    if p50 > p99:
+        return fail(f"{cell}: city.p50_ms {p50} > city.p99_ms {p99}")
+    miss = metrics[("city.miss_rate", cell)]["value"]
+    if not 0.0 <= miss <= 1.0:
+        return fail(f"{cell}: city.miss_rate {miss} outside [0, 1]")
+    for name in ("fluid.arrivals", "fluid.served"):
+        if (name, cell) not in metrics:
+            return fail(f"{cell}: counter {name} missing from {metrics_path}")
+    hist = metrics.get(("fluid.m2p_ms", cell))
+    if hist is None or hist["kind"] != "histogram":
+        return fail(f"{cell}: fluid.m2p_ms histogram missing")
+    if hist.get("count", 0) < 1:
+        return fail(f"{cell}: fluid.m2p_ms histogram is empty")
+    if ("slo.state", cell) not in metrics:
+        return fail(f"{cell}: slo.state gauge missing (SLO publish skipped?)")
+    return None
+
+
+def check_city_aggregate(cells, metrics, metrics_path, summary_path):
+    """City-wide invariants: the aggregate entity and the validation pairs.
+    Returns None when fine, 1 (already reported) otherwise."""
+    grid = [c for c in cells if not c.startswith("validate/")]
+    packet = {c for c in cells if c.startswith("validate/") and
+              c.endswith("/packet")}
+    fluid = {c for c in cells if c.startswith("validate/") and
+             c.endswith("/fluid")}
+    if {c.rsplit("/", 1)[0] for c in packet} !=             {c.rsplit("/", 1)[0] for c in fluid}:
+        return fail(f"{summary_path}: unpaired validate/ benchmarks")
+    if not grid:
+        return fail(f"{summary_path}: no grid cells in summary")
+    peak = metrics.get(("city.concurrent_peak", "city"))
+    if peak is None:
+        return fail(f"{metrics_path}: city.concurrent_peak aggregate missing")
+    if peak["value"] <= 0:
+        return fail(f"city.concurrent_peak must be positive, got "
+                    f"{peak['value']}")
+    total = metrics.get(("city.cells_total", "city"))
+    if total is None or int(total["value"]) != len(grid):
+        return fail(f"city.cells_total disagrees with summary grid cells "
+                    f"({total and total['value']} vs {len(grid)})")
+    return None
+
+
 def check(metrics_path, summary_path):
     try:
         metrics = load_metrics(metrics_path)
@@ -82,8 +141,9 @@ def check(metrics_path, summary_path):
         return fail(f"{summary_path}: unreadable or invalid JSON: {e}")
     if summary.get("schema") != "arnet-bench-v1":
         return fail(f"{summary_path}: bad schema id: {summary.get('schema')!r}")
-    if summary.get("suite") != "scale_fleet":
-        return fail(f"{summary_path}: unexpected suite: {summary.get('suite')!r}")
+    suite = summary.get("suite")
+    if suite not in ("scale_fleet", "scale_city"):
+        return fail(f"{summary_path}: unexpected suite: {suite!r}")
     benches = summary.get("benchmarks")
     if not isinstance(benches, list) or not benches:
         return fail(f"{summary_path}: empty or missing benchmarks list")
@@ -106,6 +166,11 @@ def check(metrics_path, summary_path):
             return fail(f"{cell}: latency percentiles disordered")
         if not b.get("wall_time_s", 0) > 0 or not b.get("ops_per_sec", 0) > 0:
             return fail(f"{cell}: non-positive wall_time_s/ops_per_sec")
+
+        if suite == "scale_city":
+            if check_city_bench(cell, metrics, metrics_path) is not None:
+                return 1
+            continue
 
         # Every summary cell must have its gauge family in the JSONL — the
         # two artifacts describe the same run.
@@ -134,9 +199,15 @@ def check(metrics_path, summary_path):
         if hist.get("count", 0) < 1:
             return fail(f"{cell}: fleet.m2p_ms histogram is empty")
 
-    # Per-server instruments exist for at least one server of some cell.
-    if not any(n == "fleet.requests" and "/server:" in e for n, e in metrics):
-        return fail(f"{metrics_path}: no per-server fleet.requests counters")
+    if suite == "scale_city":
+        rc = check_city_aggregate(cells, metrics, metrics_path, summary_path)
+        if rc is not None:
+            return rc
+    else:
+        # Per-server instruments exist for at least one server of some cell.
+        if not any(n == "fleet.requests" and "/server:" in e
+                   for n, e in metrics):
+            return fail(f"{metrics_path}: no per-server fleet.requests counters")
 
     print(f"{metrics_path}: OK ({len(metrics)} instruments)")
     print(f"{summary_path}: OK ({len(benches)} cells)")
